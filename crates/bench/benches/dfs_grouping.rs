@@ -1,0 +1,19 @@
+//! Algorithm 1 (DFS layer grouping) cost on the twin and full YOLOv5s
+//! graphs — the step that amortises pattern selection across groups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtoss_core::dfs::group_layers;
+use rtoss_models::{yolov5s, yolov5s_twin};
+
+fn bench_dfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfs_grouping");
+    group.sample_size(10);
+    let twin = yolov5s_twin(8, 3, 1).unwrap();
+    group.bench_function("twin_graph", |b| b.iter(|| group_layers(&twin.graph)));
+    let full = yolov5s(80, 1).unwrap();
+    group.bench_function("full_yolov5s_graph", |b| b.iter(|| group_layers(&full.graph)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dfs);
+criterion_main!(benches);

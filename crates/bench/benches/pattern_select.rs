@@ -1,0 +1,40 @@
+//! Pattern-selection throughput: Algorithm 2's inner loop (best-pattern
+//! search by masked L2) and the sect. IV.B L2-frequency derivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtoss_core::pattern::{canonical_set, select_patterns};
+use rtoss_tensor::init;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_selection");
+    group.sample_size(10);
+
+    let set2 = canonical_set(2).unwrap();
+    let set3 = canonical_set(3).unwrap();
+    let kernels = init::uniform(&mut init::rng(3), &[1024, 9], -1.0, 1.0);
+    group.bench_function("best_for_1024_kernels_2EP", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1024 {
+                acc += set2.best_for(&kernels.as_slice()[i * 9..(i + 1) * 9]).0;
+            }
+            acc
+        })
+    });
+    group.bench_function("best_for_1024_kernels_3EP", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1024 {
+                acc += set3.best_for(&kernels.as_slice()[i * 9..(i + 1) * 9]).0;
+            }
+            acc
+        })
+    });
+    group.bench_function("derive_3EP_set_5000_samples", |b| {
+        b.iter(|| select_patterns(3, 9, 5_000, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

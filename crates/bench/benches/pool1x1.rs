@@ -1,0 +1,30 @@
+//! Algorithm 3 (1x1 kernel pooling) throughput on layer sizes from the
+//! full-scale models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtoss_core::pattern::canonical_set;
+use rtoss_core::prune1x1::prune_1x1_weights;
+use rtoss_tensor::init;
+
+fn bench_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_1x1");
+    group.sample_size(10);
+    let set = canonical_set(2).unwrap();
+    for (o, i) in [(64usize, 64usize), (256, 128), (512, 512)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{o}x{i}")),
+            &(o, i),
+            |b, &(o, i)| {
+                let w = init::uniform(&mut init::rng(5), &[o, i, 1, 1], -1.0, 1.0);
+                b.iter(|| {
+                    let mut w = w.clone();
+                    prune_1x1_weights(&mut w, &set).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool);
+criterion_main!(benches);

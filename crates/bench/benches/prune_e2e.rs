@@ -1,0 +1,38 @@
+//! End-to-end pruning pass cost: R-TOSS (with and without DFS grouping)
+//! vs the PATDNN baseline on the YOLOv5s twin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtoss_core::baselines::PatDnn;
+use rtoss_core::{EntryPattern, Pruner, RTossConfig, RTossPruner};
+use rtoss_models::yolov5s_twin;
+
+fn bench_prune(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_e2e_twin");
+    group.sample_size(10);
+    group.bench_function("rtoss_2ep_grouped", |b| {
+        b.iter(|| {
+            let mut m = yolov5s_twin(8, 3, 1).unwrap();
+            RTossPruner::new(EntryPattern::Two).prune_graph(&mut m.graph).unwrap()
+        })
+    });
+    group.bench_function("rtoss_2ep_ungrouped", |b| {
+        b.iter(|| {
+            let mut m = yolov5s_twin(8, 3, 1).unwrap();
+            let cfg = RTossConfig {
+                use_groups: false,
+                ..RTossConfig::new(EntryPattern::Two)
+            };
+            RTossPruner::with_config(cfg).prune_graph(&mut m.graph).unwrap()
+        })
+    });
+    group.bench_function("patdnn", |b| {
+        b.iter(|| {
+            let mut m = yolov5s_twin(8, 3, 1).unwrap();
+            PatDnn::default().prune_graph(&mut m.graph).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prune);
+criterion_main!(benches);

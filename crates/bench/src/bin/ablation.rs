@@ -1,0 +1,150 @@
+//! Ablation study of R-TOSS's design choices (the decisions DESIGN.md
+//! §4 calls out):
+//!
+//! - **A.** the 1×1 transformation (Algorithm 3) on vs off,
+//! - **B.** DFS layer grouping (Algorithm 1) on vs off (wall-clock cost
+//!   of the pruning pass; resulting sparsity is identical),
+//! - **C.** pattern-budget sweep for 3EP (how many of the 22 connected
+//!   patterns are actually needed — the paper settles on 9),
+//! - **D.** the adjacency filter on vs off (disconnected patterns score
+//!   marginally better L2 but forfeit semi-structured regularity).
+
+use rtoss_bench::print_table;
+use rtoss_core::accuracy::{prune_stats, snapshot_weights, AccuracyModel};
+use rtoss_core::pattern::{select_patterns, select_patterns_unfiltered};
+use rtoss_core::prune3x3::prune_3x3_weights;
+use rtoss_core::{EntryPattern, Pruner, RTossConfig, RTossPruner};
+use rtoss_models::yolov5s;
+use rtoss_tensor::init;
+use std::time::Instant;
+
+fn ablation_1x1() {
+    let acc = AccuracyModel::yolov5s_kitti();
+    let mut rows = Vec::new();
+    for (label, prune_1x1) in [("with 1x1 transformation", true), ("3x3-only (prior work)", false)] {
+        let mut m = yolov5s(80, 42).expect("builds");
+        let snap = snapshot_weights(&m.graph);
+        let cfg = RTossConfig {
+            prune_1x1,
+            ..RTossConfig::new(EntryPattern::Two)
+        };
+        let report = RTossPruner::with_config(cfg)
+            .prune_graph(&mut m.graph)
+            .expect("prunes");
+        let stats = prune_stats(&snap, &m.graph);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}x", report.compression_ratio()),
+            format!("{:.1}%", report.sparsity_for_kernel(1) * 100.0),
+            format!("{:.1}%", report.sparsity_for_kernel(3) * 100.0),
+            format!("{:.2}", acc.estimate(&stats)),
+        ]);
+    }
+    print_table(
+        "Ablation A: the 1x1 transformation (YOLOv5s, 2EP)",
+        &["Variant", "Compression", "1x1 sparsity", "3x3 sparsity", "est. mAP"],
+        &rows,
+    );
+}
+
+fn ablation_grouping() {
+    let mut rows = Vec::new();
+    for (label, use_groups) in [("DFS grouping (Alg. 1)", true), ("per-layer selection", false)] {
+        let mut m = yolov5s(80, 42).expect("builds");
+        let cfg = RTossConfig {
+            use_groups,
+            ..RTossConfig::new(EntryPattern::Three)
+        };
+        let start = Instant::now();
+        let report = RTossPruner::with_config(cfg)
+            .prune_graph(&mut m.graph)
+            .expect("prunes");
+        let elapsed = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3} s", elapsed),
+            format!("{}", report.group_count),
+            format!("{:.2}x", report.compression_ratio()),
+        ]);
+    }
+    print_table(
+        "Ablation B: DFS layer grouping (YOLOv5s, 3EP, full-scale prune pass)",
+        &["Variant", "Prune time", "Groups", "Compression"],
+        &rows,
+    );
+}
+
+fn ablation_budget() {
+    // Retention of best-pattern selection vs number of available
+    // patterns, on a large random kernel population.
+    let kernels = init::uniform(&mut init::rng(5), &[4096, 1, 3, 3], -1.0, 1.0);
+    let dense_l2 = kernels.l2_norm() as f64;
+    let mut rows = Vec::new();
+    for budget in [1usize, 3, 6, 9, 15, 22] {
+        let set = select_patterns(3, budget, 20_000, 0x5EED).expect("selects");
+        let mut w = kernels.clone();
+        prune_3x3_weights(&mut w, &set).expect("prunes");
+        let retention = w.l2_norm() as f64 / dense_l2;
+        rows.push(vec![
+            format!("{}", set.len()),
+            format!("{retention:.4}"),
+        ]);
+    }
+    print_table(
+        "Ablation C: 3EP pattern budget vs L2 retention (4096 random kernels)",
+        &["Patterns available", "L2 retention"],
+        &rows,
+    );
+    println!(
+        "Retention saturates well before all 22 connected patterns — the\n\
+         paper's 9-pattern 3EP budget captures almost all of it, and fewer\n\
+         patterns means better kernel grouping at inference (section IV.C)."
+    );
+}
+
+fn ablation_adjacency() {
+    let kernels = init::uniform(&mut init::rng(6), &[4096, 1, 3, 3], -1.0, 1.0);
+    let dense_l2 = kernels.l2_norm() as f64;
+    let mut rows = Vec::new();
+    for (label, set) in [
+        (
+            "adjacent only (paper)",
+            select_patterns(3, 9, 20_000, 0x5EED).expect("selects"),
+        ),
+        (
+            "unfiltered C(9,3)",
+            select_patterns_unfiltered(3, 9, 20_000, 0x5EED).expect("selects"),
+        ),
+    ] {
+        let connected = set.patterns().iter().filter(|p| p.is_connected()).count();
+        let mut w = kernels.clone();
+        prune_3x3_weights(&mut w, &set).expect("prunes");
+        let retention = w.l2_norm() as f64 / dense_l2;
+        rows.push(vec![
+            label.to_string(),
+            format!("{}/{}", connected, set.len()),
+            format!("{retention:.4}"),
+        ]);
+    }
+    print_table(
+        "Ablation D: adjacency filter (3EP, 9-pattern budget)",
+        &["Candidate set", "Connected patterns", "L2 retention"],
+        &rows,
+    );
+    println!(
+        "Dropping the filter buys almost no retention while destroying the\n\
+         connectedness the sparse executor's regularity (and the paper's\n\
+         semi-structured claim) depend on."
+    );
+}
+
+fn main() {
+    eprintln!("running ablation A (1x1 transformation)...");
+    ablation_1x1();
+    eprintln!("running ablation B (DFS grouping)...");
+    ablation_grouping();
+    eprintln!("running ablation C (pattern budget)...");
+    ablation_budget();
+    eprintln!("running ablation D (adjacency filter)...");
+    ablation_adjacency();
+}

@@ -1,0 +1,51 @@
+//! Regenerates the **§III kernel census**: the fraction of 1×1
+//! convolution layers in YOLOv5s, RetinaNet, and DETR that motivates
+//! the 1×1 transformation (paper: 68.42%, 56.14%, 63.46%).
+
+use rtoss_bench::print_table;
+use rtoss_models::others::detr_census_spec;
+use rtoss_models::{retinanet, yolov5s};
+
+fn main() {
+    eprintln!("building model specs...");
+    let specs = [
+        (yolov5s(80, 1).expect("yolov5s builds").spec, 68.42),
+        (retinanet(80, 1).expect("retinanet builds").spec, 56.14),
+        (detr_census_spec(), 63.46),
+    ];
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .map(|(spec, paper)| {
+            let c = spec.census();
+            vec![
+                spec.name.clone(),
+                format!("{}", spec.conv_layer_count()),
+                format!("{}", c.layers_1x1),
+                format!("{:.2}%", c.layer_fraction_1x1() * 100.0),
+                format!("{paper}%"),
+                format!("{:.2}%", c.kernel_fraction_1x1() * 100.0),
+                format!("{:.2} M", spec.params_millions()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Kernel census (paper section III)",
+        &[
+            "Model",
+            "Conv layers",
+            "1x1 layers",
+            "1x1 fraction",
+            "Paper",
+            "1x1 kernels (O*I)",
+            "Params",
+        ],
+        &rows,
+    );
+    println!(
+        "\nNote: the layer-granularity census matches the paper for YOLOv5s\n\
+         and RetinaNet. DETR lands higher because we map every transformer\n\
+         projection/FFN matrix to a 1x1 conv (documented in EXPERIMENTS.md);\n\
+         the qualitative claim — a majority of kernels are 1x1 and would be\n\
+         ignored by 3x3-only pattern pruning — holds for all three."
+    );
+}

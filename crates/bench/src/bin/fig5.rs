@@ -1,0 +1,150 @@
+//! Regenerates **Fig. 5**: mAP comparison across all frameworks on
+//! YOLOv5s and RetinaNet.
+//!
+//! Two tiers (DESIGN.md §2):
+//!
+//! - default: the analytic accuracy model applied to *measured*
+//!   full-scale pruning statistics (fast);
+//! - `--twin`: the empirical tier — trains the scaled twins on
+//!   synthetic KITTI, prunes with each method, fine-tunes, and measures
+//!   real mAP@0.5 through the full detection pipeline (slow; run with
+//!   `--release`).
+
+use rtoss::train::{evaluate_twin, load_state, save_state, train_twin, TrainConfig};
+use rtoss_bench::{print_table, run_roster};
+use rtoss_core::accuracy::AccuracyModel;
+use rtoss_core::baselines::all_baselines;
+use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+use rtoss_data::scene::{generate_dataset, SceneConfig};
+use rtoss_models::{retinanet, yolov5s, yolov5s_twin, DetectorModel};
+
+/// Paper Fig. 5 approximate bar values (mAP, KITTI).
+const PAPER_YOLO: &[(&str, f64)] = &[
+    ("BM", 74.2),
+    ("PD", 79.0),
+    ("NMS", 73.0),
+    ("NS", 68.0),
+    ("PF", 67.0),
+    ("NP", 70.0),
+    ("R-TOSS (3EP)", 78.58),
+    ("R-TOSS (2EP)", 76.42),
+];
+const PAPER_RETINA: &[(&str, f64)] = &[
+    ("BM", 77.5),
+    ("PD", 70.0),
+    ("NMS", 71.9),
+    ("NS", 66.0),
+    ("PF", 65.0),
+    ("NP", 68.0),
+    ("R-TOSS (3EP)", 79.45),
+    ("R-TOSS (2EP)", 82.9),
+];
+
+fn analytic(name: &str, build: impl Fn() -> DetectorModel, acc: AccuracyModel, paper: &[(&str, f64)]) {
+    let runs = run_roster(build);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let paper_v = paper
+                .iter()
+                .find(|(n, _)| *n == r.name)
+                .map(|&(_, v)| format!("{v}"))
+                .unwrap_or_else(|| "-".into());
+            vec![
+                r.name.clone(),
+                format!("{:.2}", acc.estimate(&r.stats)),
+                format!("{:.3}", r.stats.retention),
+                format!("{:.3}", r.stats.filter_cut),
+                paper_v,
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 5 ({name}): mAP, analytic tier"),
+        &["Method", "mAP (model)", "L2 retention", "Filter cut", "Paper (approx)"],
+        &rows,
+    );
+}
+
+fn empirical_twin() {
+    const SEED: u64 = 42;
+    const BASE: usize = 16;
+    const CLASSES: usize = 3;
+    eprintln!("[twin] generating synthetic KITTI (train 300 / eval 60 scenes)...");
+    let train_scenes = generate_dataset(&SceneConfig::default(), 300, 1000);
+    let eval_scenes = generate_dataset(&SceneConfig::default(), 60, 2000);
+
+    eprintln!("[twin] training the shared base model...");
+    let mut base = yolov5s_twin(BASE, CLASSES, SEED).expect("twin builds");
+    let cfg = TrainConfig {
+        epochs: 20,
+        batch_size: 8,
+        lr: 0.03,
+        momentum: 0.9,
+        schedule: rtoss_nn::optim::LrSchedule::Constant,
+    };
+    train_twin(&mut base, &train_scenes, &cfg).expect("training succeeds");
+    let state = save_state(&mut base);
+    let bm_map = evaluate_twin(&mut base, &eval_scenes, 0.25, 0.5)
+        .expect("evaluation succeeds")
+        .map_percent();
+
+    let finetune = TrainConfig {
+        epochs: 30,
+        batch_size: 8,
+        lr: 0.02,
+        momentum: 0.9,
+        schedule: rtoss_nn::optim::LrSchedule::Constant,
+    };
+    let mut rows = vec![vec!["BM".to_string(), format!("{bm_map:.1}")]];
+    let mut pruners: Vec<Box<dyn Pruner>> = all_baselines();
+    pruners.push(Box::new(RTossPruner::new(EntryPattern::Three)));
+    pruners.push(Box::new(RTossPruner::new(EntryPattern::Two)));
+    for p in pruners {
+        eprintln!("[twin] {}: prune + fine-tune + evaluate...", p.name());
+        let mut m = yolov5s_twin(BASE, CLASSES, SEED).expect("twin builds");
+        load_state(&mut m, &state).expect("state loads");
+        p.prune_graph(&mut m.graph).expect("pruning succeeds");
+        train_twin(&mut m, &train_scenes, &finetune).expect("fine-tune succeeds");
+        let map = evaluate_twin(&mut m, &eval_scenes, 0.25, 0.5)
+            .expect("evaluation succeeds")
+            .map_percent();
+        rows.push(vec![p.name(), format!("{map:.1}")]);
+    }
+    print_table(
+        "Fig. 5 (YOLOv5s twin): mAP@0.5, empirical tier",
+        &["Method", "mAP (measured)"],
+        &rows,
+    );
+}
+
+fn main() {
+    let twin_mode = std::env::args().any(|a| a == "--twin");
+    eprintln!("analytic tier: full-scale YOLOv5s...");
+    analytic(
+        "YOLOv5s",
+        || yolov5s(80, 42).expect("yolov5s builds"),
+        AccuracyModel::yolov5s_kitti(),
+        PAPER_YOLO,
+    );
+    eprintln!("analytic tier: full-scale RetinaNet...");
+    analytic(
+        "RetinaNet",
+        || retinanet(80, 42).expect("retinanet builds"),
+        AccuracyModel::retinanet_kitti(),
+        PAPER_RETINA,
+    );
+    if twin_mode {
+        empirical_twin();
+    } else {
+        println!("\n(run with --twin --release for the empirical scaled-twin tier)");
+    }
+    println!(
+        "\nShape check (analytic tier): R-TOSS variants sit at or above BM;\n\
+         structured pruning (NS, PF) sits clearly below; NMS stays near BM.\n\
+         In the twin tier the capacity effect dominates (EXPERIMENTS.md):\n\
+         pattern pruning still beats filter pruning by >24 mAP points at\n\
+         matched-or-higher sparsity, but 2EP on a 0.3M-param twin removes\n\
+         needed capacity that the 7M-param original can spare."
+    );
+}

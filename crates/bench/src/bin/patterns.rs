@@ -1,0 +1,65 @@
+//! Regenerates the **§IV.B pattern derivation**: Eq. 1 candidate
+//! counts, the adjacency filter, the L2-frequency selection, and the
+//! paper's 21-pattern working set — printed as ASCII kernel glyphs.
+
+use rtoss_bench::print_table;
+use rtoss_core::pattern::{
+    candidate_count, canonical_pattern_count, canonical_set, generate_adjacent, Pattern,
+};
+
+fn glyph(p: Pattern) -> [String; 3] {
+    let mut rows = [String::new(), String::new(), String::new()];
+    for (r, row) in rows.iter_mut().enumerate() {
+        for c in 0..3 {
+            row.push(if p.keeps(r, c) { 'x' } else { '.' });
+        }
+    }
+    rows
+}
+
+fn print_set(title: &str, patterns: &[Pattern]) {
+    println!("\n{title}");
+    // Print in ranks of up to 12 glyphs.
+    for chunk in patterns.chunks(12) {
+        for line in 0..3 {
+            let row: Vec<String> = chunk.iter().map(|&p| glyph(p)[line].clone()).collect();
+            println!("  {}", row.join("  "));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let rows: Vec<Vec<String>> = (1..=8)
+        .map(|k| {
+            let adjacent = generate_adjacent(k).expect("valid k").len();
+            let selected = if matches!(k, 2..=5) {
+                format!("{}", canonical_set(k).expect("valid k").len())
+            } else {
+                "-".into()
+            };
+            vec![
+                format!("{k}"),
+                format!("{}", candidate_count(k)),
+                format!("{adjacent}"),
+                selected,
+            ]
+        })
+        .collect();
+    print_table(
+        "Pattern derivation (Eq. 1 + adjacency filter + L2 selection)",
+        &["k", "C(9,k) candidates", "adjacent (4-connected)", "selected"],
+        &rows,
+    );
+
+    let two = canonical_set(2).expect("2EP set");
+    let three = canonical_set(3).expect("3EP set");
+    println!(
+        "\nWorking set: {} 2EP + {} 3EP = {} patterns (paper: \"21 pre-defined kernel patterns\")",
+        two.len(),
+        three.len(),
+        canonical_pattern_count()
+    );
+    print_set("2EP patterns (all 12 adjacent pairs):", two.patterns());
+    print_set("3EP patterns (top 9 by L2-frequency):", three.patterns());
+}

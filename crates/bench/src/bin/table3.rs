@@ -1,0 +1,87 @@
+//! Regenerates **Table 3**: sensitivity analysis of R-TOSS entry
+//! patterns (5EP/4EP/3EP/2EP) on full-scale YOLOv5s and RetinaNet —
+//! reduction ratio, mAP, inference time and energy on the RTX 2080 Ti.
+//!
+//! Reduction ratios are *measured* (real pattern pruning of the
+//! full-scale weight tensors); latency/energy run the measured sparsity
+//! through the calibrated 2080 Ti model; mAP uses the analytic accuracy
+//! model (tier b, DESIGN.md §2).
+
+use rtoss_bench::{print_table, run_entry_sweep};
+use rtoss_core::accuracy::AccuracyModel;
+use rtoss_hw::DeviceModel;
+use rtoss_models::{retinanet, yolov5s, DetectorModel};
+
+/// Paper Table 3 values: (variant, ratio, mAP, ms, J) per model.
+const PAPER_YOLO: &[(&str, f64, f64, f64, f64)] = &[
+    ("R-TOSS (5EP)", 1.79, 72.6, 11.09, 0.97),
+    ("R-TOSS (4EP)", 2.24, 70.45, 10.98, 0.91),
+    ("R-TOSS (3EP)", 2.9, 78.58, 6.9, 0.478),
+    ("R-TOSS (2EP)", 4.4, 76.42, 6.5, 0.454),
+];
+const PAPER_RETINA: &[(&str, f64, f64, f64, f64)] = &[
+    ("R-TOSS (5EP)", 1.45, 66.09, 157.24, 14.27),
+    ("R-TOSS (4EP)", 1.6, 75.8, 150.58, 13.62),
+    ("R-TOSS (3EP)", 2.4, 79.45, 72.98, 6.45),
+    ("R-TOSS (2EP)", 2.89, 82.9, 64.83, 5.50),
+];
+
+fn sweep(
+    name: &str,
+    build: impl Fn() -> DetectorModel,
+    acc: AccuracyModel,
+    paper: &[(&str, f64, f64, f64, f64)],
+) {
+    let dev = DeviceModel::rtx_2080ti();
+    let runs = run_entry_sweep(build);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .zip(paper)
+        .map(|(r, &(pname, p_ratio, p_map, p_ms, p_j))| {
+            assert_eq!(r.name, pname, "variant order mismatch");
+            let ms = dev.latency_ms(&r.workload);
+            let j = dev.energy_j(&r.workload);
+            vec![
+                r.name.clone(),
+                format!("{:.2}x / {p_ratio}x", r.report.compression_ratio()),
+                format!("{:.2} / {p_map}", acc.estimate(&r.stats)),
+                format!("{ms:.2} / {p_ms}", ),
+                format!("{j:.3} / {p_j}"),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table 3 ({name}): measured / paper"),
+        &[
+            "Variant",
+            "Reduction ratio",
+            "mAP",
+            "Inference (ms, 2080 Ti)",
+            "Energy (J)",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    eprintln!("building full-scale YOLOv5s and pruning 4 variants...");
+    sweep(
+        "YOLOv5s",
+        || yolov5s(80, 42).expect("yolov5s builds"),
+        AccuracyModel::yolov5s_kitti(),
+        PAPER_YOLO,
+    );
+    eprintln!("building full-scale RetinaNet and pruning 4 variants...");
+    sweep(
+        "RetinaNet",
+        || retinanet(80, 42).expect("retinanet builds"),
+        AccuracyModel::retinanet_kitti(),
+        PAPER_RETINA,
+    );
+    println!(
+        "\nShape check: reduction ratio, speed and energy all improve\n\
+         monotonically from 5EP to 2EP, as in the paper. Known deviation:\n\
+         the paper's non-monotonic 4EP/5EP mAP rows are not reproduced by\n\
+         the smooth accuracy model (EXPERIMENTS.md)."
+    );
+}

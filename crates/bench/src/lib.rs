@@ -1,0 +1,261 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §5); this library holds the pieces they share:
+//! the pruning-method roster, workload derivation (spec + measured
+//! sparsity → MACs/bytes for the device models), and plain-text table
+//! printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rtoss_core::accuracy::{prune_stats, snapshot_weights, PruneStats};
+use rtoss_core::baselines::all_baselines;
+use rtoss_core::{snapshot_report, EntryPattern, PruneReport, Pruner, RTossPruner};
+use rtoss_hw::{SparsityStructure, Workload};
+use rtoss_models::DetectorModel;
+
+/// The result of applying one pruning method to one model.
+#[derive(Debug)]
+pub struct MethodRun {
+    /// Method name ("BM", "PD", ..., "R-TOSS (2EP)").
+    pub name: String,
+    /// Per-layer sparsity report.
+    pub report: PruneReport,
+    /// Retention/sparsity statistics for the accuracy model.
+    pub stats: PruneStats,
+    /// Sparsity structure for the device models.
+    pub structure: SparsityStructure,
+    /// Workload (effective MACs, weight bytes) for the device models.
+    pub workload: Workload,
+}
+
+/// Classifies a method name into the sparsity structure the hardware
+/// sees (§II.B taxonomy).
+pub fn structure_of(method: &str) -> SparsityStructure {
+    match method {
+        "BM" => SparsityStructure::Dense,
+        "NMS" | "NP" => SparsityStructure::Unstructured,
+        "NS" | "PF" => SparsityStructure::Structured,
+        _ => SparsityStructure::SemiStructured, // PD and all R-TOSS variants
+    }
+}
+
+/// Per-weight storage overhead (bytes) of each sparsity structure's
+/// compressed format, added to the 4 data bytes:
+/// semi-structured stores one pattern id per kernel (amortised),
+/// unstructured needs an index per weight.
+fn index_overhead_bytes(structure: SparsityStructure) -> f64 {
+    match structure {
+        SparsityStructure::Dense | SparsityStructure::Structured => 0.0,
+        SparsityStructure::SemiStructured => 0.25,
+        SparsityStructure::Unstructured => 2.0,
+    }
+}
+
+/// Derives the device-model workload from a (possibly pruned) model and
+/// its report.
+pub fn workload_for(
+    model: &DetectorModel,
+    report: &PruneReport,
+    structure: SparsityStructure,
+) -> Workload {
+    let dense_macs = model.spec.total_macs();
+    let effective_macs = model.effective_macs();
+    let surviving = (report.total_weights() - report.total_zeros()) as f64;
+    let dense_extra = model.spec.extra_params as f64 * 4.0;
+    let weight_bytes = if report.total_weights() == 0 {
+        model.spec.total_weight_bytes()
+    } else {
+        (surviving * (4.0 + index_overhead_bytes(structure)) + dense_extra) as u64
+    };
+    Workload {
+        dense_macs,
+        effective_macs,
+        weight_bytes,
+        structure,
+    }
+}
+
+/// The full method roster of Figs. 4–7: BM, the five baselines, and
+/// both R-TOSS variants — applied to a fresh model built by `build`.
+///
+/// # Panics
+///
+/// Panics if any pruner fails on the model (the roster is only used
+/// with known-good models inside the harness binaries).
+pub fn run_roster(build: impl Fn() -> DetectorModel) -> Vec<MethodRun> {
+    let mut runs = Vec::new();
+
+    // Base model: no pruning.
+    let bm = build();
+    let report = snapshot_report(&bm.graph, "BM");
+    let snap = snapshot_weights(&bm.graph);
+    let stats = prune_stats(&snap, &bm.graph);
+    let structure = SparsityStructure::Dense;
+    let workload = workload_for(&bm, &report, structure);
+    runs.push(MethodRun {
+        name: "BM".into(),
+        report,
+        stats,
+        structure,
+        workload,
+    });
+
+    let mut pruners: Vec<Box<dyn Pruner>> = all_baselines();
+    pruners.push(Box::new(RTossPruner::new(EntryPattern::Three)));
+    pruners.push(Box::new(RTossPruner::new(EntryPattern::Two)));
+
+    for p in pruners {
+        let mut m = build();
+        let snap = snapshot_weights(&m.graph);
+        let report = p
+            .prune_graph(&mut m.graph)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+        let stats = prune_stats(&snap, &m.graph);
+        let structure = structure_of(&p.name());
+        let workload = workload_for(&m, &report, structure);
+        runs.push(MethodRun {
+            name: p.name(),
+            report,
+            stats,
+            structure,
+            workload,
+        });
+    }
+    runs
+}
+
+/// Runs only the four R-TOSS entry-pattern variants (Table 3 rows).
+///
+/// # Panics
+///
+/// Panics if pruning fails (harness-internal use).
+pub fn run_entry_sweep(build: impl Fn() -> DetectorModel) -> Vec<MethodRun> {
+    EntryPattern::all()
+        .into_iter()
+        .map(|entry| {
+            let mut m = build();
+            let snap = snapshot_weights(&m.graph);
+            let p = RTossPruner::new(entry);
+            let report = p
+                .prune_graph(&mut m.graph)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", p.name()));
+            let stats = prune_stats(&snap, &m.graph);
+            let structure = SparsityStructure::SemiStructured;
+            let workload = workload_for(&m, &report, structure);
+            MethodRun {
+                name: p.name(),
+                report,
+                stats,
+                structure,
+                workload,
+            }
+        })
+        .collect()
+}
+
+/// Prints an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    println!("\n== {title} ==");
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_models::yolov5s_twin;
+
+    fn twin() -> DetectorModel {
+        yolov5s_twin(4, 2, 7).unwrap()
+    }
+
+    #[test]
+    fn roster_covers_eight_methods() {
+        let runs = run_roster(twin);
+        let names: Vec<&str> = runs.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["BM", "PD", "NMS", "NS", "PF", "NP", "R-TOSS (3EP)", "R-TOSS (2EP)"]
+        );
+        // BM is dense, everything else is sparser.
+        assert!(runs[0].report.overall_sparsity() < 0.01);
+        for r in &runs[1..] {
+            assert!(r.report.overall_sparsity() > 0.1, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn rtoss_2ep_has_highest_compression() {
+        let runs = run_roster(twin);
+        let best = runs
+            .iter()
+            .max_by(|a, b| {
+                a.report
+                    .compression_ratio()
+                    .total_cmp(&b.report.compression_ratio())
+            })
+            .unwrap();
+        assert_eq!(best.name, "R-TOSS (2EP)");
+    }
+
+    #[test]
+    fn entry_sweep_orders_by_k() {
+        let runs = run_entry_sweep(twin);
+        assert_eq!(runs.len(), 4);
+        let ratios: Vec<f64> = runs.iter().map(|r| r.report.compression_ratio()).collect();
+        for w in ratios.windows(2) {
+            assert!(w[1] > w[0], "{ratios:?}");
+        }
+    }
+
+    #[test]
+    fn workloads_shrink_with_pruning() {
+        let runs = run_roster(twin);
+        let bm = &runs[0].workload;
+        for r in &runs[1..] {
+            assert!(r.workload.effective_macs < bm.effective_macs, "{}", r.name);
+            assert!(r.workload.weight_bytes < bm.weight_bytes, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn structure_classification() {
+        assert_eq!(structure_of("BM"), SparsityStructure::Dense);
+        assert_eq!(structure_of("NMS"), SparsityStructure::Unstructured);
+        assert_eq!(structure_of("NS"), SparsityStructure::Structured);
+        assert_eq!(structure_of("R-TOSS (2EP)"), SparsityStructure::SemiStructured);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        print_table("t", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,397 @@
+//! Analytic accuracy model (tier "b" of DESIGN.md §2).
+//!
+//! The paper's mAP numbers come from fine-tuned full-scale detectors on
+//! KITTI — a GPU-training workload we cannot run. This module provides
+//! the documented substitution: an information-retention model mapping
+//! *measured* pruning statistics to an mAP estimate, calibrated once
+//! against the paper's Table 3 base rows. The empirical tier (training
+//! the scaled twins, `rtoss-bench`'s fig5 harness) cross-checks the
+//! orderings this model produces.
+//!
+//! Model (mAP points, 0–100):
+//!
+//! ```text
+//! mAP ≈ base
+//!     + retention_gain · (Q − 1)            // information kept
+//!     + reg_bonus · f(s)                    // pruning-as-regularisation
+//!     − structured_penalty · c²             // whole-filter information loss
+//! ```
+//!
+//! where `Q` is the parameter-weighted L2 retention (`‖W_pruned‖₂ /
+//! ‖W_orig‖₂` per layer), `s` the overall sparsity, `f` a concave bump
+//! peaking at `optimal_sparsity` (the paper observes moderate pruning
+//! *raising* mAP — fine-tuning with fewer parameters regularises), and
+//! `c` the fraction of filters removed entirely (structured pruning's
+//! irrecoverable loss, §II.B).
+
+use rtoss_nn::Graph;
+
+/// Per-layer weight statistics captured *before* pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSnapshot {
+    layers: Vec<LayerStat>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct LayerStat {
+    name: String,
+    numel: usize,
+    l2: f64,
+}
+
+/// Captures the L2 norms of every conv layer (call before pruning).
+pub fn snapshot_weights(graph: &Graph) -> WeightSnapshot {
+    let layers = graph
+        .conv_ids()
+        .into_iter()
+        .map(|id| {
+            let conv = graph.conv(id).expect("conv id");
+            LayerStat {
+                name: graph.node(id).name.clone(),
+                numel: conv.weight().value.numel(),
+                l2: conv.weight().value.l2_norm() as f64,
+            }
+        })
+        .collect();
+    WeightSnapshot { layers }
+}
+
+/// Measured pruning statistics extracted from a pruned graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneStats {
+    /// Parameter-weighted L2 retention `Q` in `[0, 1]`.
+    pub retention: f64,
+    /// Overall conv-weight sparsity in `[0, 1]`.
+    pub sparsity: f64,
+    /// Parameter-weighted fraction of output filters that are entirely
+    /// zero.
+    pub filter_cut: f64,
+    /// Parameter-weighted fraction of surviving ≥3×3 kernels whose
+    /// non-zero cells form a proper 4-connected pattern (1.0 for
+    /// kernel-pattern pruning, low for random/unstructured masks,
+    /// 0 for dense kernels). Drives the structure-aware share of the
+    /// regularisation bonus.
+    pub pattern_regularity: f64,
+}
+
+/// Whether the non-zero cells of a flat `k×k` kernel form a single
+/// 4-connected component that is strictly smaller than the kernel
+/// (i.e. a proper pattern, not a dense kernel).
+fn is_patterned(cells: &[f32], k: usize) -> bool {
+    let nz: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if nz.is_empty() || nz.len() == k * k {
+        return false;
+    }
+    let mut seen = vec![false; k * k];
+    let mut stack = vec![nz[0]];
+    seen[nz[0]] = true;
+    while let Some(i) = stack.pop() {
+        let (r, c) = (i / k, i % k);
+        let mut push = |j: usize| {
+            if !seen[j] && cells[j] != 0.0 {
+                seen[j] = true;
+                stack.push(j);
+            }
+        };
+        if r > 0 {
+            push(i - k);
+        }
+        if r + 1 < k {
+            push(i + k);
+        }
+        if c > 0 {
+            push(i - 1);
+        }
+        if c + 1 < k {
+            push(i + 1);
+        }
+    }
+    seen.iter().filter(|&&s| s).count() == nz.len()
+}
+
+/// Computes [`PruneStats`] by comparing a pruned graph against its
+/// pre-pruning [`WeightSnapshot`].
+///
+/// Layers present in the graph but not the snapshot (or vice versa) are
+/// skipped, so the function tolerates graph edits between the calls.
+pub fn prune_stats(before: &WeightSnapshot, graph: &Graph) -> PruneStats {
+    let mut weighted_retention = 0.0f64;
+    let mut total_params = 0.0f64;
+    let mut zeros = 0usize;
+    let mut numel = 0usize;
+    let mut filter_cut_weighted = 0.0f64;
+    let mut regular_weighted = 0.0f64;
+    let mut regular_total = 0.0f64;
+
+    for id in graph.conv_ids() {
+        let name = &graph.node(id).name;
+        let conv = graph.conv(id).expect("conv id");
+        let w = &conv.weight().value;
+        let Some(stat) = before.layers.iter().find(|l| &l.name == name) else {
+            continue;
+        };
+        let r = if stat.l2 > 0.0 {
+            (w.l2_norm() as f64 / stat.l2).min(1.0)
+        } else {
+            1.0
+        };
+        weighted_retention += r * stat.numel as f64;
+        total_params += stat.numel as f64;
+        zeros += w.count_zeros();
+        numel += w.numel();
+
+        // Filter-cut fraction: output channels whose weights are all zero.
+        let o = w.shape()[0];
+        let per: usize = w.shape()[1..].iter().product();
+        let cut = (0..o)
+            .filter(|&f| w.as_slice()[f * per..(f + 1) * per].iter().all(|&v| v == 0.0))
+            .count();
+        filter_cut_weighted += (cut as f64 / o as f64) * stat.numel as f64;
+
+        // Pattern regularity over surviving >= 3x3 kernels.
+        let k = w.shape()[2];
+        if k >= 3 && w.shape()[3] == k {
+            let kernels = w.shape()[0] * w.shape()[1];
+            let kk = k * k;
+            let mut surviving = 0usize;
+            let mut patterned = 0usize;
+            for ki in 0..kernels {
+                let cells = &w.as_slice()[ki * kk..(ki + 1) * kk];
+                if cells.iter().all(|&v| v == 0.0) {
+                    continue;
+                }
+                surviving += 1;
+                if is_patterned(cells, k) {
+                    patterned += 1;
+                }
+            }
+            if surviving > 0 {
+                regular_weighted += (patterned as f64 / surviving as f64) * stat.numel as f64;
+                regular_total += stat.numel as f64;
+            }
+        }
+    }
+
+    PruneStats {
+        retention: if total_params > 0.0 {
+            weighted_retention / total_params
+        } else {
+            1.0
+        },
+        sparsity: if numel > 0 {
+            zeros as f64 / numel as f64
+        } else {
+            0.0
+        },
+        filter_cut: if total_params > 0.0 {
+            filter_cut_weighted / total_params
+        } else {
+            0.0
+        },
+        pattern_regularity: if regular_total > 0.0 {
+            regular_weighted / regular_total
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The calibrated accuracy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyModel {
+    /// Unpruned (Base Model) mAP on KITTI, in points.
+    pub base_map: f64,
+    /// mAP points recovered per unit of L2 retention.
+    pub retention_gain: f64,
+    /// Peak regularisation bonus in mAP points (earned in full only by
+    /// fully patterned sparsity).
+    pub reg_bonus: f64,
+    /// Sparsity at which the regularisation bonus peaks.
+    pub optimal_sparsity: f64,
+    /// Width of the Gaussian regularisation bump (in sparsity units).
+    pub reg_width: f64,
+    /// Penalty coefficient on the squared filter-cut fraction.
+    pub structured_penalty: f64,
+}
+
+impl AccuracyModel {
+    /// Calibration for YOLOv5s on KITTI (Table 3 / Fig. 5a context).
+    pub fn yolov5s_kitti() -> Self {
+        AccuracyModel {
+            base_map: 74.2,
+            retention_gain: 10.0,
+            reg_bonus: 6.2,
+            optimal_sparsity: 0.70,
+            reg_width: 0.25,
+            structured_penalty: 55.0,
+        }
+    }
+
+    /// Calibration for RetinaNet on KITTI (Table 3 / Fig. 5b context).
+    /// The narrower, later bump encodes the paper's observation that
+    /// RetinaNet keeps improving up to 2EP sparsity (Table 3: 2EP has
+    /// the best RetinaNet mAP).
+    pub fn retinanet_kitti() -> Self {
+        AccuracyModel {
+            base_map: 77.5,
+            retention_gain: 12.0,
+            reg_bonus: 9.0,
+            optimal_sparsity: 0.78,
+            reg_width: 0.15,
+            structured_penalty: 60.0,
+        }
+    }
+
+    /// Estimates fine-tuned mAP (points, clamped to `[0, 100]`) from
+    /// measured pruning statistics.
+    ///
+    /// The regularisation bonus is a Gaussian bump in sparsity, scaled
+    /// by how *patterned* the surviving kernels are: fully patterned
+    /// masks (R-TOSS, PATDNN) earn the whole bonus, irregular masks a
+    /// quarter of it — the semi-structured advantage of §II.B.
+    pub fn estimate(&self, stats: &PruneStats) -> f64 {
+        let z = (stats.sparsity - self.optimal_sparsity) / self.reg_width;
+        let bump = (-z * z).exp();
+        let regularity_scale = 0.25 + 0.75 * stats.pattern_regularity;
+        let map = self.base_map
+            + self.retention_gain * (stats.retention - 1.0)
+            + self.reg_bonus * bump * regularity_scale
+            - self.structured_penalty * stats.filter_cut * stats.filter_cut;
+        map.clamp(0.0, 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{NetworkSlimming, PruningFilters};
+    use crate::{EntryPattern, Pruner, RTossPruner};
+    use rtoss_models::yolov5s_twin;
+
+    fn run(pruner: &dyn Pruner, seed: u64) -> PruneStats {
+        let mut m = yolov5s_twin(8, 3, seed).unwrap();
+        let snap = snapshot_weights(&m.graph);
+        pruner.prune_graph(&mut m.graph).unwrap();
+        prune_stats(&snap, &m.graph)
+    }
+
+    #[test]
+    fn unpruned_model_scores_base_map() {
+        let m = yolov5s_twin(8, 3, 71).unwrap();
+        let snap = snapshot_weights(&m.graph);
+        let stats = prune_stats(&snap, &m.graph);
+        assert!((stats.retention - 1.0).abs() < 1e-6);
+        assert!(stats.sparsity < 0.01);
+        let model = AccuracyModel::yolov5s_kitti();
+        let est = model.estimate(&stats);
+        assert!((est - model.base_map).abs() < 0.2, "est {est}");
+    }
+
+    #[test]
+    fn rtoss_moderate_pruning_beats_base_map() {
+        // The paper's headline: R-TOSS 3EP/2EP *increase* mAP over BM.
+        let model = AccuracyModel::yolov5s_kitti();
+        for entry in [EntryPattern::Three, EntryPattern::Two] {
+            let stats = run(&RTossPruner::new(entry), 72);
+            let est = model.estimate(&stats);
+            assert!(
+                est > model.base_map,
+                "{entry}: est {est} <= base {}",
+                model.base_map
+            );
+        }
+    }
+
+    #[test]
+    fn structured_pruning_scores_below_base() {
+        let model = AccuracyModel::yolov5s_kitti();
+        let ns = model.estimate(&run(&NetworkSlimming::default(), 73));
+        let pf = model.estimate(&run(&PruningFilters::default(), 73));
+        assert!(ns < model.base_map, "NS est {ns}");
+        assert!(pf < model.base_map, "PF est {pf}");
+    }
+
+    #[test]
+    fn rtoss_beats_structured_baselines() {
+        let model = AccuracyModel::yolov5s_kitti();
+        let rtoss = model.estimate(&run(&RTossPruner::new(EntryPattern::Three), 74));
+        let pf = model.estimate(&run(&PruningFilters::default(), 74));
+        assert!(rtoss > pf + 2.0, "rtoss {rtoss} vs pf {pf}");
+    }
+
+    #[test]
+    fn retention_reflects_best_l2_selection() {
+        // Pattern pruning keeps the highest-L2 cells: retention must be
+        // well above sqrt(1 - sparsity) lower bound of random pruning.
+        let stats = run(&RTossPruner::new(EntryPattern::Two), 75);
+        assert!(stats.sparsity > 0.7);
+        let random_retention = (1.0 - stats.sparsity).sqrt();
+        assert!(
+            stats.retention > random_retention + 0.05,
+            "retention {} vs random {}",
+            stats.retention,
+            random_retention
+        );
+    }
+
+    #[test]
+    fn filter_cut_detected_for_filter_pruning() {
+        let stats = run(&PruningFilters::default(), 76);
+        assert!(stats.filter_cut > 0.2, "filter_cut {}", stats.filter_cut);
+        let rtoss = run(&RTossPruner::new(EntryPattern::Two), 76);
+        assert!(rtoss.filter_cut < 0.05, "rtoss filter_cut {}", rtoss.filter_cut);
+    }
+
+    #[test]
+    fn rtoss_masks_are_fully_patterned_and_magnitude_masks_are_not() {
+        let rtoss = run(&RTossPruner::new(EntryPattern::Three), 77);
+        assert!(
+            rtoss.pattern_regularity > 0.99,
+            "R-TOSS regularity {}",
+            rtoss.pattern_regularity
+        );
+        let nms = run(&crate::baselines::MagnitudePruner::default(), 77);
+        assert!(
+            nms.pattern_regularity < 0.6,
+            "NMS regularity {}",
+            nms.pattern_regularity
+        );
+    }
+
+    #[test]
+    fn is_patterned_examples() {
+        // Connected 3-cell row in a 3x3 kernel.
+        let mut cells = [0.0f32; 9];
+        cells[3] = 1.0;
+        cells[4] = 1.0;
+        cells[5] = 1.0;
+        assert!(is_patterned(&cells, 3));
+        // Two opposite corners: disconnected.
+        let mut cells = [0.0f32; 9];
+        cells[0] = 1.0;
+        cells[8] = 1.0;
+        assert!(!is_patterned(&cells, 3));
+        // Dense kernel: not a proper pattern.
+        assert!(!is_patterned(&[1.0; 9], 3));
+        // Empty kernel: not a pattern.
+        assert!(!is_patterned(&[0.0; 9], 3));
+    }
+
+    #[test]
+    fn estimate_is_clamped() {
+        let model = AccuracyModel::yolov5s_kitti();
+        let terrible = PruneStats {
+            retention: 0.0,
+            sparsity: 0.99,
+            filter_cut: 1.0,
+            pattern_regularity: 0.0,
+        };
+        let est = model.estimate(&terrible);
+        assert!((0.0..=100.0).contains(&est));
+    }
+}

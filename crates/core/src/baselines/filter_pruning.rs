@@ -1,0 +1,144 @@
+//! Pruning Filters baseline (Li et al., ICLR'17): "filter granularity
+//! weighted pruning, where the total sum of filter weights is calculated
+//! and filters below a corresponding threshold are pruned" (§V.C).
+
+use crate::report::{LayerSparsity, PruneReport};
+use crate::{PruneError, Pruner};
+use rtoss_nn::Graph;
+use rtoss_tensor::Tensor;
+
+/// L1-norm filter pruner: per layer, zeroes the filters (output
+/// channels) with the smallest absolute-weight sums.
+#[derive(Debug, Clone)]
+pub struct PruningFilters {
+    filter_ratio: f64,
+}
+
+impl PruningFilters {
+    /// Creates a filter pruner cutting the given fraction per layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::Config`] if the ratio is outside `[0, 1)`.
+    pub fn new(filter_ratio: f64) -> Result<Self, PruneError> {
+        if !(0.0..1.0).contains(&filter_ratio) {
+            return Err(PruneError::Config {
+                msg: format!("filter ratio {filter_ratio} outside [0, 1)"),
+            });
+        }
+        Ok(PruningFilters { filter_ratio })
+    }
+
+    /// Fraction of filters pruned per layer.
+    pub fn filter_ratio(&self) -> f64 {
+        self.filter_ratio
+    }
+}
+
+impl Default for PruningFilters {
+    /// The source paper's mid-range operating point.
+    fn default() -> Self {
+        PruningFilters { filter_ratio: 0.40 }
+    }
+}
+
+/// Zeroes the `ratio` fraction of filters with the smallest norm
+/// (`l1 = true` → L1 norms, else L2), keeping at least one filter.
+/// Returns the mask.
+pub(crate) fn filter_mask(w: &Tensor, ratio: f64, l1: bool) -> Tensor {
+    let o = w.shape()[0];
+    let per: usize = w.shape()[1..].iter().product();
+    let mut norms: Vec<(usize, f32)> = (0..o)
+        .map(|f| {
+            let s = &w.as_slice()[f * per..(f + 1) * per];
+            let n: f32 = if l1 {
+                s.iter().map(|v| v.abs()).sum()
+            } else {
+                s.iter().map(|v| v * v).sum::<f32>().sqrt()
+            };
+            (f, n)
+        })
+        .collect();
+    norms.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let n_cut = (((o as f64) * ratio).floor() as usize).min(o.saturating_sub(1));
+    let mut mask = Tensor::ones(w.shape());
+    for &(f, _) in norms.iter().take(n_cut) {
+        for v in &mut mask.as_mut_slice()[f * per..(f + 1) * per] {
+            *v = 0.0;
+        }
+    }
+    mask
+}
+
+impl Pruner for PruningFilters {
+    fn name(&self) -> String {
+        "PF".to_string()
+    }
+
+    fn prune_graph(&self, graph: &mut Graph) -> Result<PruneReport, PruneError> {
+        let mut report = PruneReport::new(&self.name());
+        for id in graph.conv_ids() {
+            let name = graph.node(id).name.clone();
+            let conv = graph.conv_mut(id).expect("conv id");
+            let kernel = conv.kernel_size();
+            let param = conv.weight_mut();
+            let mask = filter_mask(&param.value, self.filter_ratio, true);
+            param.set_mask(mask)?;
+            report.layers.push(LayerSparsity {
+                name,
+                kernel,
+                total: param.value.numel(),
+                zeros: param.value.count_zeros(),
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::init;
+
+    #[test]
+    fn cuts_smallest_l1_filters() {
+        // Filter 1 has tiny weights; it must be the one cut.
+        let mut w = init::uniform(&mut init::rng(1), &[3, 2, 3, 3], 0.5, 1.0);
+        for v in &mut w.as_mut_slice()[18..36] {
+            *v = 0.001;
+        }
+        let mask = filter_mask(&w, 0.34, true);
+        assert!(mask.as_slice()[18..36].iter().all(|&v| v == 0.0));
+        assert!(mask.as_slice()[..18].iter().all(|&v| v == 1.0));
+        assert!(mask.as_slice()[36..].iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn sparsity_matches_ratio() {
+        let mut m = rtoss_models::yolov5s_twin(8, 3, 51).unwrap();
+        let r = PruningFilters::new(0.5).unwrap().prune_graph(&mut m.graph).unwrap();
+        // Each layer loses floor(o/2) filters → close to 0.5 overall;
+        // rounding on small layers pulls it slightly below.
+        let s = r.overall_sparsity();
+        assert!((s - 0.5).abs() < 0.12, "sparsity {s}");
+    }
+
+    #[test]
+    fn keeps_at_least_one_filter() {
+        let w = init::uniform(&mut init::rng(2), &[2, 1, 3, 3], -1.0, 1.0);
+        let mask = filter_mask(&w, 0.99, true);
+        // 2 filters, 99% ratio → floor(1.98)=1 cut, 1 kept.
+        assert_eq!(mask.count_zeros(), 9);
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let w = init::uniform(&mut init::rng(3), &[4, 2, 3, 3], -1.0, 1.0);
+        assert_eq!(filter_mask(&w, 0.0, true).count_zeros(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_ratio() {
+        assert!(PruningFilters::new(1.2).is_err());
+    }
+}

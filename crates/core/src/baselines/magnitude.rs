@@ -1,0 +1,154 @@
+//! NMS baseline: unstructured weight-magnitude pruning in the style of
+//! Neural Magic SparseML (Kurtz et al., ICML'20) — "the magnitude of the
+//! weights in a layer, with the weights below a threshold being pruned"
+//! (§V.C).
+
+use crate::report::{LayerSparsity, PruneReport};
+use crate::{PruneError, Pruner};
+use rtoss_nn::Graph;
+use rtoss_tensor::Tensor;
+
+/// Unstructured magnitude pruner: zeroes the smallest-|w| fraction of
+/// each conv layer's weights.
+#[derive(Debug, Clone)]
+pub struct MagnitudePruner {
+    sparsity: f64,
+}
+
+impl MagnitudePruner {
+    /// Creates a magnitude pruner targeting the given per-layer sparsity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::Config`] if `sparsity` is outside `[0, 1)`.
+    pub fn new(sparsity: f64) -> Result<Self, PruneError> {
+        if !(0.0..1.0).contains(&sparsity) {
+            return Err(PruneError::Config {
+                msg: format!("magnitude sparsity {sparsity} outside [0, 1)"),
+            });
+        }
+        Ok(MagnitudePruner { sparsity })
+    }
+
+    /// Target per-layer sparsity.
+    pub fn sparsity(&self) -> f64 {
+        self.sparsity
+    }
+}
+
+impl Default for MagnitudePruner {
+    /// SparseML's common ~60% uniform sparsity operating point.
+    fn default() -> Self {
+        MagnitudePruner { sparsity: 0.60 }
+    }
+}
+
+/// Zeroes the smallest-magnitude `sparsity` fraction of `w`, returning
+/// the surviving-weight mask.
+pub(crate) fn magnitude_mask(w: &Tensor, sparsity: f64) -> Tensor {
+    let n = w.numel();
+    let cutoff_count = ((n as f64) * sparsity).floor() as usize;
+    let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+    if cutoff_count == 0 {
+        return Tensor::ones(w.shape());
+    }
+    mags.sort_by(f32::total_cmp);
+    let threshold = mags[cutoff_count - 1];
+    // Prune strictly-below first, then fill up to the exact count among
+    // ties so the achieved sparsity matches the target.
+    let mut mask = vec![1.0f32; n];
+    let mut pruned = 0usize;
+    for (m, v) in mask.iter_mut().zip(w.as_slice()) {
+        if v.abs() < threshold {
+            *m = 0.0;
+            pruned += 1;
+        }
+    }
+    if pruned < cutoff_count {
+        for (m, v) in mask.iter_mut().zip(w.as_slice()) {
+            if pruned == cutoff_count {
+                break;
+            }
+            if *m == 1.0 && v.abs() == threshold {
+                *m = 0.0;
+                pruned += 1;
+            }
+        }
+    }
+    Tensor::from_vec(mask, w.shape()).expect("mask matches weight shape")
+}
+
+impl Pruner for MagnitudePruner {
+    fn name(&self) -> String {
+        "NMS".to_string()
+    }
+
+    fn prune_graph(&self, graph: &mut Graph) -> Result<PruneReport, PruneError> {
+        let mut report = PruneReport::new(&self.name());
+        for id in graph.conv_ids() {
+            let name = graph.node(id).name.clone();
+            let conv = graph.conv_mut(id).expect("conv id");
+            let kernel = conv.kernel_size();
+            let param = conv.weight_mut();
+            let mask = magnitude_mask(&param.value, self.sparsity);
+            param.set_mask(mask)?;
+            report.layers.push(LayerSparsity {
+                name,
+                kernel,
+                total: param.value.numel(),
+                zeros: param.value.count_zeros(),
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::init;
+
+    #[test]
+    fn hits_target_sparsity_exactly() {
+        let w = init::uniform(&mut init::rng(1), &[10, 10], -1.0, 1.0);
+        for &s in &[0.25f64, 0.5, 0.9] {
+            let mask = magnitude_mask(&w, s);
+            let zeros = mask.count_zeros();
+            assert_eq!(zeros, (100.0 * s) as usize, "target {s}");
+        }
+    }
+
+    #[test]
+    fn prunes_smallest_weights() {
+        let w = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0], &[4]).unwrap();
+        let mask = magnitude_mask(&w, 0.5);
+        assert_eq!(mask.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_sparsity_keeps_everything() {
+        let w = init::uniform(&mut init::rng(2), &[5], -1.0, 1.0);
+        assert_eq!(magnitude_mask(&w, 0.0).count_zeros(), 0);
+    }
+
+    #[test]
+    fn handles_ties() {
+        let w = Tensor::full(&[8], 0.5);
+        let mask = magnitude_mask(&w, 0.5);
+        assert_eq!(mask.count_zeros(), 4);
+    }
+
+    #[test]
+    fn graph_level_sparsity_matches_target() {
+        let mut m = rtoss_models::yolov5s_twin(4, 2, 3).unwrap();
+        let p = MagnitudePruner::new(0.7).unwrap();
+        let r = p.prune_graph(&mut m.graph).unwrap();
+        assert!((r.overall_sparsity() - 0.7).abs() < 0.01, "{}", r.overall_sparsity());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(MagnitudePruner::new(1.0).is_err());
+        assert!(MagnitudePruner::new(-0.1).is_err());
+    }
+}

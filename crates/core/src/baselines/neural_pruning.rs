@@ -1,0 +1,127 @@
+//! Neural Pruning baseline (Wang et al., "Neural pruning via growing
+//! regularization"): "a combination of filter pruning along with
+//! unstructured weight pruning, where L1 norm is used to perform weight
+//! pruning and L2 regularization is used to perform filter pruning"
+//! (§V.C).
+
+use crate::baselines::filter_pruning::filter_mask;
+use crate::baselines::magnitude::magnitude_mask;
+use crate::report::{LayerSparsity, PruneReport};
+use crate::{PruneError, Pruner};
+use rtoss_nn::Graph;
+
+/// Combined filter (L2) + unstructured weight (L1) pruner.
+#[derive(Debug, Clone)]
+pub struct NeuralPruning {
+    filter_ratio: f64,
+    weight_ratio: f64,
+}
+
+impl NeuralPruning {
+    /// Creates the combined pruner: first cut `filter_ratio` of filters
+    /// by L2 norm, then `weight_ratio` of the remaining weights by
+    /// magnitude.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::Config`] if either ratio is outside `[0, 1)`.
+    pub fn new(filter_ratio: f64, weight_ratio: f64) -> Result<Self, PruneError> {
+        for (name, r) in [("filter", filter_ratio), ("weight", weight_ratio)] {
+            if !(0.0..1.0).contains(&r) {
+                return Err(PruneError::Config {
+                    msg: format!("{name} ratio {r} outside [0, 1)"),
+                });
+            }
+        }
+        Ok(NeuralPruning {
+            filter_ratio,
+            weight_ratio,
+        })
+    }
+}
+
+impl Default for NeuralPruning {
+    /// Mid-range combination: 25% filters, 30% of surviving weights.
+    fn default() -> Self {
+        NeuralPruning {
+            filter_ratio: 0.25,
+            weight_ratio: 0.30,
+        }
+    }
+}
+
+impl Pruner for NeuralPruning {
+    fn name(&self) -> String {
+        "NP".to_string()
+    }
+
+    fn prune_graph(&self, graph: &mut Graph) -> Result<PruneReport, PruneError> {
+        let mut report = PruneReport::new(&self.name());
+        for id in graph.conv_ids() {
+            let name = graph.node(id).name.clone();
+            let conv = graph.conv_mut(id).expect("conv id");
+            let kernel = conv.kernel_size();
+            let param = conv.weight_mut();
+            // Stage 1: L2 filter pruning.
+            let fmask = filter_mask(&param.value, self.filter_ratio, false);
+            // Stage 2: L1 magnitude pruning over the surviving weights.
+            // magnitude_mask ranks all weights including the ones the
+            // filter stage already zeroed, so the combined target is
+            // f + (1 - f)·w: the filter-stage zeros fill the bottom of
+            // the ranking and the remainder of the budget lands on the
+            // smallest true survivors.
+            let survived = param.value.mul(&fmask)?;
+            let f = fmask.sparsity();
+            let wmask = magnitude_mask(&survived, f + (1.0 - f) * self.weight_ratio);
+            let combined = fmask.mul(&wmask)?;
+            param.set_mask(combined)?;
+            report.layers.push(LayerSparsity {
+                name,
+                kernel,
+                total: param.value.numel(),
+                zeros: param.value.count_zeros(),
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_sparsity_exceeds_each_stage() {
+        let run = |f: f64, w: f64, seed: u64| {
+            let mut m = rtoss_models::yolov5s_twin(8, 3, seed).unwrap();
+            NeuralPruning::new(f, w)
+                .unwrap()
+                .prune_graph(&mut m.graph)
+                .unwrap()
+                .overall_sparsity()
+        };
+        let combined = run(0.25, 0.30, 61);
+        let filters_only = run(0.25, 0.0, 61);
+        let weights_only = run(0.0, 0.30, 61);
+        assert!(combined > filters_only);
+        assert!(combined > weights_only);
+        // Expected ≈ 1 - (1-0.25)(1-0.30) ≈ 0.475 (± filter rounding).
+        assert!((combined - 0.475).abs() < 0.1, "combined {combined}");
+    }
+
+    #[test]
+    fn default_lands_between_structured_and_semi_structured() {
+        // Fig. 4 qualitative ordering: NP above NS/PF alone but far
+        // below R-TOSS-2EP.
+        let mut m = rtoss_models::yolov5s_twin(8, 3, 62).unwrap();
+        let np = NeuralPruning::default().prune_graph(&mut m.graph).unwrap();
+        let s = np.overall_sparsity();
+        assert!(s > 0.35 && s < 0.6, "NP sparsity {s}");
+    }
+
+    #[test]
+    fn rejects_bad_ratios() {
+        assert!(NeuralPruning::new(1.0, 0.1).is_err());
+        assert!(NeuralPruning::new(0.1, -0.1).is_err());
+    }
+}

@@ -1,0 +1,217 @@
+//! Network Slimming baseline (Liu et al., ICCV'17): channel pruning by
+//! the batch-norm scaling factor — "a channel is pruned based on a
+//! scaling factor for the channel in a layer" (§V.C).
+
+use crate::report::{LayerSparsity, PruneReport};
+use crate::{PruneError, Pruner};
+use rtoss_nn::{Graph, NodeId};
+use rtoss_tensor::Tensor;
+
+/// Channel pruner driven by BN `gamma` magnitudes.
+///
+/// For every convolution directly followed by a batch-norm, the channels
+/// whose `|gamma|` falls in the lowest `channel_ratio` fraction
+/// (ranked globally, as in the original paper) are zeroed: the conv's
+/// output-channel filters and the BN scale/shift for those channels.
+#[derive(Debug, Clone)]
+pub struct NetworkSlimming {
+    channel_ratio: f64,
+}
+
+impl NetworkSlimming {
+    /// Creates a slimming pruner cutting the given channel fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::Config`] if the ratio is outside `[0, 1)`.
+    pub fn new(channel_ratio: f64) -> Result<Self, PruneError> {
+        if !(0.0..1.0).contains(&channel_ratio) {
+            return Err(PruneError::Config {
+                msg: format!("channel ratio {channel_ratio} outside [0, 1)"),
+            });
+        }
+        Ok(NetworkSlimming { channel_ratio })
+    }
+
+    /// Fraction of BN channels pruned.
+    pub fn channel_ratio(&self) -> f64 {
+        self.channel_ratio
+    }
+}
+
+impl Default for NetworkSlimming {
+    /// The original paper's common 40% channel-pruning operating point.
+    fn default() -> Self {
+        NetworkSlimming { channel_ratio: 0.40 }
+    }
+}
+
+/// Finds `(conv_id, bn_id)` pairs where the BN directly consumes the
+/// conv output.
+fn conv_bn_pairs(graph: &Graph) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for id in graph.conv_ids() {
+        for child in graph.children(id) {
+            if graph.batchnorm(child).is_some() {
+                out.push((id, child));
+                break;
+            }
+        }
+    }
+    out
+}
+
+impl Pruner for NetworkSlimming {
+    fn name(&self) -> String {
+        "NS".to_string()
+    }
+
+    fn prune_graph(&self, graph: &mut Graph) -> Result<PruneReport, PruneError> {
+        let pairs = conv_bn_pairs(graph);
+        // Global gamma ranking across all BN channels (the paper sorts
+        // all scaling factors network-wide).
+        let mut gammas: Vec<(usize, usize, f32)> = Vec::new(); // (pair idx, channel, |gamma|)
+        for (pi, &(_, bn_id)) in pairs.iter().enumerate() {
+            let bn = graph.batchnorm(bn_id).expect("bn id");
+            for (ci, &g) in bn.gamma().value.as_slice().iter().enumerate() {
+                gammas.push((pi, ci, g.abs()));
+            }
+        }
+        gammas.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let n_cut = ((gammas.len() as f64) * self.channel_ratio).floor() as usize;
+
+        // Collect channels to cut per pair, but never cut *all* channels
+        // of a layer (that would sever the network).
+        let mut cut: Vec<Vec<usize>> = vec![Vec::new(); pairs.len()];
+        let channel_counts: Vec<usize> = pairs
+            .iter()
+            .map(|&(_, bn)| graph.batchnorm(bn).expect("bn id").channels())
+            .collect();
+        let mut taken = 0usize;
+        for &(pi, ci, _) in &gammas {
+            if taken == n_cut {
+                break;
+            }
+            if cut[pi].len() + 1 >= channel_counts[pi] {
+                continue; // keep at least one channel per layer
+            }
+            cut[pi].push(ci);
+            taken += 1;
+        }
+
+        for (pi, &(conv_id, bn_id)) in pairs.iter().enumerate() {
+            if cut[pi].is_empty() {
+                continue;
+            }
+            // Zero the conv output-channel filters.
+            let conv = graph.conv_mut(conv_id).expect("conv id");
+            let param = conv.weight_mut();
+            let shape = param.value.shape().to_vec();
+            let per_filter: usize = shape[1..].iter().product();
+            let mut mask = Tensor::ones(&shape);
+            for &c in &cut[pi] {
+                for v in &mut mask.as_mut_slice()[c * per_filter..(c + 1) * per_filter] {
+                    *v = 0.0;
+                }
+            }
+            param.set_mask(mask)?;
+            // Zero the BN scale for those channels.
+            let bn = graph.batchnorm_mut(bn_id).expect("bn id");
+            let ch = bn.channels();
+            let mut gmask = Tensor::ones(&[ch]);
+            for &c in &cut[pi] {
+                gmask.as_mut_slice()[c] = 0.0;
+            }
+            bn.gamma_mut().set_mask(gmask)?;
+        }
+
+        let mut report = PruneReport::new(&self.name());
+        for id in graph.conv_ids() {
+            let name = graph.node(id).name.clone();
+            let conv = graph.conv(id).expect("conv id");
+            let w = &conv.weight().value;
+            report.layers.push(LayerSparsity {
+                name,
+                kernel: conv.kernel_size(),
+                total: w.numel(),
+                zeros: w.count_zeros(),
+            });
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn achieves_roughly_target_channel_sparsity() {
+        let mut m = rtoss_models::yolov5s_twin(8, 3, 41).unwrap();
+        let r = NetworkSlimming::new(0.4).unwrap().prune_graph(&mut m.graph).unwrap();
+        // Detect-head convs have no BN, so overall sparsity is slightly
+        // below the channel ratio.
+        let s = r.overall_sparsity();
+        assert!(s > 0.25 && s < 0.45, "sparsity {s}");
+    }
+
+    #[test]
+    fn cuts_lowest_gamma_channels() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let conv = rtoss_nn::layers::Conv2d::new(1, 4, 3, 1, 1, 1);
+        let c1 = g.add_layer("c1", Box::new(conv), x).unwrap();
+        let mut bn = rtoss_nn::layers::BatchNorm2d::new(4);
+        bn.gamma_mut().value =
+            Tensor::from_vec(vec![0.01, 1.0, 0.02, 2.0], &[4]).unwrap();
+        let b1 = g.add_layer("b1", Box::new(bn), c1).unwrap();
+        g.set_outputs(vec![b1]).unwrap();
+
+        NetworkSlimming::new(0.5).unwrap().prune_graph(&mut g).unwrap();
+        let w = &g.conv(c1).unwrap().weight().value;
+        // Channels 0 and 2 (small gammas) zeroed; 1 and 3 kept.
+        for f in [0usize, 2] {
+            assert!(w.as_slice()[f * 9..(f + 1) * 9].iter().all(|&v| v == 0.0));
+        }
+        for f in [1usize, 3] {
+            assert!(w.as_slice()[f * 9..(f + 1) * 9].iter().any(|&v| v != 0.0));
+        }
+        let gamma = &g.batchnorm(b1).unwrap().gamma().value;
+        assert_eq!(gamma.as_slice()[0], 0.0);
+        assert_eq!(gamma.as_slice()[2], 0.0);
+        assert_ne!(gamma.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn never_cuts_all_channels_of_a_layer() {
+        let mut m = rtoss_models::yolov5s_twin(4, 2, 42).unwrap();
+        NetworkSlimming::new(0.9).unwrap().prune_graph(&mut m.graph).unwrap();
+        // Every conv followed by a BN must retain at least one non-zero
+        // output filter.
+        for id in m.graph.conv_ids() {
+            let conv = m.graph.conv(id).unwrap();
+            if conv.weight().mask().is_some() {
+                assert!(
+                    conv.weight().value.l2_norm() > 0.0,
+                    "layer {} fully severed",
+                    m.graph.node(id).name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convs_without_bn_are_untouched() {
+        let mut m = rtoss_models::yolov5s_twin(4, 2, 43).unwrap();
+        let r = NetworkSlimming::default().prune_graph(&mut m.graph).unwrap();
+        // Detect heads are bare convs (no BN) → zero sparsity there.
+        for l in r.layers.iter().filter(|l| l.name.starts_with("detect")) {
+            assert_eq!(l.zeros, 0, "{} was pruned without a BN", l.name);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_ratio() {
+        assert!(NetworkSlimming::new(1.0).is_err());
+    }
+}

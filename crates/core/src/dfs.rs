@@ -1,0 +1,259 @@
+//! Algorithm 1: layer grouping via depth-first search over the
+//! computational graph.
+//!
+//! The paper walks the computational graph (recovered from
+//! backpropagation gradients in their PyTorch stack; first-class in our
+//! [`Graph`]) to find parent–child layer couplings: a convolution whose
+//! nearest convolution ancestor has coupled channels joins that
+//! ancestor's group. "Each parent layer can have multiple child layers
+//! but each child layer can only have one parent layer" — the DFS visits
+//! a conv's graph predecessors depth-first and adopts the *first*
+//! convolution with the same kernel size it reaches. Layers in a group
+//! share the parent's kernel-pattern choices, which is what cuts the
+//! iterative-pruning cost (§IV.A).
+
+use rtoss_nn::{Graph, NodeId, NodeOp};
+
+/// One parent–child layer group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerGroup {
+    /// The group's parent (root) convolution node.
+    pub parent: NodeId,
+    /// Child convolution nodes, in discovery order.
+    pub children: Vec<NodeId>,
+}
+
+impl LayerGroup {
+    /// All members: parent first, then children.
+    pub fn members(&self) -> Vec<NodeId> {
+        let mut v = Vec::with_capacity(1 + self.children.len());
+        v.push(self.parent);
+        v.extend_from_slice(&self.children);
+        v
+    }
+
+    /// Number of members (parent + children).
+    pub fn len(&self) -> usize {
+        1 + self.children.len()
+    }
+
+    /// A group always has a parent, so it is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// The output of Algorithm 1: all parent–child layer groups.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LayerGroups {
+    groups: Vec<LayerGroup>,
+}
+
+impl LayerGroups {
+    /// The groups, ordered by parent node id.
+    pub fn groups(&self) -> &[LayerGroup] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups (model without convolutions).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group id containing `node`, if any.
+    pub fn group_of(&self, node: NodeId) -> Option<usize> {
+        self.groups
+            .iter()
+            .position(|g| g.parent == node || g.children.contains(&node))
+    }
+}
+
+/// Runs Algorithm 1: groups the graph's convolution layers.
+///
+/// A convolution joins the group of the first same-kernel-size
+/// convolution found by a depth-first search through its predecessors
+/// (skipping batch-norm, activations, pooling, upsampling, and
+/// concat/add glue). A convolution with no such ancestor becomes its own
+/// parent (Algorithm 1, lines 7–9).
+pub fn group_layers(graph: &Graph) -> LayerGroups {
+    let conv_ids = graph.conv_ids();
+    // Map: conv node -> group index in `groups`.
+    let mut group_index: Vec<Option<usize>> = vec![None; graph.len()];
+    let mut groups: Vec<LayerGroup> = Vec::new();
+
+    for &id in &conv_ids {
+        let kernel = graph.conv(id).expect("conv id from conv_ids").kernel_size();
+        // DFS through predecessors for the nearest conv ancestor with the
+        // same kernel size.
+        let mut stack: Vec<NodeId> = graph.parents(id).to_vec();
+        let mut seen = vec![false; graph.len()];
+        let mut adopted: Option<usize> = None;
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            if let Some(conv) = graph.conv(n) {
+                if conv.kernel_size() == kernel {
+                    // Found the parent layer; adopt its group.
+                    adopted = group_index[n];
+                    // A conv ancestor always has a group already (topological
+                    // order), but be defensive.
+                    if adopted.is_some() {
+                        break;
+                    }
+                }
+                // A conv with a different kernel size ends this path: the
+                // coupling is broken by the intervening convolution.
+                continue;
+            }
+            match &graph.node(n).op {
+                NodeOp::Input => {}
+                // Non-conv nodes are transparent: keep walking up.
+                _ => stack.extend_from_slice(graph.parents(n)),
+            }
+        }
+        match adopted {
+            Some(gi) => {
+                groups[gi].children.push(id);
+                group_index[id] = Some(gi);
+            }
+            None => {
+                group_index[id] = Some(groups.len());
+                groups.push(LayerGroup {
+                    parent: id,
+                    children: Vec::new(),
+                });
+            }
+        }
+    }
+    LayerGroups { groups }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_nn::layers::{Activation, ActivationKind, BatchNorm2d, Conv2d};
+    use rtoss_nn::Layer;
+
+    fn conv(i: usize, o: usize, k: usize, seed: u64) -> Box<dyn Layer + Send> {
+        Box::new(Conv2d::new(i, o, k, 1, k / 2, seed))
+    }
+
+    #[test]
+    fn chain_of_same_kernel_convs_is_one_group() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(3, 4, 3, 1), x).unwrap();
+        let b1 = g
+            .add_layer("b1", Box::new(BatchNorm2d::new(4)), c1)
+            .unwrap();
+        let a1 = g
+            .add_layer("a1", Box::new(Activation::new(ActivationKind::Relu)), b1)
+            .unwrap();
+        let c2 = g.add_layer("c2", conv(4, 4, 3, 2), a1).unwrap();
+        let c3 = g.add_layer("c3", conv(4, 4, 3, 3), c2).unwrap();
+        g.set_outputs(vec![c3]).unwrap();
+
+        let groups = group_layers(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups.groups()[0].parent, c1);
+        assert_eq!(groups.groups()[0].children, vec![c2, c3]);
+    }
+
+    #[test]
+    fn kernel_size_change_starts_new_group() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(3, 4, 3, 1), x).unwrap();
+        let p1 = g.add_layer("p1", conv(4, 4, 1, 2), c1).unwrap(); // 1x1
+        let c2 = g.add_layer("c2", conv(4, 4, 3, 3), p1).unwrap();
+        g.set_outputs(vec![c2]).unwrap();
+
+        let groups = group_layers(&g);
+        // c1 its own group; p1 (1x1) its own; c2 blocked by p1 (a conv of
+        // different kernel size breaks the coupling) → its own group.
+        assert_eq!(groups.len(), 3);
+        assert!(groups.groups().iter().all(|gr| gr.children.is_empty()));
+    }
+
+    #[test]
+    fn one_x_one_chain_groups_together() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let p1 = g.add_layer("p1", conv(3, 8, 1, 1), x).unwrap();
+        let p2 = g.add_layer("p2", conv(8, 8, 1, 2), p1).unwrap();
+        g.set_outputs(vec![p2]).unwrap();
+        let groups = group_layers(&g);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups.groups()[0].parent, p1);
+        assert_eq!(groups.groups()[0].children, vec![p2]);
+    }
+
+    #[test]
+    fn branches_share_a_parent() {
+        // Parent conv feeding two branch convs: both join its group.
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(3, 4, 3, 1), x).unwrap();
+        let c2 = g.add_layer("c2", conv(4, 4, 3, 2), c1).unwrap();
+        let c3 = g.add_layer("c3", conv(4, 4, 3, 3), c1).unwrap();
+        let cat = g.add_concat("cat", vec![c2, c3]).unwrap();
+        let c4 = g.add_layer("c4", conv(8, 4, 3, 4), cat).unwrap();
+        g.set_outputs(vec![c4]).unwrap();
+
+        let groups = group_layers(&g);
+        assert_eq!(groups.len(), 1);
+        let grp = &groups.groups()[0];
+        assert_eq!(grp.parent, c1);
+        assert_eq!(grp.len(), 4);
+        // Each child appears exactly once (single parent per child).
+        let mut members = grp.members();
+        members.sort_unstable();
+        members.dedup();
+        assert_eq!(members.len(), 4);
+    }
+
+    #[test]
+    fn group_of_lookup() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(3, 4, 3, 1), x).unwrap();
+        let c2 = g.add_layer("c2", conv(4, 4, 3, 2), c1).unwrap();
+        g.set_outputs(vec![c2]).unwrap();
+        let groups = group_layers(&g);
+        assert_eq!(groups.group_of(c1), Some(0));
+        assert_eq!(groups.group_of(c2), Some(0));
+        assert_eq!(groups.group_of(x), None);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_groups() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        g.set_outputs(vec![x]).unwrap();
+        assert!(group_layers(&g).is_empty());
+    }
+
+    #[test]
+    fn twin_model_groups_cover_every_conv_once() {
+        let m = rtoss_models::yolov5s_twin(8, 3, 5).unwrap();
+        let groups = group_layers(&m.graph);
+        let mut covered: Vec<NodeId> = groups
+            .groups()
+            .iter()
+            .flat_map(|g| g.members())
+            .collect();
+        covered.sort_unstable();
+        let mut convs = m.graph.conv_ids();
+        convs.sort_unstable();
+        assert_eq!(covered, convs, "every conv in exactly one group");
+        // Grouping actually reduces work: fewer groups than convs.
+        assert!(groups.len() < convs.len());
+    }
+}

@@ -1,0 +1,77 @@
+use rtoss_nn::NnError;
+use rtoss_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the pruning framework.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PruneError {
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A graph operation failed.
+    Nn(NnError),
+    /// Invalid pruner configuration (empty pattern set, bad ratio, ...).
+    Config {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The target weights have an unexpected shape for the algorithm.
+    Shape {
+        /// Algorithm that rejected the weights.
+        op: &'static str,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::Tensor(e) => write!(f, "tensor error during pruning: {e}"),
+            PruneError::Nn(e) => write!(f, "graph error during pruning: {e}"),
+            PruneError::Config { msg } => write!(f, "invalid pruner configuration: {msg}"),
+            PruneError::Shape { op, msg } => write!(f, "{op}: {msg}"),
+        }
+    }
+}
+
+impl Error for PruneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PruneError::Tensor(e) => Some(e),
+            PruneError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for PruneError {
+    fn from(e: TensorError) -> Self {
+        PruneError::Tensor(e)
+    }
+}
+
+impl From<NnError> for PruneError {
+    fn from(e: NnError) -> Self {
+        PruneError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: PruneError = TensorError::DataLenMismatch {
+            expected: 9,
+            actual: 8,
+        }
+        .into();
+        assert!(e.to_string().contains("pruning"));
+        assert!(Error::source(&e).is_some());
+        let c = PruneError::Config { msg: "x".into() };
+        assert!(Error::source(&c).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! # R-TOSS pruning framework (the paper's contribution)
+//!
+//! Implements the full semi-structured pruning pipeline of
+//! *"R-TOSS: A Framework for Real-Time Object Detection using
+//! Semi-Structured Pruning"* (DAC 2023):
+//!
+//! 1. **Kernel patterns** ([`pattern`]): candidate 3×3 masks enumerated
+//!    combinatorially (Eq. 1), filtered to 4-connected ("adjacent")
+//!    shapes, and narrowed by L2-frequency selection to the paper's
+//!    21-pattern working set (12 two-entry + 9 three-entry).
+//! 2. **DFS layer grouping** ([`dfs`], Algorithm 1): parent–child layer
+//!    groups over the computational graph; the parent's pattern choices
+//!    are shared with its children to cut pruning cost.
+//! 3. **3×3 kernel pruning** ([`prune3x3`], Algorithm 2): per-kernel
+//!    best-pattern selection by post-mask L2 norm.
+//! 4. **1×1 kernel transformation** ([`prune1x1`], Algorithm 3): 1×1
+//!    weights pooled 9-at-a-time into temporary 3×3 matrices, pruned by
+//!    Algorithm 2, and scattered back — replacing connectivity pruning.
+//! 5. **Baselines** ([`baselines`]): PATDNN, Neural Magic SparseML-style
+//!    magnitude pruning, Network Slimming, Pruning Filters, and Neural
+//!    Pruning, for the Fig. 4–7 comparisons.
+//!
+//! # Example
+//!
+//! ```
+//! use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut model = rtoss_models::yolov5s_twin(8, 3, 42)?;
+//! let report = RTossPruner::new(EntryPattern::Two).prune_graph(&mut model.graph)?;
+//! assert!(report.compression_ratio() > 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod framework;
+mod report;
+
+pub mod accuracy;
+pub mod baselines;
+pub mod dfs;
+pub mod pattern;
+pub mod prune1x1;
+pub mod prune3x3;
+pub mod schedule;
+pub mod sensitivity;
+
+pub use error::PruneError;
+pub use framework::{snapshot_report, EntryPattern, Pruner, RTossConfig, RTossPruner};
+pub use report::{LayerSparsity, PruneReport};

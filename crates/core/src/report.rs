@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+/// Sparsity accounting for one pruned layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSparsity {
+    /// Layer (graph node) name.
+    pub name: String,
+    /// Kernel extent of the layer (1, 3, ...).
+    pub kernel: usize,
+    /// Total conv weights in the layer.
+    pub total: usize,
+    /// Weights pruned to exactly zero.
+    pub zeros: usize,
+}
+
+impl LayerSparsity {
+    /// Fraction of this layer's weights that are zero.
+    pub fn sparsity(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.zeros as f64 / self.total as f64
+        }
+    }
+}
+
+/// Result of running a pruner over a model: per-layer sparsity plus
+/// method metadata. The paper's "reduction/compression ratio" (Fig. 4,
+/// Table 3) is [`PruneReport::compression_ratio`]: total conv weights
+/// over surviving conv weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruneReport {
+    /// Pruning method name (e.g. `"R-TOSS (2EP)"`).
+    pub method: String,
+    /// Per-layer accounting, in graph order.
+    pub layers: Vec<LayerSparsity>,
+    /// Number of layer groups Algorithm 1 produced (0 for baselines that
+    /// do not group).
+    pub group_count: usize,
+}
+
+impl PruneReport {
+    /// Creates an empty report for a method.
+    pub fn new(method: &str) -> Self {
+        PruneReport {
+            method: method.to_string(),
+            layers: Vec::new(),
+            group_count: 0,
+        }
+    }
+
+    /// Total conv weights covered by the report.
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(|l| l.total).sum()
+    }
+
+    /// Total weights pruned to zero.
+    pub fn total_zeros(&self) -> usize {
+        self.layers.iter().map(|l| l.zeros).sum()
+    }
+
+    /// Overall sparsity: zeros / total, in `[0, 1]`.
+    pub fn overall_sparsity(&self) -> f64 {
+        let t = self.total_weights();
+        if t == 0 {
+            0.0
+        } else {
+            self.total_zeros() as f64 / t as f64
+        }
+    }
+
+    /// Compression ratio: total / surviving (`1.0` for an unpruned
+    /// model, `4.5` for uniform 2-of-9 pattern pruning).
+    pub fn compression_ratio(&self) -> f64 {
+        let total = self.total_weights();
+        if total == 0 {
+            return 1.0;
+        }
+        let surviving = total - self.total_zeros();
+        if surviving == 0 {
+            f64::INFINITY
+        } else {
+            total as f64 / surviving as f64
+        }
+    }
+
+    /// Sparsity restricted to layers with the given kernel extent.
+    pub fn sparsity_for_kernel(&self, kernel: usize) -> f64 {
+        let (mut z, mut t) = (0usize, 0usize);
+        for l in self.layers.iter().filter(|l| l.kernel == kernel) {
+            z += l.zeros;
+            t += l.total;
+        }
+        if t == 0 {
+            0.0
+        } else {
+            z as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> PruneReport {
+        PruneReport {
+            method: "test".into(),
+            layers: vec![
+                LayerSparsity {
+                    name: "a".into(),
+                    kernel: 3,
+                    total: 90,
+                    zeros: 60,
+                },
+                LayerSparsity {
+                    name: "b".into(),
+                    kernel: 1,
+                    total: 10,
+                    zeros: 0,
+                },
+            ],
+            group_count: 1,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.total_weights(), 100);
+        assert_eq!(r.total_zeros(), 60);
+        assert!((r.overall_sparsity() - 0.6).abs() < 1e-12);
+        assert!((r.compression_ratio() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_kernel_views() {
+        let r = report();
+        assert!((r.sparsity_for_kernel(3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.sparsity_for_kernel(1), 0.0);
+        assert_eq!(r.sparsity_for_kernel(7), 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_dense() {
+        let r = PruneReport::new("none");
+        assert_eq!(r.overall_sparsity(), 0.0);
+        assert_eq!(r.compression_ratio(), 1.0);
+        assert_eq!(r.total_weights(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PruneReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

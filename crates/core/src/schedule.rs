@@ -1,0 +1,191 @@
+//! Iterative pruning schedules.
+//!
+//! §IV of the paper: "Our R-TOSS framework adopts an iterative pruning
+//! scheme with several optimizations for reducing computational cost and
+//! time overheads." This module provides the schedule driver: a sequence
+//! of progressively more aggressive entry patterns, each followed by a
+//! caller-supplied fine-tuning callback (the `rtoss` facade's
+//! `train_twin` in practice). Masks are replaced monotonically — a later,
+//! tighter pattern can only keep cells that survived earlier rounds, so
+//! sparsity never decreases across the schedule.
+
+use crate::framework::{EntryPattern, Pruner, RTossConfig, RTossPruner};
+use crate::report::PruneReport;
+use crate::PruneError;
+use rtoss_nn::Graph;
+
+/// An iterative prune → fine-tune schedule over entry patterns.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_core::schedule::IterativeSchedule;
+/// use rtoss_core::EntryPattern;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = rtoss_models::yolov5s_twin(4, 2, 1)?;
+/// let schedule = IterativeSchedule::standard();
+/// let reports = schedule.run(&mut model.graph, |_graph, round| {
+///     // fine-tune between rounds here (no-op in this example)
+///     let _ = round;
+///     Ok(())
+/// })?;
+/// assert_eq!(reports.len(), 4);
+/// assert!(reports[3].overall_sparsity() > reports[0].overall_sparsity());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IterativeSchedule {
+    rounds: Vec<EntryPattern>,
+    base_config: RTossConfig,
+}
+
+impl IterativeSchedule {
+    /// Builds a schedule from an explicit round sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::Config`] if `rounds` is empty or entry
+    /// counts ever *increase* (which would be a no-op round: masks only
+    /// tighten).
+    pub fn new(rounds: Vec<EntryPattern>) -> Result<Self, PruneError> {
+        if rounds.is_empty() {
+            return Err(PruneError::Config {
+                msg: "iterative schedule needs at least one round".into(),
+            });
+        }
+        for w in rounds.windows(2) {
+            if w[1].k() > w[0].k() {
+                return Err(PruneError::Config {
+                    msg: format!(
+                        "schedule must tighten monotonically: {} before {}",
+                        w[0], w[1]
+                    ),
+                });
+            }
+        }
+        Ok(IterativeSchedule {
+            rounds,
+            base_config: RTossConfig::new(EntryPattern::Two),
+        })
+    }
+
+    /// The paper's natural schedule: 5EP → 4EP → 3EP → 2EP.
+    pub fn standard() -> Self {
+        IterativeSchedule::new(vec![
+            EntryPattern::Five,
+            EntryPattern::Four,
+            EntryPattern::Three,
+            EntryPattern::Two,
+        ])
+        .expect("standard schedule is monotone")
+    }
+
+    /// The rounds, in execution order.
+    pub fn rounds(&self) -> &[EntryPattern] {
+        &self.rounds
+    }
+
+    /// Runs the schedule: each round prunes with its entry pattern and
+    /// then invokes `finetune(graph, round_index)`.
+    ///
+    /// Returns one [`PruneReport`] per round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning errors and any error from the callback.
+    pub fn run<F>(&self, graph: &mut Graph, mut finetune: F) -> Result<Vec<PruneReport>, PruneError>
+    where
+        F: FnMut(&mut Graph, usize) -> Result<(), PruneError>,
+    {
+        let mut reports = Vec::with_capacity(self.rounds.len());
+        for (i, &entry) in self.rounds.iter().enumerate() {
+            let cfg = RTossConfig {
+                entry,
+                ..self.base_config.clone()
+            };
+            let report = RTossPruner::with_config(cfg).prune_graph(graph)?;
+            finetune(graph, i)?;
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_models::yolov5s_twin;
+
+    #[test]
+    fn sparsity_is_monotone_across_rounds() {
+        let mut m = yolov5s_twin(8, 3, 90).unwrap();
+        let reports = IterativeSchedule::standard()
+            .run(&mut m.graph, |_, _| Ok(()))
+            .unwrap();
+        let sparsities: Vec<f64> = reports.iter().map(|r| r.overall_sparsity()).collect();
+        for w in sparsities.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "{sparsities:?}");
+        }
+        // Final round reaches 2EP-level sparsity.
+        assert!(sparsities.last().unwrap() > &0.7);
+    }
+
+    #[test]
+    fn callback_sees_every_round() {
+        let mut m = yolov5s_twin(4, 2, 91).unwrap();
+        let mut seen = Vec::new();
+        IterativeSchedule::standard()
+            .run(&mut m.graph, |_, i| {
+                seen.push(i);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn callback_errors_abort_the_schedule() {
+        let mut m = yolov5s_twin(4, 2, 92).unwrap();
+        let err = IterativeSchedule::standard().run(&mut m.graph, |_, i| {
+            if i == 1 {
+                Err(PruneError::Config {
+                    msg: "stop".into(),
+                })
+            } else {
+                Ok(())
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn iterative_end_state_matches_one_shot_sparsity() {
+        // Progressive tightening lands at (or slightly above) one-shot
+        // 2EP sparsity: later patterns may cover already-zero cells.
+        let mut it = yolov5s_twin(8, 3, 93).unwrap();
+        let reports = IterativeSchedule::standard()
+            .run(&mut it.graph, |_, _| Ok(()))
+            .unwrap();
+        let mut once = yolov5s_twin(8, 3, 93).unwrap();
+        let one_shot = RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut once.graph)
+            .unwrap();
+        let iter_s = reports.last().unwrap().overall_sparsity();
+        assert!(
+            iter_s >= one_shot.overall_sparsity() - 1e-9,
+            "iterative {iter_s} vs one-shot {}",
+            one_shot.overall_sparsity()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_schedules() {
+        assert!(IterativeSchedule::new(vec![]).is_err());
+        assert!(
+            IterativeSchedule::new(vec![EntryPattern::Two, EntryPattern::Five]).is_err()
+        );
+        assert!(IterativeSchedule::new(vec![EntryPattern::Three]).is_ok());
+    }
+}

@@ -1,0 +1,215 @@
+//! Bounding boxes, intersection-over-union, and non-maximum suppression.
+
+/// An axis-aligned box in normalised centre/size coordinates.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_data::BBox;
+///
+/// let a = BBox::new(0.5, 0.5, 0.4, 0.4);
+/// assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox {
+    /// Centre x (normalised).
+    pub cx: f32,
+    /// Centre y (normalised).
+    pub cy: f32,
+    /// Width (normalised).
+    pub w: f32,
+    /// Height (normalised).
+    pub h: f32,
+}
+
+impl BBox {
+    /// Creates a box; negative sizes are clamped to zero.
+    pub fn new(cx: f32, cy: f32, w: f32, h: f32) -> Self {
+        BBox {
+            cx,
+            cy,
+            w: w.max(0.0),
+            h: h.max(0.0),
+        }
+    }
+
+    /// Corner representation `(x1, y1, x2, y2)`.
+    pub fn corners(&self) -> (f32, f32, f32, f32) {
+        (
+            self.cx - self.w / 2.0,
+            self.cy - self.h / 2.0,
+            self.cx + self.w / 2.0,
+            self.cy + self.h / 2.0,
+        )
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.w * self.h
+    }
+
+    /// Intersection-over-union with another box, in `[0, 1]`.
+    pub fn iou(&self, other: &BBox) -> f32 {
+        let (ax1, ay1, ax2, ay2) = self.corners();
+        let (bx1, by1, bx2, by2) = other.corners();
+        let ix = (ax2.min(bx2) - ax1.max(bx1)).max(0.0);
+        let iy = (ay2.min(by2) - ay1.max(by1)).max(0.0);
+        let inter = ix * iy;
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+/// A scored, classified detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Detected box.
+    pub bbox: BBox,
+    /// Confidence score in `[0, 1]`.
+    pub score: f32,
+    /// Class index.
+    pub class: usize,
+}
+
+/// A ground-truth annotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruth {
+    /// Annotated box.
+    pub bbox: BBox,
+    /// Class index.
+    pub class: usize,
+}
+
+/// Class-aware non-maximum suppression: keeps the highest-scoring box of
+/// every overlapping (IoU > `iou_threshold`) same-class cluster.
+///
+/// Detections are returned sorted by descending score.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_data::{nms, BBox, Detection};
+///
+/// let dets = vec![
+///     Detection { bbox: BBox::new(0.5, 0.5, 0.2, 0.2), score: 0.9, class: 0 },
+///     Detection { bbox: BBox::new(0.51, 0.5, 0.2, 0.2), score: 0.6, class: 0 },
+/// ];
+/// assert_eq!(nms(&dets, 0.5).len(), 1);
+/// ```
+pub fn nms(detections: &[Detection], iou_threshold: f32) -> Vec<Detection> {
+    let mut sorted: Vec<Detection> = detections.to_vec();
+    sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let mut keep: Vec<Detection> = Vec::new();
+    for d in sorted {
+        let suppressed = keep
+            .iter()
+            .any(|k| k.class == d.class && k.bbox.iou(&d.bbox) > iou_threshold);
+        if !suppressed {
+            keep.push(d);
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = BBox::new(0.3, 0.3, 0.2, 0.2);
+        let b = BBox::new(0.8, 0.8, 0.1, 0.1);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        // Two unit-area-0.04 boxes offset by half a width: inter = 0.02*0.2?
+        let a = BBox::new(0.5, 0.5, 0.2, 0.2);
+        let b = BBox::new(0.6, 0.5, 0.2, 0.2);
+        // intersection = 0.1 * 0.2 = 0.02; union = 0.04+0.04-0.02 = 0.06.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-5);
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-7, "symmetry");
+    }
+
+    #[test]
+    fn iou_is_bounded() {
+        let a = BBox::new(0.5, 0.5, 0.3, 0.3);
+        for &(x, y) in &[(0.1f32, 0.2f32), (0.5, 0.5), (0.9, 0.1)] {
+            let b = BBox::new(x, y, 0.25, 0.15);
+            let v = a.iou(&b);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_area_box() {
+        let a = BBox::new(0.5, 0.5, 0.0, 0.0);
+        let b = BBox::new(0.5, 0.5, 0.2, 0.2);
+        assert_eq!(a.iou(&b), 0.0);
+        assert_eq!(a.iou(&a), 0.0);
+    }
+
+    #[test]
+    fn negative_size_clamped() {
+        let a = BBox::new(0.5, 0.5, -0.2, 0.3);
+        assert_eq!(a.w, 0.0);
+    }
+
+    #[test]
+    fn nms_keeps_highest_and_respects_classes() {
+        let dets = vec![
+            Detection {
+                bbox: BBox::new(0.5, 0.5, 0.2, 0.2),
+                score: 0.7,
+                class: 0,
+            },
+            Detection {
+                bbox: BBox::new(0.5, 0.5, 0.2, 0.2),
+                score: 0.9,
+                class: 0,
+            },
+            // Same place but different class: survives.
+            Detection {
+                bbox: BBox::new(0.5, 0.5, 0.2, 0.2),
+                score: 0.5,
+                class: 1,
+            },
+            // Far away same class: survives.
+            Detection {
+                bbox: BBox::new(0.1, 0.1, 0.1, 0.1),
+                score: 0.4,
+                class: 0,
+            },
+        ];
+        let kept = nms(&dets, 0.5);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].score, 0.9);
+        assert!(kept.iter().any(|d| d.class == 1));
+    }
+
+    #[test]
+    fn nms_empty_input() {
+        assert!(nms(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn nms_output_sorted_by_score() {
+        let dets: Vec<Detection> = (0..10)
+            .map(|i| Detection {
+                bbox: BBox::new(0.05 + 0.09 * i as f32, 0.5, 0.05, 0.05),
+                score: (i as f32) / 10.0,
+                class: 0,
+            })
+            .collect();
+        let kept = nms(&dets, 0.5);
+        for w in kept.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

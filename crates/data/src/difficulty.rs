@@ -1,0 +1,176 @@
+//! KITTI-style difficulty tiers and per-difficulty evaluation.
+//!
+//! The real KITTI benchmark scores detectors separately on Easy /
+//! Moderate / Hard splits defined by bounding-box height, occlusion and
+//! truncation. Our synthetic scenes carry exact geometry, so the same
+//! tiering applies: small or occluded objects are harder, and pruning
+//! damage shows up there first (the paper's Fig. 8 highlights a *tiny*
+//! car for exactly this reason).
+
+use crate::bbox::{Detection, GroundTruth};
+use crate::map::{evaluate_map, MapReport};
+
+/// KITTI-style difficulty tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Difficulty {
+    /// Large, unoccluded objects.
+    Easy,
+    /// Mid-sized or partially occluded objects.
+    Moderate,
+    /// Small or heavily occluded objects.
+    Hard,
+}
+
+impl Difficulty {
+    /// All tiers, easiest first.
+    pub const ALL: [Difficulty; 3] = [Difficulty::Easy, Difficulty::Moderate, Difficulty::Hard];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Difficulty::Easy => "Easy",
+            Difficulty::Moderate => "Moderate",
+            Difficulty::Hard => "Hard",
+        }
+    }
+
+    /// Classifies a ground truth by normalised box height and occlusion
+    /// fraction (KITTI's min-height / max-occlusion thresholds, mapped
+    /// to our normalised coordinates).
+    pub fn of(bbox_height: f32, occlusion: f32) -> Self {
+        if bbox_height >= 0.16 && occlusion <= 0.05 {
+            Difficulty::Easy
+        } else if bbox_height >= 0.10 && occlusion <= 0.35 {
+            Difficulty::Moderate
+        } else {
+            Difficulty::Hard
+        }
+    }
+}
+
+/// A ground truth annotated with its difficulty inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredTruth {
+    /// The annotation.
+    pub truth: GroundTruth,
+    /// Fraction of the object covered by another object, in `[0, 1]`.
+    pub occlusion: f32,
+}
+
+impl TieredTruth {
+    /// The tier this truth belongs to.
+    pub fn difficulty(&self) -> Difficulty {
+        Difficulty::of(self.truth.bbox.h, self.occlusion)
+    }
+}
+
+/// Per-difficulty mAP results (KITTI's reporting format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredMapReport {
+    /// mAP per tier, in `Difficulty::ALL` order. `None` when the split
+    /// has no ground truths.
+    pub per_tier: Vec<Option<MapReport>>,
+}
+
+impl TieredMapReport {
+    /// The report for one tier, if that tier had ground truths.
+    pub fn tier(&self, d: Difficulty) -> Option<&MapReport> {
+        let idx = Difficulty::ALL.iter().position(|&t| t == d)?;
+        self.per_tier[idx].as_ref()
+    }
+}
+
+/// Evaluates mAP per difficulty tier. For each tier, only ground truths
+/// of that tier count (detections are shared — a detection matching an
+/// out-of-tier truth is neither a TP nor an FP for that tier, which we
+/// approximate by dropping truths outside the tier).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn evaluate_map_tiered(
+    detections: &[Vec<Detection>],
+    truths: &[Vec<TieredTruth>],
+    num_classes: usize,
+    iou_threshold: f32,
+) -> TieredMapReport {
+    assert_eq!(detections.len(), truths.len(), "images must align");
+    let per_tier = Difficulty::ALL
+        .iter()
+        .map(|&tier| {
+            let filtered: Vec<Vec<GroundTruth>> = truths
+                .iter()
+                .map(|ts| {
+                    ts.iter()
+                        .filter(|t| t.difficulty() == tier)
+                        .map(|t| t.truth)
+                        .collect()
+                })
+                .collect();
+            if filtered.iter().all(Vec::is_empty) {
+                None
+            } else {
+                Some(evaluate_map(detections, &filtered, num_classes, iou_threshold))
+            }
+        })
+        .collect();
+    TieredMapReport { per_tier }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+
+    fn truth(h: f32, occ: f32) -> TieredTruth {
+        TieredTruth {
+            truth: GroundTruth {
+                bbox: BBox::new(0.5, 0.5, 0.2, h),
+                class: 0,
+            },
+            occlusion: occ,
+        }
+    }
+
+    #[test]
+    fn tier_classification() {
+        assert_eq!(Difficulty::of(0.3, 0.0), Difficulty::Easy);
+        assert_eq!(Difficulty::of(0.12, 0.0), Difficulty::Moderate);
+        assert_eq!(Difficulty::of(0.3, 0.2), Difficulty::Moderate);
+        assert_eq!(Difficulty::of(0.05, 0.0), Difficulty::Hard);
+        assert_eq!(Difficulty::of(0.3, 0.8), Difficulty::Hard);
+        assert_eq!(truth(0.2, 0.0).difficulty(), Difficulty::Easy);
+    }
+
+    #[test]
+    fn tiered_map_separates_scales() {
+        // One easy (big) and one hard (tiny) truth; detector only finds
+        // the big one → Easy mAP 1.0, Hard mAP 0.0.
+        let truths = vec![vec![truth(0.3, 0.0), {
+            let mut t = truth(0.05, 0.0);
+            t.truth.bbox = BBox::new(0.1, 0.1, 0.05, 0.05);
+            t
+        }]];
+        let dets = vec![vec![Detection {
+            bbox: BBox::new(0.5, 0.5, 0.2, 0.3),
+            score: 0.9,
+            class: 0,
+        }]];
+        let r = evaluate_map_tiered(&dets, &truths, 1, 0.5);
+        assert!((r.tier(Difficulty::Easy).unwrap().map - 1.0).abs() < 1e-9);
+        assert!((r.tier(Difficulty::Hard).unwrap().map).abs() < 1e-9);
+        assert!(r.tier(Difficulty::Moderate).is_none());
+    }
+
+    #[test]
+    fn empty_tier_is_none() {
+        let r = evaluate_map_tiered(&[vec![]], &[vec![]], 1, 0.5);
+        assert!(r.per_tier.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Difficulty::Easy.name(), "Easy");
+        assert_eq!(Difficulty::ALL.len(), 3);
+    }
+}

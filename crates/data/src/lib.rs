@@ -1,0 +1,32 @@
+//! Synthetic KITTI-like data substrate and detection evaluation.
+//!
+//! The paper trains and evaluates on the KITTI automotive dataset, which
+//! is not available here; per the substitution rule (DESIGN.md §2) this
+//! crate generates procedural traffic scenes — cars, pedestrians and
+//! cyclists rendered on a road/sky background with exact ground-truth
+//! boxes — and provides the full evaluation pipeline the paper's numbers
+//! flow through: IoU, class-aware NMS, precision/recall, and mAP@0.5.
+//!
+//! # Example
+//!
+//! ```
+//! use rtoss_data::scene::{generate_dataset, SceneConfig};
+//!
+//! let scenes = generate_dataset(&SceneConfig::default(), 4, 42);
+//! assert_eq!(scenes.len(), 4);
+//! assert!(!scenes[0].truths.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod difficulty;
+pub mod map;
+pub mod ppm;
+pub mod scene;
+
+pub use bbox::{nms, BBox, Detection, GroundTruth};
+pub use map::{evaluate_map, MapReport};
+pub use difficulty::{evaluate_map_tiered, Difficulty, TieredMapReport, TieredTruth};
+pub use scene::{augment_with_flips, generate_dataset, KittiClass, Scene, SceneConfig};

@@ -1,0 +1,228 @@
+//! Mean average precision (mAP) evaluation.
+//!
+//! Implements the standard all-point-interpolated AP at a configurable
+//! IoU threshold (the paper reports mAP with IoU 0.5). Detections are
+//! matched greedily in descending score order; each ground truth can be
+//! matched at most once.
+
+use crate::bbox::{Detection, GroundTruth};
+
+/// Per-class and overall mAP results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapReport {
+    /// Average precision per class index (`None` if the class has no
+    /// ground truths in the dataset).
+    pub per_class: Vec<Option<f64>>,
+    /// Mean over classes that have ground truths, in `[0, 1]`.
+    pub map: f64,
+}
+
+impl MapReport {
+    /// mAP in percent (as the paper's tables print it).
+    pub fn map_percent(&self) -> f64 {
+        self.map * 100.0
+    }
+}
+
+/// Evaluates mAP over a dataset.
+///
+/// `detections[i]` / `truths[i]` belong to image `i`; class indices must
+/// be `< num_classes`.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths or any class index is
+/// out of range.
+pub fn evaluate_map(
+    detections: &[Vec<Detection>],
+    truths: &[Vec<GroundTruth>],
+    num_classes: usize,
+    iou_threshold: f32,
+) -> MapReport {
+    assert_eq!(
+        detections.len(),
+        truths.len(),
+        "detections and truths must cover the same images"
+    );
+    let mut per_class = Vec::with_capacity(num_classes);
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for c in 0..num_classes {
+        let ap = average_precision_for_class(detections, truths, c, iou_threshold);
+        if let Some(v) = ap {
+            sum += v;
+            counted += 1;
+        }
+        per_class.push(ap);
+    }
+    MapReport {
+        per_class,
+        map: if counted == 0 { 0.0 } else { sum / counted as f64 },
+    }
+}
+
+fn average_precision_for_class(
+    detections: &[Vec<Detection>],
+    truths: &[Vec<GroundTruth>],
+    class: usize,
+    iou_threshold: f32,
+) -> Option<f64> {
+    // Gather ground truths of this class per image.
+    let gt_per_image: Vec<Vec<&GroundTruth>> = truths
+        .iter()
+        .map(|ts| ts.iter().filter(|t| t.class == class).collect())
+        .collect();
+    let total_gt: usize = gt_per_image.iter().map(Vec::len).sum();
+    if total_gt == 0 {
+        return None;
+    }
+
+    // All detections of this class, tagged with their image.
+    let mut dets: Vec<(usize, &Detection)> = detections
+        .iter()
+        .enumerate()
+        .flat_map(|(i, ds)| ds.iter().filter(|d| d.class == class).map(move |d| (i, d)))
+        .collect();
+    dets.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+
+    let mut matched: Vec<Vec<bool>> = gt_per_image.iter().map(|g| vec![false; g.len()]).collect();
+    let mut tp = Vec::with_capacity(dets.len());
+    for (img, det) in dets {
+        let mut best = (0.0f32, None::<usize>);
+        for (gi, gt) in gt_per_image[img].iter().enumerate() {
+            if matched[img][gi] {
+                continue;
+            }
+            let iou = det.bbox.iou(&gt.bbox);
+            if iou > best.0 {
+                best = (iou, Some(gi));
+            }
+        }
+        match best {
+            (iou, Some(gi)) if iou >= iou_threshold => {
+                matched[img][gi] = true;
+                tp.push(true);
+            }
+            _ => tp.push(false),
+        }
+    }
+
+    // Precision/recall curve + all-point interpolation.
+    let mut cum_tp = 0usize;
+    let mut precisions = Vec::with_capacity(tp.len());
+    let mut recalls = Vec::with_capacity(tp.len());
+    for (i, &is_tp) in tp.iter().enumerate() {
+        if is_tp {
+            cum_tp += 1;
+        }
+        precisions.push(cum_tp as f64 / (i + 1) as f64);
+        recalls.push(cum_tp as f64 / total_gt as f64);
+    }
+    // Make precision monotone non-increasing from the right.
+    for i in (0..precisions.len().saturating_sub(1)).rev() {
+        if precisions[i] < precisions[i + 1] {
+            precisions[i] = precisions[i + 1];
+        }
+    }
+    // Integrate over recall.
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (p, r) in precisions.iter().zip(recalls.iter()) {
+        ap += p * (r - prev_recall);
+        prev_recall = *r;
+    }
+    Some(ap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbox::BBox;
+
+    fn gt(cx: f32, cy: f32, class: usize) -> GroundTruth {
+        GroundTruth {
+            bbox: BBox::new(cx, cy, 0.2, 0.2),
+            class,
+        }
+    }
+
+    fn det(cx: f32, cy: f32, score: f32, class: usize) -> Detection {
+        Detection {
+            bbox: BBox::new(cx, cy, 0.2, 0.2),
+            score,
+            class,
+        }
+    }
+
+    #[test]
+    fn perfect_detections_score_one() {
+        let truths = vec![vec![gt(0.3, 0.3, 0), gt(0.7, 0.7, 1)]];
+        let dets = vec![vec![det(0.3, 0.3, 0.9, 0), det(0.7, 0.7, 0.8, 1)]];
+        let r = evaluate_map(&dets, &truths, 2, 0.5);
+        assert!((r.map - 1.0).abs() < 1e-9, "map {}", r.map);
+        assert!((r.map_percent() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missed_detection_halves_recall() {
+        let truths = vec![vec![gt(0.3, 0.3, 0), gt(0.7, 0.7, 0)]];
+        let dets = vec![vec![det(0.3, 0.3, 0.9, 0)]];
+        let r = evaluate_map(&dets, &truths, 1, 0.5);
+        // One of two GTs found at precision 1 → AP = 0.5.
+        assert!((r.map - 0.5).abs() < 1e-9, "map {}", r.map);
+    }
+
+    #[test]
+    fn false_positive_lowers_precision() {
+        let truths = vec![vec![gt(0.3, 0.3, 0)]];
+        // High-scoring FP first, then the TP.
+        let dets = vec![vec![det(0.8, 0.8, 0.95, 0), det(0.3, 0.3, 0.9, 0)]];
+        let r = evaluate_map(&dets, &truths, 1, 0.5);
+        // Recall 1 reached at precision 1/2.
+        assert!((r.map - 0.5).abs() < 1e-9, "map {}", r.map);
+    }
+
+    #[test]
+    fn duplicate_detections_count_once() {
+        let truths = vec![vec![gt(0.3, 0.3, 0)]];
+        let dets = vec![vec![det(0.3, 0.3, 0.9, 0), det(0.31, 0.3, 0.8, 0)]];
+        let r = evaluate_map(&dets, &truths, 1, 0.5);
+        // Second detection is an FP (GT already matched); AP stays 1.0
+        // because recall 1 is reached before the FP.
+        assert!((r.map - 1.0).abs() < 1e-9, "map {}", r.map);
+    }
+
+    #[test]
+    fn wrong_class_never_matches() {
+        let truths = vec![vec![gt(0.3, 0.3, 0)]];
+        let dets = vec![vec![det(0.3, 0.3, 0.9, 1)]];
+        let r = evaluate_map(&dets, &truths, 2, 0.5);
+        assert_eq!(r.map, 0.0);
+        assert_eq!(r.per_class[0], Some(0.0));
+        assert_eq!(r.per_class[1], None); // no class-1 ground truths
+    }
+
+    #[test]
+    fn iou_threshold_gates_matches() {
+        let truths = vec![vec![gt(0.3, 0.3, 0)]];
+        // Slightly offset detection: IoU ≈ 0.45.
+        let dets = vec![vec![det(0.36, 0.32, 0.9, 0)]];
+        let loose = evaluate_map(&dets, &truths, 1, 0.3);
+        let strict = evaluate_map(&dets, &truths, 1, 0.6);
+        assert!(loose.map > 0.9);
+        assert_eq!(strict.map, 0.0);
+    }
+
+    #[test]
+    fn empty_everything() {
+        let r = evaluate_map(&[], &[], 3, 0.5);
+        assert_eq!(r.map, 0.0);
+        assert_eq!(r.per_class, vec![None, None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same images")]
+    fn mismatched_lengths_panic() {
+        evaluate_map(&[vec![]], &[], 1, 0.5);
+    }
+}

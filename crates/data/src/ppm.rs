@@ -1,0 +1,124 @@
+//! PPM image output with box overlays (used to regenerate Fig. 8's
+//! qualitative comparison).
+
+use crate::bbox::BBox;
+use rtoss_tensor::Tensor;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An overlay box with a colour and a label.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    /// The box to draw (normalised coordinates).
+    pub bbox: BBox,
+    /// RGB colour in `[0, 1]`.
+    pub color: [f32; 3],
+    /// Label written into the caption list (PPM has no text).
+    pub label: String,
+}
+
+/// Renders a CHW image `(3, S, S)` in `[0, 1]` with box outlines into a
+/// binary PPM (P6) file.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be written, or
+/// `InvalidInput` if the tensor is not `(3, S, S)`.
+pub fn write_ppm_with_boxes(
+    path: &Path,
+    image: &Tensor,
+    overlays: &[Overlay],
+) -> io::Result<()> {
+    if image.rank() != 3 || image.shape()[0] != 3 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("expected (3, H, W) image, got {:?}", image.shape()),
+        ));
+    }
+    let (h, w) = (image.shape()[1], image.shape()[2]);
+    let mut rgb = image.as_slice().to_vec();
+
+    let mut draw_px = |x: usize, y: usize, color: [f32; 3]| {
+        if x < w && y < h {
+            for c in 0..3 {
+                rgb[(c * h + y) * w + x] = color[c];
+            }
+        }
+    };
+    for ov in overlays {
+        let (x1, y1, x2, y2) = ov.bbox.corners();
+        let (px1, py1) = ((x1.max(0.0) * w as f32) as usize, (y1.max(0.0) * h as f32) as usize);
+        let (px2, py2) = (
+            ((x2.min(1.0) * w as f32) as usize).min(w.saturating_sub(1)),
+            ((y2.min(1.0) * h as f32) as usize).min(h.saturating_sub(1)),
+        );
+        for x in px1..=px2 {
+            draw_px(x, py1, ov.color);
+            draw_px(x, py2, ov.color);
+        }
+        for y in py1..=py2 {
+            draw_px(px1, y, ov.color);
+            draw_px(px2, y, ov.color);
+        }
+    }
+
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P6\n{w} {h}\n255")?;
+    let mut buf = Vec::with_capacity(3 * h * w);
+    for y in 0..h {
+        for x in 0..w {
+            for c in 0..3 {
+                buf.push((rgb[(c * h + y) * w + x].clamp(0.0, 1.0) * 255.0) as u8);
+            }
+        }
+    }
+    f.write_all(&buf)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_valid_ppm() {
+        let dir = std::env::temp_dir().join("rtoss_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ppm");
+        let img = Tensor::full(&[3, 8, 8], 0.5);
+        let ovs = vec![Overlay {
+            bbox: BBox::new(0.5, 0.5, 0.5, 0.5),
+            color: [1.0, 0.0, 0.0],
+            label: "Car 0.9".into(),
+        }];
+        write_ppm_with_boxes(&path, &img, &ovs).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n8 8\n255\n"));
+        assert_eq!(bytes.len(), 11 + 3 * 64);
+        // Some pixel got the red outline.
+        assert!(bytes[11..].chunks(3).any(|p| p == [255, 0, 0]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_shape() {
+        let dir = std::env::temp_dir();
+        let img = Tensor::zeros(&[1, 8, 8]);
+        assert!(write_ppm_with_boxes(&dir.join("x.ppm"), &img, &[]).is_err());
+    }
+
+    #[test]
+    fn out_of_frame_boxes_are_clipped() {
+        let dir = std::env::temp_dir().join("rtoss_ppm_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.ppm");
+        let img = Tensor::zeros(&[3, 8, 8]);
+        let ovs = vec![Overlay {
+            bbox: BBox::new(0.95, 0.95, 0.5, 0.5),
+            color: [0.0, 1.0, 0.0],
+            label: "edge".into(),
+        }];
+        write_ppm_with_boxes(&path, &img, &ovs).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,278 @@
+//! Device models and the latency estimator.
+
+use serde::{Deserialize, Serialize};
+
+/// How a workload's sparsity is structured — determines how much of the
+/// theoretical MAC reduction the hardware can realise (§II.B: irregular
+/// sparsity "affects memory performance due to changes in data access
+/// locality", while structured and semi-structured sparsity map onto
+/// hardware acceleration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SparsityStructure {
+    /// No pruning.
+    Dense,
+    /// Whole filters/channels removed: the dense kernels simply shrink —
+    /// full realisation of the MAC reduction.
+    Structured,
+    /// Kernel-pattern sparsity: regular inner loops, grouped kernels —
+    /// near-full realisation.
+    SemiStructured,
+    /// Element-wise irregular sparsity: gather overheads and load
+    /// imbalance eat much of the reduction.
+    Unstructured,
+}
+
+impl SparsityStructure {
+    /// Fraction of the *skipped* MACs whose cost is actually recovered.
+    pub fn realization(self) -> f64 {
+        match self {
+            SparsityStructure::Dense => 1.0,
+            SparsityStructure::Structured => 1.0,
+            SparsityStructure::SemiStructured => 0.92,
+            SparsityStructure::Unstructured => 0.45,
+        }
+    }
+}
+
+/// One inference workload: dense and post-pruning effective MAC counts,
+/// weight traffic, and sparsity structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// MACs of the unpruned model.
+    pub dense_macs: u64,
+    /// MACs touching non-zero weights after pruning
+    /// (equals `dense_macs` for an unpruned model).
+    pub effective_macs: u64,
+    /// Weight bytes that must move per frame (compressed size after
+    /// pruning, dense size before).
+    pub weight_bytes: u64,
+    /// Sparsity structure of the pruned model.
+    pub structure: SparsityStructure,
+}
+
+impl Workload {
+    /// The MAC count the device will effectively pay for, given how much
+    /// of the sparsity its execution can realise.
+    pub fn billed_macs(&self) -> f64 {
+        let dense = self.dense_macs as f64;
+        let eff = self.effective_macs as f64;
+        let skipped = (dense - eff).max(0.0);
+        dense - skipped * self.structure.realization()
+    }
+}
+
+/// A calibrated GPU device model.
+///
+/// Latency: `t = billed_macs / mac_throughput + weight_bytes /
+/// weight_bandwidth` — a two-term model fitted to the paper's
+/// base-model rows (see crate docs). Energy: see
+/// [`EnergyBreakdown`](crate::EnergyBreakdown).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Device name as printed in reports.
+    pub name: String,
+    /// Effective MAC throughput (MACs/s) under the paper's eager
+    /// PyTorch deployment.
+    pub mac_throughput: f64,
+    /// Effective weight-streaming bandwidth (bytes/s).
+    pub weight_bandwidth: f64,
+    /// Idle/static power draw (W) attributed to the inference process.
+    pub static_power_w: f64,
+    /// Dynamic energy per billed MAC (J).
+    pub energy_per_mac: f64,
+    /// Dynamic energy per weight byte moved (J).
+    pub energy_per_byte: f64,
+}
+
+impl DeviceModel {
+    /// NVIDIA RTX 2080 Ti, calibrated to the paper's Table 3 anchors
+    /// (YOLOv5s BM ≈ 12.8 ms, RetinaNet BM ≈ 136 ms; energy rows of
+    /// Table 3).
+    pub fn rtx_2080ti() -> Self {
+        DeviceModel {
+            name: "RTX 2080 Ti".to_string(),
+            mac_throughput: 1.10e12,
+            weight_bandwidth: 5.35e9,
+            static_power_w: 50.0,
+            energy_per_mac: 6.8e-11,
+            energy_per_byte: 2.0e-9,
+        }
+    }
+
+    /// NVIDIA Jetson TX2, calibrated by relative least squares over the
+    /// paper's six Table 2 rows (t ≈ 0.108 s per M params + 0.0254 s
+    /// per GMAC; worst row error 31%, RetinaNet within 3%).
+    pub fn jetson_tx2() -> Self {
+        DeviceModel {
+            name: "Jetson TX2".to_string(),
+            mac_throughput: 39.3e9,
+            weight_bandwidth: 37.0e6,
+            static_power_w: 4.0,
+            energy_per_mac: 1.5e-11,
+            energy_per_byte: 6.0e-9,
+        }
+    }
+
+    /// Predicted latency in seconds for one frame.
+    pub fn latency_s(&self, w: &Workload) -> f64 {
+        w.billed_macs() / self.mac_throughput + w.weight_bytes as f64 / self.weight_bandwidth
+    }
+
+    /// Predicted latency in milliseconds.
+    pub fn latency_ms(&self, w: &Workload) -> f64 {
+        self.latency_s(w) * 1e3
+    }
+
+    /// Predicted inference rate in frames per second.
+    pub fn fps(&self, w: &Workload) -> f64 {
+        1.0 / self.latency_s(w)
+    }
+
+    /// Predicted energy in joules for one frame.
+    pub fn energy_j(&self, w: &Workload) -> f64 {
+        crate::energy::EnergyBreakdown::compute(self, w).total_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn yolo_dense() -> Workload {
+        Workload {
+            dense_macs: 8_300_000_000,
+            effective_macs: 8_300_000_000,
+            weight_bytes: 28_080_000,
+            structure: SparsityStructure::Dense,
+        }
+    }
+
+    fn yolo_pruned(ratio: f64, structure: SparsityStructure) -> Workload {
+        Workload {
+            dense_macs: 8_300_000_000,
+            effective_macs: (8_300_000_000f64 / ratio) as u64,
+            weight_bytes: (28_080_000f64 / ratio) as u64,
+            structure,
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_latency() {
+        let dev = DeviceModel::rtx_2080ti();
+        let dense = dev.latency_ms(&yolo_dense());
+        let pruned = dev.latency_ms(&yolo_pruned(4.4, SparsityStructure::SemiStructured));
+        assert!(pruned < dense);
+        let speedup = dense / pruned;
+        // Paper: 1.97× on the 2080 Ti for YOLOv5s 2EP.
+        assert!(speedup > 1.5 && speedup < 4.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn semi_structured_beats_unstructured_at_equal_sparsity() {
+        let dev = DeviceModel::jetson_tx2();
+        let semi = dev.latency_ms(&yolo_pruned(2.5, SparsityStructure::SemiStructured));
+        let unstructured = dev.latency_ms(&yolo_pruned(2.5, SparsityStructure::Unstructured));
+        assert!(
+            semi < unstructured,
+            "semi {semi} ms !< unstructured {unstructured} ms"
+        );
+    }
+
+    #[test]
+    fn billed_macs_respects_realization() {
+        let w = yolo_pruned(2.0, SparsityStructure::Unstructured);
+        // Half the MACs skipped, 45% realised → billed = 1 - 0.5*0.45.
+        let expect = 8.3e9 * (1.0 - 0.5 * 0.45);
+        assert!((w.billed_macs() - expect).abs() / expect < 0.01);
+        let dense = yolo_dense();
+        assert!((dense.billed_macs() - 8.3e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn rtx_is_much_faster_than_tx2() {
+        let w = yolo_dense();
+        let t_rtx = DeviceModel::rtx_2080ti().latency_s(&w);
+        let t_tx2 = DeviceModel::jetson_tx2().latency_s(&w);
+        assert!(t_tx2 / t_rtx > 20.0, "rtx {t_rtx} tx2 {t_tx2}");
+    }
+
+    #[test]
+    fn rtx_2080ti_base_model_anchor() {
+        // Table 3 anchor: YOLOv5s BM ≈ 12.8 ms on the 2080 Ti.
+        let t = DeviceModel::rtx_2080ti().latency_ms(&yolo_dense());
+        assert!((t - 12.8).abs() / 12.8 < 0.15, "predicted {t} ms");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let dev = DeviceModel::jetson_tx2();
+        let json = serde_json::to_string(&dev).unwrap();
+        let back: DeviceModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dev);
+    }
+
+    #[test]
+    fn fps_is_inverse_latency() {
+        let dev = DeviceModel::rtx_2080ti();
+        let w = yolo_dense();
+        assert!((dev.fps(&w) * dev.latency_s(&w) - 1.0).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn workload_strategy() -> impl Strategy<Value = Workload> {
+            (
+                1u64..200_000_000_000,
+                0.0f64..=1.0,
+                1u64..500_000_000,
+                prop_oneof![
+                    Just(SparsityStructure::Dense),
+                    Just(SparsityStructure::Structured),
+                    Just(SparsityStructure::SemiStructured),
+                    Just(SparsityStructure::Unstructured),
+                ],
+            )
+                .prop_map(|(dense, density, bytes, structure)| Workload {
+                    dense_macs: dense,
+                    effective_macs: (dense as f64 * density) as u64,
+                    weight_bytes: bytes,
+                    structure,
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn latency_and_energy_are_positive_and_finite(w in workload_strategy()) {
+                for dev in [DeviceModel::rtx_2080ti(), DeviceModel::jetson_tx2()] {
+                    let t = dev.latency_s(&w);
+                    let e = dev.energy_j(&w);
+                    prop_assert!(t > 0.0 && t.is_finite());
+                    prop_assert!(e > 0.0 && e.is_finite());
+                }
+            }
+
+            #[test]
+            fn billed_macs_bounded_by_dense_and_effective(w in workload_strategy()) {
+                let billed = w.billed_macs();
+                prop_assert!(billed <= w.dense_macs as f64 + 1.0);
+                prop_assert!(billed >= w.effective_macs as f64 - 1.0);
+            }
+
+            #[test]
+            fn more_pruning_never_slower(w in workload_strategy()) {
+                // Shrinking effective MACs and bytes can only help.
+                let mut tighter = w;
+                tighter.effective_macs = w.effective_macs / 2;
+                tighter.weight_bytes = (w.weight_bytes / 2).max(1);
+                for dev in [DeviceModel::rtx_2080ti(), DeviceModel::jetson_tx2()] {
+                    prop_assert!(dev.latency_s(&tighter) <= dev.latency_s(&w) + 1e-12);
+                    prop_assert!(dev.energy_j(&tighter) <= dev.energy_j(&w) + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Energy estimation: `E = P_static · t + e_mac · billed_MACs +
+//! e_byte · weight_bytes`.
+
+use crate::device::{DeviceModel, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Per-component energy estimate for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Static (idle-power × latency) component, joules.
+    pub static_j: f64,
+    /// Compute (per-MAC) component, joules.
+    pub compute_j: f64,
+    /// Memory (weight-traffic) component, joules.
+    pub memory_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Computes the breakdown for a workload on a device.
+    pub fn compute(device: &DeviceModel, w: &Workload) -> Self {
+        let t = device.latency_s(w);
+        EnergyBreakdown {
+            static_j: device.static_power_w * t,
+            compute_j: device.energy_per_mac * w.billed_macs(),
+            memory_j: device.energy_per_byte * w.weight_bytes as f64,
+        }
+    }
+
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.static_j + self.compute_j + self.memory_j
+    }
+
+    /// Implied average power, watts, given the workload latency.
+    pub fn average_power_w(&self, latency_s: f64) -> f64 {
+        self.total_j() / latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SparsityStructure;
+
+    fn yolo(ratio: f64) -> Workload {
+        Workload {
+            dense_macs: 8_300_000_000,
+            effective_macs: (8_300_000_000f64 / ratio) as u64,
+            weight_bytes: (28_080_000f64 / ratio) as u64,
+            structure: if ratio > 1.0 {
+                SparsityStructure::SemiStructured
+            } else {
+                SparsityStructure::Dense
+            },
+        }
+    }
+
+    #[test]
+    fn energy_decreases_with_compression() {
+        let dev = DeviceModel::rtx_2080ti();
+        let e1 = dev.energy_j(&yolo(1.0));
+        let e2 = dev.energy_j(&yolo(2.9));
+        let e3 = dev.energy_j(&yolo(4.4));
+        assert!(e1 > e2 && e2 > e3, "{e1} {e2} {e3}");
+    }
+
+    #[test]
+    fn table3_energy_anchor_2ep() {
+        // Paper Table 3: YOLOv5s R-TOSS-2EP on 2080 Ti ≈ 0.454 J.
+        let dev = DeviceModel::rtx_2080ti();
+        let e = dev.energy_j(&yolo(4.4));
+        assert!((e - 0.454).abs() / 0.454 < 0.40, "energy {e} J");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let dev = DeviceModel::jetson_tx2();
+        let w = yolo(2.9);
+        let b = EnergyBreakdown::compute(&dev, &w);
+        assert!(
+            (b.total_j() - (b.static_j + b.compute_j + b.memory_j)).abs() < 1e-12
+        );
+        assert!(b.static_j > 0.0 && b.compute_j > 0.0 && b.memory_j > 0.0);
+    }
+
+    #[test]
+    fn average_power_is_physical() {
+        let dev = DeviceModel::rtx_2080ti();
+        let w = yolo(1.0);
+        let t = dev.latency_s(&w);
+        let p = EnergyBreakdown::compute(&dev, &w).average_power_w(t);
+        // A 2080 Ti under inference load draws tens to ~260 W.
+        assert!(p > 40.0 && p < 300.0, "power {p} W");
+    }
+}

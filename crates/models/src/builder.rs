@@ -1,0 +1,376 @@
+//! Graph + spec co-builder for detector architectures.
+//!
+//! Every structural method adds nodes to an [`rtoss_nn::Graph`] *and*
+//! records the matching [`ConvLayerSpec`], keeping the runnable model and
+//! its analytic spec in lock-step by construction.
+
+use crate::spec::{ConvLayerSpec, ModelSpec};
+use rtoss_nn::layers::{Activation, ActivationKind, BatchNorm2d, Conv2d, MaxPool2d, UpsampleNearest2x};
+use rtoss_nn::{Graph, NnError, NodeId};
+
+/// Incrementally builds a detector: graph nodes, layer specs, and
+/// per-node activation dimensions.
+#[derive(Debug)]
+pub struct DetectorBuilder {
+    graph: Graph,
+    spec: ModelSpec,
+    dims: Vec<(usize, usize, usize)>, // (c, h, w) per node id
+    act: ActivationKind,
+    seed: u64,
+    input: NodeId,
+}
+
+impl DetectorBuilder {
+    /// Starts a detector taking `(in_ch, h, w)` input, using `act` after
+    /// every conv+BN, with deterministic weight seeds derived from `seed`.
+    pub fn new(name: &str, in_ch: usize, h: usize, w: usize, act: ActivationKind, seed: u64) -> Self {
+        let mut graph = Graph::new();
+        let input = graph.add_input("input");
+        DetectorBuilder {
+            graph,
+            spec: ModelSpec::new(name, (h, w)),
+            dims: vec![(in_ch, h, w)],
+            act,
+            seed,
+            input,
+        }
+    }
+
+    /// The input node id.
+    pub fn input(&self) -> NodeId {
+        self.input
+    }
+
+    /// `(channels, height, width)` of a node's output.
+    pub fn dims(&self, id: NodeId) -> (usize, usize, usize) {
+        self.dims[id]
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.seed
+    }
+
+    fn record(&mut self, id: NodeId, c: usize, h: usize, w: usize) -> NodeId {
+        debug_assert_eq!(id, self.dims.len());
+        self.dims.push((c, h, w));
+        id
+    }
+
+    /// Bare convolution (no BN, no activation) — used for head outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the kernel does not fit.
+    pub fn conv(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<NodeId, NnError> {
+        let (c, h, w) = self.dims[from];
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (w + 2 * pad - k) / stride + 1;
+        let seed = self.next_seed();
+        let id = self
+            .graph
+            .add_layer(name, Box::new(Conv2d::new(c, out_ch, k, stride, pad, seed)), from)?;
+        self.spec.layers.push(ConvLayerSpec {
+            name: name.to_string(),
+            in_ch: c,
+            out_ch,
+            kernel: k,
+            stride,
+            out_h: oh,
+            out_w: ow,
+        });
+        self.spec.extra_params += out_ch as u64; // bias
+        Ok(self.record(id, out_ch, oh, ow))
+    }
+
+    /// Convolution + batch-norm + the builder's activation (CBA block —
+    /// YOLOv5's `Conv`, ResNet's conv-bn-relu).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the kernel does not fit.
+    pub fn conv_bn_act(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+    ) -> Result<NodeId, NnError> {
+        self.conv_bn_act_pad(name, from, out_ch, k, stride, k / 2)
+    }
+
+    /// [`DetectorBuilder::conv_bn_act`] with explicit padding (needed by
+    /// YOLOv5's stem: 6×6, stride 2, pad 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown or the kernel does not fit.
+    pub fn conv_bn_act_pad(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<NodeId, NnError> {
+        let conv = self.conv(&format!("{name}.conv"), from, out_ch, k, stride, pad)?;
+        let (c, h, w) = self.dims[conv];
+        let bn = self
+            .graph
+            .add_layer(&format!("{name}.bn"), Box::new(BatchNorm2d::new(c)), conv)?;
+        self.spec.extra_params += 2 * c as u64; // gamma + beta
+        self.record(bn, c, h, w);
+        let act = self
+            .graph
+            .add_layer(&format!("{name}.act"), Box::new(Activation::new(self.act)), bn)?;
+        Ok(self.record(act, c, h, w))
+    }
+
+    /// Max-pool node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown.
+    pub fn maxpool(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Result<NodeId, NnError> {
+        let (c, h, w) = self.dims[from];
+        let oh = (h + 2 * pad - k) / stride + 1;
+        let ow = (w + 2 * pad - k) / stride + 1;
+        let id = self
+            .graph
+            .add_layer(name, Box::new(MaxPool2d::new(k, stride, pad)), from)?;
+        Ok(self.record(id, c, oh, ow))
+    }
+
+    /// Nearest-neighbour 2× upsample node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` is unknown.
+    pub fn upsample(&mut self, name: &str, from: NodeId) -> Result<NodeId, NnError> {
+        let (c, h, w) = self.dims[from];
+        let id = self
+            .graph
+            .add_layer(name, Box::new(UpsampleNearest2x::new()), from)?;
+        Ok(self.record(id, c, 2 * h, 2 * w))
+    }
+
+    /// Channel concatenation node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if inputs are unknown or fewer than two.
+    pub fn concat(&mut self, name: &str, inputs: Vec<NodeId>) -> Result<NodeId, NnError> {
+        let (_, h, w) = self.dims[inputs[0]];
+        let c: usize = inputs.iter().map(|&i| self.dims[i].0).sum();
+        let id = self.graph.add_concat(name, inputs)?;
+        Ok(self.record(id, c, h, w))
+    }
+
+    /// Residual addition node.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if inputs are unknown.
+    pub fn add(&mut self, name: &str, a: NodeId, b: NodeId) -> Result<NodeId, NnError> {
+        let (c, h, w) = self.dims[a];
+        let id = self.graph.add_add(name, a, b)?;
+        Ok(self.record(id, c, h, w))
+    }
+
+    /// YOLOv5 bottleneck: 1×1 CBA to `hidden`, 3×3 CBA back to `out`,
+    /// optional residual.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors.
+    pub fn bottleneck(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        hidden: usize,
+        out: usize,
+        shortcut: bool,
+    ) -> Result<NodeId, NnError> {
+        let cv1 = self.conv_bn_act(&format!("{name}.cv1"), from, hidden, 1, 1)?;
+        let cv2 = self.conv_bn_act(&format!("{name}.cv2"), cv1, out, 3, 1)?;
+        if shortcut && self.dims[from].0 == out {
+            self.add(&format!("{name}.add"), from, cv2)
+        } else {
+            Ok(cv2)
+        }
+    }
+
+    /// YOLOv5 C3 block (CSP bottleneck with 3 convolutions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors.
+    pub fn c3(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        out: usize,
+        n: usize,
+        shortcut: bool,
+    ) -> Result<NodeId, NnError> {
+        let hidden = out / 2;
+        let cv1 = self.conv_bn_act(&format!("{name}.cv1"), from, hidden, 1, 1)?;
+        let cv2 = self.conv_bn_act(&format!("{name}.cv2"), from, hidden, 1, 1)?;
+        let mut m = cv1;
+        for i in 0..n {
+            m = self.bottleneck(&format!("{name}.m{i}"), m, hidden, hidden, shortcut)?;
+        }
+        let cat = self.concat(&format!("{name}.cat"), vec![m, cv2])?;
+        self.conv_bn_act(&format!("{name}.cv3"), cat, out, 1, 1)
+    }
+
+    /// YOLOv5 SPPF block (three chained 5×5 max-pools + concat).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors.
+    pub fn sppf(&mut self, name: &str, from: NodeId, out: usize) -> Result<NodeId, NnError> {
+        let hidden = self.dims[from].0 / 2;
+        let cv1 = self.conv_bn_act(&format!("{name}.cv1"), from, hidden, 1, 1)?;
+        let p1 = self.maxpool(&format!("{name}.p1"), cv1, 5, 1, 2)?;
+        let p2 = self.maxpool(&format!("{name}.p2"), p1, 5, 1, 2)?;
+        let p3 = self.maxpool(&format!("{name}.p3"), p2, 5, 1, 2)?;
+        let cat = self.concat(&format!("{name}.cat"), vec![cv1, p1, p2, p3])?;
+        self.conv_bn_act(&format!("{name}.cv2"), cat, out, 1, 1)
+    }
+
+    /// ResNet bottleneck (1×1 reduce, 3×3, 1×1 expand, residual), with an
+    /// optional 1×1 downsample projection on the shortcut.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph construction errors.
+    pub fn resnet_bottleneck(
+        &mut self,
+        name: &str,
+        from: NodeId,
+        mid: usize,
+        out: usize,
+        stride: usize,
+    ) -> Result<NodeId, NnError> {
+        let cv1 = self.conv_bn_act(&format!("{name}.cv1"), from, mid, 1, 1)?;
+        let cv2 = self.conv_bn_act(&format!("{name}.cv2"), cv1, mid, 3, stride)?;
+        let cv3 = self.conv_bn_act(&format!("{name}.cv3"), cv2, out, 1, 1)?;
+        let shortcut = if self.dims[from].0 != out || stride != 1 {
+            self.conv_bn_act(&format!("{name}.down"), from, out, 1, stride)?
+        } else {
+            from
+        };
+        self.add(&format!("{name}.add"), cv3, shortcut)
+    }
+
+    /// Declares outputs and finishes, returning `(graph, spec)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `outputs` is empty or contains unknown ids.
+    pub fn finish(mut self, outputs: Vec<NodeId>) -> Result<(Graph, ModelSpec), NnError> {
+        self.graph.set_outputs(outputs)?;
+        Ok((self.graph, self.spec))
+    }
+
+    /// Read-only access to the spec built so far.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Adds non-conv parameters (e.g. transformer weights) to the spec.
+    pub fn add_extra_params(&mut self, params: u64, macs: u64) {
+        self.spec.extra_params += params;
+        self.spec.extra_macs += macs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::Tensor;
+
+    #[test]
+    fn cba_tracks_dims_and_spec() {
+        let mut b = DetectorBuilder::new("t", 3, 32, 32, ActivationKind::Silu, 1);
+        let x = b.input();
+        let c1 = b.conv_bn_act("c1", x, 8, 3, 2).unwrap();
+        assert_eq!(b.dims(c1), (8, 16, 16));
+        assert_eq!(b.spec().layers.len(), 1);
+        assert_eq!(b.spec().layers[0].out_h, 16);
+        // bias + gamma + beta
+        assert_eq!(b.spec().extra_params, 8 + 16);
+    }
+
+    #[test]
+    fn c3_block_runs_forward() {
+        let mut b = DetectorBuilder::new("t", 3, 16, 16, ActivationKind::Silu, 2);
+        let x = b.input();
+        let c1 = b.conv_bn_act("c1", x, 8, 3, 1).unwrap();
+        let c3 = b.c3("c3", c1, 8, 1, true).unwrap();
+        assert_eq!(b.dims(c3), (8, 16, 16));
+        let (mut g, spec) = b.finish(vec![c3]).unwrap();
+        // C3(n=1) adds 5 convs: cv1, cv2, m0.cv1, m0.cv2, cv3.
+        assert_eq!(spec.layers.len(), 6);
+        let y = g.forward(&Tensor::zeros(&[1, 3, 16, 16])).unwrap();
+        assert_eq!(y[0].shape(), &[1, 8, 16, 16]);
+    }
+
+    #[test]
+    fn sppf_preserves_dims() {
+        let mut b = DetectorBuilder::new("t", 4, 8, 8, ActivationKind::Silu, 3);
+        let x = b.input();
+        let s = b.sppf("sppf", x, 4).unwrap();
+        assert_eq!(b.dims(s), (4, 8, 8));
+        let (mut g, _) = b.finish(vec![s]).unwrap();
+        let y = g.forward(&Tensor::zeros(&[1, 4, 8, 8])).unwrap();
+        assert_eq!(y[0].shape(), &[1, 4, 8, 8]);
+    }
+
+    #[test]
+    fn resnet_bottleneck_with_downsample() {
+        let mut b = DetectorBuilder::new("t", 8, 16, 16, ActivationKind::Relu, 4);
+        let x = b.input();
+        let r = b.resnet_bottleneck("r1", x, 4, 16, 2).unwrap();
+        assert_eq!(b.dims(r), (16, 8, 8));
+        let (mut g, _) = b.finish(vec![r]).unwrap();
+        let y = g.forward(&Tensor::zeros(&[2, 8, 16, 16])).unwrap();
+        assert_eq!(y[0].shape(), &[2, 16, 8, 8]);
+    }
+
+    #[test]
+    fn deterministic_weights_per_seed() {
+        let build = |seed| {
+            let mut b = DetectorBuilder::new("t", 1, 8, 8, ActivationKind::Relu, seed);
+            let x = b.input();
+            let c = b.conv_bn_act("c", x, 4, 3, 1).unwrap();
+            b.finish(vec![c]).unwrap().0
+        };
+        let g1 = build(7);
+        let g2 = build(7);
+        let g3 = build(8);
+        let w1 = g1.conv(g1.conv_ids()[0]).unwrap().weight().value.clone();
+        let w2 = g2.conv(g2.conv_ids()[0]).unwrap().weight().value.clone();
+        let w3 = g3.conv(g3.conv_ids()[0]).unwrap().weight().value.clone();
+        assert_eq!(w1, w2);
+        assert_ne!(w1, w3);
+    }
+}

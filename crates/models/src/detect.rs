@@ -1,0 +1,149 @@
+//! Decoding grid-head outputs into detections.
+
+use crate::{HeadInfo, ModelsError};
+use rtoss_tensor::Tensor;
+
+/// A decoded detection in normalised image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Box centre x (normalised).
+    pub cx: f32,
+    /// Box centre y (normalised).
+    pub cy: f32,
+    /// Box width (normalised).
+    pub w: f32,
+    /// Box height (normalised).
+    pub h: f32,
+    /// Confidence score: objectness × best class probability.
+    pub score: f32,
+    /// Predicted class index.
+    pub class: usize,
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Decodes a single-image head output `(1, 5+C, S, S)` into detections
+/// with `score >= conf_threshold`.
+///
+/// Channel order matches [`GridLoss`](rtoss_nn::loss::GridLoss):
+/// `[tx, ty, tw, th, obj, cls...]`; boxes are decoded as
+/// `cx = (gx + sigmoid(tx)) / S`, `w = anchor_w * exp(tw)`.
+///
+/// # Errors
+///
+/// Returns [`ModelsError::Config`] if the output shape is not
+/// `(1, 5+C, S, S)` for some `C >= 1`.
+pub fn decode_grid(
+    pred: &Tensor,
+    head: &HeadInfo,
+    num_classes: usize,
+    conf_threshold: f32,
+) -> Result<Vec<Detection>, ModelsError> {
+    if pred.rank() != 4 || pred.shape()[0] != 1 || pred.shape()[1] != 5 + num_classes {
+        return Err(ModelsError::Config {
+            msg: format!(
+                "decode_grid expects (1,{},S,S), got {:?}",
+                5 + num_classes,
+                pred.shape()
+            ),
+        });
+    }
+    let s = pred.shape()[2];
+    if pred.shape()[3] != s {
+        return Err(ModelsError::Config {
+            msg: format!("non-square grid {:?}", pred.shape()),
+        });
+    }
+    let mut out = Vec::new();
+    for gy in 0..s {
+        for gx in 0..s {
+            let obj = sigmoid(pred.at(&[0, 4, gy, gx]));
+            if obj < conf_threshold {
+                continue;
+            }
+            let (mut best_c, mut best_p) = (0usize, f32::NEG_INFINITY);
+            for ci in 0..num_classes {
+                let p = sigmoid(pred.at(&[0, 5 + ci, gy, gx]));
+                if p > best_p {
+                    best_p = p;
+                    best_c = ci;
+                }
+            }
+            let score = obj * best_p;
+            if score < conf_threshold {
+                continue;
+            }
+            let cx = (gx as f32 + sigmoid(pred.at(&[0, 0, gy, gx]))) / s as f32;
+            let cy = (gy as f32 + sigmoid(pred.at(&[0, 1, gy, gx]))) / s as f32;
+            let w = head.anchor.0 * pred.at(&[0, 2, gy, gx]).exp();
+            let h = head.anchor.1 * pred.at(&[0, 3, gy, gx]).exp();
+            out.push(Detection {
+                cx,
+                cy,
+                w: w.min(1.0),
+                h: h.min(1.0),
+                score,
+                class: best_c,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head() -> HeadInfo {
+        HeadInfo {
+            node: 0,
+            grid: 4,
+            anchor: (0.25, 0.25),
+        }
+    }
+
+    #[test]
+    fn decodes_a_confident_cell() {
+        let c = 2usize;
+        let mut pred = Tensor::full(&[1, 5 + c, 4, 4], -10.0); // everything off
+        // Light up cell (1, 2): tx=0 → 0.5 offset, obj high, class 1.
+        pred.set(&[0, 0, 1, 2], 0.0);
+        pred.set(&[0, 1, 1, 2], 0.0);
+        pred.set(&[0, 2, 1, 2], 0.0); // w = anchor
+        pred.set(&[0, 3, 1, 2], 0.0);
+        pred.set(&[0, 4, 1, 2], 8.0);
+        pred.set(&[0, 6, 1, 2], 8.0);
+        let dets = decode_grid(&pred, &head(), c, 0.5).unwrap();
+        assert_eq!(dets.len(), 1);
+        let d = dets[0];
+        assert_eq!(d.class, 1);
+        assert!((d.cx - 2.5 / 4.0).abs() < 1e-5);
+        assert!((d.cy - 1.5 / 4.0).abs() < 1e-5);
+        assert!((d.w - 0.25).abs() < 1e-5);
+        assert!(d.score > 0.9);
+    }
+
+    #[test]
+    fn silent_grid_yields_nothing() {
+        let pred = Tensor::full(&[1, 7, 4, 4], -10.0);
+        assert!(decode_grid(&pred, &head(), 2, 0.25).unwrap().is_empty());
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let mut pred = Tensor::full(&[1, 7, 4, 4], -10.0);
+        pred.set(&[0, 4, 0, 0], 0.1); // obj ≈ 0.52
+        pred.set(&[0, 5, 0, 0], 0.1); // p ≈ 0.52 → score ≈ 0.27
+        assert_eq!(decode_grid(&pred, &head(), 2, 0.2).unwrap().len(), 1);
+        assert!(decode_grid(&pred, &head(), 2, 0.5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(decode_grid(&Tensor::zeros(&[1, 6, 4, 4]), &head(), 2, 0.5).is_err());
+        assert!(decode_grid(&Tensor::zeros(&[2, 7, 4, 4]), &head(), 2, 0.5).is_err());
+        assert!(decode_grid(&Tensor::zeros(&[1, 7, 4, 3]), &head(), 2, 0.5).is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Object-detector architectures for the R-TOSS reproduction.
+//!
+//! Two tiers per pruning target (DESIGN.md §2):
+//!
+//! - **Full-scale** graphs ([`yolov5s`], [`retinanet`]) carry real weight
+//!   tensors at the paper's published sizes (7.02 M / 36.49 M params), so
+//!   pruning, sparsity measurement, DFS grouping, and the kernel census
+//!   are exact. They are never run forward at 640×640 on CPU.
+//! - **Scaled twins** ([`yolov5s_twin`], [`retinanet_twin`]) keep the
+//!   topology at reduced width/resolution and train end-to-end on
+//!   synthetic KITTI scenes for the empirical accuracy tier.
+//!
+//! [`others`] carries literature profiles for the Table 1/2 comparison
+//! detectors, and [`detect`] decodes grid-head outputs.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = rtoss_models::yolov5s(80, 42)?;
+//! assert!((model.spec.params_millions() - 7.02).abs() < 0.7);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod retinanet;
+mod yolov5;
+
+pub mod detect;
+pub mod others;
+pub mod spec;
+
+pub use builder::DetectorBuilder;
+pub use retinanet::{retinanet, retinanet_twin};
+pub use spec::{ConvLayerSpec, KernelCensus, ModelSpec};
+pub use yolov5::{yolov5, yolov5s, yolov5s_twin, Yolov5Variant};
+
+use rtoss_nn::{Graph, NnError, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by model construction and decoding.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelsError {
+    /// Underlying graph construction failed.
+    Nn(NnError),
+    /// Invalid configuration (widths, shapes, thresholds).
+    Config {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for ModelsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelsError::Nn(e) => write!(f, "model construction failed: {e}"),
+            ModelsError::Config { msg } => write!(f, "invalid model configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelsError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ModelsError {
+    fn from(e: NnError) -> Self {
+        ModelsError::Nn(e)
+    }
+}
+
+/// Metadata for one detection head of a [`DetectorModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeadInfo {
+    /// Graph node producing the raw head output.
+    pub node: NodeId,
+    /// Grid size `S` of the head output `(N, ch, S, S)`.
+    pub grid: usize,
+    /// Normalised anchor `(w, h)` this head regresses against.
+    pub anchor: (f32, f32),
+}
+
+/// A detector: runnable graph, analytic spec, and head metadata.
+#[derive(Debug)]
+pub struct DetectorModel {
+    /// The computational graph (weights included).
+    pub graph: Graph,
+    /// The matching analytic specification (params/MACs/census).
+    pub spec: ModelSpec,
+    /// Detection heads, finest grid first.
+    pub heads: Vec<HeadInfo>,
+    /// Number of object classes.
+    pub num_classes: usize,
+}
+
+impl DetectorModel {
+    /// Measured sparsity over all conv weights (fraction of exact zeros).
+    pub fn conv_sparsity(&self) -> f64 {
+        let (mut zeros, mut total) = (0usize, 0usize);
+        for id in self.graph.conv_ids() {
+            let w = &self.graph.conv(id).expect("conv id").weight().value;
+            zeros += w.count_zeros();
+            total += w.numel();
+        }
+        if total == 0 {
+            0.0
+        } else {
+            zeros as f64 / total as f64
+        }
+    }
+
+    /// Effective (non-zero-weight) MACs after pruning: each conv layer's
+    /// dense MACs scaled by its measured weight density.
+    pub fn effective_macs(&self) -> u64 {
+        let mut by_name: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+        for id in self.graph.conv_ids() {
+            let node = self.graph.node(id);
+            let w = &self.graph.conv(id).expect("conv id").weight().value;
+            by_name.insert(node.name.as_str(), 1.0 - w.sparsity());
+        }
+        self.spec
+            .layers
+            .iter()
+            .map(|l| {
+                let density = by_name.get(l.name.as_str()).copied().unwrap_or(1.0);
+                (l.macs() as f64 * density) as u64
+            })
+            .sum::<u64>()
+            + self.spec.extra_macs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparsity_starts_near_zero_and_reflects_masks() {
+        let mut m = yolov5s_twin(4, 2, 3).unwrap();
+        assert!(m.conv_sparsity() < 0.01);
+        // Zero one conv entirely.
+        let id = m.graph.conv_ids()[0];
+        let conv = m.graph.conv_mut(id).unwrap();
+        let shape = conv.weight().value.shape().to_vec();
+        conv.weight_mut()
+            .set_mask(rtoss_tensor::Tensor::zeros(&shape))
+            .unwrap();
+        assert!(m.conv_sparsity() > 0.0);
+    }
+
+    #[test]
+    fn effective_macs_decrease_with_pruning() {
+        let mut m = yolov5s_twin(4, 2, 4).unwrap();
+        let dense = m.effective_macs();
+        for id in m.graph.conv_ids() {
+            let conv = m.graph.conv_mut(id).unwrap();
+            let shape = conv.weight().value.shape().to_vec();
+            let mut mask = rtoss_tensor::Tensor::ones(&shape);
+            // Zero half of each weight tensor.
+            let n = mask.numel();
+            for i in 0..n / 2 {
+                mask.as_mut_slice()[i] = 0.0;
+            }
+            conv.weight_mut().set_mask(mask).unwrap();
+        }
+        let sparse = m.effective_macs();
+        assert!(sparse < dense, "{sparse} !< {dense}");
+        assert!((sparse as f64) < dense as f64 * 0.7);
+    }
+
+    #[test]
+    fn spec_and_graph_conv_counts_agree() {
+        let m = yolov5s_twin(8, 3, 5).unwrap();
+        assert_eq!(m.spec.layers.len(), m.graph.conv_ids().len());
+        let m2 = retinanet_twin(8, 3, 5).unwrap();
+        assert_eq!(m2.spec.layers.len(), m2.graph.conv_ids().len());
+    }
+}

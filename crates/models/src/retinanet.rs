@@ -1,0 +1,200 @@
+//! RetinaNet (ResNet-50 + FPN + focal heads): full-scale architecture
+//! and a scaled twin.
+//!
+//! The full-scale graph instantiates the backbone, the FPN (P3–P7), and
+//! **one** head tower (class + box). RetinaNet shares head weights across
+//! pyramid levels, so a single tower carries exactly the parameters the
+//! paper counts; attaching it once keeps the graph and the spec in
+//! agreement (DESIGN.md §4).
+
+use crate::builder::DetectorBuilder;
+use crate::{DetectorModel, HeadInfo, ModelsError};
+use rtoss_nn::layers::ActivationKind;
+use rtoss_nn::NodeId;
+
+/// Builds full-scale RetinaNet (ResNet-50 backbone, FPN, shared focal
+/// heads with `anchors_per_cell = 9`) for `num_classes` classes at
+/// 640×640.
+///
+/// Parameter count lands within a few percent of the paper's 36.49 M
+/// (Table 2); the conv-layer census reproduces §III's "56.14% 1×1".
+///
+/// # Errors
+///
+/// Returns an error if graph construction fails.
+pub fn retinanet(num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsError> {
+    let anchors = 9;
+    let fpn_ch = 256;
+    let mut b = DetectorBuilder::new("RetinaNet", 3, 640, 640, ActivationKind::Relu, seed);
+    let x = b.input();
+
+    // ResNet-50 stem: 7×7/2 conv + 3×3/2 max-pool.
+    let stem = b.conv_bn_act_pad("stem", x, 64, 7, 2, 3)?;
+    let pool = b.maxpool("stem.pool", stem, 3, 2, 1)?;
+
+    // Residual stages: (mid, out, blocks, first stride).
+    let stage = |b: &mut DetectorBuilder,
+                     name: &str,
+                     from: NodeId,
+                     mid: usize,
+                     out: usize,
+                     blocks: usize,
+                     stride: usize|
+     -> Result<NodeId, ModelsError> {
+        let mut cur = b.resnet_bottleneck(&format!("{name}.0"), from, mid, out, stride)?;
+        for i in 1..blocks {
+            cur = b.resnet_bottleneck(&format!("{name}.{i}"), cur, mid, out, 1)?;
+        }
+        Ok(cur)
+    };
+    let c2 = stage(&mut b, "layer1", pool, 64, 256, 3, 1)?; // /4
+    let c3 = stage(&mut b, "layer2", c2, 128, 512, 4, 2)?; // /8
+    let c4 = stage(&mut b, "layer3", c3, 256, 1024, 6, 2)?; // /16
+    let c5 = stage(&mut b, "layer4", c4, 512, 2048, 3, 2)?; // /32
+
+    // FPN: lateral 1×1 projections + top-down sums + 3×3 output convs.
+    let l5 = b.conv("fpn.lat5", c5, fpn_ch, 1, 1, 0)?;
+    let l4 = b.conv("fpn.lat4", c4, fpn_ch, 1, 1, 0)?;
+    let l3 = b.conv("fpn.lat3", c3, fpn_ch, 1, 1, 0)?;
+    let up5 = b.upsample("fpn.up5", l5)?;
+    let m4 = b.add("fpn.sum4", l4, up5)?;
+    let up4 = b.upsample("fpn.up4", m4)?;
+    let m3 = b.add("fpn.sum3", l3, up4)?;
+    let p3 = b.conv("fpn.out3", m3, fpn_ch, 3, 1, 1)?;
+    let _p4 = b.conv("fpn.out4", m4, fpn_ch, 3, 1, 1)?;
+    let _p5 = b.conv("fpn.out5", l5, fpn_ch, 3, 1, 1)?;
+    // P6 from C5, P7 from relu(P6) (relu folded into CBA-free conv here).
+    let p6 = b.conv("fpn.p6", c5, fpn_ch, 3, 2, 1)?;
+    let _p7 = b.conv("fpn.p7", p6, fpn_ch, 3, 2, 1)?;
+
+    // Shared head towers, attached to P3 (weight sharing — counted once).
+    let mut cls = p3;
+    for i in 0..4 {
+        cls = b.conv_bn_act(&format!("head.cls{i}"), cls, fpn_ch, 3, 1)?;
+    }
+    let cls_out = b.conv("head.cls_out", cls, anchors * num_classes, 3, 1, 1)?;
+    let mut reg = p3;
+    for i in 0..4 {
+        reg = b.conv_bn_act(&format!("head.reg{i}"), reg, fpn_ch, 3, 1)?;
+    }
+    let reg_out = b.conv("head.reg_out", reg, anchors * 4, 3, 1, 1)?;
+
+    let heads = vec![
+        HeadInfo {
+            node: cls_out,
+            grid: b.dims(cls_out).1,
+            anchor: (0.1, 0.1),
+        },
+        HeadInfo {
+            node: reg_out,
+            grid: b.dims(reg_out).1,
+            anchor: (0.1, 0.1),
+        },
+    ];
+    let (graph, spec) = b.finish(vec![cls_out, reg_out])?;
+    Ok(DetectorModel {
+        graph,
+        spec,
+        heads,
+        num_classes,
+    })
+}
+
+/// Builds the scaled RetinaNet twin: mini residual backbone, two-level
+/// FPN, and a shared grid head (objectness folded in so the twin trains
+/// with the same [`GridLoss`](rtoss_nn::loss::GridLoss) harness as the
+/// YOLO twin — a documented simplification, DESIGN.md §2).
+///
+/// # Errors
+///
+/// Returns [`ModelsError`] if `base` is zero or graph construction fails.
+pub fn retinanet_twin(base: usize, num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsError> {
+    if base == 0 {
+        return Err(ModelsError::Config {
+            msg: "twin base width must be non-zero".into(),
+        });
+    }
+    let head_ch = 5 + num_classes;
+    let mut b = DetectorBuilder::new("RetinaNet-twin", 3, 64, 64, ActivationKind::Relu, seed);
+    let x = b.input();
+
+    let stem = b.conv_bn_act("stem", x, base, 3, 2)?; // 32×32
+    let r1 = b.resnet_bottleneck("layer1.0", stem, base / 2, 2 * base, 2)?; // 16×16
+    let r2 = b.resnet_bottleneck("layer2.0", r1, base, 4 * base, 2)?; // 8×8
+
+    // Two-level FPN.
+    let l2 = b.conv("fpn.lat2", r2, 2 * base, 1, 1, 0)?; // 8×8
+    let l1 = b.conv("fpn.lat1", r1, 2 * base, 1, 1, 0)?; // 16×16
+    let up = b.upsample("fpn.up", l2)?;
+    let m1 = b.add("fpn.sum1", l1, up)?;
+    let p1 = b.conv("fpn.out1", m1, 2 * base, 3, 1, 1)?; // 16×16
+    let p2 = b.conv("fpn.out2", l2, 2 * base, 3, 1, 1)?; // 8×8
+
+    // Shared-format head towers (one per level in the twin).
+    let mut t1 = p1;
+    for i in 0..2 {
+        t1 = b.conv_bn_act(&format!("head.f{i}"), t1, 2 * base, 3, 1)?;
+    }
+    let h_fine = b.conv("head.fine_out", t1, head_ch, 3, 1, 1)?;
+    let mut t2 = p2;
+    for i in 0..2 {
+        t2 = b.conv_bn_act(&format!("head.c{i}"), t2, 2 * base, 3, 1)?;
+    }
+    let h_coarse = b.conv("head.coarse_out", t2, head_ch, 3, 1, 1)?;
+
+    let heads = vec![
+        HeadInfo {
+            node: h_fine,
+            grid: 16,
+            anchor: (0.1, 0.12),
+        },
+        HeadInfo {
+            node: h_coarse,
+            grid: 8,
+            anchor: (0.3, 0.35),
+        },
+    ];
+    let (graph, spec) = b.finish(vec![h_fine, h_coarse])?;
+    Ok(DetectorModel {
+        graph,
+        spec,
+        heads,
+        num_classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::Tensor;
+
+    #[test]
+    fn full_scale_parameter_count_matches_paper() {
+        let m = retinanet(80, 1).unwrap();
+        let p = m.spec.params_millions();
+        // Paper Table 2: 36.49 M. Accept ±10%.
+        assert!((p - 36.49).abs() / 36.49 < 0.10, "params {p} M");
+    }
+
+    #[test]
+    fn full_scale_census_matches_paper() {
+        let m = retinanet(80, 1).unwrap();
+        let f = m.spec.census().layer_fraction_1x1();
+        // Paper §III: 56.14% 1×1. Accept ±6 points.
+        assert!((f - 0.5614).abs() < 0.06, "1x1 layer fraction {f}");
+    }
+
+    #[test]
+    fn twin_forward_shapes() {
+        let mut m = retinanet_twin(8, 3, 7).unwrap();
+        let ys = m.graph.forward(&Tensor::zeros(&[1, 3, 64, 64])).unwrap();
+        assert_eq!(ys.len(), 2);
+        assert_eq!(ys[0].shape(), &[1, 8, 16, 16]);
+        assert_eq!(ys[1].shape(), &[1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn twin_rejects_zero_width() {
+        assert!(retinanet_twin(0, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! Architecture specifications: per-layer kernel census, parameter and
+//! MAC accounting.
+//!
+//! §III of the paper motivates the 1×1 transformation with a kernel-size
+//! census: "YOLOv5, RetinaNet and DETR consist of 68.42%, 56.14% and
+//! 63.46% of small 1×1 kernels". [`ModelSpec::census`] reproduces that
+//! census (at convolution-layer granularity) from our layer-by-layer
+//! specs, and parameter/MAC totals feed the `rtoss-hw` device models.
+
+/// Specification of one convolution layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvLayerSpec {
+    /// Layer name (mirrors the graph node name when a graph exists).
+    pub name: String,
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Output spatial height.
+    pub out_h: usize,
+    /// Output spatial width.
+    pub out_w: usize,
+}
+
+impl ConvLayerSpec {
+    /// Weight parameters (`O·I·k·k`), excluding bias.
+    pub fn weight_params(&self) -> u64 {
+        (self.out_ch * self.in_ch * self.kernel * self.kernel) as u64
+    }
+
+    /// Number of 2-D kernels (`O·I`).
+    pub fn kernel_count(&self) -> u64 {
+        (self.out_ch * self.in_ch) as u64
+    }
+
+    /// Multiply–accumulate operations for one forward pass.
+    pub fn macs(&self) -> u64 {
+        self.weight_params() * (self.out_h * self.out_w) as u64
+    }
+
+    /// Bytes of weight traffic (dense f32).
+    pub fn weight_bytes(&self) -> u64 {
+        self.weight_params() * 4
+    }
+}
+
+/// Kernel-size census of a model, at two granularities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCensus {
+    /// Number of convolution layers whose kernel is 1×1.
+    pub layers_1x1: usize,
+    /// Number of convolution layers whose kernel is 3×3.
+    pub layers_3x3: usize,
+    /// Number of convolution layers with any other kernel size.
+    pub layers_other: usize,
+    /// Number of 2-D kernels (`O·I` slices) that are 1×1.
+    pub kernels_1x1: u64,
+    /// Number of 2-D kernels that are 3×3.
+    pub kernels_3x3: u64,
+    /// Number of 2-D kernels of any other size.
+    pub kernels_other: u64,
+}
+
+impl KernelCensus {
+    /// Fraction of conv layers that are 1×1 (the paper's §III metric).
+    pub fn layer_fraction_1x1(&self) -> f64 {
+        let total = self.layers_1x1 + self.layers_3x3 + self.layers_other;
+        if total == 0 {
+            0.0
+        } else {
+            self.layers_1x1 as f64 / total as f64
+        }
+    }
+
+    /// Fraction of 2-D kernels that are 1×1.
+    pub fn kernel_fraction_1x1(&self) -> f64 {
+        let total = self.kernels_1x1 + self.kernels_3x3 + self.kernels_other;
+        if total == 0 {
+            0.0
+        } else {
+            self.kernels_1x1 as f64 / total as f64
+        }
+    }
+}
+
+/// A full model specification: ordered conv layers plus non-conv
+/// parameter overhead (batch-norm scales, biases, linear heads, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Model name (e.g. `"YOLOv5s"`).
+    pub name: String,
+    /// Input `(height, width)` the spatial extents were computed for.
+    pub input_hw: (usize, usize),
+    /// Convolution layers, in topological order.
+    pub layers: Vec<ConvLayerSpec>,
+    /// Parameters not captured by conv weights (BN, biases, linears).
+    pub extra_params: u64,
+    /// MACs not captured by conv layers (e.g. transformer attention).
+    pub extra_macs: u64,
+}
+
+impl ModelSpec {
+    /// Creates an empty spec.
+    pub fn new(name: &str, input_hw: (usize, usize)) -> Self {
+        ModelSpec {
+            name: name.to_string(),
+            input_hw,
+            layers: Vec::new(),
+            extra_params: 0,
+            extra_macs: 0,
+        }
+    }
+
+    /// Total parameter count (conv weights + extras).
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(ConvLayerSpec::weight_params).sum::<u64>() + self.extra_params
+    }
+
+    /// Total parameter count in millions.
+    pub fn params_millions(&self) -> f64 {
+        self.total_params() as f64 / 1e6
+    }
+
+    /// Total MACs for one forward pass.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayerSpec::macs).sum::<u64>() + self.extra_macs
+    }
+
+    /// Total dense weight bytes.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.layers.iter().map(ConvLayerSpec::weight_bytes).sum::<u64>() + self.extra_params * 4
+    }
+
+    /// Number of convolution layers.
+    pub fn conv_layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Computes the kernel-size census.
+    pub fn census(&self) -> KernelCensus {
+        let mut c = KernelCensus {
+            layers_1x1: 0,
+            layers_3x3: 0,
+            layers_other: 0,
+            kernels_1x1: 0,
+            kernels_3x3: 0,
+            kernels_other: 0,
+        };
+        for l in &self.layers {
+            match l.kernel {
+                1 => {
+                    c.layers_1x1 += 1;
+                    c.kernels_1x1 += l.kernel_count();
+                }
+                3 => {
+                    c.layers_3x3 += 1;
+                    c.kernels_3x3 += l.kernel_count();
+                }
+                _ => {
+                    c.layers_other += 1;
+                    c.kernels_other += l.kernel_count();
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(k: usize, i: usize, o: usize) -> ConvLayerSpec {
+        ConvLayerSpec {
+            name: format!("l{k}"),
+            in_ch: i,
+            out_ch: o,
+            kernel: k,
+            stride: 1,
+            out_h: 10,
+            out_w: 10,
+        }
+    }
+
+    #[test]
+    fn layer_accounting() {
+        let l = layer(3, 4, 8);
+        assert_eq!(l.weight_params(), 4 * 8 * 9);
+        assert_eq!(l.kernel_count(), 32);
+        assert_eq!(l.macs(), 4 * 8 * 9 * 100);
+        assert_eq!(l.weight_bytes(), 4 * 8 * 9 * 4);
+    }
+
+    #[test]
+    fn census_fractions() {
+        let mut spec = ModelSpec::new("toy", (64, 64));
+        spec.layers.push(layer(1, 4, 4));
+        spec.layers.push(layer(1, 4, 4));
+        spec.layers.push(layer(3, 4, 4));
+        spec.layers.push(layer(7, 3, 4));
+        let c = spec.census();
+        assert_eq!(c.layers_1x1, 2);
+        assert_eq!(c.layers_3x3, 1);
+        assert_eq!(c.layers_other, 1);
+        assert!((c.layer_fraction_1x1() - 0.5).abs() < 1e-12);
+        assert_eq!(c.kernels_1x1, 32);
+    }
+
+    #[test]
+    fn totals_include_extras() {
+        let mut spec = ModelSpec::new("toy", (64, 64));
+        spec.layers.push(layer(3, 2, 2));
+        spec.extra_params = 100;
+        assert_eq!(spec.total_params(), 36 + 100);
+        assert_eq!(spec.total_weight_bytes(), 36 * 4 + 400);
+    }
+
+    #[test]
+    fn empty_census_is_zero() {
+        let spec = ModelSpec::new("empty", (1, 1));
+        assert_eq!(spec.census().layer_fraction_1x1(), 0.0);
+        assert_eq!(spec.census().kernel_fraction_1x1(), 0.0);
+    }
+}

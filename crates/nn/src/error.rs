@@ -1,0 +1,77 @@
+use rtoss_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by layers, graphs, and training utilities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` (no cached activations).
+    NoForwardCache {
+        /// Layer that was asked to run backward.
+        layer: String,
+    },
+    /// A graph-level invariant was violated (unknown node, cycle,
+    /// wrong input arity, ...).
+    Graph {
+        /// Human-readable description of the violation.
+        msg: String,
+    },
+    /// A loss function received inconsistent predictions/targets.
+    Loss {
+        /// Human-readable description of the violation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::NoForwardCache { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::Graph { msg } => write!(f, "graph error: {msg}"),
+            NnError::Loss { msg } => write!(f, "loss error: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let te = TensorError::DataLenMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        let ne: NnError = te.clone().into();
+        assert!(ne.to_string().contains("tensor error"));
+        assert!(Error::source(&ne).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,597 @@
+use crate::layers::{BatchNorm2d, Conv2d};
+use crate::{Layer, NnError, Param};
+use rtoss_tensor::{Tensor, TensorError};
+
+/// Identifier of a node inside a [`Graph`].
+pub type NodeId = usize;
+
+/// The operation a graph node performs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NodeOp {
+    /// The graph's (single) external input.
+    Input,
+    /// A single-input [`Layer`].
+    Layer(Box<dyn Layer + Send>),
+    /// Elementwise residual addition of exactly two inputs.
+    Add,
+    /// Channel-dimension concatenation of two or more inputs.
+    Concat,
+}
+
+/// A node: an operation plus the ids of its inputs.
+#[derive(Debug)]
+pub struct Node {
+    /// This node's id (its index in the graph).
+    pub id: NodeId,
+    /// Human-readable name (e.g. `"backbone.c3_2.cv1"`).
+    pub name: String,
+    /// The operation.
+    pub op: NodeOp,
+    /// Ids of input nodes, in order.
+    pub inputs: Vec<NodeId>,
+}
+
+/// An explicit computational graph of layers.
+///
+/// The R-TOSS paper recovers this structure "using the gradients obtained
+/// from backpropagation" because PyTorch's graph is implicit; here it is
+/// first-class, so Algorithm 1's DFS runs over [`Graph::parents`] /
+/// [`Graph::children`] directly (see DESIGN.md §4).
+///
+/// Nodes must be added in topological order (every input id must already
+/// exist), which the builder methods enforce.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_nn::{Graph, layers::Conv2d};
+/// use rtoss_tensor::Tensor;
+///
+/// # fn main() -> Result<(), rtoss_nn::NnError> {
+/// let mut g = Graph::new();
+/// let x = g.add_input("image");
+/// let c = g.add_layer("conv1", Box::new(Conv2d::new(3, 8, 3, 1, 1, 0)), x)?;
+/// g.set_outputs(vec![c])?;
+/// let y = g.forward(&Tensor::zeros(&[1, 3, 8, 8]))?;
+/// assert_eq!(y[0].shape(), &[1, 8, 8, 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+    /// Cached forward activations per node (needed by Add/Concat backward
+    /// bookkeeping and exposed for inspection in tests).
+    activations: Vec<Option<Tensor>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, name: &str, op: NodeOp, inputs: Vec<NodeId>) -> Result<NodeId, NnError> {
+        for &i in &inputs {
+            if i >= self.nodes.len() {
+                return Err(NnError::Graph {
+                    msg: format!("node {name:?} references unknown input {i}"),
+                });
+            }
+        }
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            name: name.to_string(),
+            op,
+            inputs,
+        });
+        self.activations.push(None);
+        Ok(id)
+    }
+
+    /// Adds the external input node.
+    pub fn add_input(&mut self, name: &str) -> NodeId {
+        self.push(name, NodeOp::Input, vec![])
+            .expect("input node has no inputs")
+    }
+
+    /// Adds a single-input layer node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Graph`] if `input` does not exist.
+    pub fn add_layer(
+        &mut self,
+        name: &str,
+        layer: Box<dyn Layer + Send>,
+        input: NodeId,
+    ) -> Result<NodeId, NnError> {
+        self.push(name, NodeOp::Layer(layer), vec![input])
+    }
+
+    /// Adds a residual addition node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Graph`] if either input does not exist.
+    pub fn add_add(&mut self, name: &str, a: NodeId, b: NodeId) -> Result<NodeId, NnError> {
+        self.push(name, NodeOp::Add, vec![a, b])
+    }
+
+    /// Adds a channel-concatenation node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Graph`] if fewer than two inputs are given or
+    /// any input does not exist.
+    pub fn add_concat(&mut self, name: &str, inputs: Vec<NodeId>) -> Result<NodeId, NnError> {
+        if inputs.len() < 2 {
+            return Err(NnError::Graph {
+                msg: format!("concat {name:?} needs >= 2 inputs, got {}", inputs.len()),
+            });
+        }
+        self.push(name, NodeOp::Concat, inputs)
+    }
+
+    /// Declares the graph's output nodes (e.g. one per detection scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Graph`] if empty or any id does not exist.
+    pub fn set_outputs(&mut self, outputs: Vec<NodeId>) -> Result<(), NnError> {
+        if outputs.is_empty() {
+            return Err(NnError::Graph {
+                msg: "at least one output required".into(),
+            });
+        }
+        for &o in &outputs {
+            if o >= self.nodes.len() {
+                return Err(NnError::Graph {
+                    msg: format!("unknown output node {o}"),
+                });
+            }
+        }
+        self.outputs = outputs;
+        Ok(())
+    }
+
+    /// The declared output node ids.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All nodes, in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Direct predecessors of a node.
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id].inputs
+    }
+
+    /// Direct successors of a node (computed on demand).
+    pub fn children(&self, id: NodeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.inputs.contains(&id))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Ids of all convolution nodes, in topological order.
+    pub fn conv_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(&n.op, NodeOp::Layer(l) if l.as_conv2d().is_some()))
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The convolution layer at `id`, if that node is a conv.
+    pub fn conv(&self, id: NodeId) -> Option<&Conv2d> {
+        match &self.nodes[id].op {
+            NodeOp::Layer(l) => l.as_conv2d(),
+            _ => None,
+        }
+    }
+
+    /// Mutable convolution layer at `id`, if that node is a conv.
+    pub fn conv_mut(&mut self, id: NodeId) -> Option<&mut Conv2d> {
+        match &mut self.nodes[id].op {
+            NodeOp::Layer(l) => l.as_conv2d_mut(),
+            _ => None,
+        }
+    }
+
+    /// The batch-norm layer at `id`, if that node is a batch-norm.
+    pub fn batchnorm(&self, id: NodeId) -> Option<&BatchNorm2d> {
+        match &self.nodes[id].op {
+            NodeOp::Layer(l) => l.as_batchnorm(),
+            _ => None,
+        }
+    }
+
+    /// Mutable batch-norm layer at `id`.
+    pub fn batchnorm_mut(&mut self, id: NodeId) -> Option<&mut BatchNorm2d> {
+        match &mut self.nodes[id].op {
+            NodeOp::Layer(l) => l.as_batchnorm_mut(),
+            _ => None,
+        }
+    }
+
+    /// All trainable parameters of all layers, in topological order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.nodes
+            .iter_mut()
+            .flat_map(|n| match &mut n.op {
+                NodeOp::Layer(l) => l.params_mut(),
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Switches every layer between training and evaluation mode.
+    pub fn set_training(&mut self, training: bool) {
+        for n in &mut self.nodes {
+            if let NodeOp::Layer(l) = &mut n.op {
+                l.set_training(training);
+            }
+        }
+    }
+
+    /// Drops all cached activations (graph- and layer-level).
+    pub fn clear_cache(&mut self) {
+        for a in &mut self.activations {
+            *a = None;
+        }
+        for n in &mut self.nodes {
+            if let NodeOp::Layer(l) = &mut n.op {
+                l.clear_cache();
+            }
+        }
+    }
+
+    /// Runs the graph on `input`, returning the declared outputs in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no outputs are declared, the graph has no
+    /// input node, or any layer rejects its input shape.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Vec<Tensor>, NnError> {
+        if self.outputs.is_empty() {
+            return Err(NnError::Graph {
+                msg: "no outputs declared; call set_outputs first".into(),
+            });
+        }
+        for i in 0..self.nodes.len() {
+            let inputs = self.nodes[i].inputs.clone();
+            let out = match &mut self.nodes[i].op {
+                NodeOp::Input => input.clone(),
+                NodeOp::Layer(l) => {
+                    let x = self.activations[inputs[0]]
+                        .as_ref()
+                        .ok_or_else(|| NnError::Graph {
+                            msg: format!("node {i} ran before its input {}", inputs[0]),
+                        })?;
+                    l.forward(x)?
+                }
+                NodeOp::Add => {
+                    let a = self.activations[inputs[0]].as_ref().ok_or_else(|| NnError::Graph {
+                        msg: format!("add node {i}: missing input activation"),
+                    })?;
+                    let b = self.activations[inputs[1]].as_ref().ok_or_else(|| NnError::Graph {
+                        msg: format!("add node {i}: missing input activation"),
+                    })?;
+                    a.add(b)?
+                }
+                NodeOp::Concat => concat_channels(
+                    &inputs
+                        .iter()
+                        .map(|&j| {
+                            self.activations[j].as_ref().ok_or_else(|| NnError::Graph {
+                                msg: format!("concat node {i}: missing input activation"),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                )?,
+            };
+            self.activations[i] = Some(out);
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&o| {
+                self.activations[o]
+                    .clone()
+                    .expect("output computed in topological sweep")
+            })
+            .collect())
+    }
+
+    /// Back-propagates one gradient per declared output, accumulating
+    /// parameter gradients. Must follow a [`Graph::forward`] call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the gradient count or shapes do not match the
+    /// forward outputs.
+    pub fn backward(&mut self, output_grads: &[Tensor]) -> Result<(), NnError> {
+        if output_grads.len() != self.outputs.len() {
+            return Err(NnError::Graph {
+                msg: format!(
+                    "got {} output grads for {} outputs",
+                    output_grads.len(),
+                    self.outputs.len()
+                ),
+            });
+        }
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        for (&o, g) in self.outputs.iter().zip(output_grads) {
+            accumulate(&mut grads[o], g)?;
+        }
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            let inputs = self.nodes[i].inputs.clone();
+            match &mut self.nodes[i].op {
+                NodeOp::Input => {}
+                NodeOp::Layer(l) => {
+                    let gin = l.backward(&g)?;
+                    accumulate(&mut grads[inputs[0]], &gin)?;
+                }
+                NodeOp::Add => {
+                    accumulate(&mut grads[inputs[0]], &g)?;
+                    accumulate(&mut grads[inputs[1]], &g)?;
+                }
+                NodeOp::Concat => {
+                    let channel_counts: Vec<usize> = inputs
+                        .iter()
+                        .map(|&j| {
+                            self.activations[j]
+                                .as_ref()
+                                .map(|t| t.shape()[1])
+                                .ok_or_else(|| NnError::Graph {
+                                    msg: "concat backward before forward".into(),
+                                })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let parts = split_channels(&g, &channel_counts)?;
+                    for (&j, part) in inputs.iter().zip(parts.iter()) {
+                        accumulate(&mut grads[j], part)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor>, g: &Tensor) -> Result<(), TensorError> {
+    match slot {
+        Some(t) => t.add_scaled_in_place(g, 1.0),
+        None => {
+            *slot = Some(g.clone());
+            Ok(())
+        }
+    }
+}
+
+/// Concatenates `(N, Ci, H, W)` tensors along the channel dimension.
+fn concat_channels(xs: &[&Tensor]) -> Result<Tensor, NnError> {
+    let first = xs[0];
+    if first.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: first.rank(),
+            op: "concat_channels",
+        }
+        .into());
+    }
+    let (n, h, w) = (first.shape()[0], first.shape()[2], first.shape()[3]);
+    let mut total_c = 0;
+    for x in xs {
+        if x.shape()[0] != n || x.shape()[2] != h || x.shape()[3] != w {
+            return Err(TensorError::ShapeMismatch {
+                left: first.shape().to_vec(),
+                right: x.shape().to_vec(),
+                op: "concat_channels",
+            }
+            .into());
+        }
+        total_c += x.shape()[1];
+    }
+    let plane = h * w;
+    let mut out = vec![0.0f32; n * total_c * plane];
+    for ni in 0..n {
+        let mut c_off = 0;
+        for x in xs {
+            let c = x.shape()[1];
+            let src = &x.as_slice()[ni * c * plane..(ni + 1) * c * plane];
+            let dst_start = (ni * total_c + c_off) * plane;
+            out[dst_start..dst_start + c * plane].copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, total_c, h, w])?)
+}
+
+/// Splits a `(N, ΣCi, H, W)` gradient back into per-input channel chunks.
+fn split_channels(g: &Tensor, channel_counts: &[usize]) -> Result<Vec<Tensor>, NnError> {
+    let (n, total_c, h, w) = (g.shape()[0], g.shape()[1], g.shape()[2], g.shape()[3]);
+    let sum: usize = channel_counts.iter().sum();
+    if sum != total_c {
+        return Err(NnError::Graph {
+            msg: format!("split_channels: {sum} != {total_c}"),
+        });
+    }
+    let plane = h * w;
+    let gd = g.as_slice();
+    let mut parts = Vec::with_capacity(channel_counts.len());
+    let mut c_off = 0;
+    for &c in channel_counts {
+        let mut buf = vec![0.0f32; n * c * plane];
+        for ni in 0..n {
+            let src_start = (ni * total_c + c_off) * plane;
+            buf[ni * c * plane..(ni + 1) * c * plane]
+                .copy_from_slice(&gd[src_start..src_start + c * plane]);
+        }
+        parts.push(Tensor::from_vec(buf, &[n, c, h, w])?);
+        c_off += c;
+    }
+    Ok(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, ActivationKind};
+    use rtoss_tensor::init;
+
+    fn conv(i: usize, o: usize, k: usize, seed: u64) -> Box<dyn Layer + Send> {
+        Box::new(Conv2d::new(i, o, k, 1, k / 2, seed))
+    }
+
+    #[test]
+    fn linear_chain_forward_backward() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(1, 4, 3, 1), x).unwrap();
+        let a1 = g
+            .add_layer("a1", Box::new(Activation::new(ActivationKind::Relu)), c1)
+            .unwrap();
+        let c2 = g.add_layer("c2", conv(4, 2, 3, 2), a1).unwrap();
+        g.set_outputs(vec![c2]).unwrap();
+        let input = init::uniform(&mut init::rng(3), &[1, 1, 6, 6], -1.0, 1.0);
+        let y = g.forward(&input).unwrap();
+        assert_eq!(y[0].shape(), &[1, 2, 6, 6]);
+        g.backward(&[Tensor::ones(y[0].shape())]).unwrap();
+        assert!(g.conv_mut(c1).unwrap().weight().grad.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn residual_add_accumulates_gradients() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(2, 2, 3, 5), x).unwrap();
+        let add = g.add_add("res", x, c1).unwrap();
+        g.set_outputs(vec![add]).unwrap();
+        let input = init::uniform(&mut init::rng(7), &[1, 2, 4, 4], -1.0, 1.0);
+        let y = g.forward(&input).unwrap();
+        assert_eq!(y[0].shape(), input.shape());
+        g.backward(&[Tensor::ones(y[0].shape())]).unwrap();
+    }
+
+    #[test]
+    fn concat_round_trip() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(2, 3, 1, 1), x).unwrap();
+        let c2 = g.add_layer("c2", conv(2, 5, 1, 2), x).unwrap();
+        let cat = g.add_concat("cat", vec![c1, c2]).unwrap();
+        g.set_outputs(vec![cat]).unwrap();
+        let input = init::uniform(&mut init::rng(9), &[2, 2, 3, 3], -1.0, 1.0);
+        let y = g.forward(&input).unwrap();
+        assert_eq!(y[0].shape(), &[2, 8, 3, 3]);
+        g.backward(&[Tensor::ones(y[0].shape())]).unwrap();
+    }
+
+    #[test]
+    fn multi_output_backward() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let trunk = g.add_layer("trunk", conv(1, 4, 3, 2), x).unwrap();
+        let h1 = g.add_layer("h1", conv(4, 2, 1, 3), trunk).unwrap();
+        let h2 = g.add_layer("h2", conv(4, 3, 1, 4), trunk).unwrap();
+        g.set_outputs(vec![h1, h2]).unwrap();
+        let input = init::uniform(&mut init::rng(11), &[1, 1, 4, 4], -1.0, 1.0);
+        let ys = g.forward(&input).unwrap();
+        assert_eq!(ys.len(), 2);
+        let grads: Vec<Tensor> = ys.iter().map(|y| Tensor::ones(y.shape())).collect();
+        g.backward(&grads).unwrap();
+        // Trunk receives gradient from both heads.
+        assert!(g.conv_mut(trunk).unwrap().weight().grad.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn parent_child_queries() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(1, 2, 3, 0), x).unwrap();
+        let c2 = g.add_layer("c2", conv(2, 2, 3, 1), c1).unwrap();
+        let c3 = g.add_layer("c3", conv(2, 2, 3, 2), c1).unwrap();
+        assert_eq!(g.parents(c2), &[c1]);
+        assert_eq!(g.children(c1), vec![c2, c3]);
+        assert_eq!(g.conv_ids(), vec![c1, c2, c3]);
+    }
+
+    #[test]
+    fn bad_construction_rejected() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        assert!(g.add_layer("c", conv(1, 1, 1, 0), 99).is_err());
+        assert!(g.add_concat("cat", vec![x]).is_err());
+        assert!(g.set_outputs(vec![]).is_err());
+        assert!(g.set_outputs(vec![42]).is_err());
+        // Forward without outputs fails.
+        let mut g2 = Graph::new();
+        g2.add_input("x");
+        assert!(g2.forward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn numerical_gradient_through_graph() {
+        // End-to-end gradcheck: one conv weight, loss = sum of outputs.
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(1, 2, 3, 21), x).unwrap();
+        let a1 = g
+            .add_layer("a1", Box::new(Activation::new(ActivationKind::Silu)), c1)
+            .unwrap();
+        let c2 = g.add_layer("c2", conv(2, 1, 3, 22), a1).unwrap();
+        g.set_outputs(vec![c2]).unwrap();
+        let input = init::uniform(&mut init::rng(23), &[1, 1, 5, 5], -1.0, 1.0);
+        let y = g.forward(&input).unwrap();
+        g.backward(&[Tensor::ones(y[0].shape())]).unwrap();
+        let ana = g.conv_mut(c1).unwrap().weight().grad.at(&[1, 0, 0, 2]);
+
+        let eps = 1e-3f32;
+        let perturb = |g: &mut Graph, delta: f32| {
+            let w = g.conv_mut(c1).unwrap().weight_mut();
+            let v = w.value.at(&[1, 0, 0, 2]);
+            w.value.set(&[1, 0, 0, 2], v + delta);
+        };
+        perturb(&mut g, eps);
+        let yp = g.forward(&input).unwrap()[0].sum();
+        perturb(&mut g, -2.0 * eps);
+        let ym = g.forward(&input).unwrap()[0].sum();
+        let num = (yp - ym) / (2.0 * eps);
+        assert!((ana - num).abs() < 2e-2, "{ana} vs {num}");
+    }
+}

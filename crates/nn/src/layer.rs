@@ -1,0 +1,100 @@
+use crate::{NnError, Param};
+use rtoss_tensor::Tensor;
+
+/// Coarse classification of a layer, used by the pruning framework to
+/// find convolution layers and by the hardware model to cost operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// 2-D convolution (the pruning target).
+    Conv,
+    /// Batch normalisation.
+    BatchNorm,
+    /// Pointwise non-linearity.
+    Activation,
+    /// Spatial pooling.
+    Pool,
+    /// Spatial upsampling.
+    Upsample,
+    /// Fully-connected layer.
+    Linear,
+}
+
+/// A differentiable single-input layer.
+///
+/// `forward` caches whatever the matching `backward` needs; `backward`
+/// consumes the cache, accumulates parameter gradients, and returns the
+/// gradient with respect to the layer input.
+///
+/// Implementations must be deterministic given the same inputs and
+/// internal state.
+pub trait Layer: std::fmt::Debug {
+    /// Runs the layer on `x`, caching activations for `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has an incompatible shape.
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Propagates `grad_out` back through the layer, accumulating
+    /// parameter gradients and returning the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NoForwardCache`] if called before `forward`, or
+    /// a tensor error if `grad_out` has the wrong shape.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Mutable access to the layer's trainable parameters (empty for
+    /// parameter-free layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// The layer's coarse kind.
+    fn kind(&self) -> LayerKind;
+
+    /// Switches between training and evaluation behaviour (batch-norm
+    /// statistics). The default is a no-op.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Drops cached activations to free memory after a training step.
+    /// The default is a no-op.
+    fn clear_cache(&mut self) {}
+
+    /// Downcast to [`Conv2d`](crate::layers::Conv2d) (pruning target).
+    fn as_conv2d(&self) -> Option<&crate::layers::Conv2d> {
+        None
+    }
+
+    /// Mutable downcast to [`Conv2d`](crate::layers::Conv2d).
+    fn as_conv2d_mut(&mut self) -> Option<&mut crate::layers::Conv2d> {
+        None
+    }
+
+    /// Downcast to [`BatchNorm2d`](crate::layers::BatchNorm2d)
+    /// (Network Slimming's pruning signal).
+    fn as_batchnorm(&self) -> Option<&crate::layers::BatchNorm2d> {
+        None
+    }
+
+    /// Mutable downcast to [`BatchNorm2d`](crate::layers::BatchNorm2d).
+    fn as_batchnorm_mut(&mut self) -> Option<&mut crate::layers::BatchNorm2d> {
+        None
+    }
+
+    /// Downcast to [`Activation`](crate::layers::Activation).
+    fn as_activation(&self) -> Option<&crate::layers::Activation> {
+        None
+    }
+
+    /// Downcast to [`MaxPool2d`](crate::layers::MaxPool2d).
+    fn as_maxpool(&self) -> Option<&crate::layers::MaxPool2d> {
+        None
+    }
+
+    /// Downcast to [`UpsampleNearest2x`](crate::layers::UpsampleNearest2x).
+    fn as_upsample(&self) -> Option<&crate::layers::UpsampleNearest2x> {
+        None
+    }
+}

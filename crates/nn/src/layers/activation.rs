@@ -1,0 +1,182 @@
+use crate::{Layer, LayerKind, NnError};
+use rtoss_tensor::Tensor;
+
+/// Pointwise non-linearity selector.
+///
+/// YOLOv5 uses SiLU throughout; RetinaNet's ResNet backbone uses ReLU;
+/// detection heads use Sigmoid on objectness/class logits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ActivationKind {
+    /// `x * sigmoid(x)` (a.k.a. swish) — YOLOv5's default.
+    Silu,
+    /// `max(0, x)` — ResNet/RetinaNet backbone.
+    Relu,
+    /// `max(alpha*x, x)` with `alpha = 0.1` — YOLO-family necks.
+    LeakyRelu,
+    /// Logistic sigmoid — head outputs.
+    Sigmoid,
+}
+
+impl ActivationKind {
+    fn eval(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Silu => x * sigmoid(x),
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+            ActivationKind::Sigmoid => sigmoid(x),
+        }
+    }
+
+    fn derivative(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Silu => {
+                let s = sigmoid(x);
+                s + x * s * (1.0 - s)
+            }
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+            ActivationKind::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Pointwise activation layer (parameter-free).
+///
+/// # Example
+///
+/// ```
+/// use rtoss_nn::{layers::{Activation, ActivationKind}, Layer};
+/// use rtoss_tensor::Tensor;
+///
+/// # fn main() -> Result<(), rtoss_nn::NnError> {
+/// let mut relu = Activation::new(ActivationKind::Relu);
+/// let y = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2]).unwrap())?;
+/// assert_eq!(y.as_slice(), &[0.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Activation {
+    kind: ActivationKind,
+    cached_input: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer of the given kind.
+    pub fn new(kind: ActivationKind) -> Self {
+        Activation {
+            kind,
+            cached_input: None,
+        }
+    }
+
+    /// The activation kind.
+    pub fn activation_kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let kind = self.kind;
+        let y = x.map(|v| kind.eval(v));
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self.cached_input.as_ref().ok_or(NnError::NoForwardCache {
+            layer: format!("Activation({:?})", self.kind),
+        })?;
+        let kind = self.kind;
+        Ok(grad_out.zip_map(x, |g, v| g * kind.derivative(v))?)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+
+    fn as_activation(&self) -> Option<&Activation> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::init;
+
+    #[test]
+    fn silu_values() {
+        assert!((ActivationKind::Silu.eval(0.0)).abs() < 1e-6);
+        assert!((ActivationKind::Silu.eval(10.0) - 10.0).abs() < 1e-3);
+        assert!(ActivationKind::Silu.eval(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for kind in [
+            ActivationKind::Silu,
+            ActivationKind::Relu,
+            ActivationKind::LeakyRelu,
+            ActivationKind::Sigmoid,
+        ] {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                if kind == ActivationKind::Relu && x.abs() < eps {
+                    continue; // kink
+                }
+                let num = (kind.eval(x + eps) - kind.eval(x - eps)) / (2.0 * eps);
+                let ana = kind.derivative(x);
+                assert!((num - ana).abs() < 1e-2, "{kind:?} at {x}: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_backward_chain() {
+        let mut act = Activation::new(ActivationKind::Silu);
+        let x = init::uniform(&mut init::rng(1), &[2, 3], -2.0, 2.0);
+        act.forward(&x).unwrap();
+        let g = act.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(g.shape(), x.shape());
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        let mut act = Activation::new(ActivationKind::Sigmoid);
+        let x = init::uniform(&mut init::rng(2), &[100], -50.0, 50.0);
+        let y = act.forward(&x).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

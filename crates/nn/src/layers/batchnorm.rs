@@ -1,0 +1,324 @@
+use crate::{Layer, LayerKind, NnError, Param};
+use rtoss_tensor::{Tensor, TensorError};
+
+/// Batch normalisation over the channel dimension of `(N, C, H, W)`.
+///
+/// Carries learnable scale (`gamma`) and shift (`beta`) plus running
+/// statistics for evaluation mode. The Network Slimming baseline (Liu et
+/// al., ICCV'17) prunes channels by the magnitude of `gamma`, so the
+/// scale parameter is exposed via [`BatchNorm2d::gamma`].
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    training: bool,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` channels
+    /// (`gamma = 1`, `beta = 0`).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.numel()
+    }
+
+    /// The learnable per-channel scale (Network Slimming's pruning signal).
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// Mutable access to the scale parameter.
+    pub fn gamma_mut(&mut self) -> &mut Param {
+        &mut self.gamma
+    }
+
+    /// The learnable per-channel shift.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// The running `(mean, variance)` statistics used in eval mode.
+    pub fn running_stats(&self) -> (&[f32], &[f32]) {
+        (&self.running_mean, &self.running_var)
+    }
+
+    /// Overwrites the running statistics (used to transplant a trained
+    /// state into a freshly built graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices do not match the channel count.
+    pub fn set_running_stats(&mut self, mean: &[f32], var: &[f32]) {
+        assert_eq!(mean.len(), self.channels(), "mean length mismatch");
+        assert_eq!(var.len(), self.channels(), "var length mismatch");
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
+    }
+
+    fn check_input(&self, x: &Tensor) -> Result<(usize, usize, usize, usize), NnError> {
+        if x.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: x.rank(),
+                op: "batchnorm2d",
+            }
+            .into());
+        }
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        if c != self.channels() {
+            return Err(TensorError::Invalid {
+                op: "batchnorm2d",
+                msg: format!("input has {c} channels, layer has {}", self.channels()),
+            }
+            .into());
+        }
+        Ok((n, c, h, w))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let (n, c, h, w) = self.check_input(x)?;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let xd = x.as_slice();
+        let mut out = vec![0.0f32; xd.len()];
+        let mut x_hat = vec![0.0f32; xd.len()];
+        let mut inv_stds = vec![0.0f32; c];
+
+        #[allow(clippy::needless_range_loop)] // ci indexes several arrays
+        for ci in 0..c {
+            let (mean, var) = if self.training {
+                let mut sum = 0.0f32;
+                let mut sq = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &xd[base..base + plane] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / count;
+                let var = (sq / count - mean * mean).max(0.0);
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.value.as_slice()[ci];
+            let b = self.beta.value.as_slice()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    let xh = (xd[i] - mean) * inv_std;
+                    x_hat[i] = xh;
+                    out[i] = g * xh + b;
+                }
+            }
+        }
+
+        self.cache = Some(BnCache {
+            x_hat: Tensor::from_vec(x_hat, x.shape())?,
+            inv_std: inv_stds,
+            input_shape: x.shape().to_vec(),
+        });
+        Ok(Tensor::from_vec(out, x.shape())?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let cache = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "BatchNorm2d".into(),
+        })?;
+        if grad_out.shape() != cache.input_shape.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.shape().to_vec(),
+                right: cache.input_shape.clone(),
+                op: "batchnorm2d_backward",
+            }
+            .into());
+        }
+        let (n, c, h, w) = (
+            cache.input_shape[0],
+            cache.input_shape[1],
+            cache.input_shape[2],
+            cache.input_shape[3],
+        );
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let god = grad_out.as_slice();
+        let xh = cache.x_hat.as_slice();
+        let mut gx = vec![0.0f32; god.len()];
+        let mut ggamma = vec![0.0f32; c];
+        let mut gbeta = vec![0.0f32; c];
+
+        for ci in 0..c {
+            let mut sum_go = 0.0f32;
+            let mut sum_go_xh = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    sum_go += god[i];
+                    sum_go_xh += god[i] * xh[i];
+                }
+            }
+            ggamma[ci] = sum_go_xh;
+            gbeta[ci] = sum_go;
+            let g = self.gamma.value.as_slice()[ci];
+            let inv_std = cache.inv_std[ci];
+            let (scale, mean_go, mean_go_xh) = if self.training {
+                (g * inv_std, sum_go / count, sum_go_xh / count)
+            } else {
+                // Eval mode: statistics are constants, gradient is diagonal.
+                (g * inv_std, 0.0, 0.0)
+            };
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in base..base + plane {
+                    gx[i] = scale * (god[i] - mean_go - xh[i] * mean_go_xh);
+                }
+            }
+        }
+
+        self.gamma
+            .accumulate_grad(&Tensor::from_vec(ggamma, &[c])?)?;
+        self.beta.accumulate_grad(&Tensor::from_vec(gbeta, &[c])?)?;
+        Ok(Tensor::from_vec(gx, &cache.input_shape)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::BatchNorm
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn as_batchnorm(&self) -> Option<&BatchNorm2d> {
+        Some(self)
+    }
+
+    fn as_batchnorm_mut(&mut self) -> Option<&mut BatchNorm2d> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::init;
+
+    #[test]
+    fn normalises_in_training_mode() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = init::uniform(&mut init::rng(1), &[4, 2, 3, 3], 2.0, 6.0);
+        let y = bn.forward(&x).unwrap();
+        // Per-channel mean ~0, var ~1 after normalisation with gamma=1.
+        let plane = 9;
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                let base = (ni * 2 + ci) * plane;
+                vals.extend_from_slice(&y.as_slice()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = init::uniform(&mut init::rng(2), &[8, 1, 4, 4], 1.0, 3.0);
+        for _ in 0..50 {
+            bn.forward(&x).unwrap();
+        }
+        bn.set_training(false);
+        // A single constant input should be normalised with the learned
+        // running stats, not the (degenerate) batch stats.
+        let probe = Tensor::full(&[1, 1, 2, 2], 2.0);
+        let y = bn.forward(&probe).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        // Batch stats of a constant input would give exactly 0 output.
+        assert!(y.l2_norm() > 0.0 || x.mean() == 2.0);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_on_gamma() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = init::uniform(&mut init::rng(3), &[2, 2, 3, 3], -1.0, 1.0);
+        let y = bn.forward(&x).unwrap();
+        bn.backward(&Tensor::ones(y.shape())).unwrap();
+        let analytic = bn.gamma().grad.as_slice()[0];
+
+        let eps = 1e-3f32;
+        let mut bn2 = BatchNorm2d::new(2);
+        bn2.gamma_mut().value.as_mut_slice()[0] += eps;
+        let yp = bn2.forward(&x).unwrap();
+        let mut bn3 = BatchNorm2d::new(2);
+        bn3.gamma_mut().value.as_mut_slice()[0] -= eps;
+        let ym = bn3.forward(&x).unwrap();
+        let numeric = (yp.sum() - ym.sum()) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-2,
+            "gamma grad {analytic} vs {numeric}"
+        );
+    }
+
+    #[test]
+    fn backward_input_grad_sums_to_zero_in_training() {
+        // d/dx of a mean/var-normalised output has zero sum per channel
+        // when grad_out is constant.
+        let mut bn = BatchNorm2d::new(1);
+        let x = init::uniform(&mut init::rng(4), &[2, 1, 4, 4], -2.0, 2.0);
+        let y = bn.forward(&x).unwrap();
+        let gx = bn.backward(&Tensor::ones(y.shape())).unwrap();
+        assert!(gx.sum().abs() < 1e-3, "sum {}", gx.sum());
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+use crate::{Layer, LayerKind, NnError, Param};
+use rtoss_tensor::{init, ops, Tensor};
+
+/// 2-D convolution layer with weight `(O, I, kH, kW)` and bias `O`.
+///
+/// This is the layer the R-TOSS framework prunes: its weight parameter
+/// carries the kernel-pattern mask after pruning.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_nn::{layers::Conv2d, Layer};
+/// use rtoss_tensor::Tensor;
+///
+/// # fn main() -> Result<(), rtoss_nn::NnError> {
+/// let mut conv = Conv2d::new(2, 4, 3, 2, 1, 7);
+/// let y = conv.forward(&Tensor::zeros(&[1, 2, 8, 8]))?;
+/// assert_eq!(y.shape(), &[1, 4, 4, 4]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    stride: usize,
+    pad: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with Kaiming-uniform weights seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_ch`, `out_ch`, `kernel` is zero.
+    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kernel > 0, "conv dims must be non-zero");
+        let mut rng = init::rng(seed);
+        let weight = init::kaiming_uniform(&mut rng, &[out_ch, in_ch, kernel, kernel]);
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_ch])),
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    /// Creates a conv layer from an explicit weight tensor `(O,I,kH,kW)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not rank 4.
+    pub fn from_weight(weight: Tensor, stride: usize, pad: usize) -> Self {
+        assert_eq!(weight.rank(), 4, "conv weight must be rank 4");
+        let out_ch = weight.shape()[0];
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_ch])),
+            stride,
+            pad,
+            cached_input: None,
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Square kernel extent.
+    pub fn kernel_size(&self) -> usize {
+        self.weight.value.shape()[2]
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Symmetric zero padding.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+
+    /// The weight parameter (value + grad + mask).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable weight parameter; the pruning framework writes masks here.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// The bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let y = ops::conv2d(
+            x,
+            &self.weight.value,
+            Some(self.bias.value.as_slice()),
+            self.stride,
+            self.pad,
+        )?;
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self.cached_input.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "Conv2d".into(),
+        })?;
+        let grads = ops::conv2d_backward(x, &self.weight.value, grad_out, self.stride, self.pad)?;
+        // Masked weights receive no gradient: the pattern mask freezes them.
+        let gw = if let Some(mask) = self.weight.mask() {
+            grads.grad_weight.mul(mask)?
+        } else {
+            grads.grad_weight
+        };
+        self.weight.accumulate_grad(&gw)?;
+        let gb = Tensor::from_vec(grads.grad_bias, &[self.bias.value.numel()])?;
+        self.bias.accumulate_grad(&gb)?;
+        Ok(grads.grad_input)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+
+    fn as_conv2d(&self) -> Option<&Conv2d> {
+        Some(self)
+    }
+
+    fn as_conv2d_mut(&mut self) -> Option<&mut Conv2d> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_and_backward_flow() {
+        let mut conv = Conv2d::new(3, 5, 3, 1, 1, 1);
+        let x = init::uniform(&mut init::rng(2), &[2, 3, 6, 6], -1.0, 1.0);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 5, 6, 6]);
+        let gx = conv.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert!(conv.weight().grad.l2_norm() > 0.0);
+        assert!(conv.bias().grad.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 0);
+        let e = conv.backward(&Tensor::zeros(&[1, 1, 4, 4]));
+        assert!(matches!(e, Err(NnError::NoForwardCache { .. })));
+    }
+
+    #[test]
+    fn masked_weights_get_no_gradient() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, 3);
+        // Mask out everything except centre weight.
+        let mut mask = Tensor::zeros(&[1, 1, 3, 3]);
+        mask.set(&[0, 0, 1, 1], 1.0);
+        conv.weight_mut().set_mask(mask).unwrap();
+        let x = init::uniform(&mut init::rng(4), &[1, 1, 5, 5], -1.0, 1.0);
+        let y = conv.forward(&x).unwrap();
+        conv.backward(&Tensor::ones(y.shape())).unwrap();
+        let g = &conv.weight().grad;
+        for i in 0..3 {
+            for j in 0..3 {
+                if (i, j) != (1, 1) {
+                    assert_eq!(g.at(&[0, 0, i, j]), 0.0, "masked weight got grad");
+                }
+            }
+        }
+        assert!(g.at(&[0, 0, 1, 1]).abs() > 0.0);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let conv = Conv2d::new(4, 8, 1, 2, 0, 0);
+        assert_eq!(conv.in_channels(), 4);
+        assert_eq!(conv.out_channels(), 8);
+        assert_eq!(conv.kernel_size(), 1);
+        assert_eq!(conv.stride(), 2);
+        assert_eq!(conv.padding(), 0);
+        assert_eq!(conv.kind(), LayerKind::Conv);
+    }
+}

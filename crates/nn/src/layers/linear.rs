@@ -1,0 +1,139 @@
+use crate::{Layer, LayerKind, NnError, Param};
+use rtoss_tensor::{init, ops, Tensor, TensorError};
+
+/// Fully-connected layer: `y = x · Wᵀ + b` on `(N, in) → (N, out)`.
+///
+/// Used by classification probes in tests and by the DETR architecture
+/// spec's head accounting.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param, // (out, in)
+    bias: Param,   // (out)
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Kaiming-uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_features` or `out_features` is zero.
+    pub fn new(in_features: usize, out_features: usize, seed: u64) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        let mut rng = init::rng(seed);
+        Linear {
+            weight: Param::new(init::kaiming_uniform(&mut rng, &[out_features, in_features])),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// The weight parameter `(out, in)`.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: x.rank(),
+                op: "linear",
+            }
+            .into());
+        }
+        let y = ops::matmul_transpose_b(x, &self.weight.value)?;
+        let (n, o) = (y.shape()[0], y.shape()[1]);
+        let mut yd = y.into_vec();
+        let b = self.bias.value.as_slice();
+        for ni in 0..n {
+            for oi in 0..o {
+                yd[ni * o + oi] += b[oi];
+            }
+        }
+        self.cached_input = Some(x.clone());
+        Ok(Tensor::from_vec(yd, &[n, o])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self.cached_input.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "Linear".into(),
+        })?;
+        // dW = dYᵀ · X ; dX = dY · W ; db = colsum(dY)
+        let gw = ops::matmul_transpose_a(grad_out, x)?;
+        self.weight.accumulate_grad(&gw)?;
+        let o = self.out_features();
+        let n = grad_out.shape()[0];
+        let mut gb = vec![0.0f32; o];
+        for ni in 0..n {
+            for (oi, g) in gb.iter_mut().enumerate() {
+                *g += grad_out.as_slice()[ni * o + oi];
+            }
+        }
+        self.bias.accumulate_grad(&Tensor::from_vec(gb, &[o])?)?;
+        Ok(ops::matmul(grad_out, &self.weight.value)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Linear
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut lin = Linear::new(4, 3, 1);
+        let x = init::uniform(&mut init::rng(2), &[5, 4], -1.0, 1.0);
+        let y = lin.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[5, 3]);
+        let gx = lin.backward(&Tensor::ones(&[5, 3])).unwrap();
+        assert_eq!(gx.shape(), &[5, 4]);
+        assert!(lin.weight().grad.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn weight_grad_matches_finite_difference() {
+        let mut lin = Linear::new(3, 2, 4);
+        let x = init::uniform(&mut init::rng(5), &[2, 3], -1.0, 1.0);
+        let y = lin.forward(&x).unwrap();
+        lin.backward(&Tensor::ones(y.shape())).unwrap();
+        let ana = lin.weight().grad.at(&[1, 2]);
+
+        let eps = 1e-3f32;
+        let mut lp = Linear::new(3, 2, 4);
+        lp.weight.value.set(&[1, 2], lp.weight.value.at(&[1, 2]) + eps);
+        let mut lm = Linear::new(3, 2, 4);
+        lm.weight.value.set(&[1, 2], lm.weight.value.at(&[1, 2]) - eps);
+        let num = (lp.forward(&x).unwrap().sum() - lm.forward(&x).unwrap().sum()) / (2.0 * eps);
+        assert!((ana - num).abs() < 1e-2, "{ana} vs {num}");
+    }
+
+    #[test]
+    fn rejects_rank_1() {
+        let mut lin = Linear::new(3, 2, 0);
+        assert!(lin.forward(&Tensor::zeros(&[3])).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! Concrete layers: convolution, batch-norm, activations, pooling,
+//! upsampling, and linear.
+
+mod activation;
+mod batchnorm;
+mod conv2d;
+mod linear;
+mod pool;
+
+pub use activation::{Activation, ActivationKind};
+pub use batchnorm::BatchNorm2d;
+pub use conv2d::Conv2d;
+pub use linear::Linear;
+pub use pool::{MaxPool2d, UpsampleNearest2x};

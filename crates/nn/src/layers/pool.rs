@@ -1,0 +1,146 @@
+use crate::{Layer, LayerKind, NnError};
+use rtoss_tensor::{ops, Tensor};
+
+/// Max-pooling layer (square window).
+///
+/// Used by the SPPF blocks of YOLOv5 (`k=5, stride=1, pad=2`) and as a
+/// plain downsampler in the scaled twins.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be non-zero");
+        MaxPool2d {
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Window size.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Symmetric zero padding.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let out = ops::maxpool2d(x, self.kernel, self.stride, self.pad)?;
+        self.cache = Some((out.argmax, x.shape().to_vec()));
+        Ok(out.output)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let (argmax, input_shape) = self.cache.as_ref().ok_or(NnError::NoForwardCache {
+            layer: "MaxPool2d".into(),
+        })?;
+        Ok(ops::maxpool2d_backward(grad_out, argmax, input_shape)?)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn clear_cache(&mut self) {
+        self.cache = None;
+    }
+
+    fn as_maxpool(&self) -> Option<&MaxPool2d> {
+        Some(self)
+    }
+}
+
+/// Nearest-neighbour 2× upsampling layer (the FPN/PANet top-down path).
+#[derive(Debug, Default)]
+pub struct UpsampleNearest2x {
+    did_forward: bool,
+}
+
+impl UpsampleNearest2x {
+    /// Creates an upsampling layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for UpsampleNearest2x {
+    fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        self.did_forward = true;
+        Ok(ops::upsample_nearest2x(x)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if !self.did_forward {
+            return Err(NnError::NoForwardCache {
+                layer: "UpsampleNearest2x".into(),
+            });
+        }
+        Ok(ops::upsample_nearest2x_backward(grad_out)?)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Upsample
+    }
+
+    fn as_upsample(&self) -> Option<&UpsampleNearest2x> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::init;
+
+    #[test]
+    fn pool_then_unpool_grad_is_sparse() {
+        let mut pool = MaxPool2d::new(2, 2, 0);
+        let x = init::uniform(&mut init::rng(1), &[1, 1, 4, 4], -1.0, 1.0);
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let gx = pool.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        // Exactly 4 winners receive gradient.
+        assert_eq!(gx.as_slice().iter().filter(|&&g| g != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn upsample_shapes() {
+        let mut up = UpsampleNearest2x::new();
+        let x = Tensor::zeros(&[1, 2, 3, 3]);
+        let y = up.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 6, 6]);
+        let gx = up.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut pool = MaxPool2d::new(2, 2, 0);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+        let mut up = UpsampleNearest2x::new();
+        assert!(up.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Neural-network substrate for the R-TOSS reproduction.
+//!
+//! Provides what the paper's PyTorch stack provided:
+//!
+//! - [`Layer`]s with hand-written forward/backward passes
+//!   ([`layers::Conv2d`], [`layers::BatchNorm2d`], activations, pooling,
+//!   upsampling),
+//! - an explicit computational [`Graph`] (the structure the paper recovers
+//!   from backpropagation gradients; here it is first-class, see
+//!   DESIGN.md §4),
+//! - a mask-aware [`optim::Sgd`] optimizer so pruned weights stay pruned
+//!   during fine-tuning, and
+//! - detection [`loss`] functions (BCE, focal loss, smooth-L1, and a
+//!   grid-cell detection loss).
+//!
+//! # Example
+//!
+//! ```
+//! use rtoss_nn::{layers::Conv2d, Layer};
+//! use rtoss_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), rtoss_nn::NnError> {
+//! let mut conv = Conv2d::new(3, 8, 3, 1, 1, 42);
+//! let y = conv.forward(&Tensor::zeros(&[1, 3, 16, 16]))?;
+//! assert_eq!(y.shape(), &[1, 8, 16, 16]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod layer;
+mod param;
+
+pub mod layers;
+pub mod loss;
+pub mod optim;
+
+pub use error::NnError;
+pub use graph::{Graph, Node, NodeId, NodeOp};
+pub use layer::{Layer, LayerKind};
+pub use param::Param;

@@ -1,0 +1,298 @@
+//! YOLO-style grid-cell detection loss for the scaled detector twins.
+
+use crate::NnError;
+use rtoss_tensor::Tensor;
+
+/// A ground-truth box in normalised image coordinates (all in `[0, 1]`,
+/// centre/size convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtBox {
+    /// Box centre x, normalised to image width.
+    pub cx: f32,
+    /// Box centre y, normalised to image height.
+    pub cy: f32,
+    /// Box width, normalised.
+    pub w: f32,
+    /// Box height, normalised.
+    pub h: f32,
+    /// Class index.
+    pub class: usize,
+}
+
+/// Grid-cell detection loss over a head output of shape
+/// `(N, 5 + C, S, S)` with channel order `[tx, ty, tw, th, obj, cls...]`.
+///
+/// The cell containing a ground-truth centre is responsible for that box
+/// (YOLO assignment). Loss terms:
+///
+/// - objectness: BCE over all cells (negatives weighted by
+///   `lambda_noobj`),
+/// - box: MSE on `sigmoid(tx), sigmoid(ty)` against the in-cell offset
+///   and on `tw, th` against `log(size / anchor)`,
+/// - class: BCE over class logits of responsible cells.
+///
+/// Returns the total loss and its gradient w.r.t. the raw head output.
+#[derive(Debug, Clone)]
+pub struct GridLoss {
+    num_classes: usize,
+    anchor: (f32, f32),
+    lambda_box: f32,
+    lambda_obj: f32,
+    lambda_noobj: f32,
+    lambda_cls: f32,
+}
+
+impl GridLoss {
+    /// Creates a grid loss for `num_classes` classes with one anchor of
+    /// normalised size `anchor = (w, h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0` or the anchor is non-positive.
+    pub fn new(num_classes: usize, anchor: (f32, f32)) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        assert!(anchor.0 > 0.0 && anchor.1 > 0.0, "anchor must be positive");
+        GridLoss {
+            num_classes,
+            anchor,
+            lambda_box: 5.0,
+            lambda_obj: 1.0,
+            lambda_noobj: 0.5,
+            lambda_cls: 1.0,
+        }
+    }
+
+    /// Channels expected in the head output (`5 + C`).
+    pub fn channels(&self) -> usize {
+        5 + self.num_classes
+    }
+
+    /// The anchor size used for box encoding.
+    pub fn anchor(&self) -> (f32, f32) {
+        self.anchor
+    }
+
+    /// Computes loss and gradient for a batch.
+    ///
+    /// `targets[i]` lists the ground-truth boxes of batch item `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Loss`] if the prediction shape does not match
+    /// `(N, 5 + C, S, S)` with `N == targets.len()`.
+    pub fn forward(&self, pred: &Tensor, targets: &[Vec<GtBox>]) -> Result<(f32, Tensor), NnError> {
+        if pred.rank() != 4 {
+            return Err(NnError::Loss {
+                msg: format!("grid loss expects rank-4 head output, got {}", pred.rank()),
+            });
+        }
+        let (n, ch, s, s2) = (
+            pred.shape()[0],
+            pred.shape()[1],
+            pred.shape()[2],
+            pred.shape()[3],
+        );
+        if ch != self.channels() || s != s2 {
+            return Err(NnError::Loss {
+                msg: format!(
+                    "grid loss expects (N,{},S,S), got {:?}",
+                    self.channels(),
+                    pred.shape()
+                ),
+            });
+        }
+        if n != targets.len() {
+            return Err(NnError::Loss {
+                msg: format!("batch {n} != target count {}", targets.len()),
+            });
+        }
+
+        let sigmoid = |x: f32| 1.0 / (1.0 + (-x).exp());
+        let plane = s * s;
+        let pd = pred.as_slice();
+        let mut grad = vec![0.0f32; pd.len()];
+        let mut loss = 0.0f64;
+        let at = |ni: usize, c: usize, gy: usize, gx: usize| ((ni * ch + c) * s + gy) * s + gx;
+
+        // Responsibility map: class target per positive cell.
+        let mut responsible = vec![None::<&GtBox>; n * plane];
+        for (ni, boxes) in targets.iter().enumerate() {
+            for b in boxes {
+                if !(0.0..1.0).contains(&b.cx) || !(0.0..1.0).contains(&b.cy) {
+                    return Err(NnError::Loss {
+                        msg: format!("box centre ({}, {}) out of [0,1)", b.cx, b.cy),
+                    });
+                }
+                if b.class >= self.num_classes {
+                    return Err(NnError::Loss {
+                        msg: format!("class {} >= num_classes {}", b.class, self.num_classes),
+                    });
+                }
+                let gx = ((b.cx * s as f32) as usize).min(s - 1);
+                let gy = ((b.cy * s as f32) as usize).min(s - 1);
+                responsible[ni * plane + gy * s + gx] = Some(b);
+            }
+        }
+
+        let norm = (n * plane) as f32;
+        for ni in 0..n {
+            for gy in 0..s {
+                for gx in 0..s {
+                    let obj_idx = at(ni, 4, gy, gx);
+                    let x_obj = pd[obj_idx];
+                    let p_obj = sigmoid(x_obj);
+                    match responsible[ni * plane + gy * s + gx] {
+                        Some(b) => {
+                            // Objectness (positive).
+                            loss += (self.lambda_obj
+                                * (x_obj.max(0.0) - x_obj + (1.0 + (-x_obj.abs()).exp()).ln()))
+                                as f64;
+                            grad[obj_idx] += self.lambda_obj * (p_obj - 1.0) / norm;
+
+                            // Box offsets within the cell.
+                            let tx_t = b.cx * s as f32 - gx as f32;
+                            let ty_t = b.cy * s as f32 - gy as f32;
+                            for (c, t) in [(0usize, tx_t), (1, ty_t)] {
+                                let idx = at(ni, c, gy, gx);
+                                let p = sigmoid(pd[idx]);
+                                let d = p - t;
+                                loss += (self.lambda_box * 0.5 * d * d) as f64;
+                                grad[idx] += self.lambda_box * d * p * (1.0 - p) / norm;
+                            }
+                            // Box sizes (log-space against the anchor).
+                            let tw_t = (b.w.max(1e-4) / self.anchor.0).ln();
+                            let th_t = (b.h.max(1e-4) / self.anchor.1).ln();
+                            for (c, t) in [(2usize, tw_t), (3, th_t)] {
+                                let idx = at(ni, c, gy, gx);
+                                let d = pd[idx] - t;
+                                loss += (self.lambda_box * 0.5 * d * d) as f64;
+                                grad[idx] += self.lambda_box * d / norm;
+                            }
+                            // Classes (one-vs-all BCE).
+                            for ci in 0..self.num_classes {
+                                let idx = at(ni, 5 + ci, gy, gx);
+                                let x = pd[idx];
+                                let t = if ci == b.class { 1.0 } else { 0.0 };
+                                loss += (self.lambda_cls
+                                    * (x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln()))
+                                    as f64;
+                                grad[idx] += self.lambda_cls * (sigmoid(x) - t) / norm;
+                            }
+                        }
+                        None => {
+                            // Objectness (negative), down-weighted.
+                            loss += (self.lambda_noobj
+                                * (x_obj.max(0.0) + (1.0 + (-x_obj.abs()).exp()).ln()))
+                                as f64;
+                            grad[obj_idx] += self.lambda_noobj * p_obj / norm;
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok((
+            (loss / norm as f64) as f32,
+            Tensor::from_vec(grad, pred.shape())?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::init;
+
+    fn one_box() -> Vec<Vec<GtBox>> {
+        vec![vec![GtBox {
+            cx: 0.55,
+            cy: 0.55,
+            w: 0.3,
+            h: 0.2,
+            class: 1,
+        }]]
+    }
+
+    #[test]
+    fn loss_decreases_under_gradient_descent() {
+        let gl = GridLoss::new(3, (0.3, 0.3));
+        let mut pred = init::uniform(&mut init::rng(1), &[1, 8, 4, 4], -0.5, 0.5);
+        let targets = one_box();
+        let (l0, _) = gl.forward(&pred, &targets).unwrap();
+        for _ in 0..300 {
+            let (_, g) = gl.forward(&pred, &targets).unwrap();
+            pred.add_scaled_in_place(&g.scale(-4.0), 1.0).unwrap();
+        }
+        let (l1, _) = gl.forward(&pred, &targets).unwrap();
+        assert!(l1 < l0 * 0.5, "loss {l0} -> {l1}");
+    }
+
+    #[test]
+    fn gradcheck_random_coords() {
+        let gl = GridLoss::new(2, (0.25, 0.25));
+        let pred = init::uniform(&mut init::rng(2), &[1, 7, 3, 3], -1.0, 1.0);
+        let targets = vec![vec![GtBox {
+            cx: 0.4,
+            cy: 0.7,
+            w: 0.2,
+            h: 0.3,
+            class: 0,
+        }]];
+        let (_, g) = gl.forward(&pred, &targets).unwrap();
+        let eps = 1e-3f32;
+        for idx in [0usize, 10, 30, 60] {
+            let mut pp = pred.clone();
+            pp.as_mut_slice()[idx] += eps;
+            let mut pm = pred.clone();
+            pm.as_mut_slice()[idx] -= eps;
+            let num =
+                (gl.forward(&pp, &targets).unwrap().0 - gl.forward(&pm, &targets).unwrap().0)
+                    / (2.0 * eps);
+            let ana = g.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-2, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn empty_scene_only_penalises_objectness() {
+        let gl = GridLoss::new(2, (0.25, 0.25));
+        let pred = init::uniform(&mut init::rng(3), &[1, 7, 3, 3], -1.0, 1.0);
+        let (_, g) = gl.forward(&pred, &[vec![]]).unwrap();
+        // Only channel 4 (objectness) should receive gradient.
+        for c in [0usize, 1, 2, 3, 5, 6] {
+            for gy in 0..3 {
+                for gx in 0..3 {
+                    assert_eq!(g.at(&[0, c, gy, gx]), 0.0);
+                }
+            }
+        }
+        assert!(g.l2_norm() > 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let gl = GridLoss::new(2, (0.25, 0.25));
+        // Wrong channel count.
+        assert!(gl.forward(&Tensor::zeros(&[1, 9, 3, 3]), &[vec![]]).is_err());
+        // Batch/target mismatch.
+        assert!(gl.forward(&Tensor::zeros(&[2, 7, 3, 3]), &[vec![]]).is_err());
+        // Out-of-range class.
+        let bad = vec![vec![GtBox {
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.1,
+            h: 0.1,
+            class: 7,
+        }]];
+        assert!(gl.forward(&Tensor::zeros(&[1, 7, 3, 3]), &bad).is_err());
+        // Out-of-range centre.
+        let bad2 = vec![vec![GtBox {
+            cx: 1.5,
+            cy: 0.5,
+            w: 0.1,
+            h: 0.1,
+            class: 0,
+        }]];
+        assert!(gl.forward(&Tensor::zeros(&[1, 7, 3, 3]), &bad2).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Loss functions for detector training.
+//!
+//! Each function returns `(loss, grad)` where `grad` is the gradient of
+//! the *mean* loss with respect to the raw (pre-sigmoid) predictions —
+//! ready to feed into [`Graph::backward`](crate::Graph::backward).
+//!
+//! [`focal_bce_with_logits`] implements RetinaNet's focal loss (Lin et
+//! al., ICCV'17), which the paper highlights as RetinaNet's answer to
+//! class imbalance (§II.A). [`GridLoss`] is the YOLO-style grid-cell
+//! detection loss used to train the scaled twins.
+
+mod grid;
+
+pub use grid::{GridLoss, GtBox};
+
+use crate::NnError;
+use rtoss_tensor::Tensor;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn check_same_shape(pred: &Tensor, target: &Tensor, op: &str) -> Result<(), NnError> {
+    if pred.shape() != target.shape() {
+        return Err(NnError::Loss {
+            msg: format!(
+                "{op}: prediction shape {:?} != target shape {:?}",
+                pred.shape(),
+                target.shape()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Numerically-stable binary cross-entropy on logits.
+///
+/// Returns the mean loss and its gradient w.r.t. the logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::Loss`] if the shapes differ or `pred` is empty.
+pub fn bce_with_logits(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), NnError> {
+    check_same_shape(pred, target, "bce_with_logits")?;
+    let n = pred.numel();
+    if n == 0 {
+        return Err(NnError::Loss {
+            msg: "bce_with_logits: empty prediction".into(),
+        });
+    }
+    let mut loss = 0.0f64;
+    let mut grad = vec![0.0f32; n];
+    for (i, (&x, &t)) in pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .enumerate()
+    {
+        // log(1 + e^{-|x|}) + max(x, 0) - x*t  (stable form)
+        loss += (x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln()) as f64;
+        grad[i] = (sigmoid(x) - t) / n as f32;
+    }
+    Ok((
+        (loss / n as f64) as f32,
+        Tensor::from_vec(grad, pred.shape())?,
+    ))
+}
+
+/// Focal binary cross-entropy on logits (RetinaNet):
+/// `FL(p_t) = -alpha_t (1 - p_t)^gamma log(p_t)`.
+///
+/// Returns the mean loss and its gradient w.r.t. the logits.
+///
+/// # Errors
+///
+/// Returns [`NnError::Loss`] if the shapes differ or `pred` is empty.
+pub fn focal_bce_with_logits(
+    pred: &Tensor,
+    target: &Tensor,
+    alpha: f32,
+    gamma: f32,
+) -> Result<(f32, Tensor), NnError> {
+    check_same_shape(pred, target, "focal_bce_with_logits")?;
+    let n = pred.numel();
+    if n == 0 {
+        return Err(NnError::Loss {
+            msg: "focal_bce_with_logits: empty prediction".into(),
+        });
+    }
+    let mut loss = 0.0f64;
+    let mut grad = vec![0.0f32; n];
+    for (i, (&x, &t)) in pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .enumerate()
+    {
+        let p = sigmoid(x);
+        let (pt, at) = if t > 0.5 { (p, alpha) } else { (1.0 - p, 1.0 - alpha) };
+        let pt = pt.clamp(1e-7, 1.0 - 1e-7);
+        let log_pt = pt.ln();
+        loss += (-at * (1.0 - pt).powf(gamma) * log_pt) as f64;
+        // d/dx: chain through p_t. dp_t/dx = p(1-p) * sign, sign = +1 for
+        // positives, -1 for negatives.
+        let sign = if t > 0.5 { 1.0 } else { -1.0 };
+        let dpt_dx = sign * p * (1.0 - p);
+        let dl_dpt =
+            at * (gamma * (1.0 - pt).powf(gamma - 1.0) * log_pt - (1.0 - pt).powf(gamma) / pt);
+        grad[i] = dl_dpt * dpt_dx / n as f32;
+    }
+    Ok((
+        (loss / n as f64) as f32,
+        Tensor::from_vec(grad, pred.shape())?,
+    ))
+}
+
+/// Smooth-L1 (Huber) loss with transition point `beta = 1`.
+///
+/// Returns the mean loss and its gradient w.r.t. `pred`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Loss`] if the shapes differ or `pred` is empty.
+pub fn smooth_l1(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), NnError> {
+    check_same_shape(pred, target, "smooth_l1")?;
+    let n = pred.numel();
+    if n == 0 {
+        return Err(NnError::Loss {
+            msg: "smooth_l1: empty prediction".into(),
+        });
+    }
+    let mut loss = 0.0f64;
+    let mut grad = vec![0.0f32; n];
+    for (i, (&x, &t)) in pred
+        .as_slice()
+        .iter()
+        .zip(target.as_slice().iter())
+        .enumerate()
+    {
+        let d = x - t;
+        if d.abs() < 1.0 {
+            loss += (0.5 * d * d) as f64;
+            grad[i] = d / n as f32;
+        } else {
+            loss += (d.abs() - 0.5) as f64;
+            grad[i] = d.signum() / n as f32;
+        }
+    }
+    Ok((
+        (loss / n as f64) as f32,
+        Tensor::from_vec(grad, pred.shape())?,
+    ))
+}
+
+/// Mean squared error. Returns the mean loss and its gradient.
+///
+/// # Errors
+///
+/// Returns [`NnError::Loss`] if the shapes differ or `pred` is empty.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor), NnError> {
+    check_same_shape(pred, target, "mse")?;
+    let n = pred.numel();
+    if n == 0 {
+        return Err(NnError::Loss {
+            msg: "mse: empty prediction".into(),
+        });
+    }
+    let diff = pred.sub(target)?;
+    let loss = diff.map(|d| d * d).mean();
+    let grad = diff.scale(2.0 / n as f32);
+    Ok((loss, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::init;
+
+    fn gradcheck(
+        f: impl Fn(&Tensor) -> (f32, Tensor),
+        x: &Tensor,
+        tol: f32,
+    ) {
+        let (_, g) = f(x);
+        let eps = 1e-3f32;
+        for idx in [0usize, x.numel() / 2, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (f(&xp).0 - f(&xm).0) / (2.0 * eps);
+            let ana = g.as_slice()[idx];
+            assert!((num - ana).abs() < tol, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn bce_perfect_prediction_is_low() {
+        let pred = Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap();
+        let target = Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap();
+        let (l, _) = bce_with_logits(&pred, &target).unwrap();
+        assert!(l < 1e-3);
+    }
+
+    #[test]
+    fn bce_gradcheck() {
+        let x = init::uniform(&mut init::rng(1), &[6], -2.0, 2.0);
+        let t = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0], &[6]).unwrap();
+        gradcheck(|p| bce_with_logits(p, &t).unwrap(), &x, 1e-2);
+    }
+
+    #[test]
+    fn focal_downweights_easy_examples() {
+        let easy = Tensor::from_vec(vec![5.0], &[1]).unwrap();
+        let hard = Tensor::from_vec(vec![-2.0], &[1]).unwrap();
+        let pos = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let (le, _) = focal_bce_with_logits(&easy, &pos, 0.25, 2.0).unwrap();
+        let (lh, _) = focal_bce_with_logits(&hard, &pos, 0.25, 2.0).unwrap();
+        let (be, _) = bce_with_logits(&easy, &pos).unwrap();
+        let (bh, _) = bce_with_logits(&hard, &pos).unwrap();
+        // Focal shrinks easy-example loss far more than hard-example loss.
+        assert!(le / be < lh / bh);
+    }
+
+    #[test]
+    fn focal_gradcheck() {
+        let x = init::uniform(&mut init::rng(2), &[4], -2.0, 2.0);
+        let t = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[4]).unwrap();
+        gradcheck(
+            |p| focal_bce_with_logits(p, &t, 0.25, 2.0).unwrap(),
+            &x,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn smooth_l1_regions() {
+        let pred = Tensor::from_vec(vec![0.5, 3.0], &[2]).unwrap();
+        let target = Tensor::zeros(&[2]);
+        let (l, g) = smooth_l1(&pred, &target).unwrap();
+        // (0.5*0.25 + (3-0.5)) / 2
+        assert!((l - (0.125 + 2.5) / 2.0).abs() < 1e-5);
+        assert!((g.as_slice()[0] - 0.25).abs() < 1e-6);
+        assert!((g.as_slice()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_gradcheck() {
+        let x = init::uniform(&mut init::rng(3), &[5], -1.0, 1.0);
+        let t = init::uniform(&mut init::rng(4), &[5], -1.0, 1.0);
+        gradcheck(|p| mse(p, &t).unwrap(), &x, 1e-2);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(bce_with_logits(&a, &b).is_err());
+        assert!(smooth_l1(&a, &b).is_err());
+        assert!(mse(&a, &b).is_err());
+        assert!(focal_bce_with_logits(&a, &b, 0.25, 2.0).is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! Mask-aware stochastic gradient descent.
+//!
+//! R-TOSS is an *iterative* pruning scheme (§IV): after masks are applied,
+//! the model is fine-tuned while pruned weights must stay zero. [`Sgd`]
+//! enforces this by re-applying each parameter's mask after every update.
+
+use crate::Param;
+
+/// SGD with momentum, weight decay, and mask re-application.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_nn::{optim::Sgd, Param};
+/// use rtoss_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::ones(&[2]));
+/// p.grad = Tensor::ones(&[2]);
+/// let mut opt = Sgd::new(0.1).momentum(0.9);
+/// opt.step(&mut [&mut p]);
+/// assert!(p.value.as_slice()[0] < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocities: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Builder: sets the momentum coefficient.
+    pub fn momentum(mut self, m: f32) -> Self {
+        self.momentum = m;
+        self
+    }
+
+    /// Builder: sets L2 weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update to every parameter, then zeroes gradients and
+    /// re-applies pruning masks.
+    ///
+    /// The parameter list must be the same (same order, same shapes) on
+    /// every call; the internal momentum state is keyed by position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocities.is_empty() {
+            self.velocities = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        }
+        assert_eq!(
+            self.velocities.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
+        for (p, vel) in params.iter_mut().zip(self.velocities.iter_mut()) {
+            assert_eq!(vel.len(), p.numel(), "parameter shape changed between steps");
+            let wd = self.weight_decay;
+            let grad = p.grad.as_slice().to_vec();
+            let values = p.value.as_mut_slice();
+            for ((w, g), v) in values.iter_mut().zip(grad.iter()).zip(vel.iter_mut()) {
+                let g_eff = g + wd * *w;
+                *v = self.momentum * *v + g_eff;
+                *w -= self.lr * *v;
+            }
+            p.zero_grad();
+            p.apply_mask();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with mask re-application, matching the
+/// [`Sgd`] interface.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_nn::{optim::Adam, Param};
+/// use rtoss_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::full(&[1], 5.0));
+/// let mut opt = Adam::new(0.1);
+/// for _ in 0..200 {
+///     let w = p.value.as_slice()[0];
+///     p.grad = Tensor::full(&[1], w); // minimise 0.5 w²
+///     opt.step(&mut [&mut p]);
+/// }
+/// assert!(p.value.as_slice()[0].abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and the standard
+    /// moment coefficients (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Builder: sets decoupled L2 weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update, zeroes gradients, re-applies masks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape between calls.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.numel()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed between steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            assert_eq!(m.len(), p.numel(), "parameter shape changed between steps");
+            let grad = p.grad.as_slice().to_vec();
+            let values = p.value.as_mut_slice();
+            for (((w, g), mi), vi) in values.iter_mut().zip(grad.iter()).zip(m.iter_mut()).zip(v.iter_mut()) {
+                let g_eff = g + self.weight_decay * *w;
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g_eff;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g_eff * g_eff;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *w -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+            p.apply_mask();
+        }
+    }
+}
+
+/// Learning-rate schedule, evaluated per epoch.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_nn::optim::LrSchedule;
+///
+/// let cosine = LrSchedule::Cosine { total_epochs: 10, min_lr: 0.001 };
+/// assert!(cosine.lr_at(0.1, 9) < cosine.lr_at(0.1, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant,
+    /// Multiply by `factor` every `every` epochs.
+    StepDecay {
+        /// Epochs between decays (must be non-zero).
+        every: usize,
+        /// Multiplicative decay factor.
+        factor: f32,
+    },
+    /// Cosine annealing from the base LR down to `min_lr` over
+    /// `total_epochs`.
+    Cosine {
+        /// Horizon of the anneal.
+        total_epochs: usize,
+        /// Final learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate for `epoch` (0-based) given a base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `StepDecay` has `every == 0`.
+    pub fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every > 0, "step decay interval must be non-zero");
+                base_lr * factor.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_lr,
+            } => {
+                if total_epochs <= 1 {
+                    return min_lr;
+                }
+                let t = (epoch.min(total_epochs - 1)) as f32 / (total_epochs - 1) as f32;
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_tensor::Tensor;
+
+    #[test]
+    fn plain_sgd_descends_quadratic() {
+        // minimise f(w) = 0.5 w² → grad = w.
+        let mut p = Param::new(Tensor::full(&[1], 10.0));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let w = p.value.as_slice()[0];
+            p.grad = Tensor::full(&[1], w);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.as_slice()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mom: f32| {
+            let mut p = Param::new(Tensor::full(&[1], 10.0));
+            let mut opt = Sgd::new(0.01).momentum(mom);
+            for _ in 0..50 {
+                let w = p.value.as_slice()[0];
+                p.grad = Tensor::full(&[1], w);
+                opt.step(&mut [&mut p]);
+            }
+            p.value.as_slice()[0].abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn masked_weights_stay_zero_through_updates() {
+        let mut p = Param::new(Tensor::ones(&[4]));
+        p.set_mask(Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[4]).unwrap())
+            .unwrap();
+        let mut opt = Sgd::new(0.5).momentum(0.9);
+        for _ in 0..5 {
+            p.grad = Tensor::full(&[4], -1.0); // pushes weights up
+            opt.step(&mut [&mut p]);
+        }
+        let v = p.value.as_slice();
+        assert_eq!(v[1], 0.0);
+        assert_eq!(v[3], 0.0);
+        assert!(v[0] > 1.0 && v[2] > 1.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Param::new(Tensor::full(&[1], 1.0));
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        p.grad = Tensor::zeros(&[1]);
+        opt.step(&mut [&mut p]);
+        assert!(p.value.as_slice()[0] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_lr() {
+        Sgd::new(0.0);
+    }
+
+    #[test]
+    fn adam_descends_ill_conditioned_quadratic() {
+        // f(w) = 0.5*(1000 w0² + w1²): plain SGD struggles, Adam's
+        // per-coordinate scaling handles it.
+        let mut p = Param::new(Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap());
+        let mut opt = Adam::new(0.05);
+        for _ in 0..400 {
+            let w = p.value.as_slice().to_vec();
+            p.grad = Tensor::from_vec(vec![1000.0 * w[0], w[1]], &[2]).unwrap();
+            opt.step(&mut [&mut p]);
+        }
+        let w = p.value.as_slice();
+        assert!(w[0].abs() < 1e-2 && w[1].abs() < 0.3, "{w:?}");
+    }
+
+    #[test]
+    fn adam_respects_masks() {
+        let mut p = Param::new(Tensor::ones(&[2]));
+        p.set_mask(Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap())
+            .unwrap();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..10 {
+            p.grad = Tensor::full(&[2], -1.0);
+            opt.step(&mut [&mut p]);
+        }
+        assert_eq!(p.value.as_slice()[1], 0.0);
+        assert!(p.value.as_slice()[0] > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn adam_rejects_zero_lr() {
+        Adam::new(0.0);
+    }
+
+    #[test]
+    fn schedules_behave() {
+        assert_eq!(LrSchedule::Constant.lr_at(0.1, 50), 0.1);
+        let step = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
+        assert_eq!(step.lr_at(0.1, 0), 0.1);
+        assert!((step.lr_at(0.1, 10) - 0.05).abs() < 1e-8);
+        assert!((step.lr_at(0.1, 25) - 0.025).abs() < 1e-8);
+        let cos = LrSchedule::Cosine {
+            total_epochs: 11,
+            min_lr: 0.0,
+        };
+        assert!((cos.lr_at(0.1, 0) - 0.1).abs() < 1e-6);
+        assert!(cos.lr_at(0.1, 10) < 1e-6);
+        assert!((cos.lr_at(0.1, 5) - 0.05).abs() < 1e-3); // midpoint
+        // Past the horizon stays at min.
+        assert!(cos.lr_at(0.1, 99) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn step_decay_zero_interval_panics() {
+        LrSchedule::StepDecay {
+            every: 0,
+            factor: 0.5,
+        }
+        .lr_at(0.1, 1);
+    }
+}

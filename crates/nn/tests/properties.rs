@@ -1,0 +1,68 @@
+//! Property-based tests of layer/graph invariants.
+
+use proptest::prelude::*;
+use rtoss_nn::layers::{Activation, ActivationKind, Conv2d};
+use rtoss_nn::{Graph, Layer};
+use rtoss_tensor::{init, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn graph_forward_is_deterministic(seed in 0u64..500) {
+        let build = || {
+            let mut g = Graph::new();
+            let x = g.add_input("x");
+            let c1 = g
+                .add_layer("c1", Box::new(Conv2d::new(2, 4, 3, 1, 1, seed)), x)
+                .expect("valid");
+            let a = g
+                .add_layer("a", Box::new(Activation::new(ActivationKind::Silu)), c1)
+                .expect("valid");
+            g.set_outputs(vec![a]).expect("valid");
+            g
+        };
+        let input = init::uniform(&mut init::rng(seed + 1), &[1, 2, 6, 6], -1.0, 1.0);
+        let y1 = build().forward(&input).expect("runs");
+        let y2 = build().forward(&input).expect("runs");
+        prop_assert_eq!(y1[0].as_slice(), y2[0].as_slice());
+    }
+
+    #[test]
+    fn relu_output_nonnegative_and_idempotent(seed in 0u64..200) {
+        let mut relu = Activation::new(ActivationKind::Relu);
+        let x = init::uniform(&mut init::rng(seed), &[3, 7], -5.0, 5.0);
+        let y = relu.forward(&x).expect("runs");
+        prop_assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+        let yy = relu.forward(&y).expect("runs");
+        prop_assert_eq!(y.as_slice(), yy.as_slice());
+    }
+
+    #[test]
+    fn conv_gradients_vanish_for_zero_upstream(seed in 0u64..200) {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, seed);
+        let x = init::uniform(&mut init::rng(seed + 7), &[1, 2, 5, 5], -1.0, 1.0);
+        let y = conv.forward(&x).expect("runs");
+        let gx = conv.backward(&Tensor::zeros(y.shape())).expect("runs");
+        prop_assert!(gx.as_slice().iter().all(|&g| g == 0.0));
+        prop_assert_eq!(conv.weight().grad.l2_norm(), 0.0);
+    }
+
+    #[test]
+    fn masked_conv_output_independent_of_masked_weights(seed in 0u64..100) {
+        // Changing a masked weight's pre-mask value must not change the
+        // layer output (set_mask zeroes it).
+        let mut c1 = Conv2d::new(1, 1, 3, 1, 1, seed);
+        let mut mask = Tensor::zeros(&[1, 1, 3, 3]);
+        mask.set(&[0, 0, 0, 0], 1.0);
+        mask.set(&[0, 0, 1, 1], 1.0);
+        c1.weight_mut().set_mask(mask).expect("shape matches");
+        let x = init::uniform(&mut init::rng(seed + 3), &[1, 1, 4, 4], -1.0, 1.0);
+        let y1 = c1.forward(&x).expect("runs");
+        // Poke a masked slot, re-apply the mask (as the optimizer does).
+        c1.weight_mut().value.set(&[0, 0, 2, 2], 123.0);
+        c1.weight_mut().apply_mask();
+        let y2 = c1.forward(&x).expect("runs");
+        prop_assert_eq!(y1.as_slice(), y2.as_slice());
+    }
+}

@@ -1,0 +1,366 @@
+//! Compressed storage formats for pruned convolution weights.
+
+use rtoss_tensor::Tensor;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building a sparse format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SparseFormatError {
+    /// The dense weight tensor has the wrong rank or spatial extent.
+    BadShape {
+        /// Offending shape.
+        shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SparseFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseFormatError::BadShape { shape } => {
+                write!(f, "expected rank-4 square-kernel conv weights, got {shape:?}")
+            }
+        }
+    }
+}
+
+impl Error for SparseFormatError {}
+
+/// One group of kernels sharing the same non-zero pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternGroup {
+    /// The shared non-zero cells as `(ky, kx)` offsets, row-major.
+    pub offsets: Vec<(usize, usize)>,
+    /// Member kernels: `(out_channel, in_channel, values)` where
+    /// `values[i]` belongs to `offsets[i]`.
+    pub kernels: Vec<(usize, usize, Vec<f32>)>,
+}
+
+/// A pruned conv layer stored grouped by kernel pattern.
+///
+/// Kernels that are entirely zero are dropped (they cost nothing at
+/// inference — the "skipping" the paper's §II.B describes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternCompressedConv {
+    out_ch: usize,
+    in_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    groups: Vec<PatternGroup>,
+    dense_weights: usize,
+    stored_weights: usize,
+}
+
+impl PatternCompressedConv {
+    /// Builds the compressed form from a (masked) dense weight
+    /// `(O, I, k, k)`. Zero cells are dropped; kernels are grouped by
+    /// their surviving-cell pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::BadShape`] if the weight is not
+    /// rank 4 with square kernels.
+    pub fn from_dense(w: &Tensor, stride: usize, pad: usize) -> Result<Self, SparseFormatError> {
+        let shape = w.shape();
+        if shape.len() != 4 || shape[2] != shape[3] {
+            return Err(SparseFormatError::BadShape {
+                shape: shape.to_vec(),
+            });
+        }
+        let (o, i, k) = (shape[0], shape[1], shape[2]);
+        let kk = k * k;
+        let wd = w.as_slice();
+        // Group kernels by their non-zero bitmask.
+        let mut by_pattern: BTreeMap<u64, PatternGroup> = BTreeMap::new();
+        let mut stored = 0usize;
+        for oc in 0..o {
+            for ic in 0..i {
+                let base = (oc * i + ic) * kk;
+                let cells = &wd[base..base + kk];
+                let mut bits = 0u64;
+                for (ci, &v) in cells.iter().enumerate() {
+                    if v != 0.0 {
+                        bits |= 1 << ci;
+                    }
+                }
+                if bits == 0 {
+                    continue; // fully pruned kernel: skipped entirely
+                }
+                let entry = by_pattern.entry(bits).or_insert_with(|| PatternGroup {
+                    offsets: (0..kk)
+                        .filter(|ci| bits & (1 << ci) != 0)
+                        .map(|ci| (ci / k, ci % k))
+                        .collect(),
+                    kernels: Vec::new(),
+                });
+                let values: Vec<f32> = entry
+                    .offsets
+                    .iter()
+                    .map(|&(ky, kx)| cells[ky * k + kx])
+                    .collect();
+                stored += values.len();
+                entry.kernels.push((oc, ic, values));
+            }
+        }
+        Ok(PatternCompressedConv {
+            out_ch: o,
+            in_ch: i,
+            kernel: k,
+            stride,
+            pad,
+            groups: by_pattern.into_values().collect(),
+            dense_weights: o * i * kk,
+            stored_weights: stored,
+        })
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Kernel extent.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+
+    /// The pattern groups.
+    pub fn groups(&self) -> &[PatternGroup] {
+        &self.groups
+    }
+
+    /// Number of distinct patterns in use.
+    pub fn pattern_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Stored (non-zero) weight count.
+    pub fn stored_weights(&self) -> usize {
+        self.stored_weights
+    }
+
+    /// Dense-to-stored weight ratio (the paper's compression metric).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_weights == 0 {
+            f64::INFINITY
+        } else {
+            self.dense_weights as f64 / self.stored_weights as f64
+        }
+    }
+
+    /// Reconstructs the dense weight tensor (for verification).
+    pub fn to_dense(&self) -> Tensor {
+        let k = self.kernel;
+        let mut w = Tensor::zeros(&[self.out_ch, self.in_ch, k, k]);
+        let wd = w.as_mut_slice();
+        for g in &self.groups {
+            for (oc, ic, values) in &g.kernels {
+                let base = (oc * self.in_ch + ic) * k * k;
+                for (&(ky, kx), &v) in g.offsets.iter().zip(values.iter()) {
+                    wd[base + ky * k + kx] = v;
+                }
+            }
+        }
+        w
+    }
+}
+
+/// A pruned conv layer stored as per-weight COO triples — the
+/// *unstructured* layout whose irregular access the paper contrasts
+/// against pattern grouping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnstructuredSparseConv {
+    out_ch: usize,
+    in_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// `(oc, ic, ky, kx, value)` for every surviving weight.
+    entries: Vec<(usize, usize, usize, usize, f32)>,
+    dense_weights: usize,
+}
+
+impl UnstructuredSparseConv {
+    /// Builds the COO form from a (masked) dense weight `(O, I, k, k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseFormatError::BadShape`] if the weight is not
+    /// rank 4 with square kernels.
+    pub fn from_dense(w: &Tensor, stride: usize, pad: usize) -> Result<Self, SparseFormatError> {
+        let shape = w.shape();
+        if shape.len() != 4 || shape[2] != shape[3] {
+            return Err(SparseFormatError::BadShape {
+                shape: shape.to_vec(),
+            });
+        }
+        let (o, i, k) = (shape[0], shape[1], shape[2]);
+        let mut entries = Vec::new();
+        for oc in 0..o {
+            for ic in 0..i {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let v = w.at(&[oc, ic, ky, kx]);
+                        if v != 0.0 {
+                            entries.push((oc, ic, ky, kx, v));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(UnstructuredSparseConv {
+            out_ch: o,
+            in_ch: i,
+            kernel: k,
+            stride,
+            pad,
+            entries,
+            dense_weights: o * i * k * k,
+        })
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Kernel extent.
+    pub fn kernel_size(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+
+    /// The COO entries.
+    pub fn entries(&self) -> &[(usize, usize, usize, usize, f32)] {
+        &self.entries
+    }
+
+    /// Dense-to-stored weight ratio.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.entries.is_empty() {
+            f64::INFINITY
+        } else {
+            self.dense_weights as f64 / self.entries.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_core::pattern::canonical_set;
+    use rtoss_core::prune3x3::prune_3x3_weights;
+    use rtoss_tensor::init;
+
+    fn pruned_weight(k_entries: usize, seed: u64) -> Tensor {
+        let mut w = init::uniform(&mut init::rng(seed), &[8, 4, 3, 3], -1.0, 1.0);
+        let set = canonical_set(k_entries).unwrap();
+        prune_3x3_weights(&mut w, &set).unwrap();
+        w
+    }
+
+    #[test]
+    fn round_trip_to_dense() {
+        let w = pruned_weight(3, 1);
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        assert_eq!(pc.to_dense(), w);
+    }
+
+    #[test]
+    fn compression_matches_entry_count() {
+        let w = pruned_weight(2, 2);
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        assert!((pc.compression_ratio() - 4.5).abs() < 1e-9);
+        assert_eq!(pc.stored_weights(), 8 * 4 * 2);
+    }
+
+    #[test]
+    fn pattern_count_bounded_by_working_set() {
+        let w = pruned_weight(2, 3);
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        // At most the 12 canonical 2EP patterns can appear.
+        assert!(pc.pattern_count() <= 12, "{} patterns", pc.pattern_count());
+        assert!(pc.pattern_count() >= 2);
+    }
+
+    #[test]
+    fn fully_zero_kernels_are_dropped() {
+        let mut w = pruned_weight(2, 4);
+        // Zero out kernel (0, *) entirely.
+        for ic in 0..4 {
+            for c in 0..9 {
+                let base = ic * 9;
+                w.as_mut_slice()[base + c] = 0.0;
+            }
+        }
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        for g in pc.groups() {
+            for k in &g.kernels {
+                assert_ne!(k.0, 0, "zeroed kernel (0, {}) still stored", k.1);
+            }
+        }
+        assert_eq!(pc.to_dense(), w);
+    }
+
+    #[test]
+    fn unstructured_preserves_every_nonzero() {
+        let w = pruned_weight(3, 5);
+        let un = UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
+        assert_eq!(un.entries().len(), w.numel() - w.count_zeros());
+        for &(oc, ic, ky, kx, v) in un.entries() {
+            assert_eq!(w.at(&[oc, ic, ky, kx]), v);
+        }
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        let w = Tensor::zeros(&[2, 2, 3, 5]);
+        assert!(PatternCompressedConv::from_dense(&w, 1, 1).is_err());
+        assert!(UnstructuredSparseConv::from_dense(&w, 1, 1).is_err());
+        let w = Tensor::zeros(&[2, 2, 3]);
+        assert!(PatternCompressedConv::from_dense(&w, 1, 1).is_err());
+    }
+
+    #[test]
+    fn one_by_one_kernels_supported() {
+        let mut w = init::uniform(&mut init::rng(6), &[6, 6, 1, 1], -1.0, 1.0);
+        // Manually sparsify.
+        for i in (0..36).step_by(3) {
+            w.as_mut_slice()[i] = 0.0;
+        }
+        let pc = PatternCompressedConv::from_dense(&w, 1, 0).unwrap();
+        assert_eq!(pc.to_dense(), w);
+    }
+}

@@ -1,0 +1,45 @@
+//! Pattern-grouped sparse convolution execution.
+//!
+//! The paper's inference speedups come from two properties of
+//! semi-structured pruning (§II.B, §IV.C):
+//!
+//! 1. pruned weights need never be touched (compute scales with `k/9`),
+//! 2. kernels sharing one of the ≤21 patterns can be *grouped*, so the
+//!    inner loop runs a fixed, regular set of offsets — unlike
+//!    unstructured sparsity, whose irregular gathers defeat caching.
+//!
+//! [`PatternCompressedConv`] stores a pruned layer grouped by pattern;
+//! [`exec::conv2d_pattern_sparse`] executes it; and
+//! [`exec::conv2d_unstructured`] executes the same weights through a
+//! per-weight COO path, reproducing the paper's argument that equal
+//! sparsity does *not* mean equal speed. `rtoss-bench`'s `conv_sparse`
+//! bench and the fig6 harness measure all three executors on this CPU.
+//!
+//! # Example
+//!
+//! ```
+//! use rtoss_sparse::PatternCompressedConv;
+//! use rtoss_tensor::{init, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 2-of-9 pruned weight compresses ~4x.
+//! let mut w = init::uniform(&mut init::rng(1), &[8, 8, 3, 3], -1.0, 1.0);
+//! let set = rtoss_core::pattern::canonical_set(2)?;
+//! rtoss_core::prune3x3::prune_3x3_weights(&mut w, &set)?;
+//! let pc = PatternCompressedConv::from_dense(&w, 1, 1)?;
+//! assert!(pc.compression_ratio() > 2.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+mod model;
+
+pub mod exec;
+pub mod runtime;
+
+pub use format::{PatternCompressedConv, SparseFormatError, UnstructuredSparseConv};
+pub use model::{SparseModel, SparseModelError};

@@ -1,0 +1,388 @@
+//! Whole-model sparse inference engine.
+//!
+//! Compiles a pruned [`Graph`](rtoss_nn::Graph) into a standalone
+//! executor whose convolution layers run through the pattern-grouped
+//! sparse path ([`exec::conv2d_pattern_sparse`](crate::exec)) with
+//! batch-norm folded into per-channel scale/shift. This is the
+//! "deployment" artefact of the paper's pipeline: the model a Jetson
+//! would actually run after R-TOSS pruning, and the source of the
+//! end-to-end measured speedups in the `fig6` harness.
+
+use crate::exec::conv2d_pattern_sparse;
+use crate::format::PatternCompressedConv;
+use rtoss_nn::layers::ActivationKind;
+use rtoss_nn::{Graph, NodeOp};
+use rtoss_tensor::{ops, Tensor, TensorError};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when compiling or running a [`SparseModel`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SparseModelError {
+    /// The graph contains a layer kind the engine cannot compile.
+    Unsupported {
+        /// Node name.
+        node: String,
+        /// Description of the unsupported construct.
+        msg: String,
+    },
+    /// A tensor operation failed at inference time.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for SparseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseModelError::Unsupported { node, msg } => {
+                write!(f, "cannot compile node {node:?}: {msg}")
+            }
+            SparseModelError::Tensor(e) => write!(f, "sparse inference failed: {e}"),
+        }
+    }
+}
+
+impl Error for SparseModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SparseModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SparseModelError {
+    fn from(e: TensorError) -> Self {
+        SparseModelError::Tensor(e)
+    }
+}
+
+/// One compiled operation of the sparse engine.
+#[derive(Debug)]
+enum SparseOp {
+    Input,
+    /// Sparse convolution with optional folded per-channel scale/shift
+    /// (from a following BatchNorm) — bias is pre-folded too.
+    Conv {
+        layer: PatternCompressedConv,
+        bias: Vec<f32>,
+    },
+    /// Per-channel affine `y = scale_c * x + shift_c` (unfused BN).
+    ChannelAffine { scale: Vec<f32>, shift: Vec<f32> },
+    Activation(ActivationKind),
+    MaxPool { k: usize, stride: usize, pad: usize },
+    Upsample2x,
+    Add,
+    Concat,
+}
+
+/// A node of the compiled engine.
+#[derive(Debug)]
+struct SparseNode {
+    op: SparseOp,
+    inputs: Vec<usize>,
+}
+
+/// A compiled sparse inference engine for a pruned detector graph.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_sparse::SparseModel;
+/// use rtoss_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut model = rtoss_models::yolov5s_twin(4, 2, 1)?;
+/// use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+/// RTossPruner::new(EntryPattern::Two).prune_graph(&mut model.graph)?;
+/// let engine = SparseModel::compile(&model.graph)?;
+/// let x = Tensor::zeros(&[1, 3, 64, 64]);
+/// let sparse_out = engine.forward(&x)?;
+/// let dense_out = model.graph.forward(&x)?;
+/// assert_eq!(sparse_out[0].shape(), dense_out[0].shape());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SparseModel {
+    nodes: Vec<SparseNode>,
+    outputs: Vec<usize>,
+    stored_weights: usize,
+    dense_weights: usize,
+}
+
+impl SparseModel {
+    /// Compiles a (pruned or dense) graph into the sparse engine.
+    ///
+    /// Batch-norm layers are converted to channel affines using their
+    /// *running* statistics, so the engine reproduces the graph's
+    /// evaluation-mode behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseModelError::Unsupported`] for layer kinds outside
+    /// the detector vocabulary (conv/BN/activation/pool/upsample/
+    /// add/concat).
+    pub fn compile(graph: &Graph) -> Result<Self, SparseModelError> {
+        let mut nodes = Vec::with_capacity(graph.len());
+        let mut stored = 0usize;
+        let mut dense = 0usize;
+        for n in graph.nodes() {
+            let op = match &n.op {
+                NodeOp::Input => SparseOp::Input,
+                NodeOp::Add => SparseOp::Add,
+                NodeOp::Concat => SparseOp::Concat,
+                NodeOp::Layer(l) => {
+                    if let Some(conv) = l.as_conv2d() {
+                        let w = &conv.weight().value;
+                        let layer = PatternCompressedConv::from_dense(
+                            w,
+                            conv.stride(),
+                            conv.padding(),
+                        )
+                        .map_err(|e| SparseModelError::Unsupported {
+                            node: n.name.clone(),
+                            msg: e.to_string(),
+                        })?;
+                        stored += layer.stored_weights();
+                        dense += w.numel();
+                        SparseOp::Conv {
+                            layer,
+                            bias: conv.bias().value.as_slice().to_vec(),
+                        }
+                    } else if let Some(bn) = l.as_batchnorm() {
+                        let (mean, var) = bn.running_stats();
+                        let gamma = bn.gamma().value.as_slice();
+                        let beta = bn.beta().value.as_slice();
+                        let mut scale = Vec::with_capacity(gamma.len());
+                        let mut shift = Vec::with_capacity(gamma.len());
+                        for c in 0..gamma.len() {
+                            let inv_std = 1.0 / (var[c] + 1e-5).sqrt();
+                            scale.push(gamma[c] * inv_std);
+                            shift.push(beta[c] - gamma[c] * mean[c] * inv_std);
+                        }
+                        SparseOp::ChannelAffine { scale, shift }
+                    } else if let Some(act) = activation_kind_of(l.as_ref()) {
+                        SparseOp::Activation(act)
+                    } else if let Some((k, stride, pad)) = pool_params_of(l.as_ref()) {
+                        SparseOp::MaxPool { k, stride, pad }
+                    } else if l.as_upsample().is_some() {
+                        SparseOp::Upsample2x
+                    } else {
+                        return Err(SparseModelError::Unsupported {
+                            node: n.name.clone(),
+                            msg: format!("layer kind {:?}", l.kind()),
+                        });
+                    }
+                }
+                // NodeOp is #[non_exhaustive]: future ops are rejected.
+                _ => {
+                    return Err(SparseModelError::Unsupported {
+                        node: n.name.clone(),
+                        msg: "unknown graph op".into(),
+                    })
+                }
+            };
+            nodes.push(SparseNode {
+                op,
+                inputs: n.inputs.clone(),
+            });
+        }
+        Ok(SparseModel {
+            nodes,
+            outputs: graph.outputs().to_vec(),
+            stored_weights: stored,
+            dense_weights: dense,
+        })
+    }
+
+    /// Conv-weight compression achieved by the compiled engine.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.stored_weights == 0 {
+            1.0
+        } else {
+            self.dense_weights as f64 / self.stored_weights as f64
+        }
+    }
+
+    /// Stored (non-zero) conv weights.
+    pub fn stored_weights(&self) -> usize {
+        self.stored_weights
+    }
+
+    /// Runs the engine, returning the declared outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches at any node.
+    pub fn forward(&self, input: &Tensor) -> Result<Vec<Tensor>, SparseModelError> {
+        let mut acts: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let get = |j: usize| -> Result<&Tensor, SparseModelError> {
+                acts[j].as_ref().ok_or(SparseModelError::Tensor(TensorError::Invalid {
+                    op: "sparse_forward",
+                    msg: format!("node {j} not yet computed"),
+                }))
+            };
+            let out = match &node.op {
+                SparseOp::Input => input.clone(),
+                SparseOp::Conv { layer, bias } => {
+                    conv2d_pattern_sparse(get(node.inputs[0])?, layer, Some(bias))?
+                }
+                SparseOp::ChannelAffine { scale, shift } => {
+                    channel_affine(get(node.inputs[0])?, scale, shift)?
+                }
+                SparseOp::Activation(kind) => {
+                    let k = *kind;
+                    get(node.inputs[0])?.map(move |v| eval_act(k, v))
+                }
+                SparseOp::MaxPool { k, stride, pad } => {
+                    ops::maxpool2d(get(node.inputs[0])?, *k, *stride, *pad)?.output
+                }
+                SparseOp::Upsample2x => ops::upsample_nearest2x(get(node.inputs[0])?)?,
+                SparseOp::Add => get(node.inputs[0])?.add(get(node.inputs[1])?)?,
+                SparseOp::Concat => {
+                    let xs: Result<Vec<&Tensor>, _> =
+                        node.inputs.iter().map(|&j| get(j)).collect();
+                    concat_channels(&xs?)?
+                }
+            };
+            acts[i] = Some(out);
+        }
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&o| acts[o].clone().expect("outputs computed in sweep"))
+            .collect())
+    }
+}
+
+fn activation_kind_of(l: &dyn rtoss_nn::Layer) -> Option<ActivationKind> {
+    l.as_activation().map(|a| a.activation_kind())
+}
+
+fn pool_params_of(l: &dyn rtoss_nn::Layer) -> Option<(usize, usize, usize)> {
+    l.as_maxpool().map(|p| (p.kernel_size(), p.stride(), p.padding()))
+}
+
+fn eval_act(kind: ActivationKind, x: f32) -> f32 {
+    let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
+    match kind {
+        ActivationKind::Silu => x * sigmoid(x),
+        ActivationKind::Relu => x.max(0.0),
+        ActivationKind::LeakyRelu => {
+            if x > 0.0 {
+                x
+            } else {
+                0.1 * x
+            }
+        }
+        ActivationKind::Sigmoid => sigmoid(x),
+        // ActivationKind is #[non_exhaustive]: treat unknown future
+        // activations as identity rather than failing at inference.
+        _ => x,
+    }
+}
+
+fn channel_affine(x: &Tensor, scale: &[f32], shift: &[f32]) -> Result<Tensor, TensorError> {
+    if x.rank() != 4 || x.shape()[1] != scale.len() {
+        return Err(TensorError::Invalid {
+            op: "channel_affine",
+            msg: format!("input {:?} vs {} channels", x.shape(), scale.len()),
+        });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let plane = h * w;
+    let mut out = x.as_slice().to_vec();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            let (s, b) = (scale[ci], shift[ci]);
+            for v in &mut out[base..base + plane] {
+                *v = s * *v + b;
+            }
+        }
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+fn concat_channels(xs: &[&Tensor]) -> Result<Tensor, TensorError> {
+    let first = xs[0];
+    let (n, h, w) = (first.shape()[0], first.shape()[2], first.shape()[3]);
+    let total_c: usize = xs.iter().map(|x| x.shape()[1]).sum();
+    let plane = h * w;
+    let mut out = vec![0.0f32; n * total_c * plane];
+    for ni in 0..n {
+        let mut c_off = 0;
+        for x in xs {
+            let c = x.shape()[1];
+            let src = &x.as_slice()[ni * c * plane..(ni + 1) * c * plane];
+            let dst = (ni * total_c + c_off) * plane;
+            out[dst..dst + c * plane].copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    Tensor::from_vec(out, &[n, total_c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+    use rtoss_models::{retinanet_twin, yolov5s_twin};
+    use rtoss_tensor::init;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (i, (&x, &y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!((x - y).abs() < tol, "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_graph_eval_mode_dense() {
+        let mut m = yolov5s_twin(4, 2, 77).unwrap();
+        // Push some data through in train mode so BN stats are non-trivial.
+        let x = init::uniform(&mut init::rng(1), &[2, 3, 64, 64], 0.0, 1.0);
+        m.graph.set_training(true);
+        m.graph.forward(&x).unwrap();
+        m.graph.set_training(false);
+        let probe = init::uniform(&mut init::rng(2), &[1, 3, 64, 64], 0.0, 1.0);
+        let want = m.graph.forward(&probe).unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap();
+        let got = engine.forward(&probe).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_close(g, w, 2e-3);
+        }
+    }
+
+    #[test]
+    fn engine_matches_graph_after_pruning() {
+        let mut m = retinanet_twin(4, 2, 78).unwrap();
+        let x = init::uniform(&mut init::rng(3), &[2, 3, 64, 64], 0.0, 1.0);
+        m.graph.set_training(true);
+        m.graph.forward(&x).unwrap();
+        RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        m.graph.set_training(false);
+        let probe = init::uniform(&mut init::rng(4), &[1, 3, 64, 64], 0.0, 1.0);
+        let want = m.graph.forward(&probe).unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap();
+        assert!(engine.compression_ratio() > 3.0);
+        let got = engine.forward(&probe).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_close(g, w, 2e-3);
+        }
+    }
+
+    #[test]
+    fn compression_reflects_entry_pattern() {
+        let build = |entry| {
+            let mut m = yolov5s_twin(4, 2, 79).unwrap();
+            RTossPruner::new(entry).prune_graph(&mut m.graph).unwrap();
+            SparseModel::compile(&m.graph).unwrap().compression_ratio()
+        };
+        assert!(build(EntryPattern::Two) > build(EntryPattern::Five));
+    }
+}

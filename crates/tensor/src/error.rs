@@ -1,0 +1,95 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by tensor constructors and operations.
+///
+/// All fallible public functions in this crate return
+/// `Result<_, TensorError>`; the variants carry enough context to state
+/// which shapes were incompatible and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the data length.
+    DataLenMismatch {
+        /// Element count implied by the requested shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left/first operand.
+        left: Vec<usize>,
+        /// Shape of the right/second operand.
+        right: Vec<usize>,
+        /// Operation that rejected the shapes.
+        op: &'static str,
+    },
+    /// A tensor had the wrong rank for an operation.
+    RankMismatch {
+        /// Rank required by the operation.
+        expected: usize,
+        /// Rank of the offending tensor.
+        actual: usize,
+        /// Operation that rejected the rank.
+        op: &'static str,
+    },
+    /// An operation-specific invariant was violated (dimension too small,
+    /// stride of zero, channel mismatch, ...).
+    Invalid {
+        /// Operation that rejected its arguments.
+        op: &'static str,
+        /// Human-readable description of the violation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DataLenMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "{op}: incompatible shapes {left:?} and {right:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::Invalid { op, msg } => write!(f, "{op}: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::DataLenMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('4'));
+
+        let e = TensorError::ShapeMismatch {
+            left: vec![1, 2],
+            right: vec![2, 1],
+            op: "add",
+        };
+        assert!(e.to_string().starts_with("add"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

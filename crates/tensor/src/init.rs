@@ -1,0 +1,113 @@
+//! Deterministic random weight initialisation.
+//!
+//! All randomness in the workspace flows through seeded ChaCha8 generators
+//! so every experiment is exactly reproducible. The paper's pattern
+//! selection step ("random initiations in the range \[-1, 1\]", §IV.B)
+//! uses [`uniform`]; network weights use [`kaiming_uniform`].
+
+use crate::Tensor;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Creates a seeded RNG used across the workspace.
+///
+/// # Example
+///
+/// ```
+/// let mut rng = rtoss_tensor::init::rng(42);
+/// let t = rtoss_tensor::init::uniform(&mut rng, &[3, 3], -1.0, 1.0);
+/// assert_eq!(t.numel(), 9);
+/// ```
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "uniform: lo {lo} must be < hi {hi}");
+    let dist = Uniform::new(lo, hi);
+    let shape: Vec<usize> = dims.to_vec();
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| dist.sample(rng)).collect();
+    Tensor::from_vec(data, dims).expect("uniform: internal shape/data invariant")
+}
+
+/// Tensor with elements drawn from a normal distribution via Box–Muller.
+pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    let n: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < n {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(data, dims).expect("normal: internal shape/data invariant")
+}
+
+/// Kaiming (He) uniform initialisation for a conv weight `(O, I, kH, kW)`
+/// or linear weight `(O, I)`: bound = sqrt(6 / fan_in).
+///
+/// # Panics
+///
+/// Panics if `dims` has rank < 2 or fan-in is zero.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: &[usize]) -> Tensor {
+    assert!(dims.len() >= 2, "kaiming_uniform: rank must be >= 2");
+    let fan_in: usize = dims[1..].iter().product();
+    assert!(fan_in > 0, "kaiming_uniform: zero fan-in");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    uniform(rng, dims, -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        let a = uniform(&mut r1, &[100], -1.0, 1.0);
+        let b = uniform(&mut r2, &[100], -1.0, 1.0);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform(&mut rng(1), &[50], -1.0, 1.0);
+        let b = uniform(&mut rng(2), &[50], -1.0, 1.0);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn normal_moments_roughly_correct() {
+        let t = normal(&mut rng(3), &[10_000], 0.0, 1.0);
+        assert!(t.mean().abs() < 0.05, "mean {}", t.mean());
+        let var = t.map(|x| x * x).mean() - t.mean() * t.mean();
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn kaiming_bound_scales_with_fan_in() {
+        let t = kaiming_uniform(&mut rng(5), &[8, 4, 3, 3]);
+        let bound = (6.0f32 / 36.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn uniform_rejects_bad_range() {
+        uniform(&mut rng(0), &[2], 1.0, 1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dense matrix multiplication on rank-2 tensors.
+
+use crate::{Tensor, TensorError};
+
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize), TensorError> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+            op,
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1]))
+}
+
+/// `C = A (m×k) · B (k×n)` using an i-k-j loop order for cache locality.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank 2 or the inner
+/// dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use rtoss_tensor::{ops, Tensor};
+/// # fn main() -> Result<(), rtoss_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2])?;
+/// assert_eq!(ops::matmul(&a, &b)?, a);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = check_rank2(a, "matmul")?;
+    let (k2, n) = check_rank2(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..m {
+        for p in 0..k {
+            let aik = ad[i * k + p];
+            let brow = &bd[p * n..(p + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *c += aik * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ (k×m)ᵀ · B (k×n)` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank 2 or the shared
+/// leading dimensions disagree.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (k, m) = check_rank2(a, "matmul_transpose_a")?;
+    let (k2, n) = check_rank2(b, "matmul_transpose_a")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul_transpose_a",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for p in 0..k {
+        for i in 0..m {
+            let av = ad[p * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *c += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A (m×k) · Bᵀ (n×k)ᵀ` without materialising the transpose.
+///
+/// # Errors
+///
+/// Returns an error if either operand is not rank 2 or the trailing
+/// dimensions disagree.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k) = check_rank2(a, "matmul_transpose_b")?;
+    let (n, k2) = check_rank2(b, "matmul_transpose_b")?;
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            left: a.shape().to_vec(),
+            right: b.shape().to_vec(),
+            op: "matmul_transpose_b",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.as_slice();
+    let bd = b.as_slice();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>, d: &[usize]) -> Tensor {
+        Tensor::from_vec(v, d).unwrap()
+    }
+
+    #[test]
+    fn small_product() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity() {
+        let a = t(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = t(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_plain() {
+        let a = t((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = t((0..12).map(|x| (x as f32) * 0.5).collect(), &[3, 4]);
+        let c = matmul(&a, &b).unwrap();
+
+        // Aᵀ path: build At explicitly, then compare.
+        let mut at = Tensor::zeros(&[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                at.set(&[j, i], a.at(&[i, j]));
+            }
+        }
+        assert_eq!(matmul_transpose_a(&at, &b).unwrap(), c);
+
+        let mut bt = Tensor::zeros(&[4, 3]);
+        for i in 0..3 {
+            for j in 0..4 {
+                bt.set(&[j, i], b.at(&[i, j]));
+            }
+        }
+        assert_eq!(matmul_transpose_b(&a, &bt).unwrap(), c);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let a = t(vec![0.0; 6], &[2, 3]);
+        let b = t(vec![0.0; 6], &[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+        let v = t(vec![0.0; 3], &[3]);
+        assert!(matmul(&v, &b).is_err());
+    }
+}

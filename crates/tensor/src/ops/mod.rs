@@ -1,0 +1,17 @@
+//! Tensor operations: matrix multiplication, convolution, pooling.
+//!
+//! Forward operations come with matching backward (gradient) operations so
+//! the `rtoss-nn` crate can train the scaled detector twins. All functions
+//! validate shapes and return [`TensorError`](crate::TensorError) on
+//! mismatch.
+
+mod conv;
+mod matmul;
+mod pool;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads};
+pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use pool::{
+    avgpool2d_global, maxpool2d, maxpool2d_backward, upsample_nearest2x,
+    upsample_nearest2x_backward, MaxPoolOutput,
+};

@@ -1,0 +1,280 @@
+//! Pooling and upsampling with gradients.
+
+use super::conv::out_extent;
+use crate::{Tensor, TensorError};
+
+/// Result of [`maxpool2d`]: the pooled tensor plus argmax indices used by
+/// the backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled activations, shape `(N, C, oh, ow)`.
+    pub output: Tensor,
+    /// For each output element, the flat index into the input buffer of
+    /// the element that won the max.
+    pub argmax: Vec<usize>,
+}
+
+/// 2-D max pooling over `(N, C, H, W)` with square window `k`, stride
+/// `stride` and symmetric zero padding `pad` (padded cells never win
+/// unless the window is entirely padding, in which case the output is 0).
+///
+/// # Errors
+///
+/// Returns an error if `x` is not rank 4 or the window does not fit.
+pub fn maxpool2d(x: &Tensor, k: usize, stride: usize, pad: usize) -> Result<MaxPoolOutput, TensorError> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.rank(),
+            op: "maxpool2d",
+        });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let oh = out_extent(h, k, stride, pad).ok_or_else(|| TensorError::Invalid {
+        op: "maxpool2d",
+        msg: "window does not fit".into(),
+    })?;
+    let ow = out_extent(w, k, stride, pad).ok_or_else(|| TensorError::Invalid {
+        op: "maxpool2d",
+        msg: "window does not fit".into(),
+    })?;
+    let xd = x.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut argmax = vec![usize::MAX; n * c * oh * ow];
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = usize::MAX;
+                    for ki in 0..k {
+                        let iy = (oy * stride + ki) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..k {
+                            let ix = (ox * stride + kj) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = plane + iy as usize * w + ix as usize;
+                            if xd[idx] > best {
+                                best = xd[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                    if best_idx == usize::MAX {
+                        out[oidx] = 0.0;
+                    } else {
+                        out[oidx] = best;
+                        argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+    }
+    Ok(MaxPoolOutput {
+        output: Tensor::from_vec(out, &[n, c, oh, ow])?,
+        argmax,
+    })
+}
+
+/// Backward pass of [`maxpool2d`]: routes each output gradient to the
+/// input element that won the max.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` does not match the recorded argmax
+/// length.
+pub fn maxpool2d_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize],
+) -> Result<Tensor, TensorError> {
+    if grad_out.numel() != argmax.len() {
+        return Err(TensorError::Invalid {
+            op: "maxpool2d_backward",
+            msg: format!(
+                "grad_out numel {} != argmax len {}",
+                grad_out.numel(),
+                argmax.len()
+            ),
+        });
+    }
+    let mut gx = Tensor::zeros(input_dims);
+    let gxd = gx.as_mut_slice();
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        if idx != usize::MAX {
+            gxd[idx] += g;
+        }
+    }
+    Ok(gx)
+}
+
+/// Global average pooling: `(N, C, H, W) → (N, C)`.
+///
+/// # Errors
+///
+/// Returns an error if `x` is not rank 4.
+pub fn avgpool2d_global(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.rank(),
+            op: "avgpool2d_global",
+        });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let plane = h * w;
+    let xd = x.as_slice();
+    let mut out = vec![0.0f32; n * c];
+    for (i, o) in out.iter_mut().enumerate() {
+        let s: f32 = xd[i * plane..(i + 1) * plane].iter().sum();
+        *o = s / plane as f32;
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Nearest-neighbour 2× upsampling: `(N, C, H, W) → (N, C, 2H, 2W)`.
+///
+/// # Errors
+///
+/// Returns an error if `x` is not rank 4.
+pub fn upsample_nearest2x(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.rank(),
+            op: "upsample_nearest2x",
+        });
+    }
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oh, ow) = (2 * h, 2 * w);
+    let xd = x.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for nc in 0..n * c {
+        let src = nc * h * w;
+        let dst = nc * oh * ow;
+        for y in 0..oh {
+            for xx in 0..ow {
+                out[dst + y * ow + xx] = xd[src + (y / 2) * w + (xx / 2)];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Backward pass of [`upsample_nearest2x`]: sums each 2×2 block of the
+/// output gradient into the corresponding input cell.
+///
+/// # Errors
+///
+/// Returns an error if `grad_out` is not rank 4 with even spatial dims.
+pub fn upsample_nearest2x_backward(grad_out: &Tensor) -> Result<Tensor, TensorError> {
+    if grad_out.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: grad_out.rank(),
+            op: "upsample_nearest2x_backward",
+        });
+    }
+    let (n, c, oh, ow) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    if oh % 2 != 0 || ow % 2 != 0 {
+        return Err(TensorError::Invalid {
+            op: "upsample_nearest2x_backward",
+            msg: format!("spatial dims ({oh},{ow}) must be even"),
+        });
+    }
+    let (h, w) = (oh / 2, ow / 2);
+    let gd = grad_out.as_slice();
+    let mut out = vec![0.0f32; n * c * h * w];
+    for nc in 0..n * c {
+        let src = nc * oh * ow;
+        let dst = nc * h * w;
+        for y in 0..oh {
+            for xx in 0..ow {
+                out[dst + (y / 2) * w + (xx / 2)] += gd[src + y * ow + xx];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_basic() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 10.0, 11.0, 12.0, //
+                13.0, 14.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let p = maxpool2d(&x, 2, 2, 0).unwrap();
+        assert_eq!(p.output.shape(), &[1, 1, 2, 2]);
+        assert_eq!(p.output.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let p = maxpool2d(&x, 2, 2, 0).unwrap();
+        let go = Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap();
+        let gx = maxpool2d_backward(&go, &p.argmax, &[1, 1, 2, 2]).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_with_padding_same_size() {
+        // SPP-style: k=5, stride=1, pad=2 keeps spatial size.
+        let x = crate::init::uniform(&mut crate::init::rng(4), &[1, 2, 6, 6], -1.0, 1.0);
+        let p = maxpool2d(&x, 5, 1, 2).unwrap();
+        assert_eq!(p.output.shape(), x.shape());
+        // Every output >= corresponding input (window includes the cell).
+        for (o, i) in p.output.as_slice().iter().zip(x.as_slice()) {
+            assert!(o >= i);
+        }
+    }
+
+    #[test]
+    fn upsample_round_trip_shape_and_backward_sum() {
+        let x = crate::init::uniform(&mut crate::init::rng(9), &[2, 3, 4, 4], -1.0, 1.0);
+        let y = upsample_nearest2x(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 8, 8]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), x.at(&[0, 0, 0, 0]));
+        assert_eq!(y.at(&[1, 2, 7, 7]), x.at(&[1, 2, 3, 3]));
+        // Backward of ones = 4 per input cell (each cell copied 4 times).
+        let gx = upsample_nearest2x_backward(&Tensor::ones(y.shape())).unwrap();
+        assert!(gx.as_slice().iter().all(|&g| (g - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avgpool() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = avgpool2d_global(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1]);
+        assert_eq!(y.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn rejects_bad_ranks() {
+        let x = Tensor::zeros(&[3, 3]);
+        assert!(maxpool2d(&x, 2, 2, 0).is_err());
+        assert!(upsample_nearest2x(&x).is_err());
+        assert!(avgpool2d_global(&x).is_err());
+    }
+}

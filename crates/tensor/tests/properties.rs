@@ -1,0 +1,90 @@
+//! Property-based tests of the tensor substrate's algebraic laws.
+
+use proptest::prelude::*;
+use rtoss_tensor::{init, ops, Tensor};
+
+fn small_tensor(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(a, b)| {
+        proptest::collection::vec(-10.0f32..10.0, a * b)
+            .prop_map(move |v| Tensor::from_vec(v, &[a, b]).expect("len matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_is_commutative_and_sub_inverts(a in small_tensor(6)) {
+        let b = Tensor::full(a.shape(), 1.5);
+        let ab = a.add(&b).expect("same shape");
+        let ba = b.add(&a).expect("same shape");
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        let back = ab.sub(&b).expect("same shape");
+        for (&x, &y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in small_tensor(5)) {
+        let b = Tensor::full(a.shape(), -2.0);
+        let lhs = a.add(&b).expect("same shape").scale(3.0);
+        let rhs = a.scale(3.0).add(&b.scale(3.0)).expect("same shape");
+        for (&x, &y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn l2_norm_is_scale_homogeneous(a in small_tensor(6), k in -4.0f32..4.0) {
+        let lhs = a.scale(k).l2_norm();
+        let rhs = k.abs() * a.l2_norm();
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn reshape_preserves_sum_and_norm(a in small_tensor(6)) {
+        let flat = a.reshape(&[a.numel()]).expect("same element count");
+        prop_assert!((flat.sum() - a.sum()).abs() < 1e-3);
+        prop_assert!((flat.l2_norm() - a.l2_norm()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_identity_and_zero(a in small_tensor(5)) {
+        let n = a.shape()[1];
+        let mut eye = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            eye.set(&[i, i], 1.0);
+        }
+        let out = ops::matmul(&a, &eye).expect("inner dims agree");
+        prop_assert_eq!(out.as_slice(), a.as_slice());
+        let zero = Tensor::zeros(&[n, 3]);
+        let z = ops::matmul(&a, &zero).expect("inner dims agree");
+        prop_assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn conv_output_shape_law(
+        c in 1usize..4, h in 3usize..10, o in 1usize..4,
+        k in prop_oneof![Just(1usize), Just(3usize)],
+        stride in 1usize..3
+    ) {
+        let pad = k / 2;
+        let x = init::uniform(&mut init::rng(1), &[1, c, h, h], -1.0, 1.0);
+        let w = init::uniform(&mut init::rng(2), &[o, c, k, k], -1.0, 1.0);
+        let y = ops::conv2d(&x, &w, None, stride, pad).expect("geometry valid");
+        let expect = (h + 2 * pad - k) / stride + 1;
+        prop_assert_eq!(y.shape(), &[1, o, expect, expect]);
+    }
+
+    #[test]
+    fn maxpool_majorises_input_mean(h in 4usize..10) {
+        let x = init::uniform(&mut init::rng(3), &[1, 2, h, h], -1.0, 1.0);
+        let p = ops::maxpool2d(&x, 2, 2, 0).expect("geometry valid");
+        // Max of each window >= mean of the tensor can fail; instead:
+        // every pooled value must appear in the input.
+        for &v in p.output.as_slice() {
+            prop_assert!(x.as_slice().contains(&v));
+        }
+    }
+}

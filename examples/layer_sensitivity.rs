@@ -1,0 +1,79 @@
+//! Layer sensitivity analysis and protected pruning.
+//!
+//! Iterative frameworks decide *where* pruning is safe. This example
+//! (1) ranks the twin's layers by how much L2 energy 2EP pruning costs
+//! them, and (2) shows that protecting the most fragile layers — the
+//! detection heads — recovers most of the twin-scale accuracy loss at
+//! almost no compression cost.
+//!
+//! Run: `cargo run --release --example layer_sensitivity`
+//! (add `-- --quick` for a smoke version)
+
+use rtoss::core::sensitivity::analyze_layer_sensitivity;
+use rtoss::core::{EntryPattern, Pruner, RTossConfig, RTossPruner};
+use rtoss::data::scene::{generate_dataset, SceneConfig};
+use rtoss::models::yolov5s_twin;
+use rtoss::train::{evaluate_twin, load_state, save_state, train_twin, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n_train, epochs, ft_epochs) = if quick { (48, 3, 2) } else { (300, 20, 30) };
+
+    // 1. Sensitivity report (no training needed).
+    let mut probe = yolov5s_twin(16, 3, 42)?;
+    let report = analyze_layer_sensitivity(&mut probe.graph, EntryPattern::Two)?;
+    println!("most pattern-sensitive layers under 2EP (lowest L2 retention):");
+    println!("  layer                   kernel  params  retention");
+    for l in report.iter().take(6) {
+        println!(
+            "  {:<22} {:>6}  {:>6}  {:>9.3}",
+            l.name, l.kernel, l.params, l.retention
+        );
+    }
+
+    // 2. Train once, then compare plain vs head-protected 2EP pruning.
+    println!("\ntraining the twin ({epochs} epochs on {n_train} scenes)...");
+    let train_scenes = generate_dataset(&SceneConfig::default(), n_train, 1000);
+    let eval_scenes = generate_dataset(&SceneConfig::default(), 40, 2000);
+    let mut base = yolov5s_twin(16, 3, 42)?;
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 8,
+        lr: 0.03,
+        momentum: 0.9,
+        ..Default::default()
+    };
+    train_twin(&mut base, &train_scenes, &cfg)?;
+    let state = save_state(&mut base);
+    println!(
+        "baseline mAP@0.5: {:.1}%",
+        evaluate_twin(&mut base, &eval_scenes, 0.25, 0.5)?.map_percent()
+    );
+
+    let ft = TrainConfig {
+        epochs: ft_epochs,
+        batch_size: 8,
+        lr: 0.02,
+        momentum: 0.9,
+        ..Default::default()
+    };
+    for (label, protected) in [
+        ("plain 2EP", Vec::new()),
+        ("2EP, protected detect heads", vec!["detect".to_string()]),
+    ] {
+        let mut m = yolov5s_twin(16, 3, 42)?;
+        load_state(&mut m, &state)?;
+        let config = RTossConfig {
+            protected,
+            ..RTossConfig::new(EntryPattern::Two)
+        };
+        let r = RTossPruner::with_config(config).prune_graph(&mut m.graph)?;
+        train_twin(&mut m, &train_scenes, &ft)?;
+        println!(
+            "{label}: compression {:.2}x, mAP {:.1}%",
+            r.compression_ratio(),
+            evaluate_twin(&mut m, &eval_scenes, 0.25, 0.5)?.map_percent()
+        );
+    }
+    Ok(())
+}

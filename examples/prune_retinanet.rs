@@ -1,0 +1,52 @@
+//! Full-scale RetinaNet comparison: R-TOSS vs every baseline pruner.
+//!
+//! Builds the 36 M-parameter RetinaNet (ResNet-50 + FPN + focal heads)
+//! and runs the whole Fig. 4/5 method roster over it, printing measured
+//! compression, L2 retention, and the analytic mAP estimate.
+//!
+//! Run: `cargo run --release --example prune_retinanet`
+
+use rtoss::core::accuracy::{prune_stats, snapshot_weights, AccuracyModel};
+use rtoss::core::baselines::all_baselines;
+use rtoss::core::{EntryPattern, Pruner, RTossPruner};
+use rtoss::models::retinanet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building full-scale RetinaNet (this allocates ~38M weights)...");
+    let probe = retinanet(80, 42)?;
+    println!(
+        "{}: {:.2} M params, {} conv layers, {:.1}% 1x1 layers (paper: 56.14%)",
+        probe.spec.name,
+        probe.spec.params_millions(),
+        probe.spec.conv_layer_count(),
+        probe.spec.census().layer_fraction_1x1() * 100.0
+    );
+    drop(probe);
+
+    let acc = AccuracyModel::retinanet_kitti();
+    let mut pruners: Vec<Box<dyn Pruner>> = all_baselines();
+    pruners.push(Box::new(RTossPruner::new(EntryPattern::Three)));
+    pruners.push(Box::new(RTossPruner::new(EntryPattern::Two)));
+
+    println!("\nmethod          compression  sparsity  retention  est. mAP");
+    for p in pruners {
+        let mut m = retinanet(80, 42)?;
+        let snap = snapshot_weights(&m.graph);
+        let report = p.prune_graph(&mut m.graph)?;
+        let stats = prune_stats(&snap, &m.graph);
+        println!(
+            "{:<15} {:>10.2}x {:>8.1}% {:>10.3} {:>9.2}",
+            p.name(),
+            report.compression_ratio(),
+            report.overall_sparsity() * 100.0,
+            stats.retention,
+            acc.estimate(&stats),
+        );
+    }
+    println!(
+        "\n(the paper reports 2.89x compression and 82.9 mAP for R-TOSS 2EP\n\
+         on RetinaNet — our measured compression is higher because we also\n\
+         prune the shared head towers; see EXPERIMENTS.md)"
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Sparse-execution deep dive: how much of the k/9 theoretical speedup
+//! the pattern-grouped executor realises on this machine.
+//!
+//! Sweeps entry patterns and layer geometries, timing the dense im2col
+//! executor against the pattern-grouped and per-weight COO sparse
+//! executors (the measured substrate of Fig. 6's CPU series).
+//!
+//! Run: `cargo run --release --example sparse_inference`
+
+use rtoss::core::pattern::canonical_set;
+use rtoss::core::prune3x3::prune_3x3_weights;
+use rtoss::sparse::runtime::measure_layer;
+use rtoss::tensor::init;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("geometry            variant  theoretical  pattern-grouped  per-weight COO");
+    for &(ch, px) in &[(32usize, 32usize), (64, 32), (64, 48)] {
+        let x = init::uniform(&mut init::rng(1), &[1, ch, px, px], -1.0, 1.0);
+        for k in [2usize, 3, 4, 5] {
+            let mut w = init::uniform(&mut init::rng(2), &[ch, ch, 3, 3], -1.0, 1.0);
+            prune_3x3_weights(&mut w, &canonical_set(k)?)?;
+            let t = measure_layer(&x, &w, 1, 1, 3)?;
+            println!(
+                "{ch:>3}ch {px:>3}px 3x3     {k}EP     {:>9.2}x {:>15.2}x {:>14.2}x",
+                9.0 / k as f64,
+                t.pattern_speedup(),
+                t.unstructured_speedup(),
+            );
+        }
+    }
+    println!(
+        "\nThe pattern-grouped executor approaches the k/9 bound as sparsity\n\
+         grows; kernels sharing one of the 21 canonical patterns run with a\n\
+         fixed offset list (the regularity the paper's speedups rely on)."
+    );
+    Ok(())
+}

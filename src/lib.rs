@@ -1,0 +1,38 @@
+//! # R-TOSS — Real-Time Object detection via Semi-structured Pruning
+//!
+//! Facade crate for the R-TOSS (DAC 2023) reproduction workspace. It
+//! re-exports every member crate so examples and downstream users need a
+//! single dependency:
+//!
+//! - [`tensor`] — dense f32 tensors, conv2d, pooling, matmul
+//! - [`nn`] — layers, computational graph, SGD, detection losses
+//! - [`models`] — YOLOv5s / RetinaNet specs and buildable scaled twins
+//! - [`data`] — synthetic KITTI scenes, IoU/NMS, mAP evaluation
+//! - [`core`] — the R-TOSS pruning framework and all baselines
+//! - [`sparse`] — pattern-grouped sparse convolution executor
+//! - [`hw`] — RTX 2080 Ti / Jetson TX2 latency & energy models
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtoss::core::{EntryPattern, Pruner, RTossPruner};
+//! use rtoss::models::yolov5s_twin;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut model = yolov5s_twin(8, 3, 42)?;
+//! let pruner = RTossPruner::new(EntryPattern::Three);
+//! let report = pruner.prune_graph(&mut model.graph)?;
+//! assert!(report.overall_sparsity() > 0.3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod train;
+
+pub use rtoss_core as core;
+pub use rtoss_data as data;
+pub use rtoss_hw as hw;
+pub use rtoss_models as models;
+pub use rtoss_nn as nn;
+pub use rtoss_sparse as sparse;
+pub use rtoss_tensor as tensor;

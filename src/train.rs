@@ -1,0 +1,355 @@
+//! Training and evaluation harness for the scaled detector twins — the
+//! empirical accuracy tier of DESIGN.md §2.
+//!
+//! Wires together the synthetic KITTI scenes (`rtoss-data`), the twin
+//! graphs (`rtoss-models`), the grid detection loss and mask-aware SGD
+//! (`rtoss-nn`), and the mAP evaluator — so a pruned twin can be
+//! fine-tuned (masks enforced every step) and scored end-to-end.
+
+use rtoss_data::scene::{batch_images, Scene};
+use rtoss_data::{evaluate_map, nms, Detection, MapReport};
+use rtoss_models::detect::decode_grid;
+use rtoss_models::DetectorModel;
+use rtoss_nn::loss::{GridLoss, GtBox};
+use rtoss_nn::optim::{LrSchedule, Sgd};
+use rtoss_tensor::Tensor;
+use std::error::Error;
+
+/// Training hyper-parameters for the twins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the dataset.
+    pub epochs: usize,
+    /// Scenes per SGD step.
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Per-epoch learning-rate schedule applied to `lr`.
+    pub schedule: LrSchedule,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 4,
+            lr: 0.02,
+            momentum: 0.9,
+            schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+fn to_gt_boxes(scene: &Scene) -> Vec<GtBox> {
+    scene
+        .truths
+        .iter()
+        .map(|t| GtBox {
+            cx: t.bbox.cx,
+            cy: t.bbox.cy,
+            w: t.bbox.w,
+            h: t.bbox.h,
+            class: t.class,
+        })
+        .collect()
+}
+
+/// Trains (or fine-tunes) a twin on scenes, enforcing any installed
+/// pruning masks after every step. Returns the mean loss per epoch.
+///
+/// # Errors
+///
+/// Returns an error if the model heads and scenes are inconsistent.
+pub fn train_twin(
+    model: &mut DetectorModel,
+    scenes: &[Scene],
+    cfg: &TrainConfig,
+) -> Result<Vec<f32>, Box<dyn Error>> {
+    if scenes.is_empty() || cfg.batch_size == 0 || cfg.epochs == 0 {
+        return Err("training needs scenes, a batch size, and at least one epoch".into());
+    }
+    let losses_heads: Vec<GridLoss> = model
+        .heads
+        .iter()
+        .map(|h| GridLoss::new(model.num_classes, h.anchor))
+        .collect();
+    let mut opt = Sgd::new(cfg.lr).momentum(cfg.momentum);
+    model.graph.set_training(true);
+
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(cfg.schedule.lr_at(cfg.lr, epoch).max(1e-6));
+        let mut total = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in scenes.chunks(cfg.batch_size) {
+            let x = batch_images(chunk);
+            let targets: Vec<Vec<GtBox>> = chunk.iter().map(to_gt_boxes).collect();
+            let outputs = model.graph.forward(&x)?;
+            let mut grads = Vec::with_capacity(outputs.len());
+            let mut loss_sum = 0.0f32;
+            for (out, gl) in outputs.iter().zip(losses_heads.iter()) {
+                let (l, g) = gl.forward(out, &targets)?;
+                loss_sum += l;
+                grads.push(g);
+            }
+            model.graph.backward(&grads)?;
+            opt.step(&mut model.graph.params_mut());
+            model.graph.clear_cache();
+            total += loss_sum as f64;
+            batches += 1;
+        }
+        epoch_losses.push((total / batches as f64) as f32);
+    }
+    Ok(epoch_losses)
+}
+
+/// Runs the twin on every scene and evaluates mAP at the given IoU
+/// threshold (the paper uses 0.5).
+///
+/// # Errors
+///
+/// Returns an error if inference fails on any scene.
+pub fn evaluate_twin(
+    model: &mut DetectorModel,
+    scenes: &[Scene],
+    conf_threshold: f32,
+    iou_threshold: f32,
+) -> Result<MapReport, Box<dyn Error>> {
+    model.graph.set_training(false);
+    let mut all_dets = Vec::with_capacity(scenes.len());
+    let mut all_truths = Vec::with_capacity(scenes.len());
+    for scene in scenes {
+        all_dets.push(detect_scene(model, scene, conf_threshold)?);
+        all_truths.push(scene.truths.clone());
+    }
+    model.graph.set_training(true);
+    Ok(evaluate_map(
+        &all_dets,
+        &all_truths,
+        model.num_classes,
+        iou_threshold,
+    ))
+}
+
+/// Runs the twin on every scene and evaluates mAP per KITTI-style
+/// difficulty tier (Easy / Moderate / Hard).
+///
+/// # Errors
+///
+/// Returns an error if inference fails on any scene.
+pub fn evaluate_twin_tiered(
+    model: &mut DetectorModel,
+    scenes: &[Scene],
+    conf_threshold: f32,
+    iou_threshold: f32,
+) -> Result<rtoss_data::TieredMapReport, Box<dyn Error>> {
+    model.graph.set_training(false);
+    let mut all_dets = Vec::with_capacity(scenes.len());
+    let mut all_truths = Vec::with_capacity(scenes.len());
+    for scene in scenes {
+        all_dets.push(detect_scene(model, scene, conf_threshold)?);
+        all_truths.push(scene.tiered_truths());
+    }
+    model.graph.set_training(true);
+    Ok(rtoss_data::evaluate_map_tiered(
+        &all_dets,
+        &all_truths,
+        model.num_classes,
+        iou_threshold,
+    ))
+}
+
+/// Runs the twin on one scene, returning NMS-filtered detections.
+///
+/// # Errors
+///
+/// Returns an error if inference fails.
+pub fn detect_scene(
+    model: &mut DetectorModel,
+    scene: &Scene,
+    conf_threshold: f32,
+) -> Result<Vec<Detection>, Box<dyn Error>> {
+    let img = &scene.image;
+    let x = Tensor::from_vec(
+        img.as_slice().to_vec(),
+        &[1, img.shape()[0], img.shape()[1], img.shape()[2]],
+    )?;
+    let outputs = model.graph.forward(&x)?;
+    let mut dets = Vec::new();
+    for (out, head) in outputs.iter().zip(model.heads.clone().iter()) {
+        for d in decode_grid(out, head, model.num_classes, conf_threshold)? {
+            dets.push(Detection {
+                bbox: rtoss_data::BBox::new(d.cx, d.cy, d.w, d.h),
+                score: d.score,
+                class: d.class,
+            });
+        }
+    }
+    model.graph.clear_cache();
+    Ok(nms(&dets, 0.45))
+}
+
+/// A transplantable snapshot of a twin's trained state: parameter
+/// values plus batch-norm running statistics.
+///
+/// Because twin construction is deterministic per seed, saving the state
+/// of a trained twin and loading it into a freshly built twin of the
+/// same configuration is equivalent to cloning — which is how the
+/// figure harnesses prune many methods from one shared trained model.
+#[derive(Debug, Clone)]
+pub struct TwinState {
+    params: Vec<Tensor>,
+    bn_stats: Vec<(Vec<f32>, Vec<f32>)>,
+}
+
+/// Captures the trained state of a twin.
+pub fn save_state(model: &mut DetectorModel) -> TwinState {
+    let params = model
+        .graph
+        .params_mut()
+        .iter()
+        .map(|p| p.value.clone())
+        .collect();
+    let mut bn_stats = Vec::new();
+    for id in 0..model.graph.len() {
+        if let Some(bn) = model.graph.batchnorm(id) {
+            let (m, v) = bn.running_stats();
+            bn_stats.push((m.to_vec(), v.to_vec()));
+        }
+    }
+    TwinState { params, bn_stats }
+}
+
+/// Loads a previously saved state into a freshly built twin of the same
+/// configuration. Clears any pruning masks (the state is pre-pruning).
+///
+/// # Errors
+///
+/// Returns an error if the parameter count or shapes do not match.
+pub fn load_state(model: &mut DetectorModel, state: &TwinState) -> Result<(), Box<dyn Error>> {
+    let mut params = model.graph.params_mut();
+    if params.len() != state.params.len() {
+        return Err(format!(
+            "state has {} params, model has {}",
+            state.params.len(),
+            params.len()
+        )
+        .into());
+    }
+    for (p, saved) in params.iter_mut().zip(&state.params) {
+        if p.value.shape() != saved.shape() {
+            return Err(format!(
+                "param shape mismatch: {:?} vs {:?}",
+                p.value.shape(),
+                saved.shape()
+            )
+            .into());
+        }
+        p.clear_mask();
+        p.value = saved.clone();
+        p.zero_grad();
+    }
+    let mut bi = 0;
+    for id in 0..model.graph.len() {
+        if let Some(bn) = model.graph.batchnorm_mut(id) {
+            let (m, v) = state
+                .bn_stats
+                .get(bi)
+                .ok_or("state has fewer batch-norm entries than the model")?;
+            bn.set_running_stats(m, v);
+            bi += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_data::scene::{generate_dataset, SceneConfig};
+    use rtoss_models::yolov5s_twin;
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let mut m = yolov5s_twin(4, 3, 100).unwrap();
+        let scenes = generate_dataset(&SceneConfig::default(), 8, 100);
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 4,
+            lr: 0.05,
+            momentum: 0.9,
+            schedule: rtoss_nn::optim::LrSchedule::Constant,
+        };
+        let losses = train_twin(&mut m, &scenes, &cfg).unwrap();
+        assert_eq!(losses.len(), 4);
+        assert!(
+            losses.last().unwrap() < losses.first().unwrap(),
+            "losses {losses:?}"
+        );
+    }
+
+    #[test]
+    fn masks_survive_training() {
+        use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+        let mut m = yolov5s_twin(4, 3, 101).unwrap();
+        RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let before = m.conv_sparsity();
+        let scenes = generate_dataset(&SceneConfig::default(), 4, 101);
+        train_twin(&mut m, &scenes, &TrainConfig { epochs: 2, ..Default::default() }).unwrap();
+        let after = m.conv_sparsity();
+        assert!(
+            (after - before).abs() < 1e-9,
+            "sparsity drifted {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn evaluate_returns_bounded_map() {
+        let mut m = yolov5s_twin(4, 3, 102).unwrap();
+        let scenes = generate_dataset(&SceneConfig::default(), 4, 102);
+        let r = evaluate_twin(&mut m, &scenes, 0.2, 0.5).unwrap();
+        assert!((0.0..=1.0).contains(&r.map));
+    }
+
+    #[test]
+    fn state_round_trip_reproduces_outputs() {
+        let scenes = generate_dataset(&SceneConfig::default(), 4, 104);
+        let mut trained = yolov5s_twin(4, 3, 104).unwrap();
+        train_twin(&mut trained, &scenes, &TrainConfig { epochs: 2, ..Default::default() })
+            .unwrap();
+        let state = save_state(&mut trained);
+        let mut fresh = yolov5s_twin(4, 3, 104).unwrap();
+        load_state(&mut fresh, &state).unwrap();
+        let d1 = detect_scene(&mut trained, &scenes[0], 0.05).unwrap();
+        let d2 = detect_scene(&mut fresh, &scenes[0], 0.05).unwrap();
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.iter().zip(d2.iter()) {
+            assert!((a.score - b.score).abs() < 1e-5);
+            assert_eq!(a.class, b.class);
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_mismatched_model() {
+        let mut a = yolov5s_twin(4, 3, 105).unwrap();
+        let state = save_state(&mut a);
+        let mut b = yolov5s_twin(8, 3, 105).unwrap();
+        assert!(load_state(&mut b, &state).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        let mut m = yolov5s_twin(4, 3, 103).unwrap();
+        assert!(train_twin(&mut m, &[], &TrainConfig::default()).is_err());
+        let scenes = generate_dataset(&SceneConfig::default(), 2, 103);
+        let bad = TrainConfig {
+            epochs: 0,
+            ..Default::default()
+        };
+        assert!(train_twin(&mut m, &scenes, &bad).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests asserting the paper's cross-framework orderings on
+//! the twins (the full-scale equivalents run in the bench harnesses).
+
+use rtoss::core::accuracy::{prune_stats, snapshot_weights, AccuracyModel};
+use rtoss::core::baselines::{
+    all_baselines, MagnitudePruner, NetworkSlimming, PatDnn, PruningFilters,
+};
+use rtoss::core::{snapshot_report, EntryPattern, Pruner, RTossPruner};
+use rtoss::models::{retinanet_twin, yolov5s_twin, DetectorModel};
+
+fn compression(p: &dyn Pruner, mut m: DetectorModel) -> f64 {
+    p.prune_graph(&mut m.graph)
+        .expect("pruning succeeds")
+        .compression_ratio()
+}
+
+#[test]
+fn rtoss_2ep_compresses_hardest_on_both_models() {
+    for build in [
+        (|| yolov5s_twin(8, 3, 7).unwrap()) as fn() -> DetectorModel,
+        || retinanet_twin(8, 3, 7).unwrap(),
+    ] {
+        let rtoss = compression(&RTossPruner::new(EntryPattern::Two), build());
+        for b in all_baselines() {
+            let ratio = compression(b.as_ref(), build());
+            assert!(
+                rtoss > ratio,
+                "{} ({ratio:.2}x) should not beat R-TOSS 2EP ({rtoss:.2}x)",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn entry_pattern_sparsity_ordering_matches_table3() {
+    let mut ratios = Vec::new();
+    for entry in EntryPattern::all() {
+        let mut m = yolov5s_twin(8, 3, 8).unwrap();
+        ratios.push(
+            RTossPruner::new(entry)
+                .prune_graph(&mut m.graph)
+                .unwrap()
+                .compression_ratio(),
+        );
+    }
+    // Table 3: 5EP < 4EP < 3EP < 2EP.
+    assert!(ratios.windows(2).all(|w| w[1] > w[0]), "{ratios:?}");
+    // And the 2EP/5EP spread is large (paper: 1.79x → 4.4x).
+    assert!(ratios[3] / ratios[0] > 2.0, "{ratios:?}");
+}
+
+#[test]
+fn rtoss_exploits_1x1_layers_where_patdnn_cannot() {
+    // §III's motivation: PD leaves 1×1 kernels (most of the model)
+    // nearly dense; R-TOSS prunes them like everything else.
+    let mut m1 = yolov5s_twin(8, 3, 9).unwrap();
+    let rtoss = RTossPruner::new(EntryPattern::Two)
+        .prune_graph(&mut m1.graph)
+        .unwrap();
+    let mut m2 = yolov5s_twin(8, 3, 9).unwrap();
+    let pd = PatDnn::default().prune_graph(&mut m2.graph).unwrap();
+    assert!(rtoss.sparsity_for_kernel(1) > 0.75);
+    assert!(pd.sparsity_for_kernel(1) < 0.35);
+    // On 3×3 they are comparable (pattern pruning either way).
+    assert!(pd.sparsity_for_kernel(3) > 0.5);
+}
+
+#[test]
+fn accuracy_ordering_matches_fig5() {
+    let build = || yolov5s_twin(8, 3, 10).unwrap();
+    let acc = AccuracyModel::yolov5s_kitti();
+    let score = |p: &dyn Pruner| {
+        let mut m = build();
+        let snap = snapshot_weights(&m.graph);
+        p.prune_graph(&mut m.graph).unwrap();
+        acc.estimate(&prune_stats(&snap, &m.graph))
+    };
+    let bm = {
+        let m = build();
+        let snap = snapshot_weights(&m.graph);
+        let _ = snapshot_report(&m.graph, "BM");
+        acc.estimate(&prune_stats(&snap, &m.graph))
+    };
+    let rtoss3 = score(&RTossPruner::new(EntryPattern::Three));
+    let rtoss2 = score(&RTossPruner::new(EntryPattern::Two));
+    let ns = score(&NetworkSlimming::default());
+    let pf = score(&PruningFilters::default());
+    let nms = score(&MagnitudePruner::default());
+
+    // Paper Fig. 5 shape: R-TOSS ≥ BM; structured pruning clearly below
+    // BM; R-TOSS above every structured baseline.
+    assert!(rtoss3 > bm, "3EP {rtoss3} vs BM {bm}");
+    assert!(rtoss2 > bm, "2EP {rtoss2} vs BM {bm}");
+    assert!(ns < bm && pf < bm, "NS {ns} / PF {pf} vs BM {bm}");
+    assert!(rtoss3 > ns + 3.0 && rtoss3 > pf + 3.0);
+    assert!(rtoss2 > nms, "2EP {rtoss2} vs NMS {nms}");
+}
+
+#[test]
+fn masks_are_preserved_across_all_methods() {
+    // Every pruner must install sticky masks: weights stay zero after a
+    // simulated optimizer write.
+    for b in all_baselines() {
+        let mut m = yolov5s_twin(4, 2, 11).unwrap();
+        b.prune_graph(&mut m.graph).expect("pruning succeeds");
+        let before = m.conv_sparsity();
+        assert!(before > 0.05, "{}", b.name());
+        for id in m.graph.conv_ids() {
+            let conv = m.graph.conv_mut(id).unwrap();
+            let p = conv.weight_mut();
+            p.value.map_in_place(|v| v + 1.0); // optimizer-style write
+            p.apply_mask();
+        }
+        let after = m.conv_sparsity();
+        assert!(
+            (after - before).abs() < 1e-9,
+            "{}: sparsity {before} -> {after}",
+            b.name()
+        );
+    }
+}

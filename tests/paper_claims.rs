@@ -1,0 +1,131 @@
+//! Integration tests pinning the paper's quantitative claims that our
+//! reproduction measures directly (full-scale models — run in release
+//! for speed, but small enough for debug CI).
+
+use rtoss::core::pattern::{canonical_pattern_count, canonical_set, generate_adjacent};
+use rtoss::core::{EntryPattern, Pruner, RTossPruner};
+use rtoss::hw::{DeviceModel, SparsityStructure, Workload};
+use rtoss::models::others::{comparison_profiles, detr_census_spec};
+use rtoss::models::{retinanet, yolov5s};
+
+#[test]
+fn pattern_working_set_is_21() {
+    // §IV.C: "we reduced the total number of patterns required to 21".
+    assert_eq!(canonical_pattern_count(), 21);
+    assert_eq!(
+        canonical_set(2).unwrap().len() + canonical_set(3).unwrap().len(),
+        21
+    );
+}
+
+#[test]
+fn eq1_candidate_space_is_complete() {
+    // Eq. 1 for k = 1..=8 sums to 2^9 - 2 (all non-trivial masks).
+    let total: usize = (1..=8).map(rtoss::core::pattern::candidate_count).sum();
+    assert_eq!(total, (1 << 9) - 2);
+    // Adjacency filter is strictly narrowing for the interesting sizes.
+    for k in 2..=5 {
+        assert!(
+            generate_adjacent(k).unwrap().len()
+                < rtoss::core::pattern::candidate_count(k)
+        );
+    }
+}
+
+#[test]
+fn yolov5s_matches_paper_size_and_census() {
+    let m = yolov5s(80, 1).expect("builds");
+    // Table 2: 7.02 M params.
+    let p = m.spec.params_millions();
+    assert!((p - 7.02).abs() / 7.02 < 0.10, "params {p}M");
+    // §III: 68.42% 1×1 kernels.
+    let f = m.spec.census().layer_fraction_1x1() * 100.0;
+    assert!((f - 68.42).abs() < 6.0, "census {f}%");
+}
+
+#[test]
+fn retinanet_matches_paper_size_and_census() {
+    let m = retinanet(80, 1).expect("builds");
+    let p = m.spec.params_millions();
+    assert!((p - 36.49).abs() / 36.49 < 0.10, "params {p}M");
+    let f = m.spec.census().layer_fraction_1x1() * 100.0;
+    assert!((f - 56.14).abs() < 6.0, "census {f}%");
+}
+
+#[test]
+fn detr_census_majority_1x1() {
+    // §III qualitative claim for DETR (our mapping counts transformer
+    // linears as 1×1, landing above the paper's 63.46%).
+    let f = detr_census_spec().census().layer_fraction_1x1();
+    assert!(f > 0.6, "DETR 1x1 fraction {f}");
+}
+
+#[test]
+fn yolov5s_2ep_compression_matches_table3() {
+    let mut m = yolov5s(80, 42).expect("builds");
+    let r = RTossPruner::new(EntryPattern::Two)
+        .prune_graph(&mut m.graph)
+        .expect("prunes");
+    // Table 3: 4.4×. Ours: conv-weight accounting → ~4.49×.
+    let c = r.compression_ratio();
+    assert!((c - 4.4).abs() < 0.3, "compression {c}");
+}
+
+#[test]
+fn yolov5s_3ep_compression_matches_table3() {
+    let mut m = yolov5s(80, 42).expect("builds");
+    let r = RTossPruner::new(EntryPattern::Three)
+        .prune_graph(&mut m.graph)
+        .expect("prunes");
+    // Table 3: 2.9×.
+    let c = r.compression_ratio();
+    assert!((c - 2.9).abs() < 0.3, "compression {c}");
+}
+
+#[test]
+fn tx2_latency_model_matches_table2_retinanet_row() {
+    let tx2 = DeviceModel::jetson_tx2();
+    let p = comparison_profiles()
+        .into_iter()
+        .find(|p| p.name == "RetinaNet")
+        .expect("profile exists");
+    let w = Workload {
+        dense_macs: (p.gmacs * 1e9) as u64,
+        effective_macs: (p.gmacs * 1e9) as u64,
+        weight_bytes: (p.params_m * 1e6 * 4.0) as u64,
+        structure: SparsityStructure::Dense,
+    };
+    let t = tx2.latency_s(&w);
+    let paper = p.paper_tx2_seconds.expect("table 2 row");
+    assert!((t - paper).abs() / paper < 0.10, "{t} vs {paper}");
+}
+
+#[test]
+fn speedup_and_energy_shape_on_tx2() {
+    // Abstract: 2.15× speedup and 57% energy reduction for YOLOv5s 2EP
+    // on the TX2. Our device model realises the compression more fully
+    // (no framework overhead), so we assert the shape: speedup well
+    // above 1.5×, energy reduction above 40%.
+    let tx2 = DeviceModel::jetson_tx2();
+    let mut m = yolov5s(80, 42).expect("builds");
+    let report = RTossPruner::new(EntryPattern::Two)
+        .prune_graph(&mut m.graph)
+        .expect("prunes");
+    let dense = Workload {
+        dense_macs: m.spec.total_macs(),
+        effective_macs: m.spec.total_macs(),
+        weight_bytes: m.spec.total_weight_bytes(),
+        structure: SparsityStructure::Dense,
+    };
+    let surviving = (report.total_weights() - report.total_zeros()) as u64;
+    let pruned = Workload {
+        dense_macs: m.spec.total_macs(),
+        effective_macs: m.effective_macs(),
+        weight_bytes: surviving * 4,
+        structure: SparsityStructure::SemiStructured,
+    };
+    let speedup = tx2.latency_s(&dense) / tx2.latency_s(&pruned);
+    assert!(speedup > 1.5, "speedup {speedup}");
+    let reduction = 1.0 - tx2.energy_j(&pruned) / tx2.energy_j(&dense);
+    assert!(reduction > 0.40, "energy reduction {reduction}");
+}

@@ -1,0 +1,77 @@
+//! Cross-crate integration test: the full prune → fine-tune → evaluate
+//! pipeline on a tiny twin (debug-build friendly sizes).
+
+use rtoss::core::{EntryPattern, Pruner, RTossPruner};
+use rtoss::data::scene::{generate_dataset, SceneConfig};
+use rtoss::models::yolov5s_twin;
+use rtoss::train::{detect_scene, evaluate_twin, load_state, save_state, train_twin, TrainConfig};
+
+#[test]
+fn prune_finetune_evaluate_round_trip() {
+    let scenes = generate_dataset(&SceneConfig::default(), 8, 500);
+    let mut model = yolov5s_twin(4, 3, 500).expect("twin builds");
+
+    // Train a little, snapshot state.
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 4,
+        lr: 0.02,
+        momentum: 0.9,
+        schedule: rtoss_nn::optim::LrSchedule::Constant,
+    };
+    let losses = train_twin(&mut model, &scenes, &cfg).expect("training runs");
+    assert!(
+        losses.last().unwrap() < losses.first().unwrap(),
+        "training diverged: {losses:?}"
+    );
+    let state = save_state(&mut model);
+
+    // Prune, verify sparsity, fine-tune, verify sparsity preserved.
+    let report = RTossPruner::new(EntryPattern::Two)
+        .prune_graph(&mut model.graph)
+        .expect("pruning succeeds");
+    assert!(report.overall_sparsity() > 0.7);
+    let sparsity_after_prune = model.conv_sparsity();
+    train_twin(&mut model, &scenes, &cfg).expect("fine-tune runs");
+    assert!(
+        (model.conv_sparsity() - sparsity_after_prune).abs() < 1e-9,
+        "fine-tuning reintroduced pruned weights"
+    );
+
+    // Evaluation produces a bounded mAP and inference works per-scene.
+    let map = evaluate_twin(&mut model, &scenes, 0.2, 0.5).expect("evaluation runs");
+    assert!((0.0..=1.0).contains(&map.map));
+    let dets = detect_scene(&mut model, &scenes[0], 0.2).expect("detection runs");
+    for d in &dets {
+        assert!(d.score >= 0.2 && d.class < 3);
+    }
+
+    // State transplant into a fresh twin restores the unpruned model.
+    let mut fresh = yolov5s_twin(4, 3, 500).expect("twin builds");
+    load_state(&mut fresh, &state).expect("state loads");
+    assert!(fresh.conv_sparsity() < 0.01, "restored model must be dense");
+}
+
+#[test]
+fn every_entry_pattern_survives_the_pipeline() {
+    let scenes = generate_dataset(&SceneConfig::default(), 4, 501);
+    for entry in [EntryPattern::Five, EntryPattern::Two] {
+        let mut model = yolov5s_twin(4, 3, 501).expect("twin builds");
+        RTossPruner::new(entry)
+            .prune_graph(&mut model.graph)
+            .expect("pruning succeeds");
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            lr: 0.02,
+            momentum: 0.9,
+            schedule: rtoss_nn::optim::LrSchedule::Constant,
+        };
+        train_twin(&mut model, &scenes, &cfg).expect("fine-tune runs");
+        let out = model
+            .graph
+            .forward(&rtoss::tensor::Tensor::zeros(&[1, 3, 64, 64]))
+            .expect("forward runs");
+        assert!(out[0].as_slice().iter().all(|v| v.is_finite()));
+    }
+}
