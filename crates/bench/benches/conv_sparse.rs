@@ -23,9 +23,11 @@ fn bench_conv(c: &mut Criterion) {
         prune_3x3_weights(&mut w, &canonical_set(k).unwrap()).unwrap();
         let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
         let un = UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
-        group.bench_with_input(BenchmarkId::new("pattern", format!("{k}EP")), &pc, |b, pc| {
-            b.iter(|| conv2d_pattern_sparse(&x, pc, None).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pattern", format!("{k}EP")),
+            &pc,
+            |b, pc| b.iter(|| conv2d_pattern_sparse(&x, pc, None).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("coo", format!("{k}EP")), &un, |b, un| {
             b.iter(|| conv2d_unstructured(&x, un, None).unwrap())
         });

@@ -11,7 +11,9 @@ fn bench_dfs(c: &mut Criterion) {
     let twin = yolov5s_twin(8, 3, 1).unwrap();
     group.bench_function("twin_graph", |b| b.iter(|| group_layers(&twin.graph)));
     let full = yolov5s(80, 1).unwrap();
-    group.bench_function("full_yolov5s_graph", |b| b.iter(|| group_layers(&full.graph)));
+    group.bench_function("full_yolov5s_graph", |b| {
+        b.iter(|| group_layers(&full.graph))
+    });
     group.finish();
 }
 

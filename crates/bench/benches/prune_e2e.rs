@@ -12,7 +12,9 @@ fn bench_prune(c: &mut Criterion) {
     group.bench_function("rtoss_2ep_grouped", |b| {
         b.iter(|| {
             let mut m = yolov5s_twin(8, 3, 1).unwrap();
-            RTossPruner::new(EntryPattern::Two).prune_graph(&mut m.graph).unwrap()
+            RTossPruner::new(EntryPattern::Two)
+                .prune_graph(&mut m.graph)
+                .unwrap()
         })
     });
     group.bench_function("rtoss_2ep_ungrouped", |b| {
@@ -22,7 +24,9 @@ fn bench_prune(c: &mut Criterion) {
                 use_groups: false,
                 ..RTossConfig::new(EntryPattern::Two)
             };
-            RTossPruner::with_config(cfg).prune_graph(&mut m.graph).unwrap()
+            RTossPruner::with_config(cfg)
+                .prune_graph(&mut m.graph)
+                .unwrap()
         })
     });
     group.bench_function("patdnn", |b| {

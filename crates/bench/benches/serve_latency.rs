@@ -1,0 +1,79 @@
+//! Microbench: serving-path overhead and micro-batch throughput.
+//!
+//! Compares a direct `SparseModel::forward` call against the same
+//! request travelling the full serving path (queue → micro-batch →
+//! worker → ticket), and measures batched-pass throughput at several
+//! micro-batch sizes. The gap between the two is the serving stack's
+//! overhead budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+use rtoss_serve::{BackpressurePolicy, ServeConfig, Server};
+use rtoss_sparse::SparseModel;
+use rtoss_tensor::{init, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine() -> SparseModel {
+    let mut model = rtoss_models::yolov5s_twin(4, 2, 11).expect("model builds");
+    RTossPruner::new(EntryPattern::Two)
+        .prune_graph(&mut model.graph)
+        .expect("prunes");
+    SparseModel::compile(&model.graph).expect("compiles")
+}
+
+fn probe(seed: u64) -> Tensor {
+    init::uniform(&mut init::rng(seed), &[1, 3, 32, 32], 0.0, 1.0)
+}
+
+fn bench_direct_vs_served(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_latency");
+    group.sample_size(10);
+
+    let direct_engine = engine();
+    let x = probe(1);
+    group.bench_function("direct_forward", |b| {
+        b.iter(|| direct_engine.forward(&x).expect("forward"))
+    });
+
+    let server = Server::start(
+        Arc::new(engine()),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            batch_timeout: Duration::ZERO,
+            policy: BackpressurePolicy::Block,
+            ..ServeConfig::default()
+        },
+    );
+    group.bench_function("served_single", |b| {
+        b.iter(|| {
+            server
+                .submit(probe(2), None)
+                .expect("submit")
+                .wait()
+                .expect("serve")
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
+fn bench_batched_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_batched");
+    group.sample_size(10);
+    let direct_engine = engine();
+    for &batch in &[1usize, 2, 4, 8] {
+        let inputs: Vec<Tensor> = (0..batch).map(|i| probe(100 + i as u64)).collect();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        group.bench_with_input(
+            BenchmarkId::new("forward_batch", batch),
+            &refs,
+            |b, refs| b.iter(|| direct_engine.forward_batch(refs).expect("batched")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_served, bench_batched_throughput);
+criterion_main!(benches);

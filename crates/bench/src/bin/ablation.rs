@@ -21,7 +21,10 @@ use std::time::Instant;
 fn ablation_1x1() {
     let acc = AccuracyModel::yolov5s_kitti();
     let mut rows = Vec::new();
-    for (label, prune_1x1) in [("with 1x1 transformation", true), ("3x3-only (prior work)", false)] {
+    for (label, prune_1x1) in [
+        ("with 1x1 transformation", true),
+        ("3x3-only (prior work)", false),
+    ] {
         let mut m = yolov5s(80, 42).expect("builds");
         let snap = snapshot_weights(&m.graph);
         let cfg = RTossConfig {
@@ -42,14 +45,23 @@ fn ablation_1x1() {
     }
     print_table(
         "Ablation A: the 1x1 transformation (YOLOv5s, 2EP)",
-        &["Variant", "Compression", "1x1 sparsity", "3x3 sparsity", "est. mAP"],
+        &[
+            "Variant",
+            "Compression",
+            "1x1 sparsity",
+            "3x3 sparsity",
+            "est. mAP",
+        ],
         &rows,
     );
 }
 
 fn ablation_grouping() {
     let mut rows = Vec::new();
-    for (label, use_groups) in [("DFS grouping (Alg. 1)", true), ("per-layer selection", false)] {
+    for (label, use_groups) in [
+        ("DFS grouping (Alg. 1)", true),
+        ("per-layer selection", false),
+    ] {
         let mut m = yolov5s(80, 42).expect("builds");
         let cfg = RTossConfig {
             use_groups,
@@ -85,10 +97,7 @@ fn ablation_budget() {
         let mut w = kernels.clone();
         prune_3x3_weights(&mut w, &set).expect("prunes");
         let retention = w.l2_norm() as f64 / dense_l2;
-        rows.push(vec![
-            format!("{}", set.len()),
-            format!("{retention:.4}"),
-        ]);
+        rows.push(vec![format!("{}", set.len()), format!("{retention:.4}")]);
     }
     print_table(
         "Ablation C: 3EP pattern budget vs L2 retention (4096 random kernels)",

@@ -9,9 +9,7 @@
 //! Run with `--release` (a few minutes on one core); `--quick` for a
 //! smoke version.
 
-use rtoss::train::{
-    evaluate_twin_tiered, load_state, save_state, train_twin, TrainConfig,
-};
+use rtoss::train::{evaluate_twin_tiered, load_state, save_state, train_twin, TrainConfig};
 use rtoss_bench::print_table;
 use rtoss_core::baselines::PatDnn;
 use rtoss_core::{EntryPattern, Pruner, RTossPruner};

@@ -52,14 +52,23 @@ fn sweep(name: &str, build: impl Fn() -> DetectorModel, paper: &[(&str, f64)]) {
         .collect();
     print_table(
         &format!("Fig. 4 ({name}): sparsity ratio vs BM"),
-        &["Method", "Compression (measured)", "Sparsity", "Paper (approx)"],
+        &[
+            "Method",
+            "Compression (measured)",
+            "Sparsity",
+            "Paper (approx)",
+        ],
         &rows,
     );
 }
 
 fn main() {
     eprintln!("building and pruning full-scale YOLOv5s with 8 methods...");
-    sweep("YOLOv5s", || yolov5s(80, 42).expect("yolov5s builds"), PAPER_YOLO);
+    sweep(
+        "YOLOv5s",
+        || yolov5s(80, 42).expect("yolov5s builds"),
+        PAPER_YOLO,
+    );
     eprintln!("building and pruning full-scale RetinaNet with 8 methods...");
     sweep(
         "RetinaNet",

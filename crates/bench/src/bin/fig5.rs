@@ -40,7 +40,12 @@ const PAPER_RETINA: &[(&str, f64)] = &[
     ("R-TOSS (2EP)", 82.9),
 ];
 
-fn analytic(name: &str, build: impl Fn() -> DetectorModel, acc: AccuracyModel, paper: &[(&str, f64)]) {
+fn analytic(
+    name: &str,
+    build: impl Fn() -> DetectorModel,
+    acc: AccuracyModel,
+    paper: &[(&str, f64)],
+) {
     let runs = run_roster(build);
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -61,7 +66,13 @@ fn analytic(name: &str, build: impl Fn() -> DetectorModel, acc: AccuracyModel, p
         .collect();
     print_table(
         &format!("Fig. 5 ({name}): mAP, analytic tier"),
-        &["Method", "mAP (model)", "L2 retention", "Filter cut", "Paper (approx)"],
+        &[
+            "Method",
+            "mAP (model)",
+            "L2 retention",
+            "Filter cut",
+            "Paper (approx)",
+        ],
         &rows,
     );
 }

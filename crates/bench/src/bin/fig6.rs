@@ -82,8 +82,7 @@ fn measured_cpu_series() {
     let mut rows = Vec::new();
     for (label, k) in [("R-TOSS (2EP)", 2usize), ("R-TOSS (3EP)", 3), ("PD/4EP", 4)] {
         let mut w = init::uniform(&mut init::rng(8), &[64, 64, 3, 3], -1.0, 1.0);
-        prune_3x3_weights(&mut w, &canonical_set(k).expect("pattern set"))
-            .expect("prune succeeds");
+        prune_3x3_weights(&mut w, &canonical_set(k).expect("pattern set")).expect("prune succeeds");
         let t = measure_layer(&x, &w, 1, 1, 3).expect("measurement succeeds");
         rows.push(vec![
             label.to_string(),
@@ -115,7 +114,11 @@ fn measured_cpu_series() {
     }
     print_table(
         "Fig. 6 (measured on this CPU): 64x64x3x3 layer, 40x40 input",
-        &["Pruning", "pattern-grouped executor", "per-weight COO executor"],
+        &[
+            "Pruning",
+            "pattern-grouped executor",
+            "per-weight COO executor",
+        ],
         &rows,
     );
 }
@@ -130,7 +133,9 @@ fn measured_model_series() {
     let time_engine = |entry: Option<EntryPattern>| -> (f64, f64) {
         let mut m = rtoss_models::yolov5s_twin(16, 3, 42).expect("twin builds");
         if let Some(e) = entry {
-            RTossPruner::new(e).prune_graph(&mut m.graph).expect("pruning succeeds");
+            RTossPruner::new(e)
+                .prune_graph(&mut m.graph)
+                .expect("pruning succeeds");
         }
         let t = measure_model(&mut m.graph, &x, 5).expect("timing succeeds");
         (t.dense_s, t.sparse_s)
@@ -158,7 +163,11 @@ fn measured_model_series() {
 
 fn main() {
     eprintln!("device-model series: YOLOv5s...");
-    sweep("YOLOv5s", || yolov5s(80, 42).expect("yolov5s builds"), PAPER_YOLO);
+    sweep(
+        "YOLOv5s",
+        || yolov5s(80, 42).expect("yolov5s builds"),
+        PAPER_YOLO,
+    );
     eprintln!("device-model series: RetinaNet...");
     sweep(
         "RetinaNet",

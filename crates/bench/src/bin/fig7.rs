@@ -67,7 +67,11 @@ fn sweep(name: &str, build: impl Fn() -> DetectorModel, paper: &[(&str, f64, f64
 
 fn main() {
     eprintln!("energy series: YOLOv5s...");
-    sweep("YOLOv5s", || yolov5s(80, 42).expect("yolov5s builds"), PAPER_YOLO);
+    sweep(
+        "YOLOv5s",
+        || yolov5s(80, 42).expect("yolov5s builds"),
+        PAPER_YOLO,
+    );
     eprintln!("energy series: RetinaNet...");
     sweep(
         "RetinaNet",

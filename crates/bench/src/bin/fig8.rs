@@ -5,7 +5,7 @@
 //! Trains the twin once, transplants the trained state into a fresh
 //! twin per method, prunes, fine-tunes briefly, runs inference on the
 //! same held-out scene, prints each method's detections (class,
-//! confidence) and writes annotated PPM images to `fig8_out/`.
+//! confidence) and writes annotated PPM images to `results/fig8/`.
 //!
 //! Run with `--release`; the default budget takes a few minutes on one
 //! core.
@@ -51,7 +51,7 @@ fn main() {
     train_twin(&mut base, &train_scenes, &cfg).expect("training succeeds");
     let state = save_state(&mut base);
 
-    let out_dir = Path::new("fig8_out");
+    let out_dir = Path::new("results/fig8");
     std::fs::create_dir_all(out_dir).expect("output dir");
     // Ground-truth reference image.
     let gt_overlays: Vec<Overlay> = test_scene
@@ -63,8 +63,12 @@ fn main() {
             label: KittiClass::from_index(t.class).name().to_string(),
         })
         .collect();
-    write_ppm_with_boxes(&out_dir.join("ground_truth.ppm"), &test_scene.image, &gt_overlays)
-        .expect("ppm written");
+    write_ppm_with_boxes(
+        &out_dir.join("ground_truth.ppm"),
+        &test_scene.image,
+        &gt_overlays,
+    )
+    .expect("ppm written");
 
     let finetune = TrainConfig {
         epochs: (3 * epochs) / 4,
@@ -110,9 +114,7 @@ fn main() {
             "(none)".to_string()
         } else {
             dets.iter()
-                .map(|d| {
-                    format!("{} {:.2}", KittiClass::from_index(d.class).name(), d.score)
-                })
+                .map(|d| format!("{} {:.2}", KittiClass::from_index(d.class).name(), d.score))
                 .collect::<Vec<_>>()
                 .join(", ")
         };
@@ -130,7 +132,7 @@ fn main() {
         .map(|t| KittiClass::from_index(t.class).name().to_string())
         .collect::<Vec<_>>()
         .join(", ");
-    println!("\nGround truth: {truth_list} (fig8_out/ground_truth.ppm)");
+    println!("\nGround truth: {truth_list} (results/fig8/ground_truth.ppm)");
     print_table(
         "Fig. 8: qualitative comparison on one KITTI-like scene (RetinaNet twin)",
         &["Method", "#Det", "Detections (class, confidence)", "Image"],

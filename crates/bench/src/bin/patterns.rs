@@ -48,7 +48,12 @@ fn main() {
         .collect();
     print_table(
         "Pattern derivation (Eq. 1 + adjacency filter + L2 selection)",
-        &["k", "C(9,k) candidates", "adjacent (4-connected)", "selected"],
+        &[
+            "k",
+            "C(9,k) candidates",
+            "adjacent (4-connected)",
+            "selected",
+        ],
         &rows,
     );
 

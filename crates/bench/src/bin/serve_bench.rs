@@ -1,0 +1,247 @@
+//! Serving benchmark: open-loop Poisson load against the dense engine
+//! and the R-TOSS 2EP/3EP/4EP pruned engines.
+//!
+//! Replays the *same* seeded arrival schedule against each variant of a
+//! scaled YOLOv5s twin and reports throughput, tail latency, shed rate,
+//! and modelled per-request energy — the end-to-end systems view of the
+//! paper's claim that semi-structured pruning buys real-time headroom.
+//! The schedule is deterministic (seeded ChaCha8); reruns with the same
+//! flags reproduce the same arrivals.
+//!
+//! ```text
+//! serve_bench [--qps N] [--requests N] [--seed N] [--workers N]
+//!             [--max-batch N] [--deadline-ms N] [--image N] [--out PATH]
+//! ```
+//!
+//! Writes a JSON report (and verifies it round-trips through serde) to
+//! `results/serve/serve_bench.json` by default.
+
+use rtoss_bench::{print_table, workload_for};
+use rtoss_core::{snapshot_report, EntryPattern, Pruner, RTossPruner};
+use rtoss_hw::{DeviceModel, SparsityStructure};
+use rtoss_models::yolov5s_twin;
+use rtoss_serve::loadgen::{poisson_schedule, run_open_loop, LoadSummary};
+use rtoss_serve::{BackpressurePolicy, EnergyModelHook, MetricsSnapshot, ServeConfig, Server};
+use rtoss_sparse::SparseModel;
+use rtoss_tensor::init;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One served variant's results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ModeRow {
+    /// Variant name: "dense", "2EP", "3EP", "4EP".
+    mode: String,
+    /// Conv-weight compression of the compiled engine.
+    compression: f64,
+    /// Client-side load-generator summary.
+    summary: LoadSummary,
+    /// Server-side metrics snapshot.
+    metrics: MetricsSnapshot,
+}
+
+/// The full benchmark report written to disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ServeBenchReport {
+    /// Mean offered load, requests/second.
+    qps: f64,
+    /// Requests per variant.
+    requests: u64,
+    /// Schedule / weight seed.
+    seed: u64,
+    /// Per-request deadline, milliseconds.
+    deadline_ms: u64,
+    /// Worker threads.
+    workers: u64,
+    /// Micro-batch cap.
+    max_batch: u64,
+    /// Input image side, pixels.
+    image: u64,
+    /// One row per served variant.
+    rows: Vec<ModeRow>,
+}
+
+struct Args {
+    qps: f64,
+    requests: usize,
+    seed: u64,
+    workers: usize,
+    max_batch: usize,
+    deadline_ms: u64,
+    image: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        qps: 200.0,
+        requests: 120,
+        seed: 42,
+        workers: 2,
+        max_batch: 4,
+        deadline_ms: 250,
+        image: 32,
+        out: "results/serve/serve_bench.json".to_string(),
+    };
+    fn usage_error(msg: &str) -> ! {
+        eprintln!("serve_bench: {msg}");
+        eprintln!(
+            "usage: serve_bench [--qps N] [--requests N] [--seed N] [--workers N] \
+             [--max-batch N] [--deadline-ms N] [--image N] [--out PATH]"
+        );
+        std::process::exit(2);
+    }
+    fn number<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+        raw.parse()
+            .unwrap_or_else(|_| usage_error(&format!("{flag} takes a number, got {raw:?}")))
+    }
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("missing value for {flag}")))
+        };
+        match flag.as_str() {
+            "--qps" => args.qps = number(&flag, &value()),
+            "--requests" => args.requests = number(&flag, &value()),
+            "--seed" => args.seed = number(&flag, &value()),
+            "--workers" => args.workers = number(&flag, &value()),
+            "--max-batch" => args.max_batch = number(&flag, &value()),
+            "--deadline-ms" => args.deadline_ms = number(&flag, &value()),
+            "--image" => args.image = number(&flag, &value()),
+            "--out" => args.out = value(),
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRow {
+    // Same seed for every variant: identical weights before pruning.
+    let mut model = yolov5s_twin(8, 2, args.seed).expect("model builds");
+    let (report, structure) = match entry {
+        Some(e) => (
+            RTossPruner::new(e)
+                .prune_graph(&mut model.graph)
+                .expect("prunes"),
+            SparsityStructure::SemiStructured,
+        ),
+        None => (
+            snapshot_report(&model.graph, "BM"),
+            SparsityStructure::Dense,
+        ),
+    };
+    let workload = workload_for(&model, &report, structure);
+    let engine = Arc::new(SparseModel::compile(&model.graph).expect("compiles"));
+    let compression = engine.compression_ratio();
+
+    let server = Server::start(
+        engine,
+        ServeConfig {
+            workers: args.workers,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::ShedExpired,
+            max_batch: args.max_batch,
+            batch_timeout: Duration::from_millis(2),
+            energy: Some(EnergyModelHook {
+                device: DeviceModel::rtx_2080ti(),
+                workload,
+            }),
+        },
+    );
+
+    let schedule = poisson_schedule(args.seed, args.qps, args.requests);
+    let side = args.image;
+    let seed = args.seed;
+    let summary = run_open_loop(
+        &server,
+        &schedule,
+        Some(Duration::from_millis(args.deadline_ms)),
+        |i| {
+            init::uniform(
+                &mut init::rng(seed ^ i as u64),
+                &[1, 3, side, side],
+                0.0,
+                1.0,
+            )
+        },
+    );
+    let metrics = server.metrics().snapshot();
+    server.shutdown();
+    ModeRow {
+        mode: mode.to_string(),
+        compression,
+        summary,
+        metrics,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "serve_bench: YOLOv5s twin, {} req @ {} qps, seed {}, {} workers, max batch {}, deadline {} ms\n",
+        args.requests, args.qps, args.seed, args.workers, args.max_batch, args.deadline_ms
+    );
+
+    let variants: [(&str, Option<EntryPattern>); 4] = [
+        ("dense", None),
+        ("2EP", Some(EntryPattern::Two)),
+        ("3EP", Some(EntryPattern::Three)),
+        ("4EP", Some(EntryPattern::Four)),
+    ];
+    let rows: Vec<ModeRow> = variants
+        .iter()
+        .map(|&(mode, entry)| serve_variant(mode, entry, &args))
+        .collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.clone(),
+                format!("{:.2}x", r.compression),
+                format!("{:.1}", r.summary.throughput_rps),
+                format!("{:.2}", r.summary.p50_ms),
+                format!("{:.2}", r.summary.p99_ms),
+                format!("{:.1}%", 100.0 * r.summary.shed_rate()),
+                format!("{:.2}", r.metrics.mean_batch_size),
+                format!(
+                    "{:.1}",
+                    1e3 * r.metrics.energy_j / r.metrics.completed.max(1) as f64
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Serving under open-loop Poisson load (dense vs R-TOSS pruned)",
+        &[
+            "mode", "compress", "rps", "p50 ms", "p99 ms", "shed", "batch", "mJ/req",
+        ],
+        &table,
+    );
+
+    let report = ServeBenchReport {
+        qps: args.qps,
+        requests: args.requests as u64,
+        seed: args.seed,
+        deadline_ms: args.deadline_ms,
+        workers: args.workers as u64,
+        max_batch: args.max_batch as u64,
+        image: args.image as u64,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let back: ServeBenchReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(back, report, "serde round-trip must be lossless");
+    let out = std::path::Path::new(&args.out);
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("output dir");
+    }
+    std::fs::write(out, &json).expect("write report");
+    println!(
+        "\nreport: {} ({} bytes, serde round-trip verified)",
+        args.out,
+        json.len()
+    );
+}

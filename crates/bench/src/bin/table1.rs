@@ -34,7 +34,13 @@ fn main() {
         .collect();
     print_table(
         "Table 1: two-stage vs single-stage detectors",
-        &["Name", "Type", "mAP (paper)", "fps (paper)", "fps (simulated, 2080 Ti)"],
+        &[
+            "Name",
+            "Type",
+            "mAP (paper)",
+            "fps (paper)",
+            "fps (simulated, 2080 Ti)",
+        ],
         &rows,
     );
     println!(

@@ -45,7 +45,7 @@ fn sweep(
                 r.name.clone(),
                 format!("{:.2}x / {p_ratio}x", r.report.compression_ratio()),
                 format!("{:.2} / {p_map}", acc.estimate(&r.stats)),
-                format!("{ms:.2} / {p_ms}", ),
+                format!("{ms:.2} / {p_ms}",),
                 format!("{j:.3} / {p_j}"),
             ]
         })

@@ -181,7 +181,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -202,7 +205,16 @@ mod tests {
         let names: Vec<&str> = runs.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["BM", "PD", "NMS", "NS", "PF", "NP", "R-TOSS (3EP)", "R-TOSS (2EP)"]
+            vec![
+                "BM",
+                "PD",
+                "NMS",
+                "NS",
+                "PF",
+                "NP",
+                "R-TOSS (3EP)",
+                "R-TOSS (2EP)"
+            ]
         );
         // BM is dense, everything else is sparser.
         assert!(runs[0].report.overall_sparsity() < 0.01);
@@ -250,7 +262,10 @@ mod tests {
         assert_eq!(structure_of("BM"), SparsityStructure::Dense);
         assert_eq!(structure_of("NMS"), SparsityStructure::Unstructured);
         assert_eq!(structure_of("NS"), SparsityStructure::Structured);
-        assert_eq!(structure_of("R-TOSS (2EP)"), SparsityStructure::SemiStructured);
+        assert_eq!(
+            structure_of("R-TOSS (2EP)"),
+            SparsityStructure::SemiStructured
+        );
     }
 
     #[test]

@@ -149,7 +149,11 @@ pub fn prune_stats(before: &WeightSnapshot, graph: &Graph) -> PruneStats {
         let o = w.shape()[0];
         let per: usize = w.shape()[1..].iter().product();
         let cut = (0..o)
-            .filter(|&f| w.as_slice()[f * per..(f + 1) * per].iter().all(|&v| v == 0.0))
+            .filter(|&f| {
+                w.as_slice()[f * per..(f + 1) * per]
+                    .iter()
+                    .all(|&v| v == 0.0)
+            })
             .count();
         filter_cut_weighted += (cut as f64 / o as f64) * stat.numel as f64;
 
@@ -344,7 +348,11 @@ mod tests {
         let stats = run(&PruningFilters::default(), 76);
         assert!(stats.filter_cut > 0.2, "filter_cut {}", stats.filter_cut);
         let rtoss = run(&RTossPruner::new(EntryPattern::Two), 76);
-        assert!(rtoss.filter_cut < 0.05, "rtoss filter_cut {}", rtoss.filter_cut);
+        assert!(
+            rtoss.filter_cut < 0.05,
+            "rtoss filter_cut {}",
+            rtoss.filter_cut
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn sparsity_matches_ratio() {
         let mut m = rtoss_models::yolov5s_twin(8, 3, 51).unwrap();
-        let r = PruningFilters::new(0.5).unwrap().prune_graph(&mut m.graph).unwrap();
+        let r = PruningFilters::new(0.5)
+            .unwrap()
+            .prune_graph(&mut m.graph)
+            .unwrap();
         // Each layer loses floor(o/2) filters → close to 0.5 overall;
         // rounding on small layers pulls it slightly below.
         let s = r.overall_sparsity();

@@ -143,7 +143,11 @@ mod tests {
         let mut m = rtoss_models::yolov5s_twin(4, 2, 3).unwrap();
         let p = MagnitudePruner::new(0.7).unwrap();
         let r = p.prune_graph(&mut m.graph).unwrap();
-        assert!((r.overall_sparsity() - 0.7).abs() < 0.01, "{}", r.overall_sparsity());
+        assert!(
+            (r.overall_sparsity() - 0.7).abs() < 0.01,
+            "{}",
+            r.overall_sparsity()
+        );
     }
 
     #[test]

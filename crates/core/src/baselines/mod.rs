@@ -54,7 +54,11 @@ mod tests {
                 b.name(),
                 r.overall_sparsity()
             );
-            assert!(r.overall_sparsity() < 0.95, "{} pruned everything", b.name());
+            assert!(
+                r.overall_sparsity() < 0.95,
+                "{} pruned everything",
+                b.name()
+            );
         }
     }
 }

@@ -102,9 +102,7 @@ impl Pruner for PatDnn {
                 let n = w.numel();
                 let n_cut = ((n as f64) * self.connectivity_ratio).floor() as usize;
                 let mut idx: Vec<usize> = (0..n).collect();
-                idx.sort_by(|&a, &b| {
-                    w.as_slice()[a].abs().total_cmp(&w.as_slice()[b].abs())
-                });
+                idx.sort_by(|&a, &b| w.as_slice()[a].abs().total_cmp(&w.as_slice()[b].abs()));
                 let mut mask = Tensor::ones(w.shape());
                 for &i in idx.iter().take(n_cut) {
                     mask.as_mut_slice()[i] = 0.0;
@@ -134,7 +132,10 @@ mod tests {
         // Pattern alone: 5/9 ≈ 0.556. With 30% kernels cut:
         // sparsity = 0.3 + 0.7 * 5/9 ≈ 0.689.
         let s3 = r.sparsity_for_kernel(3);
-        assert!((s3 - (0.3 + 0.7 * 5.0 / 9.0)).abs() < 0.02, "3x3 sparsity {s3}");
+        assert!(
+            (s3 - (0.3 + 0.7 * 5.0 / 9.0)).abs() < 0.02,
+            "3x3 sparsity {s3}"
+        );
     }
 
     #[test]
@@ -170,8 +171,14 @@ mod tests {
         g.set_outputs(vec![c1]).unwrap();
         PatDnn::new(0.5).unwrap().prune_graph(&mut g).unwrap();
         let w = &g.conv(c1).unwrap().weight().value;
-        assert!(w.as_slice()[..9].iter().all(|&v| v == 0.0), "small kernel cut");
-        assert!(w.as_slice()[9..].iter().any(|&v| v != 0.0), "large kernel kept");
+        assert!(
+            w.as_slice()[..9].iter().all(|&v| v == 0.0),
+            "small kernel cut"
+        );
+        assert!(
+            w.as_slice()[9..].iter().any(|&v| v != 0.0),
+            "large kernel kept"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl NetworkSlimming {
 impl Default for NetworkSlimming {
     /// The original paper's common 40% channel-pruning operating point.
     fn default() -> Self {
-        NetworkSlimming { channel_ratio: 0.40 }
+        NetworkSlimming {
+            channel_ratio: 0.40,
+        }
     }
 }
 
@@ -148,7 +150,10 @@ mod tests {
     #[test]
     fn achieves_roughly_target_channel_sparsity() {
         let mut m = rtoss_models::yolov5s_twin(8, 3, 41).unwrap();
-        let r = NetworkSlimming::new(0.4).unwrap().prune_graph(&mut m.graph).unwrap();
+        let r = NetworkSlimming::new(0.4)
+            .unwrap()
+            .prune_graph(&mut m.graph)
+            .unwrap();
         // Detect-head convs have no BN, so overall sparsity is slightly
         // below the channel ratio.
         let s = r.overall_sparsity();
@@ -162,12 +167,14 @@ mod tests {
         let conv = rtoss_nn::layers::Conv2d::new(1, 4, 3, 1, 1, 1);
         let c1 = g.add_layer("c1", Box::new(conv), x).unwrap();
         let mut bn = rtoss_nn::layers::BatchNorm2d::new(4);
-        bn.gamma_mut().value =
-            Tensor::from_vec(vec![0.01, 1.0, 0.02, 2.0], &[4]).unwrap();
+        bn.gamma_mut().value = Tensor::from_vec(vec![0.01, 1.0, 0.02, 2.0], &[4]).unwrap();
         let b1 = g.add_layer("b1", Box::new(bn), c1).unwrap();
         g.set_outputs(vec![b1]).unwrap();
 
-        NetworkSlimming::new(0.5).unwrap().prune_graph(&mut g).unwrap();
+        NetworkSlimming::new(0.5)
+            .unwrap()
+            .prune_graph(&mut g)
+            .unwrap();
         let w = &g.conv(c1).unwrap().weight().value;
         // Channels 0 and 2 (small gammas) zeroed; 1 and 3 kept.
         for f in [0usize, 2] {
@@ -185,7 +192,10 @@ mod tests {
     #[test]
     fn never_cuts_all_channels_of_a_layer() {
         let mut m = rtoss_models::yolov5s_twin(4, 2, 42).unwrap();
-        NetworkSlimming::new(0.9).unwrap().prune_graph(&mut m.graph).unwrap();
+        NetworkSlimming::new(0.9)
+            .unwrap()
+            .prune_graph(&mut m.graph)
+            .unwrap();
         // Every conv followed by a BN must retain at least one non-zero
         // output filter.
         for id in m.graph.conv_ids() {
@@ -203,7 +213,9 @@ mod tests {
     #[test]
     fn convs_without_bn_are_untouched() {
         let mut m = rtoss_models::yolov5s_twin(4, 2, 43).unwrap();
-        let r = NetworkSlimming::default().prune_graph(&mut m.graph).unwrap();
+        let r = NetworkSlimming::default()
+            .prune_graph(&mut m.graph)
+            .unwrap();
         // Detect heads are bare convs (no BN) → zero sparsity there.
         for l in r.layers.iter().filter(|l| l.name.starts_with("detect")) {
             assert_eq!(l.zeros, 0, "{} was pruned without a BN", l.name);

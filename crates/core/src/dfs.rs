@@ -244,11 +244,7 @@ mod tests {
     fn twin_model_groups_cover_every_conv_once() {
         let m = rtoss_models::yolov5s_twin(8, 3, 5).unwrap();
         let groups = group_layers(&m.graph);
-        let mut covered: Vec<NodeId> = groups
-            .groups()
-            .iter()
-            .flat_map(|g| g.members())
-            .collect();
+        let mut covered: Vec<NodeId> = groups.groups().iter().flat_map(|g| g.members()).collect();
         covered.sort_unstable();
         let mut convs = m.graph.conv_ids();
         convs.sort_unstable();

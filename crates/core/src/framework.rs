@@ -366,7 +366,9 @@ mod tests {
             )
             .unwrap();
         g.set_outputs(vec![p2]).unwrap();
-        let r = RTossPruner::new(EntryPattern::Two).prune_graph(&mut g).unwrap();
+        let r = RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut g)
+            .unwrap();
         assert_eq!(r.group_count, 1);
         assert!((r.overall_sparsity() - 7.0 / 9.0).abs() < 1e-6);
     }
@@ -379,7 +381,9 @@ mod tests {
                 use_groups,
                 ..RTossConfig::new(EntryPattern::Three)
             };
-            RTossPruner::with_config(cfg).prune_graph(&mut m.graph).unwrap()
+            RTossPruner::with_config(cfg)
+                .prune_graph(&mut m.graph)
+                .unwrap()
         };
         let grouped = run(true);
         let flat = run(false);

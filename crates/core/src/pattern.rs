@@ -336,7 +336,11 @@ pub fn select_patterns(
         wins[best.0] += 1;
     }
     let mut order: Vec<usize> = (0..candidates.len()).collect();
-    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(candidates[a].cmp(&candidates[b])));
+    order.sort_by(|&a, &b| {
+        wins[b]
+            .cmp(&wins[a])
+            .then(candidates[a].cmp(&candidates[b]))
+    });
     let kept: Vec<Pattern> = order
         .into_iter()
         .take(budget.min(candidates.len()))
@@ -382,7 +386,11 @@ pub fn select_patterns_unfiltered(
         wins[best.0] += 1;
     }
     let mut order: Vec<usize> = (0..candidates.len()).collect();
-    order.sort_by(|&a, &b| wins[b].cmp(&wins[a]).then(candidates[a].cmp(&candidates[b])));
+    order.sort_by(|&a, &b| {
+        wins[b]
+            .cmp(&wins[a])
+            .then(candidates[a].cmp(&candidates[b]))
+    });
     let kept: Vec<Pattern> = order
         .into_iter()
         .take(budget.min(candidates.len()))

@@ -102,15 +102,14 @@ mod tests {
         let top_row = Pattern::from_cells(&[(0, 0), (0, 1), (0, 2)]).unwrap();
         let bottom_row = Pattern::from_cells(&[(2, 0), (2, 1), (2, 2)]).unwrap();
         let set = PatternSet::new(vec![bottom_row, top_row]).unwrap();
-        let mut w =
-            Tensor::from_vec(vec![5.0, 5.0, 5.0, 0.1, 0.1, 0.1, 0.2, 0.2, 0.2], &[1, 1, 3, 3])
-                .unwrap();
+        let mut w = Tensor::from_vec(
+            vec![5.0, 5.0, 5.0, 0.1, 0.1, 0.1, 0.2, 0.2, 0.2],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
         let out = prune_3x3_weights(&mut w, &set).unwrap();
         assert_eq!(out.chosen, vec![1]);
-        assert_eq!(
-            w.as_slice(),
-            &[5.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
-        );
+        assert_eq!(w.as_slice(), &[5.0, 5.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -150,9 +150,7 @@ mod tests {
         let mut m = yolov5s_twin(4, 2, 92).unwrap();
         let err = IterativeSchedule::standard().run(&mut m.graph, |_, i| {
             if i == 1 {
-                Err(PruneError::Config {
-                    msg: "stop".into(),
-                })
+                Err(PruneError::Config { msg: "stop".into() })
             } else {
                 Ok(())
             }
@@ -183,9 +181,7 @@ mod tests {
     #[test]
     fn rejects_bad_schedules() {
         assert!(IterativeSchedule::new(vec![]).is_err());
-        assert!(
-            IterativeSchedule::new(vec![EntryPattern::Two, EntryPattern::Five]).is_err()
-        );
+        assert!(IterativeSchedule::new(vec![EntryPattern::Two, EntryPattern::Five]).is_err());
         assert!(IterativeSchedule::new(vec![EntryPattern::Three]).is_ok());
     }
 }

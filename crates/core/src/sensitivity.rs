@@ -95,7 +95,10 @@ mod tests {
             .filter(|&id| matches!(m.graph.conv(id).unwrap().kernel_size(), 1 | 3))
             .count();
         assert_eq!(report.len(), prunable);
-        assert!((m.conv_sparsity() - before_sparsity).abs() < 1e-12, "analysis mutated weights");
+        assert!(
+            (m.conv_sparsity() - before_sparsity).abs() < 1e-12,
+            "analysis mutated weights"
+        );
         // Retentions are sane and sorted ascending.
         for w in report.windows(2) {
             assert!(w[0].retention <= w[1].retention + 1e-12);
@@ -110,9 +113,8 @@ mod tests {
         let mut m = yolov5s_twin(8, 3, 201).unwrap();
         let two = analyze_layer_sensitivity(&mut m.graph, EntryPattern::Two).unwrap();
         let five = analyze_layer_sensitivity(&mut m.graph, EntryPattern::Five).unwrap();
-        let mean = |r: &[LayerSensitivity]| {
-            r.iter().map(|l| l.retention).sum::<f64>() / r.len() as f64
-        };
+        let mean =
+            |r: &[LayerSensitivity]| r.iter().map(|l| l.retention).sum::<f64>() / r.len() as f64;
         assert!(mean(&two) < mean(&five), "2EP should retain less than 5EP");
     }
 
@@ -123,7 +125,9 @@ mod tests {
             protected: vec!["detect".into()],
             ..RTossConfig::new(EntryPattern::Two)
         };
-        let report = RTossPruner::with_config(cfg).prune_graph(&mut m.graph).unwrap();
+        let report = RTossPruner::with_config(cfg)
+            .prune_graph(&mut m.graph)
+            .unwrap();
         for l in &report.layers {
             if l.name.starts_with("detect") {
                 assert_eq!(l.zeros, 0, "protected layer {} was pruned", l.name);

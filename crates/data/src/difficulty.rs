@@ -110,7 +110,12 @@ pub fn evaluate_map_tiered(
             if filtered.iter().all(Vec::is_empty) {
                 None
             } else {
-                Some(evaluate_map(detections, &filtered, num_classes, iou_threshold))
+                Some(evaluate_map(
+                    detections,
+                    &filtered,
+                    num_classes,
+                    iou_threshold,
+                ))
             }
         })
         .collect();

@@ -27,6 +27,6 @@ pub mod ppm;
 pub mod scene;
 
 pub use bbox::{nms, BBox, Detection, GroundTruth};
-pub use map::{evaluate_map, MapReport};
 pub use difficulty::{evaluate_map_tiered, Difficulty, TieredMapReport, TieredTruth};
+pub use map::{evaluate_map, MapReport};
 pub use scene::{augment_with_flips, generate_dataset, KittiClass, Scene, SceneConfig};

@@ -57,7 +57,11 @@ pub fn evaluate_map(
     }
     MapReport {
         per_class,
-        map: if counted == 0 { 0.0 } else { sum / counted as f64 },
+        map: if counted == 0 {
+            0.0
+        } else {
+            sum / counted as f64
+        },
     }
 }
 

@@ -24,11 +24,7 @@ pub struct Overlay {
 ///
 /// Returns an I/O error if the file cannot be written, or
 /// `InvalidInput` if the tensor is not `(3, S, S)`.
-pub fn write_ppm_with_boxes(
-    path: &Path,
-    image: &Tensor,
-    overlays: &[Overlay],
-) -> io::Result<()> {
+pub fn write_ppm_with_boxes(path: &Path, image: &Tensor, overlays: &[Overlay]) -> io::Result<()> {
     if image.rank() != 3 || image.shape()[0] != 3 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -47,7 +43,10 @@ pub fn write_ppm_with_boxes(
     };
     for ov in overlays {
         let (x1, y1, x2, y2) = ov.bbox.corners();
-        let (px1, py1) = ((x1.max(0.0) * w as f32) as usize, (y1.max(0.0) * h as f32) as usize);
+        let (px1, py1) = (
+            (x1.max(0.0) * w as f32) as usize,
+            (y1.max(0.0) * h as f32) as usize,
+        );
         let (px2, py2) = (
             ((x2.min(1.0) * w as f32) as usize).min(w.saturating_sub(1)),
             ((y2.min(1.0) * h as f32) as usize).min(h.saturating_sub(1)),

@@ -95,8 +95,14 @@ pub struct Scene {
 }
 
 fn paint_rect(img: &mut [f32], s: usize, x1: f32, y1: f32, x2: f32, y2: f32, rgb: [f32; 3]) {
-    let (px1, py1) = (((x1 * s as f32) as usize).min(s - 1), ((y1 * s as f32) as usize).min(s - 1));
-    let (px2, py2) = (((x2 * s as f32) as usize).min(s), ((y2 * s as f32) as usize).min(s));
+    let (px1, py1) = (
+        ((x1 * s as f32) as usize).min(s - 1),
+        ((y1 * s as f32) as usize).min(s - 1),
+    );
+    let (px2, py2) = (
+        ((x2 * s as f32) as usize).min(s),
+        ((y2 * s as f32) as usize).min(s),
+    );
     for c in 0..3 {
         for y in py1..py2 {
             for x in px1..px2 {
@@ -158,22 +164,66 @@ pub fn generate_scene<R: Rng>(cfg: &SceneConfig, rng: &mut R) -> Scene {
         match class {
             KittiClass::Car => {
                 // Dark body with a lighter window band on top.
-                let body: [f32; 3] = [rng.gen_range(0.05..0.25), rng.gen_range(0.05..0.3), rng.gen_range(0.5..0.9)];
+                let body: [f32; 3] = [
+                    rng.gen_range(0.05..0.25),
+                    rng.gen_range(0.05..0.3),
+                    rng.gen_range(0.5..0.9),
+                ];
                 paint_rect(&mut img, s, x1, y1, x2, y2, body);
-                paint_rect(&mut img, s, x1 + w * 0.2, y1, x2 - w * 0.2, y1 + h * 0.35, [0.75, 0.85, 0.95]);
+                paint_rect(
+                    &mut img,
+                    s,
+                    x1 + w * 0.2,
+                    y1,
+                    x2 - w * 0.2,
+                    y1 + h * 0.35,
+                    [0.75, 0.85, 0.95],
+                );
             }
             KittiClass::Pedestrian => {
                 // Bright warm vertical figure with a darker head.
-                let body = [rng.gen_range(0.7..0.95), rng.gen_range(0.15..0.35), rng.gen_range(0.1..0.3)];
+                let body = [
+                    rng.gen_range(0.7..0.95),
+                    rng.gen_range(0.15..0.35),
+                    rng.gen_range(0.1..0.3),
+                ];
                 paint_rect(&mut img, s, x1, y1 + h * 0.25, x2, y2, body);
-                paint_rect(&mut img, s, x1 + w * 0.2, y1, x2 - w * 0.2, y1 + h * 0.25, [0.85, 0.7, 0.55]);
+                paint_rect(
+                    &mut img,
+                    s,
+                    x1 + w * 0.2,
+                    y1,
+                    x2 - w * 0.2,
+                    y1 + h * 0.25,
+                    [0.85, 0.7, 0.55],
+                );
             }
             KittiClass::Cyclist => {
                 // Green frame with two dark wheels.
-                let frame = [rng.gen_range(0.1..0.3), rng.gen_range(0.6..0.9), rng.gen_range(0.15..0.35)];
+                let frame = [
+                    rng.gen_range(0.1..0.3),
+                    rng.gen_range(0.6..0.9),
+                    rng.gen_range(0.15..0.35),
+                ];
                 paint_rect(&mut img, s, x1, y1, x2, y1 + h * 0.6, frame);
-                paint_rect(&mut img, s, x1, y1 + h * 0.6, x1 + w * 0.4, y2, [0.05, 0.05, 0.05]);
-                paint_rect(&mut img, s, x2 - w * 0.4, y1 + h * 0.6, x2, y2, [0.05, 0.05, 0.05]);
+                paint_rect(
+                    &mut img,
+                    s,
+                    x1,
+                    y1 + h * 0.6,
+                    x1 + w * 0.4,
+                    y2,
+                    [0.05, 0.05, 0.05],
+                );
+                paint_rect(
+                    &mut img,
+                    s,
+                    x2 - w * 0.4,
+                    y1 + h * 0.6,
+                    x2,
+                    y2,
+                    [0.05, 0.05, 0.05],
+                );
             }
         }
         truths.push(GroundTruth {
@@ -289,7 +339,11 @@ pub fn batch_images(scenes: &[Scene]) -> Tensor {
     let per = scenes[0].image.numel();
     let mut data = Vec::with_capacity(scenes.len() * per);
     for sc in scenes {
-        assert_eq!(sc.image.shape(), shape.as_slice(), "inconsistent image sizes");
+        assert_eq!(
+            sc.image.shape(),
+            shape.as_slice(),
+            "inconsistent image sizes"
+        );
         data.extend_from_slice(sc.image.as_slice());
     }
     Tensor::from_vec(data, &[scenes.len(), shape[0], shape[1], shape[2]])

@@ -132,6 +132,17 @@ impl DeviceModel {
     pub fn energy_j(&self, w: &Workload) -> f64 {
         crate::energy::EnergyBreakdown::compute(self, w).total_j()
     }
+
+    /// Predicted latency in seconds for a micro-batch of `batch` frames
+    /// served in one pass.
+    ///
+    /// Compute scales with the batch, but the weights stream from memory
+    /// once per pass rather than once per frame — the amortisation that
+    /// makes micro-batching worthwhile on bandwidth-bound devices.
+    pub fn batched_latency_s(&self, w: &Workload, batch: usize) -> f64 {
+        let b = batch.max(1) as f64;
+        b * w.billed_macs() / self.mac_throughput + w.weight_bytes as f64 / self.weight_bandwidth
+    }
 }
 
 #[cfg(test)]

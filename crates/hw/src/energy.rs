@@ -26,6 +26,23 @@ impl EnergyBreakdown {
         }
     }
 
+    /// Computes the **per-frame** breakdown when `batch` frames are
+    /// served in one micro-batched pass.
+    ///
+    /// The static component covers the batched pass's latency split
+    /// evenly across frames, and the weight-traffic component is paid
+    /// once per pass; only the compute component is per-frame. With
+    /// `batch == 1` this equals [`compute`](Self::compute).
+    pub fn compute_batched(device: &DeviceModel, w: &Workload, batch: usize) -> Self {
+        let b = batch.max(1) as f64;
+        let t = device.batched_latency_s(w, batch);
+        EnergyBreakdown {
+            static_j: device.static_power_w * t / b,
+            compute_j: device.energy_per_mac * w.billed_macs(),
+            memory_j: device.energy_per_byte * w.weight_bytes as f64 / b,
+        }
+    }
+
     /// Total energy, joules.
     pub fn total_j(&self) -> f64 {
         self.static_j + self.compute_j + self.memory_j
@@ -77,10 +94,25 @@ mod tests {
         let dev = DeviceModel::jetson_tx2();
         let w = yolo(2.9);
         let b = EnergyBreakdown::compute(&dev, &w);
-        assert!(
-            (b.total_j() - (b.static_j + b.compute_j + b.memory_j)).abs() < 1e-12
-        );
+        assert!((b.total_j() - (b.static_j + b.compute_j + b.memory_j)).abs() < 1e-12);
         assert!(b.static_j > 0.0 && b.compute_j > 0.0 && b.memory_j > 0.0);
+    }
+
+    #[test]
+    fn batching_amortises_static_and_memory_energy() {
+        let dev = DeviceModel::jetson_tx2();
+        let w = yolo(1.0);
+        let single = EnergyBreakdown::compute(&dev, &w);
+        let b1 = EnergyBreakdown::compute_batched(&dev, &w, 1);
+        assert!((b1.total_j() - single.total_j()).abs() < 1e-12);
+        let mut prev = single.total_j();
+        for batch in [2usize, 4, 8] {
+            let e = EnergyBreakdown::compute_batched(&dev, &w, batch).total_j();
+            assert!(e < prev, "batch {batch}: {e} !< {prev}");
+            prev = e;
+        }
+        // Compute energy is irreducible: per-frame total stays above it.
+        assert!(prev > EnergyBreakdown::compute_batched(&dev, &w, 8).compute_j * 0.999);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! its analytic spec in lock-step by construction.
 
 use crate::spec::{ConvLayerSpec, ModelSpec};
-use rtoss_nn::layers::{Activation, ActivationKind, BatchNorm2d, Conv2d, MaxPool2d, UpsampleNearest2x};
+use rtoss_nn::layers::{
+    Activation, ActivationKind, BatchNorm2d, Conv2d, MaxPool2d, UpsampleNearest2x,
+};
 use rtoss_nn::{Graph, NnError, NodeId};
 
 /// Incrementally builds a detector: graph nodes, layer specs, and
@@ -23,7 +25,14 @@ pub struct DetectorBuilder {
 impl DetectorBuilder {
     /// Starts a detector taking `(in_ch, h, w)` input, using `act` after
     /// every conv+BN, with deterministic weight seeds derived from `seed`.
-    pub fn new(name: &str, in_ch: usize, h: usize, w: usize, act: ActivationKind, seed: u64) -> Self {
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        h: usize,
+        w: usize,
+        act: ActivationKind,
+        seed: u64,
+    ) -> Self {
         let mut graph = Graph::new();
         let input = graph.add_input("input");
         DetectorBuilder {
@@ -75,9 +84,11 @@ impl DetectorBuilder {
         let oh = (h + 2 * pad - k) / stride + 1;
         let ow = (w + 2 * pad - k) / stride + 1;
         let seed = self.next_seed();
-        let id = self
-            .graph
-            .add_layer(name, Box::new(Conv2d::new(c, out_ch, k, stride, pad, seed)), from)?;
+        let id = self.graph.add_layer(
+            name,
+            Box::new(Conv2d::new(c, out_ch, k, stride, pad, seed)),
+            from,
+        )?;
         self.spec.layers.push(ConvLayerSpec {
             name: name.to_string(),
             in_ch: c,
@@ -125,14 +136,16 @@ impl DetectorBuilder {
     ) -> Result<NodeId, NnError> {
         let conv = self.conv(&format!("{name}.conv"), from, out_ch, k, stride, pad)?;
         let (c, h, w) = self.dims[conv];
-        let bn = self
-            .graph
-            .add_layer(&format!("{name}.bn"), Box::new(BatchNorm2d::new(c)), conv)?;
+        let bn =
+            self.graph
+                .add_layer(&format!("{name}.bn"), Box::new(BatchNorm2d::new(c)), conv)?;
         self.spec.extra_params += 2 * c as u64; // gamma + beta
         self.record(bn, c, h, w);
-        let act = self
-            .graph
-            .add_layer(&format!("{name}.act"), Box::new(Activation::new(self.act)), bn)?;
+        let act = self.graph.add_layer(
+            &format!("{name}.act"),
+            Box::new(Activation::new(self.act)),
+            bn,
+        )?;
         Ok(self.record(act, c, h, w))
     }
 

@@ -108,7 +108,7 @@ mod tests {
     fn decodes_a_confident_cell() {
         let c = 2usize;
         let mut pred = Tensor::full(&[1, 5 + c, 4, 4], -10.0); // everything off
-        // Light up cell (1, 2): tx=0 → 0.5 offset, obj high, class 1.
+                                                               // Light up cell (1, 2): tx=0 → 0.5 offset, obj high, class 1.
         pred.set(&[0, 0, 1, 2], 0.0);
         pred.set(&[0, 1, 1, 2], 0.0);
         pred.set(&[0, 2, 1, 2], 0.0); // w = anchor

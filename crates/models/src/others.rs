@@ -242,7 +242,10 @@ mod tests {
         // Table 1 rows have mAP + fps.
         assert_eq!(ps.iter().filter(|p| p.paper_map.is_some()).count(), 6);
         // Table 2 rows have TX2 seconds.
-        assert_eq!(ps.iter().filter(|p| p.paper_tx2_seconds.is_some()).count(), 6);
+        assert_eq!(
+            ps.iter().filter(|p| p.paper_tx2_seconds.is_some()).count(),
+            6
+        );
     }
 
     #[test]

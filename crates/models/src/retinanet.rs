@@ -34,12 +34,12 @@ pub fn retinanet(num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsE
 
     // Residual stages: (mid, out, blocks, first stride).
     let stage = |b: &mut DetectorBuilder,
-                     name: &str,
-                     from: NodeId,
-                     mid: usize,
-                     out: usize,
-                     blocks: usize,
-                     stride: usize|
+                 name: &str,
+                 from: NodeId,
+                 mid: usize,
+                 out: usize,
+                 blocks: usize,
+                 stride: usize|
      -> Result<NodeId, ModelsError> {
         let mut cur = b.resnet_bottleneck(&format!("{name}.0"), from, mid, out, stride)?;
         for i in 1..blocks {
@@ -108,7 +108,11 @@ pub fn retinanet(num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsE
 /// # Errors
 ///
 /// Returns [`ModelsError`] if `base` is zero or graph construction fails.
-pub fn retinanet_twin(base: usize, num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsError> {
+pub fn retinanet_twin(
+    base: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<DetectorModel, ModelsError> {
     if base == 0 {
         return Err(ModelsError::Config {
             msg: "twin base width must be non-zero".into(),

@@ -117,7 +117,11 @@ impl ModelSpec {
 
     /// Total parameter count (conv weights + extras).
     pub fn total_params(&self) -> u64 {
-        self.layers.iter().map(ConvLayerSpec::weight_params).sum::<u64>() + self.extra_params
+        self.layers
+            .iter()
+            .map(ConvLayerSpec::weight_params)
+            .sum::<u64>()
+            + self.extra_params
     }
 
     /// Total parameter count in millions.
@@ -132,7 +136,11 @@ impl ModelSpec {
 
     /// Total dense weight bytes.
     pub fn total_weight_bytes(&self) -> u64 {
-        self.layers.iter().map(ConvLayerSpec::weight_bytes).sum::<u64>() + self.extra_params * 4
+        self.layers
+            .iter()
+            .map(ConvLayerSpec::weight_bytes)
+            .sum::<u64>()
+            + self.extra_params * 4
     }
 
     /// Number of convolution layers.

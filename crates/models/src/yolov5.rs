@@ -25,22 +25,38 @@ pub struct Yolov5Variant {
 impl Yolov5Variant {
     /// YOLOv5n (nano): ~1.9 M params.
     pub fn n() -> Self {
-        Yolov5Variant { name: "n", depth: 0.33, width: 0.25 }
+        Yolov5Variant {
+            name: "n",
+            depth: 0.33,
+            width: 0.25,
+        }
     }
 
     /// YOLOv5s (small): ~7.2 M params — the paper's pruning target.
     pub fn s() -> Self {
-        Yolov5Variant { name: "s", depth: 0.33, width: 0.50 }
+        Yolov5Variant {
+            name: "s",
+            depth: 0.33,
+            width: 0.50,
+        }
     }
 
     /// YOLOv5m (medium): ~21 M params.
     pub fn m() -> Self {
-        Yolov5Variant { name: "m", depth: 0.67, width: 0.75 }
+        Yolov5Variant {
+            name: "m",
+            depth: 0.67,
+            width: 0.75,
+        }
     }
 
     /// YOLOv5l (large): ~46 M params.
     pub fn l() -> Self {
-        Yolov5Variant { name: "l", depth: 1.0, width: 1.0 }
+        Yolov5Variant {
+            name: "l",
+            depth: 1.0,
+            width: 1.0,
+        }
     }
 
     /// Channel count after the width multiple (rounded to a multiple of
@@ -64,7 +80,11 @@ impl Yolov5Variant {
 ///
 /// Returns an error if graph construction fails (it cannot for the
 /// hard-coded topology unless memory is exhausted).
-pub fn yolov5(variant: Yolov5Variant, num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsError> {
+pub fn yolov5(
+    variant: Yolov5Variant,
+    num_classes: usize,
+    seed: u64,
+) -> Result<DetectorModel, ModelsError> {
     let anchors_per_scale = 3;
     let head_ch = anchors_per_scale * (5 + num_classes);
     let name = format!("YOLOv5{}", variant.name);
@@ -155,7 +175,11 @@ pub fn yolov5s(num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsErr
 ///
 /// Returns [`ModelsError`] if `base` is odd or zero (C3 halves widths) or
 /// graph construction fails.
-pub fn yolov5s_twin(base: usize, num_classes: usize, seed: u64) -> Result<DetectorModel, ModelsError> {
+pub fn yolov5s_twin(
+    base: usize,
+    num_classes: usize,
+    seed: u64,
+) -> Result<DetectorModel, ModelsError> {
     if base == 0 || !base.is_multiple_of(2) {
         return Err(ModelsError::Config {
             msg: format!("twin base width must be even and non-zero, got {base}"),
@@ -296,7 +320,11 @@ mod tests {
         // The twin preserves the topology, so its layer census should be
         // close to the full model's (same blocks, same ratios).
         let full = yolov5s(80, 1).unwrap().spec.census().layer_fraction_1x1();
-        let twin = yolov5s_twin(8, 3, 1).unwrap().spec.census().layer_fraction_1x1();
+        let twin = yolov5s_twin(8, 3, 1)
+            .unwrap()
+            .spec
+            .census()
+            .layer_fraction_1x1();
         assert!((full - twin).abs() < 0.15, "full {full} twin {twin}");
     }
 }

@@ -304,12 +304,16 @@ impl Graph {
                     l.forward(x)?
                 }
                 NodeOp::Add => {
-                    let a = self.activations[inputs[0]].as_ref().ok_or_else(|| NnError::Graph {
-                        msg: format!("add node {i}: missing input activation"),
-                    })?;
-                    let b = self.activations[inputs[1]].as_ref().ok_or_else(|| NnError::Graph {
-                        msg: format!("add node {i}: missing input activation"),
-                    })?;
+                    let a = self.activations[inputs[0]]
+                        .as_ref()
+                        .ok_or_else(|| NnError::Graph {
+                            msg: format!("add node {i}: missing input activation"),
+                        })?;
+                    let b = self.activations[inputs[1]]
+                        .as_ref()
+                        .ok_or_else(|| NnError::Graph {
+                            msg: format!("add node {i}: missing input activation"),
+                        })?;
                     a.add(b)?
                 }
                 NodeOp::Concat => concat_channels(

@@ -34,8 +34,18 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if any of `in_ch`, `out_ch`, `kernel` is zero.
-    pub fn new(in_ch: usize, out_ch: usize, kernel: usize, stride: usize, pad: usize, seed: u64) -> Self {
-        assert!(in_ch > 0 && out_ch > 0 && kernel > 0, "conv dims must be non-zero");
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            in_ch > 0 && out_ch > 0 && kernel > 0,
+            "conv dims must be non-zero"
+        );
         let mut rng = init::rng(seed);
         let weight = init::kaiming_uniform(&mut rng, &[out_ch, in_ch, kernel, kernel]);
         Conv2d {

@@ -22,7 +22,10 @@ impl Linear {
         assert!(in_features > 0 && out_features > 0);
         let mut rng = init::rng(seed);
         Linear {
-            weight: Param::new(init::kaiming_uniform(&mut rng, &[out_features, in_features])),
+            weight: Param::new(init::kaiming_uniform(
+                &mut rng,
+                &[out_features, in_features],
+            )),
             bias: Param::new(Tensor::zeros(&[out_features])),
             cached_input: None,
         }
@@ -124,9 +127,13 @@ mod tests {
 
         let eps = 1e-3f32;
         let mut lp = Linear::new(3, 2, 4);
-        lp.weight.value.set(&[1, 2], lp.weight.value.at(&[1, 2]) + eps);
+        lp.weight
+            .value
+            .set(&[1, 2], lp.weight.value.at(&[1, 2]) + eps);
         let mut lm = Linear::new(3, 2, 4);
-        lm.weight.value.set(&[1, 2], lm.weight.value.at(&[1, 2]) - eps);
+        lm.weight
+            .value
+            .set(&[1, 2], lm.weight.value.at(&[1, 2]) - eps);
         let num = (lp.forward(&x).unwrap().sum() - lm.forward(&x).unwrap().sum()) / (2.0 * eps);
         assert!((ana - num).abs() < 1e-2, "{ana} vs {num}");
     }

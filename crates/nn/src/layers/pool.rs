@@ -20,7 +20,10 @@ impl MaxPool2d {
     ///
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize, pad: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "pool kernel/stride must be non-zero");
+        assert!(
+            kernel > 0 && stride > 0,
+            "pool kernel/stride must be non-zero"
+        );
         MaxPool2d {
             kernel,
             stride,

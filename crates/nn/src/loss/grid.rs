@@ -245,9 +245,8 @@ mod tests {
             pp.as_mut_slice()[idx] += eps;
             let mut pm = pred.clone();
             pm.as_mut_slice()[idx] -= eps;
-            let num =
-                (gl.forward(&pp, &targets).unwrap().0 - gl.forward(&pm, &targets).unwrap().0)
-                    / (2.0 * eps);
+            let num = (gl.forward(&pp, &targets).unwrap().0 - gl.forward(&pm, &targets).unwrap().0)
+                / (2.0 * eps);
             let ana = g.as_slice()[idx];
             assert!((num - ana).abs() < 1e-2, "idx {idx}: {num} vs {ana}");
         }
@@ -273,9 +272,13 @@ mod tests {
     fn rejects_bad_inputs() {
         let gl = GridLoss::new(2, (0.25, 0.25));
         // Wrong channel count.
-        assert!(gl.forward(&Tensor::zeros(&[1, 9, 3, 3]), &[vec![]]).is_err());
+        assert!(gl
+            .forward(&Tensor::zeros(&[1, 9, 3, 3]), &[vec![]])
+            .is_err());
         // Batch/target mismatch.
-        assert!(gl.forward(&Tensor::zeros(&[2, 7, 3, 3]), &[vec![]]).is_err());
+        assert!(gl
+            .forward(&Tensor::zeros(&[2, 7, 3, 3]), &[vec![]])
+            .is_err());
         // Out-of-range class.
         let bad = vec![vec![GtBox {
             cx: 0.5,

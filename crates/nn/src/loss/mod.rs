@@ -96,7 +96,11 @@ pub fn focal_bce_with_logits(
         .enumerate()
     {
         let p = sigmoid(x);
-        let (pt, at) = if t > 0.5 { (p, alpha) } else { (1.0 - p, 1.0 - alpha) };
+        let (pt, at) = if t > 0.5 {
+            (p, alpha)
+        } else {
+            (1.0 - p, 1.0 - alpha)
+        };
         let pt = pt.clamp(1e-7, 1.0 - 1e-7);
         let log_pt = pt.ln();
         loss += (-at * (1.0 - pt).powf(gamma) * log_pt) as f64;
@@ -176,11 +180,7 @@ mod tests {
     use super::*;
     use rtoss_tensor::init;
 
-    fn gradcheck(
-        f: impl Fn(&Tensor) -> (f32, Tensor),
-        x: &Tensor,
-        tol: f32,
-    ) {
+    fn gradcheck(f: impl Fn(&Tensor) -> (f32, Tensor), x: &Tensor, tol: f32) {
         let (_, g) = f(x);
         let eps = 1e-3f32;
         for idx in [0usize, x.numel() / 2, x.numel() - 1] {

@@ -86,7 +86,11 @@ impl Sgd {
             "parameter list changed between steps"
         );
         for (p, vel) in params.iter_mut().zip(self.velocities.iter_mut()) {
-            assert_eq!(vel.len(), p.numel(), "parameter shape changed between steps");
+            assert_eq!(
+                vel.len(),
+                p.numel(),
+                "parameter shape changed between steps"
+            );
             let wd = self.weight_decay;
             let grad = p.grad.as_slice().to_vec();
             let values = p.value.as_mut_slice();
@@ -179,15 +183,28 @@ impl Adam {
             self.m = params.iter().map(|p| vec![0.0; p.numel()]).collect();
             self.v = params.iter().map(|p| vec![0.0; p.numel()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter list changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter list changed between steps"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);
-        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in params
+            .iter_mut()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             assert_eq!(m.len(), p.numel(), "parameter shape changed between steps");
             let grad = p.grad.as_slice().to_vec();
             let values = p.value.as_mut_slice();
-            for (((w, g), mi), vi) in values.iter_mut().zip(grad.iter()).zip(m.iter_mut()).zip(v.iter_mut()) {
+            for (((w, g), mi), vi) in values
+                .iter_mut()
+                .zip(grad.iter())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
                 let g_eff = g + self.weight_decay * *w;
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g_eff;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g_eff * g_eff;
@@ -375,7 +392,7 @@ mod tests {
         assert!((cos.lr_at(0.1, 0) - 0.1).abs() < 1e-6);
         assert!(cos.lr_at(0.1, 10) < 1e-6);
         assert!((cos.lr_at(0.1, 5) - 0.05).abs() < 1e-3); // midpoint
-        // Past the horizon stays at min.
+                                                          // Past the horizon stays at min.
         assert!(cos.lr_at(0.1, 99) < 1e-6);
     }
 

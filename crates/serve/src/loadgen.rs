@@ -1,0 +1,219 @@
+//! Open-loop load generation with seeded Poisson arrivals.
+//!
+//! Open-loop means the arrival schedule is fixed before the run and
+//! never reacts to server behaviour — the standard way to expose
+//! queueing collapse that closed-loop (wait-for-response) drivers hide.
+//! The schedule is drawn from a seeded ChaCha8 stream so a run is
+//! reproducible end to end; wall-clock randomness never enters it.
+
+use crate::request::{RequestError, Ticket};
+use crate::server::Server;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtoss_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Draws `n` Poisson arrival offsets (cumulative, from t=0) at `qps`
+/// mean arrival rate from a seeded stream.
+///
+/// Inter-arrival gaps are exponential: `-ln(1-u)/qps`.
+pub fn poisson_schedule(seed: u64, qps: f64, n: usize) -> Vec<Duration> {
+    assert!(qps > 0.0, "qps must be positive");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            t += -(1.0 - u).ln() / qps;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// Outcome tallies and latency statistics of one load-generation run.
+///
+/// Latency percentiles here are *exact* (computed from the sorted
+/// per-request samples), unlike the server's bucketed histograms —
+/// the two views cross-check each other in tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSummary {
+    /// Requests the schedule offered.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests rejected at submission.
+    pub rejected: u64,
+    /// Requests shed for missing their deadline.
+    pub shed: u64,
+    /// Requests failed by the model.
+    pub failed: u64,
+    /// Completed requests that finished past their deadline.
+    pub deadline_missed: u64,
+    /// Mean end-to-end latency over completed requests, milliseconds.
+    pub mean_ms: f64,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile end-to-end latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst observed end-to-end latency, milliseconds.
+    pub max_ms: f64,
+    /// Completed requests per second of wall time.
+    pub throughput_rps: f64,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_s: f64,
+}
+
+impl LoadSummary {
+    /// Fraction of offered requests that were shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Replays `schedule` against `server`, submitting `make_input(i)` at
+/// each offset (sleeping to hold the open-loop arrival times), then
+/// waits for every ticket and tallies the outcomes.
+///
+/// Note: under [`BackpressurePolicy::Block`](crate::BackpressurePolicy)
+/// a full queue stalls the submitting thread, which *does* distort the
+/// open-loop schedule — that is the policy's documented cost, visible
+/// here as a longer `wall_s`.
+pub fn run_open_loop(
+    server: &Server,
+    schedule: &[Duration],
+    deadline: Option<Duration>,
+    mut make_input: impl FnMut(usize) -> Tensor,
+) -> LoadSummary {
+    let start = Instant::now();
+    let mut tickets: Vec<Option<Ticket>> = Vec::with_capacity(schedule.len());
+    let mut rejected = 0u64;
+    let mut shed = 0u64;
+    let mut failed = 0u64;
+    for (i, &offset) in schedule.iter().enumerate() {
+        let now = start.elapsed();
+        if offset > now {
+            std::thread::sleep(offset - now);
+        }
+        match server.submit(make_input(i), deadline) {
+            Ok(t) => tickets.push(Some(t)),
+            Err(RequestError::Rejected) => {
+                rejected += 1;
+                tickets.push(None);
+            }
+            Err(RequestError::Shed) => {
+                shed += 1;
+                tickets.push(None);
+            }
+            Err(_) => {
+                failed += 1;
+                tickets.push(None);
+            }
+        }
+    }
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(schedule.len());
+    let mut completed = 0u64;
+    let mut deadline_missed = 0u64;
+    for ticket in tickets.into_iter().flatten() {
+        match ticket.wait() {
+            Ok(resp) => {
+                completed += 1;
+                if resp.deadline_missed {
+                    deadline_missed += 1;
+                }
+                latencies_ms.push(resp.timing.total().as_secs_f64() * 1e3);
+            }
+            Err(RequestError::Rejected) => rejected += 1,
+            Err(RequestError::Shed) => shed += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx =
+            ((q * latencies_ms.len() as f64).ceil() as usize).clamp(1, latencies_ms.len()) - 1;
+        latencies_ms[idx]
+    };
+    LoadSummary {
+        offered: schedule.len() as u64,
+        completed,
+        rejected,
+        shed,
+        failed,
+        deadline_missed,
+        mean_ms: if latencies_ms.is_empty() {
+            0.0
+        } else {
+            latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+        },
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        throughput_rps: if wall_s > 0.0 {
+            completed as f64 / wall_s
+        } else {
+            0.0
+        },
+        wall_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, ServeModel};
+    use std::sync::Arc;
+
+    #[test]
+    fn schedule_is_deterministic_and_rate_accurate() {
+        let a = poisson_schedule(42, 1000.0, 500);
+        let b = poisson_schedule(42, 1000.0, 500);
+        assert_eq!(a, b);
+        let c = poisson_schedule(43, 1000.0, 500);
+        assert_ne!(a, c);
+        // 500 arrivals at 1000 qps: total span ≈ 0.5 s (loose bound).
+        let span = a.last().unwrap().as_secs_f64();
+        assert!((0.3..0.8).contains(&span), "span {span}");
+        // Monotone non-decreasing offsets.
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    struct Identity;
+
+    impl ServeModel for Identity {
+        fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
+            Ok(vec![batch.clone()])
+        }
+    }
+
+    #[test]
+    fn open_loop_run_accounts_for_every_request() {
+        let server = Server::start(Arc::new(Identity), ServeConfig::default());
+        let schedule = poisson_schedule(7, 5000.0, 40);
+        let summary = run_open_loop(&server, &schedule, None, |i| {
+            Tensor::full(&[1, 1, 4, 4], i as f32)
+        });
+        server.shutdown();
+        assert_eq!(summary.offered, 40);
+        assert_eq!(
+            summary.completed + summary.rejected + summary.shed + summary.failed,
+            40
+        );
+        assert_eq!(summary.completed, 40);
+        assert!(summary.p50_ms <= summary.p99_ms);
+        assert!(summary.throughput_rps > 0.0);
+    }
+}

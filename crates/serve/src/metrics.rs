@@ -1,0 +1,342 @@
+//! Server-side metrics: lock-striped counters and log-spaced latency
+//! histograms, with a serde-serializable snapshot.
+//!
+//! Counters are monotonic and striped across cache-line-padded atomics
+//! so concurrent workers and clients never contend on one line.
+//! Histograms use fixed log-spaced buckets (√2 growth from 250 ns, 60
+//! buckets ≈ 250 ns … 4.5 min), giving ~±20 % quantile resolution with
+//! O(1) lock-free recording — the classic serving-systems trade.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Number of stripes per counter. Eight covers typical worker-pool and
+/// client-thread counts without measurable contention.
+const STRIPES: usize = 8;
+
+/// An `AtomicU64` padded to its own cache line so neighbouring stripes
+/// never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedAtomic(AtomicU64);
+
+/// Monotonic counter striped across cache lines.
+///
+/// Each thread increments its own stripe (assigned round-robin on first
+/// use); reads sum all stripes. Totals are exact — only the ordering of
+/// concurrent increments across stripes is unspecified, which a
+/// monotonic counter does not care about.
+#[derive(Debug, Default)]
+pub struct StripedCounter {
+    stripes: [PaddedAtomic; STRIPES],
+}
+
+/// Round-robin stripe assignment shared by all counters: each thread
+/// gets one index for its lifetime, so a thread's increments always hit
+/// the same cache line.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+impl StripedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        StripedCounter::default()
+    }
+
+    /// Adds `n` to the calling thread's stripe.
+    pub fn add(&self, n: u64) {
+        let idx = MY_STRIPE.with(|s| *s);
+        self.stripes[idx].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Sums all stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Histogram geometry: 60 buckets growing by √2 from 250 ns.
+const BUCKETS: usize = 60;
+const BUCKET_LO_NS: f64 = 250.0;
+/// log2 of the per-bucket growth factor (√2 → 0.5).
+const LOG2_GROWTH: f64 = 0.5;
+
+/// Fixed-bucket log-spaced latency histogram with lock-free recording.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_index(ns: f64) -> usize {
+        if ns <= BUCKET_LO_NS {
+            return 0;
+        }
+        let steps = ((ns / BUCKET_LO_NS).log2() / LOG2_GROWTH).floor() as usize;
+        steps.min(BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` in nanoseconds.
+    fn bucket_upper_ns(i: usize) -> f64 {
+        BUCKET_LO_NS * 2f64.powf(LOG2_GROWTH * (i + 1) as f64)
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[Self::bucket_index(ns as f64)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in milliseconds (0 when empty).
+    pub fn mean_ms(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1e6
+    }
+
+    /// Quantile estimate in milliseconds: the upper bound of the bucket
+    /// containing the `q`-th sample (0 when empty).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper_ns(i) / 1e6;
+            }
+        }
+        Self::bucket_upper_ns(BUCKETS - 1) / 1e6
+    }
+
+    /// Snapshot of this histogram's headline statistics.
+    pub fn stats(&self) -> PhaseStats {
+        PhaseStats {
+            count: self.count(),
+            mean_ms: self.mean_ms(),
+            p50_ms: self.quantile_ms(0.50),
+            p95_ms: self.quantile_ms(0.95),
+            p99_ms: self.quantile_ms(0.99),
+        }
+    }
+}
+
+/// Headline latency statistics for one serving phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median (bucket upper bound), milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile (bucket upper bound), milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile (bucket upper bound), milliseconds.
+    pub p99_ms: f64,
+}
+
+/// All counters and histograms for one running server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Requests accepted into the queue.
+    pub submitted: StripedCounter,
+    /// Requests served to completion.
+    pub completed: StripedCounter,
+    /// Requests refused at submission (queue full).
+    pub rejected: StripedCounter,
+    /// Requests dropped by the `ShedExpired` policy.
+    pub shed: StripedCounter,
+    /// Completed requests that finished after their deadline.
+    pub deadline_missed: StripedCounter,
+    /// Worker panics caught (each also fails its in-flight batch).
+    pub worker_panics: StripedCounter,
+    /// Requests that failed with a model error.
+    pub failed: StripedCounter,
+    /// Micro-batches executed.
+    pub batches: StripedCounter,
+    /// Requests carried by those batches (mean batch size = this ÷ batches).
+    pub batched_requests: StripedCounter,
+    /// Modelled energy, microjoules (integer so it can be a counter).
+    pub energy_uj: StripedCounter,
+    /// Submit → popped from the queue.
+    pub queue_wait: LatencyHistogram,
+    /// Popped → batch closed.
+    pub batch_assembly: LatencyHistogram,
+    /// Batched forward pass.
+    pub execute: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        ServerMetrics::default()
+    }
+
+    /// Takes a consistent-enough snapshot for reporting. Counters are
+    /// read individually (monotonic, so each value is exact even if the
+    /// set is not an atomic cut).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let batches = self.batches.get();
+        let batched = self.batched_requests.get();
+        MetricsSnapshot {
+            submitted: self.submitted.get(),
+            completed: self.completed.get(),
+            rejected: self.rejected.get(),
+            shed: self.shed.get(),
+            deadline_missed: self.deadline_missed.get(),
+            worker_panics: self.worker_panics.get(),
+            failed: self.failed.get(),
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            energy_j: self.energy_uj.get() as f64 / 1e6,
+            queue_wait: self.queue_wait.stats(),
+            batch_assembly: self.batch_assembly.stats(),
+            execute: self.execute.stats(),
+        }
+    }
+}
+
+/// Serializable point-in-time view of [`ServerMetrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests refused at submission.
+    pub rejected: u64,
+    /// Requests dropped by `ShedExpired`.
+    pub shed: u64,
+    /// Completed requests that missed their deadline.
+    pub deadline_missed: u64,
+    /// Worker panics caught.
+    pub worker_panics: u64,
+    /// Requests failed with a model error.
+    pub failed: u64,
+    /// Mean micro-batch size over the run.
+    pub mean_batch_size: f64,
+    /// Modelled energy, joules.
+    pub energy_j: f64,
+    /// Queue-wait phase statistics.
+    pub queue_wait: PhaseStats,
+    /// Batch-assembly phase statistics.
+    pub batch_assembly: PhaseStats,
+    /// Execute phase statistics.
+    pub execute: PhaseStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn striped_counter_is_exact_under_contention() {
+        let c = Arc::new(StripedCounter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.incr();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_true_values() {
+        let h = LatencyHistogram::new();
+        // 100 samples: 1 ms .. 100 ms.
+        for i in 1..=100u64 {
+            h.record(Duration::from_millis(i));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.50);
+        let p99 = h.quantile_ms(0.99);
+        // Bucket upper bounds: within a √2 factor above the true value.
+        assert!((50.0..=75.0).contains(&p50), "p50 {p50}");
+        assert!((99.0..=145.0).contains(&p99), "p99 {p99}");
+        assert!((h.mean_ms() - 50.5).abs() < 0.5, "mean {}", h.mean_ms());
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_ms(0.0) > 0.0);
+        assert!(h.quantile_ms(1.0) >= h.quantile_ms(0.0));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = ServerMetrics::new();
+        m.submitted.add(10);
+        m.completed.add(9);
+        m.shed.incr();
+        m.batches.add(3);
+        m.batched_requests.add(9);
+        m.energy_uj.add(1_500_000);
+        m.queue_wait.record(Duration::from_micros(80));
+        m.execute.record(Duration::from_millis(4));
+        let snap = m.snapshot();
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        assert!(json.contains("\"completed\""));
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+        assert_eq!(back, snap);
+        assert_eq!(back.energy_j, 1.5);
+        assert_eq!(back.mean_batch_size, 3.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Bounded MPMC request queue with pluggable backpressure.
+//!
+//! A `Mutex<VecDeque> + Condvar` pair — deliberately boring: the queue
+//! holds at most `capacity` requests, producers and consumers block on
+//! separate condvars, and overload behaviour is a [`BackpressurePolicy`]
+//! chosen at construction. Workers pop *micro-batches*: runs of
+//! shape-compatible requests taken from the front, waiting up to
+//! `batch_timeout` for stragglers before closing the batch.
+
+use crate::metrics::ServerMetrics;
+use crate::request::{Fulfiller, InferenceRequest, RequestError};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What the server does when the queue is full (and, for
+/// [`ShedExpired`](BackpressurePolicy::ShedExpired), when deadlines pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Producers block until space frees up. Applies backpressure to the
+    /// client; nothing is ever dropped.
+    Block,
+    /// Submissions fail fast with [`RequestError::Rejected`] when full.
+    RejectWhenFull,
+    /// Requests whose deadline already passed are dropped — purged from
+    /// a full queue at submit time and skipped at pop time — each
+    /// counted in `shed`. A full queue with no expired entries rejects.
+    ShedExpired,
+}
+
+/// A request waiting in the queue, carrying its completion handle.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub(crate) request: InferenceRequest,
+    pub(crate) fulfiller: Fulfiller,
+    /// Set when a worker drains the request into a forming batch.
+    pub(crate) popped_at: Option<Instant>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    deque: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded multi-producer multi-consumer queue of pending requests.
+#[derive(Debug)]
+pub(crate) struct BoundedQueue {
+    inner: Mutex<Inner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    policy: BackpressurePolicy,
+}
+
+impl BoundedQueue {
+    pub(crate) fn new(capacity: usize, policy: BackpressurePolicy) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                deque: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+        }
+    }
+
+    /// Enqueues a request according to the backpressure policy.
+    ///
+    /// On rejection the pending's ticket is resolved here, so callers
+    /// only need to count the outcome.
+    pub(crate) fn push(&self, pending: Pending, metrics: &ServerMetrics) -> Result<(), ()> {
+        let mut inner = self.lock();
+        if inner.closed {
+            pending.fulfiller.fulfil(Err(RequestError::ShutDown));
+            return Err(());
+        }
+        if inner.deque.len() >= self.capacity {
+            match self.policy {
+                BackpressurePolicy::Block => {
+                    while inner.deque.len() >= self.capacity && !inner.closed {
+                        inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if inner.closed {
+                        pending.fulfiller.fulfil(Err(RequestError::ShutDown));
+                        return Err(());
+                    }
+                }
+                BackpressurePolicy::RejectWhenFull => {
+                    pending.fulfiller.fulfil(Err(RequestError::Rejected));
+                    metrics.rejected.incr();
+                    return Err(());
+                }
+                BackpressurePolicy::ShedExpired => {
+                    let now = Instant::now();
+                    inner.deque.retain(|p| {
+                        if p.request.expired_at(now) {
+                            p.fulfiller.fulfil(Err(RequestError::Shed));
+                            metrics.shed.incr();
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if inner.deque.len() >= self.capacity {
+                        pending.fulfiller.fulfil(Err(RequestError::Rejected));
+                        metrics.rejected.incr();
+                        return Err(());
+                    }
+                }
+            }
+        }
+        inner.deque.push_back(pending);
+        metrics.submitted.incr();
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops a micro-batch: up to `max_batch` requests whose inputs share
+    /// trailing (non-batch) dimensions, waiting up to `batch_timeout`
+    /// after the first request for more to arrive.
+    ///
+    /// Returns `None` once the queue is closed and drained. Under
+    /// [`BackpressurePolicy::ShedExpired`], expired requests encountered
+    /// here are shed rather than batched.
+    pub(crate) fn pop_batch(
+        &self,
+        max_batch: usize,
+        batch_timeout: Duration,
+        metrics: &ServerMetrics,
+    ) -> Option<Vec<Pending>> {
+        let max_batch = max_batch.max(1);
+        let mut inner = self.lock();
+        let mut batch: Vec<Pending> = Vec::with_capacity(max_batch);
+        let mut close_at: Option<Instant> = None;
+        loop {
+            // Drain compatible requests from the front.
+            while batch.len() < max_batch {
+                let Some(front) = inner.deque.front() else {
+                    break;
+                };
+                if self.policy == BackpressurePolicy::ShedExpired
+                    && front.request.expired_at(Instant::now())
+                {
+                    let expired = inner.deque.pop_front().expect("front exists");
+                    expired.fulfiller.fulfil(Err(RequestError::Shed));
+                    metrics.shed.incr();
+                    self.not_full.notify_one();
+                    continue;
+                }
+                let compatible = batch.first().is_none_or(|first: &Pending| {
+                    first.request.input.shape()[1..] == front.request.input.shape()[1..]
+                });
+                if !compatible {
+                    break;
+                }
+                let mut p = inner.deque.pop_front().expect("front exists");
+                p.popped_at = Some(Instant::now());
+                batch.push(p);
+                self.not_full.notify_one();
+            }
+            if batch.len() >= max_batch {
+                return Some(batch);
+            }
+            if !batch.is_empty() {
+                // Batch is open: wait for stragglers until the timeout.
+                let deadline = *close_at.get_or_insert_with(|| Instant::now() + batch_timeout);
+                let now = Instant::now();
+                if now >= deadline || inner.closed {
+                    return Some(batch);
+                }
+                // An incompatible request at the front can never join
+                // this batch; close immediately rather than wait.
+                if inner.deque.front().is_some() {
+                    return Some(batch);
+                }
+                let (g, _timeout) = self
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = g;
+            } else {
+                if inner.closed {
+                    return None;
+                }
+                inner = self
+                    .not_empty
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Closes the queue: wakes everyone, fails still-queued requests.
+    pub(crate) fn close(&self) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        for p in inner.deque.drain(..) {
+            p.fulfiller.fulfil(Err(RequestError::ShutDown));
+        }
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current queue depth (for tests and reporting).
+    pub(crate) fn len(&self) -> usize {
+        self.lock().deque.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ticket_pair;
+    use rtoss_tensor::Tensor;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn pending(deadline: Option<Duration>) -> (crate::request::Ticket, Pending) {
+        let (ticket, fulfiller) = ticket_pair();
+        (
+            ticket,
+            Pending {
+                request: InferenceRequest::new(Tensor::zeros(&[1, 1, 2, 2]), deadline),
+                fulfiller,
+                popped_at: None,
+            },
+        )
+    }
+
+    #[test]
+    fn reject_when_full_resolves_ticket() {
+        let q = BoundedQueue::new(1, BackpressurePolicy::RejectWhenFull);
+        let m = ServerMetrics::new();
+        let (_t1, p1) = pending(None);
+        assert!(q.push(p1, &m).is_ok());
+        let (t2, p2) = pending(None);
+        assert!(q.push(p2, &m).is_err());
+        assert!(matches!(t2.wait(), Err(RequestError::Rejected)));
+        assert_eq!(m.rejected.get(), 1);
+        assert_eq!(m.submitted.get(), 1);
+    }
+
+    #[test]
+    fn shed_expired_purges_full_queue() {
+        let q = BoundedQueue::new(2, BackpressurePolicy::ShedExpired);
+        let m = ServerMetrics::new();
+        let (t1, p1) = pending(Some(Duration::ZERO));
+        let (t2, p2) = pending(Some(Duration::ZERO));
+        q.push(p1, &m).unwrap();
+        q.push(p2, &m).unwrap();
+        thread::sleep(Duration::from_millis(2));
+        // Queue full, both entries expired: push purges them.
+        let (_t3, p3) = pending(Some(Duration::from_secs(60)));
+        assert!(q.push(p3, &m).is_ok());
+        assert!(matches!(t1.wait(), Err(RequestError::Shed)));
+        assert!(matches!(t2.wait(), Err(RequestError::Shed)));
+        assert_eq!(m.shed.get(), 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_batch_groups_compatible_requests() {
+        let q = BoundedQueue::new(8, BackpressurePolicy::Block);
+        let m = ServerMetrics::new();
+        for _ in 0..3 {
+            let (t, p) = pending(None);
+            q.push(p, &m).unwrap();
+            std::mem::forget(t);
+        }
+        let batch = q
+            .pop_batch(4, Duration::from_millis(1), &m)
+            .expect("queue open");
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|p| p.popped_at.is_some()));
+    }
+
+    #[test]
+    fn pop_batch_returns_none_after_close() {
+        let q = Arc::new(BoundedQueue::new(4, BackpressurePolicy::Block));
+        let m = Arc::new(ServerMetrics::new());
+        let (q2, m2) = (q.clone(), m.clone());
+        let h = thread::spawn(move || q2.pop_batch(4, Duration::from_millis(1), &m2));
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_consume() {
+        let q = Arc::new(BoundedQueue::new(1, BackpressurePolicy::Block));
+        let m = Arc::new(ServerMetrics::new());
+        let (_t1, p1) = pending(None);
+        q.push(p1, &m).unwrap();
+        let (q2, m2) = (q.clone(), m.clone());
+        let producer = thread::spawn(move || {
+            let (t, p) = pending(None);
+            q2.push(p, &m2).unwrap();
+            std::mem::forget(t);
+        });
+        thread::sleep(Duration::from_millis(5));
+        let batch = q.pop_batch(1, Duration::ZERO, &m).unwrap();
+        assert_eq!(batch.len(), 1);
+        producer.join().unwrap();
+        assert_eq!(m.submitted.get(), 2);
+    }
+}

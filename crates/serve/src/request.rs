@@ -1,0 +1,213 @@
+//! Request/response types and the completion handshake.
+//!
+//! A client submits an [`InferenceRequest`] and receives a [`Ticket`] —
+//! a one-shot slot the worker pool later fulfils with either an
+//! [`InferenceResponse`] or a [`RequestError`]. The slot is a plain
+//! `Mutex<Option<..>> + Condvar` pair: no async runtime, just the
+//! std-only blocking primitives the rest of the crate is built on.
+
+use rtoss_tensor::Tensor;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One inference request as submitted by a client.
+#[derive(Debug)]
+pub struct InferenceRequest {
+    /// Input activation tensor, NCHW (typically batch dimension 1).
+    pub input: Tensor,
+    /// When the request entered the server.
+    pub submitted_at: Instant,
+    /// Per-request latency budget, relative to `submitted_at`.
+    /// `None` means the request never expires.
+    pub deadline: Option<Duration>,
+}
+
+impl InferenceRequest {
+    /// Builds a request stamped with the current time.
+    pub fn new(input: Tensor, deadline: Option<Duration>) -> Self {
+        InferenceRequest {
+            input,
+            submitted_at: Instant::now(),
+            deadline,
+        }
+    }
+
+    /// Whether the deadline had passed at `now`.
+    pub fn expired_at(&self, now: Instant) -> bool {
+        match self.deadline {
+            Some(d) => now.duration_since(self.submitted_at) > d,
+            None => false,
+        }
+    }
+}
+
+/// Wall-clock spent in each serving phase of a completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestTiming {
+    /// Submit → popped from the queue by a worker.
+    pub queue_wait: Duration,
+    /// Popped → the micro-batch closed and execution began.
+    pub batch_assembly: Duration,
+    /// Execution of the batched forward pass.
+    pub execute: Duration,
+}
+
+impl RequestTiming {
+    /// End-to-end latency: the sum of the three phases.
+    pub fn total(&self) -> Duration {
+        self.queue_wait + self.batch_assembly + self.execute
+    }
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone)]
+pub struct InferenceResponse {
+    /// Model outputs for this request (batch dimension matches the input).
+    pub outputs: Vec<Tensor>,
+    /// Per-phase latency breakdown.
+    pub timing: RequestTiming,
+    /// Size of the micro-batch this request rode in.
+    pub batch_size: usize,
+    /// Whether the response arrived after the request's deadline.
+    pub deadline_missed: bool,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RequestError {
+    /// The queue was full and the backpressure policy rejected the request.
+    Rejected,
+    /// The deadline passed before execution and the `ShedExpired` policy
+    /// dropped the request.
+    Shed,
+    /// The model failed or panicked while serving the request.
+    Failed(String),
+    /// The server shut down before the request ran.
+    ShutDown,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Rejected => write!(f, "queue full: request rejected"),
+            RequestError::Shed => write!(f, "deadline passed: request shed"),
+            RequestError::Failed(msg) => write!(f, "inference failed: {msg}"),
+            RequestError::ShutDown => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Result a [`Ticket`] resolves to.
+pub type RequestResult = Result<InferenceResponse, RequestError>;
+
+type Slot = (Mutex<Option<RequestResult>>, Condvar);
+
+/// Client-side handle to a pending request.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+/// Worker-side handle used to fulfil a ticket exactly once.
+#[derive(Debug)]
+pub(crate) struct Fulfiller {
+    slot: Arc<Slot>,
+}
+
+/// Creates a linked ticket/fulfiller pair.
+pub(crate) fn ticket_pair() -> (Ticket, Fulfiller) {
+    let slot: Arc<Slot> = Arc::new((Mutex::new(None), Condvar::new()));
+    (Ticket { slot: slot.clone() }, Fulfiller { slot })
+}
+
+impl Ticket {
+    /// Blocks until the server resolves the request.
+    pub fn wait(self) -> RequestResult {
+        let (lock, cvar) = &*self.slot;
+        let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = cvar.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks up to `timeout`; returns `Err(self)` if still pending so
+    /// the caller can keep waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<RequestResult, Ticket> {
+        let deadline = Instant::now() + timeout;
+        {
+            let (lock, cvar) = &*self.slot;
+            let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(result) = guard.take() {
+                    return Ok(result);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, timed_out) = cvar
+                    .wait_timeout(guard, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                guard = g;
+                if timed_out.timed_out() {
+                    if let Some(result) = guard.take() {
+                        return Ok(result);
+                    }
+                    break;
+                }
+            }
+        }
+        Err(self)
+    }
+}
+
+impl Fulfiller {
+    /// Resolves the paired ticket. Later calls on the same slot are
+    /// ignored (first writer wins).
+    pub(crate) fn fulfil(&self, result: RequestResult) {
+        let (lock, cvar) = &*self.slot;
+        let mut guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.is_none() {
+            *guard = Some(result);
+        }
+        cvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ticket_resolves_across_threads() {
+        let (ticket, fulfiller) = ticket_pair();
+        let t = thread::spawn(move || ticket.wait());
+        fulfiller.fulfil(Err(RequestError::Rejected));
+        assert!(matches!(t.join().unwrap(), Err(RequestError::Rejected)));
+    }
+
+    #[test]
+    fn wait_timeout_returns_ticket_when_pending() {
+        let (ticket, fulfiller) = ticket_pair();
+        let ticket = ticket
+            .wait_timeout(Duration::from_millis(5))
+            .expect_err("still pending");
+        fulfiller.fulfil(Err(RequestError::Shed));
+        assert!(matches!(ticket.wait(), Err(RequestError::Shed)));
+    }
+
+    #[test]
+    fn expiry_respects_deadline() {
+        let req = InferenceRequest::new(Tensor::zeros(&[1, 1, 2, 2]), Some(Duration::ZERO));
+        assert!(req.expired_at(Instant::now() + Duration::from_millis(1)));
+        let eternal = InferenceRequest::new(Tensor::zeros(&[1, 1, 2, 2]), None);
+        assert!(!eternal.expired_at(Instant::now() + Duration::from_secs(3600)));
+    }
+}

@@ -1,0 +1,459 @@
+//! The serving core: a worker pool that pops micro-batches from the
+//! bounded queue, runs them through a [`ServeModel`], and resolves the
+//! clients' tickets.
+//!
+//! Workers are panic-isolated twice over: each batch executes inside
+//! `catch_unwind` (a panicking model fails only its own batch), and the
+//! worker's outer loop respawns the serving loop if anything else
+//! panics. Either way the panic is counted and the server stays up.
+
+use crate::metrics::ServerMetrics;
+use crate::queue::{BackpressurePolicy, BoundedQueue, Pending};
+use crate::request::{
+    ticket_pair, InferenceRequest, InferenceResponse, RequestError, RequestTiming, Ticket,
+};
+use rtoss_hw::{DeviceModel, EnergyBreakdown, Workload};
+use rtoss_sparse::SparseModel;
+use rtoss_tensor::{ops, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A model the server can drive.
+///
+/// `run_batch` receives requests stacked along the batch dimension and
+/// must return outputs whose batch dimension matches the input's; the
+/// server splits them back per request. Implementations must be safe to
+/// call from several worker threads at once.
+pub trait ServeModel: Send + Sync + 'static {
+    /// Runs one stacked micro-batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when inference fails; the server
+    /// maps it to [`RequestError::Failed`] for every request on board.
+    fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String>;
+}
+
+impl ServeModel for SparseModel {
+    fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
+        self.forward(batch).map_err(|e| e.to_string())
+    }
+}
+
+/// Analytic energy accounting for served requests: each completed
+/// request is charged its share of a micro-batched pass on `device`
+/// under `workload` (see [`EnergyBreakdown::compute_batched`]).
+#[derive(Debug, Clone)]
+pub struct EnergyModelHook {
+    /// Device the energy model simulates.
+    pub device: DeviceModel,
+    /// Per-frame workload of the served model.
+    pub workload: Workload,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads popping and executing micro-batches.
+    pub workers: usize,
+    /// Bounded queue capacity.
+    pub queue_capacity: usize,
+    /// Behaviour when the queue is full.
+    pub policy: BackpressurePolicy,
+    /// Largest micro-batch a worker will assemble.
+    pub max_batch: usize,
+    /// How long an open batch waits for stragglers before executing.
+    pub batch_timeout: Duration,
+    /// Optional per-request energy accounting.
+    pub energy: Option<EnergyModelHook>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            policy: BackpressurePolicy::Block,
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(2),
+            energy: None,
+        }
+    }
+}
+
+/// A running inference server.
+///
+/// Submissions are thread-safe through `&self`; call
+/// [`shutdown`](Server::shutdown) (or drop the server) to drain and
+/// join the workers.
+#[derive(Debug)]
+pub struct Server {
+    queue: Arc<BoundedQueue>,
+    metrics: Arc<ServerMetrics>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    pub fn start(model: Arc<dyn ServeModel>, config: ServeConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.policy));
+        let metrics = Arc::new(ServerMetrics::new());
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                spawn_worker(
+                    queue.clone(),
+                    metrics.clone(),
+                    model.clone(),
+                    config.clone(),
+                )
+            })
+            .collect();
+        Server {
+            queue,
+            metrics,
+            workers,
+        }
+    }
+
+    /// Submits a request; returns a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the resolved error immediately when the backpressure
+    /// policy refuses the request (or the server is shutting down).
+    pub fn submit(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, RequestError> {
+        let (ticket, fulfiller) = ticket_pair();
+        let pending = Pending {
+            request: InferenceRequest::new(input, deadline),
+            fulfiller,
+            popped_at: None,
+        };
+        match self.queue.push(pending, &self.metrics) {
+            Ok(()) => Ok(ticket),
+            // The queue resolved the ticket; surface the reason directly.
+            Err(()) => match ticket.wait() {
+                Err(e) => Err(e),
+                Ok(_) => unreachable!("rejected ticket cannot carry a response"),
+            },
+        }
+    }
+
+    /// Live metrics handle (counters keep updating behind it).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        self.metrics.clone()
+    }
+
+    /// Current queue depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the queue, stops and joins all workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// Spawns one worker. The outer loop restarts the serving loop if it
+/// ever panics outside the per-batch guard, so a worker slot is never
+/// silently lost.
+fn spawn_worker(
+    queue: Arc<BoundedQueue>,
+    metrics: Arc<ServerMetrics>,
+    model: Arc<dyn ServeModel>,
+    config: ServeConfig,
+) -> JoinHandle<()> {
+    thread::spawn(move || loop {
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            worker_loop(&queue, &metrics, &*model, &config)
+        }));
+        match ran {
+            Ok(()) => break,
+            Err(_) => metrics.worker_panics.incr(),
+        }
+    })
+}
+
+fn worker_loop(
+    queue: &BoundedQueue,
+    metrics: &ServerMetrics,
+    model: &dyn ServeModel,
+    config: &ServeConfig,
+) {
+    while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_timeout, metrics) {
+        serve_batch(batch, metrics, model, config.energy.as_ref());
+    }
+}
+
+fn serve_batch(
+    batch: Vec<Pending>,
+    metrics: &ServerMetrics,
+    model: &dyn ServeModel,
+    energy: Option<&EnergyModelHook>,
+) {
+    let exec_start = Instant::now();
+    metrics.batches.incr();
+    metrics.batched_requests.add(batch.len() as u64);
+
+    let inputs: Vec<&Tensor> = batch.iter().map(|p| &p.request.input).collect();
+    let sizes: Vec<usize> = inputs.iter().map(|x| x.shape()[0]).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let stacked = ops::batch_stack(&inputs).map_err(|e| e.to_string())?;
+        model.run_batch(&stacked)
+    }));
+    let exec_dur = exec_start.elapsed();
+
+    let outcome: Result<Vec<Vec<Tensor>>, RequestError> = match result {
+        Ok(Ok(outs)) => split_outputs(&outs, &sizes),
+        Ok(Err(msg)) => Err(RequestError::Failed(msg)),
+        Err(panic) => {
+            metrics.worker_panics.incr();
+            Err(RequestError::Failed(format!(
+                "model panicked: {}",
+                panic_message(&panic)
+            )))
+        }
+    };
+
+    let per_request_energy_uj = energy.map(|hook| {
+        let e = EnergyBreakdown::compute_batched(&hook.device, &hook.workload, batch.len());
+        (e.total_j() * 1e6).round().max(0.0) as u64
+    });
+
+    let now = Instant::now();
+    let batch_size = batch.len();
+    match outcome {
+        Ok(mut per_request) => {
+            // Resolve in reverse so we can pop off the end cheaply.
+            for pending in batch.into_iter().rev() {
+                let outputs = per_request.pop().expect("one output set per request");
+                let popped_at = pending.popped_at.unwrap_or(exec_start);
+                let timing = RequestTiming {
+                    queue_wait: popped_at.duration_since(pending.request.submitted_at),
+                    batch_assembly: exec_start.saturating_duration_since(popped_at),
+                    execute: exec_dur,
+                };
+                let deadline_missed = pending.request.expired_at(now);
+                metrics.queue_wait.record(timing.queue_wait);
+                metrics.batch_assembly.record(timing.batch_assembly);
+                metrics.execute.record(timing.execute);
+                metrics.completed.incr();
+                if deadline_missed {
+                    metrics.deadline_missed.incr();
+                }
+                if let Some(uj) = per_request_energy_uj {
+                    metrics.energy_uj.add(uj);
+                }
+                pending.fulfiller.fulfil(Ok(InferenceResponse {
+                    outputs,
+                    timing,
+                    batch_size,
+                    deadline_missed,
+                }));
+            }
+        }
+        Err(err) => {
+            metrics.failed.add(batch.len() as u64);
+            for pending in batch {
+                pending.fulfiller.fulfil(Err(err.clone()));
+            }
+        }
+    }
+}
+
+fn split_outputs(outs: &[Tensor], sizes: &[usize]) -> Result<Vec<Vec<Tensor>>, RequestError> {
+    let mut per_request: Vec<Vec<Tensor>> = (0..sizes.len())
+        .map(|_| Vec::with_capacity(outs.len()))
+        .collect();
+    for out in outs {
+        let parts = ops::batch_split(out, sizes)
+            .map_err(|e| RequestError::Failed(format!("output split failed: {e}")))?;
+        for (req, part) in parts.into_iter().enumerate() {
+            per_request[req].push(part);
+        }
+    }
+    Ok(per_request)
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Identity "model": echoes its input, optionally slowly/panicking.
+    struct Echo {
+        delay: Duration,
+        panic_on_value: Option<f32>,
+    }
+
+    impl ServeModel for Echo {
+        fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
+            if let Some(v) = self.panic_on_value {
+                if batch.as_slice().contains(&v) {
+                    panic!("poison value {v} in batch");
+                }
+            }
+            if !self.delay.is_zero() {
+                thread::sleep(self.delay);
+            }
+            Ok(vec![batch.clone()])
+        }
+    }
+
+    fn echo() -> Arc<dyn ServeModel> {
+        Arc::new(Echo {
+            delay: Duration::ZERO,
+            panic_on_value: None,
+        })
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let server = Server::start(echo(), ServeConfig::default());
+        let x = Tensor::full(&[1, 2, 3, 3], 7.0);
+        let resp = server.submit(x.clone(), None).unwrap().wait().unwrap();
+        assert_eq!(resp.outputs.len(), 1);
+        assert_eq!(resp.outputs[0].as_slice(), x.as_slice());
+        assert!(resp.batch_size >= 1);
+        let m = server.metrics();
+        server.shutdown();
+        assert_eq!(m.completed.get(), 1);
+        assert_eq!(m.queue_wait.count(), 1);
+    }
+
+    #[test]
+    fn micro_batches_concurrent_requests() {
+        let server = Server::start(
+            echo(),
+            ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                batch_timeout: Duration::from_millis(20),
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| {
+                server
+                    .submit(Tensor::full(&[1, 1, 2, 2], i as f32), None)
+                    .unwrap()
+            })
+            .collect();
+        let mut max_seen = 0;
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.outputs[0].as_slice(), &[i as f32; 4]);
+            max_seen = max_seen.max(resp.batch_size);
+        }
+        assert!(max_seen >= 2, "no batching observed (max batch {max_seen})");
+        server.shutdown();
+    }
+
+    #[test]
+    fn panicking_batch_fails_cleanly_and_server_survives() {
+        let server = Server::start(
+            Arc::new(Echo {
+                delay: Duration::ZERO,
+                panic_on_value: Some(-13.0),
+            }),
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let bad = server
+            .submit(Tensor::full(&[1, 1, 2, 2], -13.0), None)
+            .unwrap();
+        assert!(matches!(bad.wait(), Err(RequestError::Failed(_))));
+        // Server keeps serving after the panic.
+        let good = server
+            .submit(Tensor::full(&[1, 1, 2, 2], 1.0), None)
+            .unwrap();
+        assert!(good.wait().is_ok());
+        let m = server.metrics();
+        assert_eq!(m.worker_panics.get(), 1);
+        assert_eq!(m.failed.get(), 1);
+        assert_eq!(m.completed.get(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn energy_hook_charges_completed_requests() {
+        let workload = Workload {
+            dense_macs: 1_000_000,
+            effective_macs: 1_000_000,
+            weight_bytes: 1_000,
+            structure: rtoss_hw::SparsityStructure::Dense,
+        };
+        let server = Server::start(
+            echo(),
+            ServeConfig {
+                energy: Some(EnergyModelHook {
+                    device: DeviceModel::jetson_tx2(),
+                    workload,
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        server
+            .submit(Tensor::zeros(&[1, 1, 2, 2]), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let m = server.metrics();
+        server.shutdown();
+        assert!(m.snapshot().energy_j > 0.0);
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests() {
+        // One worker stuck on a slow batch; queued work fails at close.
+        let server = Server::start(
+            Arc::new(Echo {
+                delay: Duration::from_millis(50),
+                panic_on_value: None,
+            }),
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                batch_timeout: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        );
+        let first = server.submit(Tensor::zeros(&[1, 1, 2, 2]), None).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        let queued = server.submit(Tensor::zeros(&[1, 1, 2, 2]), None).unwrap();
+        server.shutdown();
+        assert!(first.wait().is_ok());
+        assert!(matches!(queued.wait(), Err(RequestError::ShutDown)));
+    }
+}

@@ -114,8 +114,14 @@ pub fn conv2d_pattern_sparse(
     bias: Option<&[f32]>,
 ) -> Result<Tensor, TensorError> {
     let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
-    let (n, h, w, oh, ow) =
-        check_input(x, layer.in_channels(), k, stride, pad, "conv2d_pattern_sparse")?;
+    let (n, h, w, oh, ow) = check_input(
+        x,
+        layer.in_channels(),
+        k,
+        stride,
+        pad,
+        "conv2d_pattern_sparse",
+    )?;
     let (o, c) = (layer.out_channels(), layer.in_channels());
     if let Some(b) = bias {
         if b.len() != o {
@@ -177,8 +183,14 @@ pub fn conv2d_unstructured(
     bias: Option<&[f32]>,
 ) -> Result<Tensor, TensorError> {
     let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
-    let (n, h, w, oh, ow) =
-        check_input(x, layer.in_channels(), k, stride, pad, "conv2d_unstructured")?;
+    let (n, h, w, oh, ow) = check_input(
+        x,
+        layer.in_channels(),
+        k,
+        stride,
+        pad,
+        "conv2d_unstructured",
+    )?;
     let (o, c) = (layer.out_channels(), layer.in_channels());
     if let Some(b) = bias {
         if b.len() != o {

@@ -20,7 +20,10 @@ impl fmt::Display for SparseFormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SparseFormatError::BadShape { shape } => {
-                write!(f, "expected rank-4 square-kernel conv weights, got {shape:?}")
+                write!(
+                    f,
+                    "expected rank-4 square-kernel conv weights, got {shape:?}"
+                )
             }
         }
     }

@@ -68,9 +68,16 @@ enum SparseOp {
         bias: Vec<f32>,
     },
     /// Per-channel affine `y = scale_c * x + shift_c` (unfused BN).
-    ChannelAffine { scale: Vec<f32>, shift: Vec<f32> },
+    ChannelAffine {
+        scale: Vec<f32>,
+        shift: Vec<f32>,
+    },
     Activation(ActivationKind),
-    MaxPool { k: usize, stride: usize, pad: usize },
+    MaxPool {
+        k: usize,
+        stride: usize,
+        pad: usize,
+    },
     Upsample2x,
     Add,
     Concat,
@@ -135,15 +142,12 @@ impl SparseModel {
                 NodeOp::Layer(l) => {
                     if let Some(conv) = l.as_conv2d() {
                         let w = &conv.weight().value;
-                        let layer = PatternCompressedConv::from_dense(
-                            w,
-                            conv.stride(),
-                            conv.padding(),
-                        )
-                        .map_err(|e| SparseModelError::Unsupported {
-                            node: n.name.clone(),
-                            msg: e.to_string(),
-                        })?;
+                        let layer =
+                            PatternCompressedConv::from_dense(w, conv.stride(), conv.padding())
+                                .map_err(|e| SparseModelError::Unsupported {
+                                    node: n.name.clone(),
+                                    msg: e.to_string(),
+                                })?;
                         stored += layer.stored_weights();
                         dense += w.numel();
                         SparseOp::Conv {
@@ -219,10 +223,12 @@ impl SparseModel {
         let mut acts: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             let get = |j: usize| -> Result<&Tensor, SparseModelError> {
-                acts[j].as_ref().ok_or(SparseModelError::Tensor(TensorError::Invalid {
-                    op: "sparse_forward",
-                    msg: format!("node {j} not yet computed"),
-                }))
+                acts[j]
+                    .as_ref()
+                    .ok_or(SparseModelError::Tensor(TensorError::Invalid {
+                        op: "sparse_forward",
+                        msg: format!("node {j} not yet computed"),
+                    }))
             };
             let out = match &node.op {
                 SparseOp::Input => input.clone(),
@@ -242,8 +248,7 @@ impl SparseModel {
                 SparseOp::Upsample2x => ops::upsample_nearest2x(get(node.inputs[0])?)?,
                 SparseOp::Add => get(node.inputs[0])?.add(get(node.inputs[1])?)?,
                 SparseOp::Concat => {
-                    let xs: Result<Vec<&Tensor>, _> =
-                        node.inputs.iter().map(|&j| get(j)).collect();
+                    let xs: Result<Vec<&Tensor>, _> = node.inputs.iter().map(|&j| get(j)).collect();
                     concat_channels(&xs?)?
                 }
             };
@@ -255,6 +260,34 @@ impl SparseModel {
             .map(|&o| acts[o].clone().expect("outputs computed in sweep"))
             .collect())
     }
+
+    /// Runs several independent requests in one batched pass.
+    ///
+    /// Inputs are stacked along the batch dimension, pushed through a
+    /// single [`forward`](Self::forward) call, and split back into
+    /// per-request outputs. Every executor in the engine loops over
+    /// batch samples independently, so results are **bit-identical** to
+    /// calling `forward` once per request — the serving layer relies on
+    /// this to micro-batch without changing answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `inputs` is empty, when the inputs disagree
+    /// in non-batch dimensions, or when the forward pass itself fails.
+    pub fn forward_batch(&self, inputs: &[&Tensor]) -> Result<Vec<Vec<Tensor>>, SparseModelError> {
+        let stacked = ops::batch_stack(inputs)?;
+        let outs = self.forward(&stacked)?;
+        let sizes: Vec<usize> = inputs.iter().map(|x| x.shape()[0]).collect();
+        let mut per_request: Vec<Vec<Tensor>> = (0..inputs.len())
+            .map(|_| Vec::with_capacity(outs.len()))
+            .collect();
+        for out in &outs {
+            for (req, part) in ops::batch_split(out, &sizes)?.into_iter().enumerate() {
+                per_request[req].push(part);
+            }
+        }
+        Ok(per_request)
+    }
 }
 
 fn activation_kind_of(l: &dyn rtoss_nn::Layer) -> Option<ActivationKind> {
@@ -262,7 +295,8 @@ fn activation_kind_of(l: &dyn rtoss_nn::Layer) -> Option<ActivationKind> {
 }
 
 fn pool_params_of(l: &dyn rtoss_nn::Layer) -> Option<(usize, usize, usize)> {
-    l.as_maxpool().map(|p| (p.kernel_size(), p.stride(), p.padding()))
+    l.as_maxpool()
+        .map(|p| (p.kernel_size(), p.stride(), p.padding()))
 }
 
 fn eval_act(kind: ActivationKind, x: f32) -> f32 {
@@ -373,6 +407,30 @@ mod tests {
         let got = engine.forward(&probe).unwrap();
         for (g, w) in got.iter().zip(want.iter()) {
             assert_close(g, w, 2e-3);
+        }
+    }
+
+    #[test]
+    fn forward_batch_is_bit_identical_to_single_requests() {
+        let mut m = yolov5s_twin(4, 2, 80).unwrap();
+        RTossPruner::new(EntryPattern::Three)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap();
+        let xs: Vec<Tensor> = (0..3)
+            .map(|i| init::uniform(&mut init::rng(90 + i), &[1, 3, 32, 32], 0.0, 1.0))
+            .collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let batched = engine.forward_batch(&refs).unwrap();
+        assert_eq!(batched.len(), xs.len());
+        for (x, got) in xs.iter().zip(&batched) {
+            let want = engine.forward(x).unwrap();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.shape(), w.shape());
+                // Bit-identical, not merely close: serving depends on it.
+                assert_eq!(g.as_slice(), w.as_slice());
+            }
         }
     }
 

@@ -29,7 +29,10 @@ impl LayerTiming {
     }
 }
 
-fn time<F: FnMut() -> Result<Tensor, TensorError>>(reps: usize, mut f: F) -> Result<f64, TensorError> {
+fn time<F: FnMut() -> Result<Tensor, TensorError>>(
+    reps: usize,
+    mut f: F,
+) -> Result<f64, TensorError> {
     // Warm-up run (also validates shapes before timing).
     f()?;
     let start = Instant::now();

@@ -1,0 +1,118 @@
+//! Batch-dimension stacking and splitting for NCHW activation tensors.
+//!
+//! The serving layer (`rtoss-serve`) micro-batches independent requests
+//! by concatenating them along the batch dimension, running one forward
+//! pass, and splitting the result back out. Because every executor in
+//! the workspace loops over batch samples independently, a stacked
+//! forward pass is bit-identical to running each sample alone; these two
+//! ops are the (cheap, copy-only) glue that makes that usable.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Concatenates tensors along dimension 0.
+///
+/// Every input must have the same rank and identical trailing (non-batch)
+/// dimensions; the output batch dimension is the sum of the input batch
+/// dimensions.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Invalid`] when `xs` is empty and
+/// [`TensorError::ShapeMismatch`] when trailing dimensions disagree.
+pub fn batch_stack(xs: &[&Tensor]) -> Result<Tensor, TensorError> {
+    let first = xs.first().ok_or(TensorError::Invalid {
+        op: "batch_stack",
+        msg: "no tensors to stack".into(),
+    })?;
+    let tail = &first.shape()[1..];
+    let mut total_batch = 0usize;
+    for x in xs {
+        if x.rank() != first.rank() || &x.shape()[1..] != tail {
+            return Err(TensorError::ShapeMismatch {
+                left: first.shape().to_vec(),
+                right: x.shape().to_vec(),
+                op: "batch_stack",
+            });
+        }
+        total_batch += x.shape()[0];
+    }
+    let mut data = Vec::with_capacity(total_batch * tail.iter().product::<usize>());
+    for x in xs {
+        data.extend_from_slice(x.as_slice());
+    }
+    let mut dims = Vec::with_capacity(first.rank());
+    dims.push(total_batch);
+    dims.extend_from_slice(tail);
+    Tensor::from_vec(data, &dims)
+}
+
+/// Splits a tensor along dimension 0 into chunks of the given batch sizes.
+///
+/// Inverse of [`batch_stack`]: `batch_split(&batch_stack(xs)?, sizes)`
+/// recovers `xs` exactly when `sizes` lists each input's batch dimension.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Invalid`] when `sizes` does not sum to the
+/// batch dimension of `x`.
+pub fn batch_split(x: &Tensor, sizes: &[usize]) -> Result<Vec<Tensor>, TensorError> {
+    let total: usize = sizes.iter().sum();
+    if x.rank() == 0 || x.shape()[0] != total {
+        return Err(TensorError::Invalid {
+            op: "batch_split",
+            msg: format!(
+                "sizes sum to {total} but batch dimension is {:?}",
+                x.shape().first()
+            ),
+        });
+    }
+    let tail = &x.shape()[1..];
+    let sample: usize = tail.iter().product();
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut offset = 0usize;
+    for &n in sizes {
+        let mut dims = Vec::with_capacity(x.rank());
+        dims.push(n);
+        dims.extend_from_slice(tail);
+        let chunk = x.as_slice()[offset * sample..(offset + n) * sample].to_vec();
+        out.push(Tensor::from_vec(chunk, &dims)?);
+        offset += n;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(batch: usize, fill: f32) -> Tensor {
+        Tensor::full(&[batch, 2, 3, 3], fill)
+    }
+
+    #[test]
+    fn stack_then_split_round_trips() {
+        let (a, b, c) = (t(1, 1.0), t(2, 2.0), t(1, 3.0));
+        let stacked = batch_stack(&[&a, &b, &c]).unwrap();
+        assert_eq!(stacked.shape(), &[4, 2, 3, 3]);
+        let parts = batch_split(&stacked, &[1, 2, 1]).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].as_slice(), a.as_slice());
+        assert_eq!(parts[1].as_slice(), b.as_slice());
+        assert_eq!(parts[2].as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_tails() {
+        let a = Tensor::zeros(&[1, 2, 3, 3]);
+        let b = Tensor::zeros(&[1, 2, 4, 3]);
+        assert!(batch_stack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn stack_rejects_empty_and_split_rejects_bad_sizes() {
+        assert!(batch_stack(&[]).is_err());
+        let x = Tensor::zeros(&[3, 2, 2, 2]);
+        assert!(batch_split(&x, &[1, 1]).is_err());
+    }
+}

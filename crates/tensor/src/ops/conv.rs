@@ -19,7 +19,17 @@ pub(crate) fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize)
 
 /// Validated conv geometry:
 /// `(batch, in_ch, in_h, in_w, out_ch, kh, kw, out_h, out_w)`.
-type ConvGeometry = (usize, usize, usize, usize, usize, usize, usize, usize, usize);
+type ConvGeometry = (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
 
 fn check_conv_args(
     x: &Tensor,
@@ -305,7 +315,13 @@ mod tests {
     use super::*;
 
     /// Direct (quadruple-loop) convolution used as the ground truth.
-    fn conv2d_naive(x: &Tensor, w: &Tensor, bias: Option<&[f32]>, stride: usize, pad: usize) -> Tensor {
+    fn conv2d_naive(
+        x: &Tensor,
+        w: &Tensor,
+        bias: Option<&[f32]>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
         let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (o, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
         let oh = out_extent(h, kh, stride, pad).unwrap();
@@ -419,7 +435,10 @@ mod tests {
             let ym = conv2d(&x, &wm, None, stride, pad).unwrap();
             let num = (yp.sum() - ym.sum()) / (2.0 * eps);
             let ana = grads.grad_weight.at(&[a, b, ci, cj]);
-            assert!((num - ana).abs() < 2e-2, "dW[{a},{b},{ci},{cj}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "dW[{a},{b},{ci},{cj}]: {num} vs {ana}"
+            );
         }
         // And a scattering of input coordinates.
         for &(ci, iy, ix) in &[(0usize, 0usize, 0usize), (1, 2, 3), (0, 4, 4)] {
@@ -431,7 +450,10 @@ mod tests {
             let ym = conv2d(&xm, &w, None, stride, pad).unwrap();
             let num = (yp.sum() - ym.sum()) / (2.0 * eps);
             let ana = grads.grad_input.at(&[0, ci, iy, ix]);
-            assert!((num - ana).abs() < 2e-2, "dX[{ci},{iy},{ix}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "dX[{ci},{iy},{ix}]: {num} vs {ana}"
+            );
         }
     }
 

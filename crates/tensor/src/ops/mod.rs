@@ -5,10 +5,12 @@
 //! validate shapes and return [`TensorError`](crate::TensorError) on
 //! mismatch.
 
+mod batch;
 mod conv;
 mod matmul;
 mod pool;
 
+pub use batch::{batch_split, batch_stack};
 pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads};
 pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
 pub use pool::{

@@ -21,7 +21,12 @@ pub struct MaxPoolOutput {
 /// # Errors
 ///
 /// Returns an error if `x` is not rank 4 or the window does not fit.
-pub fn maxpool2d(x: &Tensor, k: usize, stride: usize, pad: usize) -> Result<MaxPoolOutput, TensorError> {
+pub fn maxpool2d(
+    x: &Tensor,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<MaxPoolOutput, TensorError> {
     if x.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,

@@ -167,7 +167,11 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Self, TensorError> {
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 left: self.shape.dims().to_vec(),

@@ -62,8 +62,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         final_compression = report.compression_ratio();
     }
-    println!(
-        "\nfinal compression {final_compression:.2}x (baseline mAP was {base_map:.1}%)"
-    );
+    println!("\nfinal compression {final_compression:.2}x (baseline mAP was {base_map:.1}%)");
     Ok(())
 }

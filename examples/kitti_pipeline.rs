@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.overall_sparsity() * 100.0
     );
     let pruned_raw = evaluate_twin(&mut model, &eval_scenes, 0.25, 0.5)?;
-    println!("mAP@0.5 right after pruning (no fine-tune): {:.1}%", pruned_raw.map_percent());
+    println!(
+        "mAP@0.5 right after pruning (no fine-tune): {:.1}%",
+        pruned_raw.map_percent()
+    );
 
     let ftcfg = TrainConfig {
         epochs: (3 * epochs) / 4,
@@ -77,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             label: format!("{} {:.2}", KittiClass::from_index(d.class).name(), d.score),
         })
         .collect();
-    let path = std::path::Path::new("kitti_pipeline_out.ppm");
+    let path = std::path::Path::new("results/kitti_pipeline.ppm");
     write_ppm_with_boxes(path, &scene.image, &overlays)?;
     println!(
         "wrote {} ({} detections on the sample scene)",

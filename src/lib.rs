@@ -11,6 +11,7 @@
 //! - [`core`] — the R-TOSS pruning framework and all baselines
 //! - [`sparse`] — pattern-grouped sparse convolution executor
 //! - [`hw`] — RTX 2080 Ti / Jetson TX2 latency & energy models
+//! - [`serve`] — deadline-aware, micro-batched inference serving
 //!
 //! # Quickstart
 //!
@@ -34,5 +35,6 @@ pub use rtoss_data as data;
 pub use rtoss_hw as hw;
 pub use rtoss_models as models;
 pub use rtoss_nn as nn;
+pub use rtoss_serve as serve;
 pub use rtoss_sparse as sparse;
 pub use rtoss_tensor as tensor;

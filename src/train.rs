@@ -299,7 +299,15 @@ mod tests {
             .unwrap();
         let before = m.conv_sparsity();
         let scenes = generate_dataset(&SceneConfig::default(), 4, 101);
-        train_twin(&mut m, &scenes, &TrainConfig { epochs: 2, ..Default::default() }).unwrap();
+        train_twin(
+            &mut m,
+            &scenes,
+            &TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let after = m.conv_sparsity();
         assert!(
             (after - before).abs() < 1e-9,
@@ -319,8 +327,15 @@ mod tests {
     fn state_round_trip_reproduces_outputs() {
         let scenes = generate_dataset(&SceneConfig::default(), 4, 104);
         let mut trained = yolov5s_twin(4, 3, 104).unwrap();
-        train_twin(&mut trained, &scenes, &TrainConfig { epochs: 2, ..Default::default() })
-            .unwrap();
+        train_twin(
+            &mut trained,
+            &scenes,
+            &TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let state = save_state(&mut trained);
         let mut fresh = yolov5s_twin(4, 3, 104).unwrap();
         load_state(&mut fresh, &state).unwrap();

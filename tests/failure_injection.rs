@@ -23,7 +23,9 @@ fn pruning_a_convless_graph_is_a_safe_noop() {
         assert_eq!(r.total_weights(), 0);
         assert_eq!(r.compression_ratio(), 1.0);
     }
-    let r = RTossPruner::new(EntryPattern::Two).prune_graph(&mut g).unwrap();
+    let r = RTossPruner::new(EntryPattern::Two)
+        .prune_graph(&mut g)
+        .unwrap();
     assert_eq!(r.total_weights(), 0);
     assert!(group_layers(&g).is_empty());
 }
@@ -40,7 +42,9 @@ fn pruning_exotic_kernel_sizes_leaves_them_dense() {
         .add_layer("mid5", Box::new(Conv2d::new(4, 4, 5, 1, 2, 2)), c7)
         .unwrap();
     g.set_outputs(vec![c5]).unwrap();
-    let r = RTossPruner::new(EntryPattern::Two).prune_graph(&mut g).unwrap();
+    let r = RTossPruner::new(EntryPattern::Two)
+        .prune_graph(&mut g)
+        .unwrap();
     assert_eq!(r.total_zeros(), 0, "non-3x3/1x1 layers must stay dense");
 }
 
@@ -60,7 +64,9 @@ fn zero_weight_layers_survive_every_pruner() {
             .unwrap_or_else(|e| panic!("{} failed on a zero layer: {e}", p.name()));
     }
     let mut g = build();
-    RTossPruner::new(EntryPattern::Three).prune_graph(&mut g).unwrap();
+    RTossPruner::new(EntryPattern::Three)
+        .prune_graph(&mut g)
+        .unwrap();
     // A zero layer stays runnable.
     let y = g.forward(&Tensor::zeros(&[1, 3, 4, 4])).unwrap();
     assert!(y[0].as_slice().iter().all(|&v| v == 0.0));
@@ -146,7 +152,11 @@ fn repruning_an_already_pruned_model_is_stable() {
     let p = RTossPruner::new(EntryPattern::Two);
     let r1 = p.prune_graph(&mut m.graph).unwrap();
     let r2 = p.prune_graph(&mut m.graph).unwrap();
-    assert_eq!(r1.total_zeros(), r2.total_zeros(), "idempotent at model scope");
+    assert_eq!(
+        r1.total_zeros(),
+        r2.total_zeros(),
+        "idempotent at model scope"
+    );
     // And tightening after a looser pass only increases sparsity.
     let mut m2 = rtoss::models::yolov5s_twin(4, 2, 601).unwrap();
     let loose = RTossPruner::new(EntryPattern::Five)

@@ -25,10 +25,7 @@ fn eq1_candidate_space_is_complete() {
     assert_eq!(total, (1 << 9) - 2);
     // Adjacency filter is strictly narrowing for the interesting sizes.
     for k in 2..=5 {
-        assert!(
-            generate_adjacent(k).unwrap().len()
-                < rtoss::core::pattern::candidate_count(k)
-        );
+        assert!(generate_adjacent(k).unwrap().len() < rtoss::core::pattern::candidate_count(k));
     }
 }
 

@@ -195,3 +195,89 @@ proptest! {
         }
     }
 }
+
+// Executor equivalence across *random geometry* — shapes, strides,
+// pads, and batch sizes all drawn per case — plus the batched entry
+// points the serving layer depends on.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sparse_executors_match_dense_across_geometry(
+        seed in 0u64..1000,
+        k in 2usize..=4,
+        o in 1usize..5,
+        c in 1usize..4,
+        h in 4usize..10,
+        wid in 4usize..10,
+        stride in 1usize..=3,
+        pad in 0usize..=2,
+        batch in 1usize..=3,
+    ) {
+        let mut rng = rtoss::tensor::init::rng(seed);
+        let mut w = rtoss::tensor::init::uniform(&mut rng, &[o, c, 3, 3], -1.0, 1.0);
+        let x = rtoss::tensor::init::uniform(&mut rng, &[batch, c, h, wid], -1.0, 1.0);
+        let set = canonical_set(k).expect("valid k");
+        prune_3x3_weights(&mut w, &set).expect("prunes");
+        let dense = ops::conv2d(&x, &w, None, stride, pad).expect("conv");
+        let pc = PatternCompressedConv::from_dense(&w, stride, pad).expect("compress");
+        let un = UnstructuredSparseConv::from_dense(&w, stride, pad).expect("compress");
+        let a = conv2d_pattern_sparse(&x, &pc, None).expect("sparse conv");
+        let b = conv2d_unstructured(&x, &un, None).expect("coo conv");
+        prop_assert_eq!(a.shape(), dense.shape());
+        prop_assert_eq!(b.shape(), dense.shape());
+        for ((&d, &pa), &ub) in dense.as_slice().iter()
+            .zip(a.as_slice()).zip(b.as_slice()) {
+            prop_assert!((d - pa).abs() < 1e-4, "pattern exec mismatch {} vs {}", d, pa);
+            prop_assert!((d - ub).abs() < 1e-4, "coo exec mismatch {} vs {}", d, ub);
+        }
+    }
+
+    #[test]
+    fn batch_stack_split_round_trips(
+        seed in 0u64..1000,
+        sizes in proptest::collection::vec(1usize..=3, 1..=4),
+        c in 1usize..4,
+        h in 2usize..6,
+    ) {
+        let mut rng = rtoss::tensor::init::rng(seed);
+        let xs: Vec<Tensor> = sizes.iter()
+            .map(|&n| rtoss::tensor::init::uniform(&mut rng, &[n, c, h, h], -1.0, 1.0))
+            .collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let stacked = ops::batch_stack(&refs).expect("stacks");
+        prop_assert_eq!(stacked.shape()[0], sizes.iter().sum::<usize>());
+        let parts = ops::batch_split(&stacked, &sizes).expect("splits");
+        for (orig, part) in xs.iter().zip(&parts) {
+            prop_assert_eq!(orig, part);
+        }
+    }
+
+    #[test]
+    fn batched_sparse_conv_is_bit_identical_to_per_sample(
+        seed in 0u64..1000,
+        k in 2usize..=4,
+        stride in 1usize..=2,
+        pad in 0usize..=1,
+        sizes in proptest::collection::vec(1usize..=2, 2..=4),
+    ) {
+        let mut rng = rtoss::tensor::init::rng(seed);
+        let mut w = rtoss::tensor::init::uniform(&mut rng, &[3, 2, 3, 3], -1.0, 1.0);
+        let set = canonical_set(k).expect("valid k");
+        prune_3x3_weights(&mut w, &set).expect("prunes");
+        let pc = PatternCompressedConv::from_dense(&w, stride, pad).expect("compress");
+        let xs: Vec<Tensor> = sizes.iter()
+            .map(|&n| rtoss::tensor::init::uniform(&mut rng, &[n, 2, 7, 7], -1.0, 1.0))
+            .collect();
+        let refs: Vec<&Tensor> = xs.iter().collect();
+        let stacked = ops::batch_stack(&refs).expect("stacks");
+        let batched = conv2d_pattern_sparse(&stacked, &pc, None).expect("batched conv");
+        let parts = ops::batch_split(&batched, &sizes).expect("splits");
+        for (x, part) in xs.iter().zip(&parts) {
+            let single = conv2d_pattern_sparse(x, &pc, None).expect("single conv");
+            // Bit-identical — the serving layer's micro-batching
+            // correctness rests on this, not on approximate equality.
+            prop_assert_eq!(single.as_slice(), part.as_slice());
+        }
+    }
+}

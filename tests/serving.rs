@@ -1,0 +1,192 @@
+//! Integration tests for the serving subsystem: batched-vs-direct
+//! equivalence on a real pruned engine, load shedding under synthetic
+//! overload, and panic isolation.
+
+use rtoss::core::{EntryPattern, Pruner, RTossPruner};
+use rtoss::serve::{BackpressurePolicy, RequestError, ServeConfig, ServeModel, Server, Ticket};
+use rtoss::sparse::SparseModel;
+use rtoss::tensor::{init, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn pruned_engine(entry: EntryPattern, seed: u64) -> SparseModel {
+    let mut model = rtoss::models::yolov5s_twin(4, 2, seed).expect("model builds");
+    RTossPruner::new(entry)
+        .prune_graph(&mut model.graph)
+        .expect("prunes");
+    SparseModel::compile(&model.graph).expect("compiles")
+}
+
+fn probe(seed: u64) -> Tensor {
+    init::uniform(&mut init::rng(seed), &[1, 3, 32, 32], 0.0, 1.0)
+}
+
+/// (a) A request served through the queue/micro-batch/worker path gets
+/// outputs bit-identical to calling the engine directly — and requests
+/// really do ride in shared batches.
+#[test]
+fn served_outputs_are_bit_identical_to_direct_execution() {
+    let reference = pruned_engine(EntryPattern::Two, 5);
+    let server = Server::start(
+        Arc::new(pruned_engine(EntryPattern::Two, 5)),
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            batch_timeout: Duration::from_millis(50),
+            policy: BackpressurePolicy::Block,
+            ..ServeConfig::default()
+        },
+    );
+    let inputs: Vec<Tensor> = (0..8).map(|i| probe(200 + i)).collect();
+    let tickets: Vec<Ticket> = inputs
+        .iter()
+        .map(|x| server.submit(x.clone(), None).expect("submit"))
+        .collect();
+    let mut max_batch = 0;
+    for (x, t) in inputs.iter().zip(tickets) {
+        let resp = t.wait().expect("served");
+        max_batch = max_batch.max(resp.batch_size);
+        let direct = reference.forward(x).expect("direct forward");
+        assert_eq!(resp.outputs.len(), direct.len());
+        for (served, want) in resp.outputs.iter().zip(&direct) {
+            assert_eq!(served.shape(), want.shape());
+            assert_eq!(
+                served.as_slice(),
+                want.as_slice(),
+                "served output differs from direct execution"
+            );
+        }
+    }
+    assert!(max_batch >= 2, "no micro-batching observed");
+    let m = server.metrics();
+    server.shutdown();
+    let snap = m.snapshot();
+    assert_eq!(snap.completed, 8);
+    assert!(
+        snap.mean_batch_size > 1.0,
+        "mean batch {}",
+        snap.mean_batch_size
+    );
+}
+
+/// A model with a controllable service time (and optional poison input).
+struct SlowEcho {
+    delay: Duration,
+    panic_on_value: Option<f32>,
+}
+
+impl ServeModel for SlowEcho {
+    fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
+        if let Some(v) = self.panic_on_value {
+            if batch.as_slice().contains(&v) {
+                panic!("poison value {v}");
+            }
+        }
+        std::thread::sleep(self.delay);
+        Ok(vec![batch.clone()])
+    }
+}
+
+/// (b) Under overload with `ShedExpired`, late requests are shed while
+/// the requests that *do* complete keep a bounded p99 — instead of the
+/// unbounded queueing delay a policy-free queue would produce.
+#[test]
+fn overload_sheds_expired_requests_and_bounds_completed_p99() {
+    let service_time = Duration::from_millis(10);
+    let deadline = Duration::from_millis(60);
+    let server = Server::start(
+        Arc::new(SlowEcho {
+            delay: service_time,
+            panic_on_value: None,
+        }),
+        ServeConfig {
+            workers: 1,
+            max_batch: 1,
+            batch_timeout: Duration::ZERO,
+            queue_capacity: 128,
+            policy: BackpressurePolicy::ShedExpired,
+            ..ServeConfig::default()
+        },
+    );
+    // Offered load: 100 requests at once into a 100 req/s server —
+    // draining the backlog alone would take ~1 s, far past the 60 ms
+    // deadline for most of the queue.
+    let total = 100;
+    let tickets: Vec<Ticket> = (0..total)
+        .map(|i| {
+            server
+                .submit(Tensor::full(&[1, 1, 2, 2], i as f32), Some(deadline))
+                .expect("queue has room")
+        })
+        .collect();
+    let mut completed_e2e_ms: Vec<f64> = Vec::new();
+    let mut shed = 0u64;
+    for t in tickets {
+        match t.wait() {
+            Ok(resp) => completed_e2e_ms.push(resp.timing.total().as_secs_f64() * 1e3),
+            Err(RequestError::Shed) => shed += 1,
+            Err(e) => panic!("unexpected outcome: {e}"),
+        }
+    }
+    let m = server.metrics();
+    server.shutdown();
+    let snap = m.snapshot();
+
+    assert!(shed > 0, "overload produced no shedding");
+    assert_eq!(snap.shed, shed);
+    assert!(!completed_e2e_ms.is_empty(), "nothing completed");
+    assert_eq!(snap.completed as usize, completed_e2e_ms.len());
+
+    completed_e2e_ms.sort_by(|a, b| a.total_cmp(b));
+    let p99 = completed_e2e_ms[(completed_e2e_ms.len() * 99 / 100).min(completed_e2e_ms.len() - 1)];
+    // Completed requests stopped being popped once past the deadline, so
+    // their end-to-end time is bounded by deadline + one service time
+    // (generous slack for scheduler jitter). Without shedding the tail
+    // would reach ~total * service_time = 1000 ms.
+    let bound_ms = (deadline + 4 * service_time).as_secs_f64() * 1e3;
+    assert!(
+        p99 < bound_ms,
+        "completed p99 {p99:.1} ms exceeds shedding bound {bound_ms:.1} ms"
+    );
+}
+
+/// (c) A poisoned batch panics the model; the batch fails, the panic is
+/// counted, and the server keeps serving afterwards.
+#[test]
+fn panicking_model_leaves_server_healthy() {
+    let server = Server::start(
+        Arc::new(SlowEcho {
+            delay: Duration::ZERO,
+            panic_on_value: Some(-99.0),
+        }),
+        ServeConfig {
+            workers: 2,
+            max_batch: 2,
+            batch_timeout: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let poisoned = server
+        .submit(Tensor::full(&[1, 1, 2, 2], -99.0), None)
+        .expect("submit");
+    match poisoned.wait() {
+        Err(RequestError::Failed(msg)) => assert!(msg.contains("panic"), "msg: {msg}"),
+        other => panic!("poisoned request should fail, got {other:?}"),
+    }
+    // The server still serves correctly after the panic.
+    for i in 0..10 {
+        let x = Tensor::full(&[1, 1, 2, 2], i as f32);
+        let resp = server
+            .submit(x.clone(), None)
+            .expect("submit")
+            .wait()
+            .expect("healthy after panic");
+        assert_eq!(resp.outputs[0].as_slice(), x.as_slice());
+    }
+    let m = server.metrics();
+    server.shutdown();
+    let snap = m.snapshot();
+    assert!(snap.worker_panics >= 1, "panic not counted");
+    assert!(snap.failed >= 1);
+    assert_eq!(snap.completed, 10);
+}

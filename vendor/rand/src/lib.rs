@@ -1,0 +1,307 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access and no crates.io mirror,
+//! so the workspace vendors the *subset* of the `rand 0.8` API it
+//! actually uses: [`RngCore`], [`SeedableRng`], [`Rng::gen_range`] over
+//! numeric ranges, and [`distributions::Uniform`]. Streams are
+//! deterministic per seed (all workspace randomness flows through
+//! seeded ChaCha8 generators from the sibling `rand_chacha` stand-in),
+//! but are **not** guaranteed to match upstream `rand`'s bit streams —
+//! workspace tests assert statistical and structural properties, never
+//! golden values of a particular stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::all, clippy::pedantic)] // vendored stand-in; lint the workspace, not this
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number-generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed (mirrors
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via a PCG32 stream (same
+    /// expansion scheme as `rand_core 0.6`) and seeds the generator.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draws a sample from `[lo, hi)` (`inclusive = false`) or
+    /// `[lo, hi]` (`inclusive = true`).
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Width fits in u64 for every supported integer type.
+                let span = (hi as i128 - lo as i128) as u128 + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "gen_range: empty range");
+                if span > u64::MAX as u128 {
+                    // Full-width u64/i64 range: any draw is valid.
+                    return (lo as i128 + rng.next_u64() as i128) as $t;
+                }
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        // 24 random mantissa bits -> u in [0, 1).
+        let u = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        let v = lo + (hi - lo) * u;
+        // Guard against rounding up to the (exclusive) upper bound.
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f32::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        // 53 random mantissa bits -> u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + (hi - lo) * u;
+        if v >= hi && lo < hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_range(rng, lo, hi, true)
+    }
+}
+
+/// User-facing generator extension trait (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rr>(&mut self, range: Rr) -> T
+    where
+        T: SampleUniform,
+        Rr: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0, 1]");
+        f64::sample_range(self, 0.0, 1.0, false) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Distribution types (mirrors the used part of `rand::distributions`).
+pub mod distributions {
+    use super::{RngCore, SampleUniform};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over the half-open range `[lo, hi)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<T: SampleUniform> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[lo, hi)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `lo >= hi`.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new: empty range");
+            Uniform {
+                lo,
+                hi,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[lo, hi]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `lo > hi`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            assert!(lo <= hi, "Uniform::new_inclusive: empty range");
+            Uniform {
+                lo,
+                hi,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_range(rng, self.lo, self.hi, self.inclusive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            // A weak but well-spread mixing function, good enough to
+            // exercise the range logic.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 32) as u32
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Counting(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Counting(11);
+        for _ in 0..1000 {
+            let v: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&v));
+            let u: f64 = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_matches_gen_range_bounds() {
+        use distributions::{Distribution, Uniform};
+        let d = Uniform::new(-2.0f32, 2.0);
+        let mut rng = Counting(3);
+        for _ in 0..100 {
+            let v = d.sample(&mut rng);
+            assert!((-2.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counting(1);
+        let _: usize = rng.gen_range(5..5);
+    }
+}

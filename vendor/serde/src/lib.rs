@@ -1,0 +1,349 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment is fully offline, so the workspace vendors a
+//! minimal serialization framework with the same *spelling* as serde —
+//! `#[derive(Serialize, Deserialize)]`, `serde_json::to_string`,
+//! `serde_json::from_str` — but a much simpler contract: values
+//! serialize into an owned [`Value`] tree, and deserialize back out of
+//! one. The derive macro (in the sibling `serde_derive` stand-in)
+//! supports named-field structs, tuple structs, and unit-variant enums,
+//! which covers every serialized type in this repository.
+//!
+//! JSON encoding conventions match serde's defaults for the supported
+//! shapes: named structs as objects, newtype structs as their inner
+//! value, tuple structs as arrays, unit enum variants as strings,
+//! `Option` as the value or `null`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![allow(clippy::all, clippy::pedantic)] // vendored stand-in; lint the workspace, not this
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A dynamically-typed serialized value (the stand-in's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used when the value does not fit `i64`).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object: ordered key/value pairs.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an object or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Element of an array value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an array or is too short.
+    pub fn element(&self, idx: usize) -> Result<&Value, Error> {
+        match self {
+            Value::Arr(items) => items
+                .get(idx)
+                .ok_or_else(|| Error(format!("missing array element {idx}"))),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value tree does not match the type's
+    /// expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    Value::Float(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(Error(format!(
+                            "expected integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Value::Int(wide as i64)
+                } else {
+                    Value::UInt(wide)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: u128 = match v {
+                    Value::Int(i) if *i >= 0 => *i as u128,
+                    Value::UInt(u) => *u as u128,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u128,
+                    other => {
+                        return Err(Error(format!(
+                            "expected unsigned integer, got {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("integer {wide} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so this round-trips losslessly.
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(Value::Int(1).field("x").is_err());
+        assert!(Value::Obj(vec![]).field("x").is_err());
+    }
+
+    #[test]
+    fn u64_above_i64_max_uses_uint() {
+        let big = u64::MAX;
+        assert_eq!(big.to_value(), Value::UInt(big));
+        assert_eq!(u64::from_value(&Value::UInt(big)).unwrap(), big);
+    }
+}
