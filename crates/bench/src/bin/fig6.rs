@@ -8,6 +8,13 @@
 //! representative 3×3 layer, demonstrating the paper's §II.B claim that
 //! semi-structured sparsity converts into wall-clock speedup while
 //! unstructured sparsity does not.
+//!
+//! ```text
+//! fig6 [--threads N]
+//! ```
+//!
+//! `--threads` sets the intra-op tile-parallelism of the measured CPU
+//! and model series (defaults to `RTOSS_THREADS` or the core count).
 
 use rtoss_bench::{print_table, run_roster};
 use rtoss_core::baselines::MagnitudePruner;
@@ -15,8 +22,8 @@ use rtoss_core::pattern::canonical_set;
 use rtoss_core::prune3x3::prune_3x3_weights;
 use rtoss_hw::DeviceModel;
 use rtoss_models::{retinanet, yolov5s, DetectorModel};
-use rtoss_sparse::runtime::measure_layer;
-use rtoss_tensor::init;
+use rtoss_sparse::runtime::measure_layer_with;
+use rtoss_tensor::{init, ExecConfig};
 
 /// Paper Fig. 6 approximate speedups vs BM: (method, 2080 Ti, TX2).
 const PAPER_YOLO: &[(&str, f64, f64)] = &[
@@ -77,13 +84,13 @@ fn sweep(name: &str, build: impl Fn() -> DetectorModel, paper: &[(&str, f64, f64
 }
 
 /// Measured CPU series: one representative 3×3 layer, three executors.
-fn measured_cpu_series() {
+fn measured_cpu_series(exec: &ExecConfig) {
     let x = init::uniform(&mut init::rng(7), &[1, 64, 40, 40], -1.0, 1.0);
     let mut rows = Vec::new();
     for (label, k) in [("R-TOSS (2EP)", 2usize), ("R-TOSS (3EP)", 3), ("PD/4EP", 4)] {
         let mut w = init::uniform(&mut init::rng(8), &[64, 64, 3, 3], -1.0, 1.0);
         prune_3x3_weights(&mut w, &canonical_set(k).expect("pattern set")).expect("prune succeeds");
-        let t = measure_layer(&x, &w, 1, 1, 3).expect("measurement succeeds");
+        let t = measure_layer_with(&x, &w, 1, 1, 3, exec).expect("measurement succeeds");
         rows.push(vec![
             label.to_string(),
             format!("{:.2}x", t.pattern_speedup()),
@@ -105,7 +112,7 @@ fn measured_cpu_series() {
             p.prune_graph(&mut g).expect("prune succeeds");
             g.conv(id).expect("conv").weight().value.clone()
         };
-        let t = measure_layer(&x, &mask, 1, 1, 3).expect("measurement succeeds");
+        let t = measure_layer_with(&x, &mask, 1, 1, 3, exec).expect("measurement succeeds");
         rows.push(vec![
             "NMS (unstructured, same sparsity as 2EP)".to_string(),
             format!("{:.2}x", t.pattern_speedup()),
@@ -126,9 +133,9 @@ fn measured_cpu_series() {
 /// End-to-end measured series: the compiled sparse engine on the
 /// unpruned vs pruned twin (same executor, so the speedup isolates the
 /// work the pruning actually removes — the paper's BM-relative framing).
-fn measured_model_series() {
+fn measured_model_series(exec: &ExecConfig) {
     use rtoss_core::{EntryPattern, Pruner, RTossPruner};
-    use rtoss_sparse::runtime::measure_model;
+    use rtoss_sparse::runtime::measure_model_with;
     let x = init::uniform(&mut init::rng(10), &[1, 3, 64, 64], 0.0, 1.0);
     let time_engine = |entry: Option<EntryPattern>| -> (f64, f64) {
         let mut m = rtoss_models::yolov5s_twin(16, 3, 42).expect("twin builds");
@@ -137,7 +144,7 @@ fn measured_model_series() {
                 .prune_graph(&mut m.graph)
                 .expect("pruning succeeds");
         }
-        let t = measure_model(&mut m.graph, &x, 5).expect("timing succeeds");
+        let t = measure_model_with(&mut m.graph, &x, 5, exec).expect("timing succeeds");
         (t.dense_s, t.sparse_s)
     };
     let (_, bm_engine) = time_engine(None);
@@ -161,7 +168,33 @@ fn measured_model_series() {
     );
 }
 
+fn parse_exec() -> ExecConfig {
+    let mut exec = ExecConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let raw = it.next().unwrap_or_else(|| {
+                    eprintln!("fig6: missing value for --threads");
+                    std::process::exit(2);
+                });
+                let n: usize = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("fig6: --threads takes a number, got {raw:?}");
+                    std::process::exit(2);
+                });
+                exec = ExecConfig::with_threads(n);
+            }
+            other => {
+                eprintln!("fig6: unknown flag {other}\nusage: fig6 [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    exec
+}
+
 fn main() {
+    let exec = parse_exec();
     eprintln!("device-model series: YOLOv5s...");
     sweep(
         "YOLOv5s",
@@ -174,10 +207,10 @@ fn main() {
         || retinanet(80, 42).expect("retinanet builds"),
         PAPER_RETINA,
     );
-    eprintln!("measured CPU series...");
-    measured_cpu_series();
+    eprintln!("measured CPU series ({} threads)...", exec.threads);
+    measured_cpu_series(&exec);
     eprintln!("measured end-to-end model series...");
-    measured_model_series();
+    measured_model_series(&exec);
     println!(
         "\nShape check: R-TOSS (2EP) is the fastest on both platforms, as in\n\
          the paper. The measured CPU series confirms that pattern pruning's\n\

@@ -1,0 +1,195 @@
+//! Thread-scaling table for the tiled parallel conv executors.
+//!
+//! Times the dense im2col executor and the pattern-grouped sparse
+//! executor (2EP / 3EP / 4EP pruning) on one representative 3×3 layer
+//! at 1 / 2 / 4 / 8 intra-op threads, and writes the table to
+//! `results/par_scaling.txt` + `results/par_scaling.json`.
+//!
+//! ```text
+//! par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH]
+//! ```
+//!
+//! Speedups are relative to the 1-thread run of the same executor, so
+//! the table reads directly as parallel efficiency. On a single-core
+//! machine expect ~1.0x everywhere (the tiled path adds only thread
+//! spawn overhead); the table records whatever this host can show.
+
+use rtoss_bench::print_table;
+use rtoss_core::pattern::canonical_set;
+use rtoss_core::prune3x3::prune_3x3_weights;
+use rtoss_sparse::runtime::measure_layer_with;
+use rtoss_tensor::{init, ExecConfig, Tensor};
+use serde::{Deserialize, Serialize};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Seconds per run for each executor at one thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ScalingRow {
+    /// Intra-op threads.
+    threads: u64,
+    /// Dense im2col conv, seconds per run.
+    dense_s: f64,
+    /// Pattern-grouped executor at 2EP pruning, seconds per run.
+    pattern_2ep_s: f64,
+    /// Pattern-grouped executor at 3EP pruning, seconds per run.
+    pattern_3ep_s: f64,
+    /// Pattern-grouped executor at 4EP pruning, seconds per run.
+    pattern_4ep_s: f64,
+}
+
+/// The scaling report written to disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ScalingReport {
+    /// Input image side, pixels.
+    image: u64,
+    /// Channel count (both in and out).
+    channels: u64,
+    /// Timed repetitions per cell.
+    reps: u64,
+    /// Cores the host actually has (`available_parallelism`).
+    host_cores: u64,
+    /// One row per thread count.
+    rows: Vec<ScalingRow>,
+}
+
+struct Args {
+    reps: usize,
+    image: usize,
+    channels: usize,
+    out_dir: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        reps: 5,
+        image: 40,
+        channels: 64,
+        out_dir: "results".to_string(),
+    };
+    fn usage_error(msg: &str) -> ! {
+        eprintln!("par_scaling: {msg}");
+        eprintln!("usage: par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH]");
+        std::process::exit(2);
+    }
+    fn number<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+        raw.parse()
+            .unwrap_or_else(|_| usage_error(&format!("{flag} takes a number, got {raw:?}")))
+    }
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("missing value for {flag}")))
+        };
+        match flag.as_str() {
+            "--reps" => args.reps = number(&flag, &value()),
+            "--image" => args.image = number(&flag, &value()),
+            "--channels" => args.channels = number(&flag, &value()),
+            "--out-dir" => args.out_dir = value(),
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn pruned_weight(channels: usize, k: usize) -> Tensor {
+    let mut w = init::uniform(&mut init::rng(8), &[channels, channels, 3, 3], -1.0, 1.0);
+    prune_3x3_weights(&mut w, &canonical_set(k).expect("pattern set")).expect("prune succeeds");
+    w
+}
+
+fn main() {
+    let args = parse_args();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "par_scaling: {c}x{c}x3x3 layer, {s}x{s} input, {r} reps, host has {host_cores} core(s)\n",
+        c = args.channels,
+        s = args.image,
+        r = args.reps,
+    );
+
+    let x = init::uniform(
+        &mut init::rng(7),
+        &[1, args.channels, args.image, args.image],
+        -1.0,
+        1.0,
+    );
+    let weights: Vec<(usize, Tensor)> = [2usize, 3, 4]
+        .into_iter()
+        .map(|k| (k, pruned_weight(args.channels, k)))
+        .collect();
+
+    let mut rows = Vec::new();
+    for threads in THREAD_SWEEP {
+        let exec = ExecConfig::with_threads(threads);
+        let mut dense_s = 0.0;
+        let mut pattern = [0.0f64; 3];
+        for (i, (_, w)) in weights.iter().enumerate() {
+            let t = measure_layer_with(&x, w, 1, 1, args.reps, &exec).expect("measurement");
+            if i == 0 {
+                dense_s = t.dense_s;
+            }
+            pattern[i] = t.pattern_s;
+        }
+        rows.push(ScalingRow {
+            threads: threads as u64,
+            dense_s,
+            pattern_2ep_s: pattern[0],
+            pattern_3ep_s: pattern[1],
+            pattern_4ep_s: pattern[2],
+        });
+    }
+
+    let base = &rows[0].clone();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let cell = |s: f64, b: f64| format!("{:.3} ms ({:.2}x)", s * 1e3, b / s);
+            vec![
+                r.threads.to_string(),
+                cell(r.dense_s, base.dense_s),
+                cell(r.pattern_2ep_s, base.pattern_2ep_s),
+                cell(r.pattern_3ep_s, base.pattern_3ep_s),
+                cell(r.pattern_4ep_s, base.pattern_4ep_s),
+            ]
+        })
+        .collect();
+    let title =
+        format!("Tiled-executor thread scaling (speedup vs 1 thread; host: {host_cores} core(s))");
+    print_table(&title, &["threads", "dense", "2EP", "3EP", "4EP"], &table);
+
+    let report = ScalingReport {
+        image: args.image as u64,
+        channels: args.channels as u64,
+        reps: args.reps as u64,
+        host_cores: host_cores as u64,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let back: ScalingReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(back, report, "serde round-trip must be lossless");
+
+    std::fs::create_dir_all(&args.out_dir).expect("output dir");
+    let json_path = format!("{}/par_scaling.json", args.out_dir);
+    std::fs::write(&json_path, &json).expect("write json report");
+    let mut text = format!(
+        "{title}\n\nthreads | dense | 2EP | 3EP | 4EP (seconds/run, speedup vs threads=1)\n"
+    );
+    for row in &table {
+        text.push_str(&row.join(" | "));
+        text.push('\n');
+    }
+    if host_cores == 1 {
+        text.push_str(
+            "\nNote: this host exposes a single core, so the sweep measures the\n\
+             overhead ceiling of the tiled path (expected ~1.0x or slightly below),\n\
+             not its parallel speedup. Rerun on a multi-core host for scaling.\n",
+        );
+    }
+    let txt_path = format!("{}/par_scaling.txt", args.out_dir);
+    std::fs::write(&txt_path, &text).expect("write text report");
+    println!("\nreports: {txt_path}, {json_path} (serde round-trip verified)");
+}

@@ -10,8 +10,12 @@
 //!
 //! ```text
 //! serve_bench [--qps N] [--requests N] [--seed N] [--workers N]
-//!             [--max-batch N] [--deadline-ms N] [--image N] [--out PATH]
+//!             [--max-batch N] [--deadline-ms N] [--image N]
+//!             [--threads N] [--out PATH]
 //! ```
+//!
+//! `--threads` sets the intra-op tile-parallelism of every forward pass
+//! (defaults to `RTOSS_THREADS` or the machine's core count).
 //!
 //! Writes a JSON report (and verifies it round-trips through serde) to
 //! `results/serve/serve_bench.json` by default.
@@ -23,7 +27,7 @@ use rtoss_models::yolov5s_twin;
 use rtoss_serve::loadgen::{poisson_schedule, run_open_loop, LoadSummary};
 use rtoss_serve::{BackpressurePolicy, EnergyModelHook, MetricsSnapshot, ServeConfig, Server};
 use rtoss_sparse::SparseModel;
-use rtoss_tensor::init;
+use rtoss_tensor::{init, ExecConfig};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Duration;
@@ -58,6 +62,8 @@ struct ServeBenchReport {
     max_batch: u64,
     /// Input image side, pixels.
     image: u64,
+    /// Intra-op threads per forward pass.
+    threads: u64,
     /// One row per served variant.
     rows: Vec<ModeRow>,
 }
@@ -70,6 +76,7 @@ struct Args {
     max_batch: usize,
     deadline_ms: u64,
     image: usize,
+    threads: usize,
     out: String,
 }
 
@@ -82,13 +89,14 @@ fn parse_args() -> Args {
         max_batch: 4,
         deadline_ms: 250,
         image: 32,
+        threads: rtoss_tensor::exec::default_threads(),
         out: "results/serve/serve_bench.json".to_string(),
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("serve_bench: {msg}");
         eprintln!(
             "usage: serve_bench [--qps N] [--requests N] [--seed N] [--workers N] \
-             [--max-batch N] [--deadline-ms N] [--image N] [--out PATH]"
+             [--max-batch N] [--deadline-ms N] [--image N] [--threads N] [--out PATH]"
         );
         std::process::exit(2);
     }
@@ -110,6 +118,7 @@ fn parse_args() -> Args {
             "--max-batch" => args.max_batch = number(&flag, &value()),
             "--deadline-ms" => args.deadline_ms = number(&flag, &value()),
             "--image" => args.image = number(&flag, &value()),
+            "--threads" => args.threads = number(&flag, &value()),
             "--out" => args.out = value(),
             other => usage_error(&format!("unknown flag {other}")),
         }
@@ -148,6 +157,7 @@ fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRo
                 device: DeviceModel::rtx_2080ti(),
                 workload,
             }),
+            exec: ExecConfig::with_threads(args.threads),
         },
     );
 
@@ -180,8 +190,15 @@ fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRo
 fn main() {
     let args = parse_args();
     println!(
-        "serve_bench: YOLOv5s twin, {} req @ {} qps, seed {}, {} workers, max batch {}, deadline {} ms\n",
-        args.requests, args.qps, args.seed, args.workers, args.max_batch, args.deadline_ms
+        "serve_bench: YOLOv5s twin, {} req @ {} qps, seed {}, {} workers, max batch {}, \
+         deadline {} ms, {} intra-op threads\n",
+        args.requests,
+        args.qps,
+        args.seed,
+        args.workers,
+        args.max_batch,
+        args.deadline_ms,
+        args.threads
     );
 
     let variants: [(&str, Option<EntryPattern>); 4] = [
@@ -229,6 +246,7 @@ fn main() {
         workers: args.workers as u64,
         max_batch: args.max_batch as u64,
         image: args.image as u64,
+        threads: args.threads as u64,
         rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -66,4 +66,5 @@ pub use queue::BackpressurePolicy;
 pub use request::{
     InferenceRequest, InferenceResponse, RequestError, RequestResult, RequestTiming, Ticket,
 };
+pub use rtoss_tensor::ExecConfig;
 pub use server::{EnergyModelHook, ServeConfig, ServeModel, Server};

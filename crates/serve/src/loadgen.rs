@@ -194,7 +194,11 @@ mod tests {
     struct Identity;
 
     impl ServeModel for Identity {
-        fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
+        fn run_batch(
+            &self,
+            batch: &Tensor,
+            _exec: &rtoss_tensor::ExecConfig,
+        ) -> Result<Vec<Tensor>, String> {
             Ok(vec![batch.clone()])
         }
     }

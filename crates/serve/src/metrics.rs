@@ -4,7 +4,7 @@
 //! Counters are monotonic and striped across cache-line-padded atomics
 //! so concurrent workers and clients never contend on one line.
 //! Histograms use fixed log-spaced buckets (√2 growth from 250 ns, 60
-//! buckets ≈ 250 ns … 4.5 min), giving ~±20 % quantile resolution with
+//! buckets ≈ 250 ns … 3 min), giving ~±20 % quantile resolution with
 //! O(1) lock-free recording — the classic serving-systems trade.
 
 use serde::{Deserialize, Serialize};
@@ -97,17 +97,21 @@ impl LatencyHistogram {
         LatencyHistogram::default()
     }
 
+    /// Bucket 0 holds samples in `(0, BUCKET_LO_NS]`; bucket `i > 0`
+    /// holds `(upper(i-1), upper(i)]`. Keeping bucket 0's upper bound at
+    /// exactly `BUCKET_LO_NS` means a sub-250 ns sample can never report
+    /// a quantile above 250 ns.
     fn bucket_index(ns: f64) -> usize {
         if ns <= BUCKET_LO_NS {
             return 0;
         }
         let steps = ((ns / BUCKET_LO_NS).log2() / LOG2_GROWTH).floor() as usize;
-        steps.min(BUCKETS - 1)
+        (steps + 1).min(BUCKETS - 1)
     }
 
-    /// Upper bound of bucket `i` in nanoseconds.
+    /// Upper bound of bucket `i` in nanoseconds (`upper(0) == BUCKET_LO_NS`).
     fn bucket_upper_ns(i: usize) -> f64 {
-        BUCKET_LO_NS * 2f64.powf(LOG2_GROWTH * (i + 1) as f64)
+        BUCKET_LO_NS * 2f64.powf(LOG2_GROWTH * i as f64)
     }
 
     /// Records one latency sample.
@@ -180,7 +184,10 @@ pub struct PhaseStats {
 /// All counters and histograms for one running server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    /// Requests accepted into the queue.
+    /// Submission attempts while the queue was open. Every attempt ends
+    /// up in exactly one of `completed`, `rejected`, `shed`, or
+    /// `failed`, so `submitted` equals their sum once all tickets have
+    /// resolved.
     pub submitted: StripedCounter,
     /// Requests served to completion.
     pub completed: StripedCounter,
@@ -244,7 +251,7 @@ impl ServerMetrics {
 /// Serializable point-in-time view of [`ServerMetrics`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
-    /// Requests accepted into the queue.
+    /// Submission attempts while the queue was open.
     pub submitted: u64,
     /// Requests served to completion.
     pub completed: u64,
@@ -308,6 +315,18 @@ mod tests {
         assert!((50.0..=75.0).contains(&p50), "p50 {p50}");
         assert!((99.0..=145.0).contains(&p99), "p99 {p99}");
         assert!((h.mean_ms() - 50.5).abs() < 0.5, "mean {}", h.mean_ms());
+    }
+
+    #[test]
+    fn sub_bucket_sample_reports_quantile_within_first_bucket() {
+        // Regression: a 100 ns sample lands in bucket 0, whose reported
+        // upper bound must be the bucket floor (250 ns), not one growth
+        // step above it (~354 ns).
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        let p100_ns = h.quantile_ms(1.0) * 1e6;
+        assert!(p100_ns <= 250.0, "quantile {p100_ns} ns exceeds bucket 0");
+        assert!(p100_ns > 0.0);
     }
 
     #[test]

@@ -77,6 +77,11 @@ impl BoundedQueue {
             pending.fulfiller.fulfil(Err(RequestError::ShutDown));
             return Err(());
         }
+        // Count every open-queue submission attempt, accepted or not:
+        // `submitted` is the total that the terminal counters
+        // (completed / rejected / shed / failed) partition once every
+        // ticket has resolved.
+        metrics.submitted.incr();
         if inner.deque.len() >= self.capacity {
             match self.policy {
                 BackpressurePolicy::Block => {
@@ -89,31 +94,33 @@ impl BoundedQueue {
                     }
                 }
                 BackpressurePolicy::RejectWhenFull => {
-                    pending.fulfiller.fulfil(Err(RequestError::Rejected));
+                    // Count before fulfilling so the terminal counters
+                    // already partition `submitted` the moment a ticket
+                    // resolves.
                     metrics.rejected.incr();
+                    pending.fulfiller.fulfil(Err(RequestError::Rejected));
                     return Err(());
                 }
                 BackpressurePolicy::ShedExpired => {
                     let now = Instant::now();
                     inner.deque.retain(|p| {
                         if p.request.expired_at(now) {
-                            p.fulfiller.fulfil(Err(RequestError::Shed));
                             metrics.shed.incr();
+                            p.fulfiller.fulfil(Err(RequestError::Shed));
                             false
                         } else {
                             true
                         }
                     });
                     if inner.deque.len() >= self.capacity {
-                        pending.fulfiller.fulfil(Err(RequestError::Rejected));
                         metrics.rejected.incr();
+                        pending.fulfiller.fulfil(Err(RequestError::Rejected));
                         return Err(());
                     }
                 }
             }
         }
         inner.deque.push_back(pending);
-        metrics.submitted.incr();
         self.not_empty.notify_one();
         Ok(())
     }
@@ -145,8 +152,8 @@ impl BoundedQueue {
                     && front.request.expired_at(Instant::now())
                 {
                     let expired = inner.deque.pop_front().expect("front exists");
-                    expired.fulfiller.fulfil(Err(RequestError::Shed));
                     metrics.shed.incr();
+                    expired.fulfiller.fulfil(Err(RequestError::Shed));
                     self.not_full.notify_one();
                     continue;
                 }
@@ -244,7 +251,9 @@ mod tests {
         assert!(q.push(p2, &m).is_err());
         assert!(matches!(t2.wait(), Err(RequestError::Rejected)));
         assert_eq!(m.rejected.get(), 1);
-        assert_eq!(m.submitted.get(), 1);
+        // Both attempts count as submitted; the rejection is the second
+        // attempt's terminal outcome.
+        assert_eq!(m.submitted.get(), 2);
     }
 
     #[test]

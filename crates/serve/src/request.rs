@@ -46,9 +46,10 @@ impl InferenceRequest {
 pub struct RequestTiming {
     /// Submit → popped from the queue by a worker.
     pub queue_wait: Duration,
-    /// Popped → the micro-batch closed and execution began.
+    /// Popped → the stacked batch tensor was ready to execute. Includes
+    /// waiting for stragglers *and* stacking the inputs.
     pub batch_assembly: Duration,
-    /// Execution of the batched forward pass.
+    /// The batched forward pass alone (pure model time).
     pub execute: Duration,
 }
 

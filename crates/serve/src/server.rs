@@ -14,7 +14,7 @@ use crate::request::{
 };
 use rtoss_hw::{DeviceModel, EnergyBreakdown, Workload};
 use rtoss_sparse::SparseModel;
-use rtoss_tensor::{ops, Tensor};
+use rtoss_tensor::{ops, ExecConfig, Tensor};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -27,18 +27,20 @@ use std::time::{Duration, Instant};
 /// server splits them back per request. Implementations must be safe to
 /// call from several worker threads at once.
 pub trait ServeModel: Send + Sync + 'static {
-    /// Runs one stacked micro-batch.
+    /// Runs one stacked micro-batch at the server's [`ExecConfig`]
+    /// (intra-op thread count); models without a parallel path may
+    /// ignore `exec`.
     ///
     /// # Errors
     ///
     /// Returns a human-readable message when inference fails; the server
     /// maps it to [`RequestError::Failed`] for every request on board.
-    fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String>;
+    fn run_batch(&self, batch: &Tensor, exec: &ExecConfig) -> Result<Vec<Tensor>, String>;
 }
 
 impl ServeModel for SparseModel {
-    fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
-        self.forward(batch).map_err(|e| e.to_string())
+    fn run_batch(&self, batch: &Tensor, exec: &ExecConfig) -> Result<Vec<Tensor>, String> {
+        self.forward_with(batch, exec).map_err(|e| e.to_string())
     }
 }
 
@@ -68,6 +70,9 @@ pub struct ServeConfig {
     pub batch_timeout: Duration,
     /// Optional per-request energy accounting.
     pub energy: Option<EnergyModelHook>,
+    /// Intra-op execution config passed to [`ServeModel::run_batch`]
+    /// (thread count for the tiled conv executors).
+    pub exec: ExecConfig,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +84,7 @@ impl Default for ServeConfig {
             max_batch: 4,
             batch_timeout: Duration::from_millis(2),
             energy: None,
+            exec: ExecConfig::default(),
         }
     }
 }
@@ -200,7 +206,7 @@ fn worker_loop(
     config: &ServeConfig,
 ) {
     while let Some(batch) = queue.pop_batch(config.max_batch, config.batch_timeout, metrics) {
-        serve_batch(batch, metrics, model, config.energy.as_ref());
+        serve_batch(batch, metrics, model, config);
     }
 }
 
@@ -208,18 +214,29 @@ fn serve_batch(
     batch: Vec<Pending>,
     metrics: &ServerMetrics,
     model: &dyn ServeModel,
-    energy: Option<&EnergyModelHook>,
+    config: &ServeConfig,
 ) {
-    let exec_start = Instant::now();
+    let assembly_start = Instant::now();
     metrics.batches.incr();
     metrics.batched_requests.add(batch.len() as u64);
 
     let inputs: Vec<&Tensor> = batch.iter().map(|p| &p.request.input).collect();
     let sizes: Vec<usize> = inputs.iter().map(|x| x.shape()[0]).collect();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        let stacked = ops::batch_stack(&inputs).map_err(|e| e.to_string())?;
-        model.run_batch(&stacked)
+    let frames: usize = sizes.iter().sum();
+    // Stacking is batch assembly, not model time: it runs before
+    // `exec_start` (under its own panic guard) so `execute` below is
+    // pure model time.
+    let stacked = catch_unwind(AssertUnwindSafe(|| {
+        ops::batch_stack(&inputs).map_err(|e| e.to_string())
     }));
+    let exec_start = Instant::now();
+    let result = match stacked {
+        Ok(Ok(stacked)) => {
+            catch_unwind(AssertUnwindSafe(|| model.run_batch(&stacked, &config.exec)))
+        }
+        Ok(Err(msg)) => Ok(Err(msg)),
+        Err(panic) => Err(panic),
+    };
     let exec_dur = exec_start.elapsed();
 
     let outcome: Result<Vec<Vec<Tensor>>, RequestError> = match result {
@@ -234,9 +251,11 @@ fn serve_batch(
         }
     };
 
-    let per_request_energy_uj = energy.map(|hook| {
-        let e = EnergyBreakdown::compute_batched(&hook.device, &hook.workload, batch.len());
-        (e.total_j() * 1e6).round().max(0.0) as u64
+    // Energy is charged per *frame*: a request whose input stacks f
+    // frames (`shape()[0] == f`) costs f shares of a `frames`-wide
+    // batched pass, not one share of a `batch.len()`-wide pass.
+    let per_frame_energy_j = config.energy.as_ref().map(|hook| {
+        EnergyBreakdown::compute_batched(&hook.device, &hook.workload, frames.max(1)).total_j()
     });
 
     let now = Instant::now();
@@ -246,7 +265,7 @@ fn serve_batch(
             // Resolve in reverse so we can pop off the end cheaply.
             for pending in batch.into_iter().rev() {
                 let outputs = per_request.pop().expect("one output set per request");
-                let popped_at = pending.popped_at.unwrap_or(exec_start);
+                let popped_at = pending.popped_at.unwrap_or(assembly_start);
                 let timing = RequestTiming {
                     queue_wait: popped_at.duration_since(pending.request.submitted_at),
                     batch_assembly: exec_start.saturating_duration_since(popped_at),
@@ -260,7 +279,9 @@ fn serve_batch(
                 if deadline_missed {
                     metrics.deadline_missed.incr();
                 }
-                if let Some(uj) = per_request_energy_uj {
+                if let Some(per_frame_j) = per_frame_energy_j {
+                    let request_frames = pending.request.input.shape()[0] as f64;
+                    let uj = (per_frame_j * request_frames * 1e6).round().max(0.0) as u64;
                     metrics.energy_uj.add(uj);
                 }
                 pending.fulfiller.fulfil(Ok(InferenceResponse {
@@ -315,7 +336,7 @@ mod tests {
     }
 
     impl ServeModel for Echo {
-        fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
+        fn run_batch(&self, batch: &Tensor, _exec: &ExecConfig) -> Result<Vec<Tensor>, String> {
             if let Some(v) = self.panic_on_value {
                 if batch.as_slice().contains(&v) {
                     panic!("poison value {v} in batch");
@@ -432,6 +453,44 @@ mod tests {
         let m = server.metrics();
         server.shutdown();
         assert!(m.snapshot().energy_j > 0.0);
+    }
+
+    #[test]
+    fn energy_charges_per_frame_not_per_request() {
+        // Regression: a request carrying several frames must be charged
+        // for every frame, not a single per-request share.
+        let workload = Workload {
+            dense_macs: 1_000_000,
+            effective_macs: 1_000_000,
+            weight_bytes: 1_000,
+            structure: rtoss_hw::SparsityStructure::Dense,
+        };
+        let device = DeviceModel::jetson_tx2();
+        let server = Server::start(
+            echo(),
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                energy: Some(EnergyModelHook {
+                    device: device.clone(),
+                    workload,
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        // One request stacking three frames along the batch dimension.
+        server
+            .submit(Tensor::zeros(&[3, 1, 2, 2]), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let m = server.metrics();
+        server.shutdown();
+        let per_frame_j = EnergyBreakdown::compute_batched(&device, &workload, 3).total_j();
+        let expected_uj = (per_frame_j * 3.0 * 1e6).round() as u64;
+        assert_eq!(m.energy_uj.get(), expected_uj);
+        // Sanity: strictly more than one per-frame share.
+        assert!(m.energy_uj.get() > (per_frame_j * 1e6) as u64);
     }
 
     #[test]

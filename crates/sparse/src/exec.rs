@@ -12,8 +12,16 @@
 //!   count, but each weight re-derives its offsets and the accumulation
 //!   pattern is irregular, modelling the thread-divergence/locality
 //!   penalty the paper attributes to unstructured sparsity (§II.B).
+//!
+//! Both executors tile their output into `(batch, out-channel)` planes
+//! and run the tiles across scoped threads (`*_with` variants take an
+//! [`ExecConfig`]; the plain variants use the process default). Tiles
+//! own disjoint `&mut` output slices, and each plane accumulates in the
+//! serial sweep's floating-point order, so results are bit-identical
+//! for every thread count.
 
 use crate::format::{PatternCompressedConv, UnstructuredSparseConv};
+use rtoss_tensor::exec::{run_tiles, ExecConfig};
 use rtoss_tensor::{Tensor, TensorError};
 
 fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
@@ -113,6 +121,25 @@ pub fn conv2d_pattern_sparse(
     layer: &PatternCompressedConv,
     bias: Option<&[f32]>,
 ) -> Result<Tensor, TensorError> {
+    conv2d_pattern_sparse_with(x, layer, bias, &ExecConfig::default())
+}
+
+/// [`conv2d_pattern_sparse`] with an explicit [`ExecConfig`].
+///
+/// The output is tiled into `(batch, out-channel)` planes dispatched
+/// across `exec.threads` scoped threads. Each plane accumulates its
+/// kernels in the same group/kernel/offset order as the serial sweep,
+/// so every thread count produces bit-identical results.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_pattern_sparse`].
+pub fn conv2d_pattern_sparse_with(
+    x: &Tensor,
+    layer: &PatternCompressedConv,
+    bias: Option<&[f32]>,
+    exec: &ExecConfig,
+) -> Result<Tensor, TensorError> {
     let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
     let (n, h, w, oh, ow) = check_input(
         x,
@@ -131,43 +158,46 @@ pub fn conv2d_pattern_sparse(
             });
         }
     }
-    let xd = x.as_slice();
-    let mut out = vec![0.0f32; n * o * oh * ow];
-    if let Some(b) = bias {
-        for ni in 0..n {
-            for (oc, &bv) in b.iter().enumerate() {
-                let base = (ni * o + oc) * oh * ow;
-                out[base..base + oh * ow].iter_mut().for_each(|v| *v = bv);
-            }
+    // Index kernels by output channel, preserving the serial sweep's
+    // group-major order so each plane accumulates identically.
+    type OcKernel<'a> = (&'a [(usize, usize)], usize, &'a [f32]);
+    let mut per_oc: Vec<Vec<OcKernel<'_>>> = vec![Vec::new(); o];
+    for g in layer.groups() {
+        // The pattern's offsets are fixed for every kernel in the
+        // group — this regularity is the point of pattern grouping.
+        for (oc, ic, values) in &g.kernels {
+            per_oc[*oc].push((g.offsets.as_slice(), *ic, values.as_slice()));
         }
     }
-
-    for ni in 0..n {
-        for g in layer.groups() {
-            // The pattern's offsets are fixed for every kernel in the
-            // group — this regularity is the point of pattern grouping.
-            for (oc, ic, values) in &g.kernels {
-                let x_plane = &xd[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
-                let out_base = (ni * o + oc) * oh * ow;
-                for (&(ky, kx), &val) in g.offsets.iter().zip(values.iter()) {
-                    for oy in 0..oh {
-                        let iy = (oy * stride + ky) as isize - pad as isize;
-                        accumulate_row(
-                            &mut out[out_base + oy * ow..out_base + (oy + 1) * ow],
-                            x_plane,
-                            w,
-                            iy,
-                            h,
-                            kx,
-                            stride,
-                            pad,
-                            val,
-                        );
-                    }
+    let xd = x.as_slice();
+    let plane = oh * ow;
+    let mut out = vec![0.0f32; n * o * plane];
+    let tiles: Vec<(usize, &mut [f32])> = out.chunks_mut(plane).enumerate().collect();
+    run_tiles(tiles, exec.threads, |(tile, out_plane)| {
+        let (ni, oc) = (tile / o, tile % o);
+        if let Some(b) = bias {
+            out_plane.fill(b[oc]);
+        }
+        for &(offsets, ic, values) in &per_oc[oc] {
+            let x_plane = &xd[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
+            for (&(ky, kx), &val) in offsets.iter().zip(values.iter()) {
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    accumulate_row(
+                        &mut out_plane[oy * ow..(oy + 1) * ow],
+                        x_plane,
+                        w,
+                        iy,
+                        h,
+                        kx,
+                        stride,
+                        pad,
+                        val,
+                    );
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, o, oh, ow])
 }
 
@@ -181,6 +211,24 @@ pub fn conv2d_unstructured(
     x: &Tensor,
     layer: &UnstructuredSparseConv,
     bias: Option<&[f32]>,
+) -> Result<Tensor, TensorError> {
+    conv2d_unstructured_with(x, layer, bias, &ExecConfig::default())
+}
+
+/// [`conv2d_unstructured`] with an explicit [`ExecConfig`].
+///
+/// Same `(batch, out-channel)`-plane tiling as the pattern executor;
+/// each plane replays its COO entries in submission order, so results
+/// are bit-identical for every thread count.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_unstructured`].
+pub fn conv2d_unstructured_with(
+    x: &Tensor,
+    layer: &UnstructuredSparseConv,
+    bias: Option<&[f32]>,
+    exec: &ExecConfig,
 ) -> Result<Tensor, TensorError> {
     let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
     let (n, h, w, oh, ow) = check_input(
@@ -200,27 +248,28 @@ pub fn conv2d_unstructured(
             });
         }
     }
-    let xd = x.as_slice();
-    let mut out = vec![0.0f32; n * o * oh * ow];
-    if let Some(b) = bias {
-        for ni in 0..n {
-            for (oc, &bv) in b.iter().enumerate() {
-                let base = (ni * o + oc) * oh * ow;
-                out[base..base + oh * ow].iter_mut().for_each(|v| *v = bv);
-            }
-        }
+    // Index COO entries by output channel, preserving entry order.
+    let mut per_oc: Vec<Vec<(usize, usize, usize, f32)>> = vec![Vec::new(); o];
+    for &(oc, ic, ky, kx, val) in layer.entries() {
+        per_oc[oc].push((ic, ky, kx, val));
     }
-
-    for ni in 0..n {
+    let xd = x.as_slice();
+    let plane = oh * ow;
+    let mut out = vec![0.0f32; n * o * plane];
+    let tiles: Vec<(usize, &mut [f32])> = out.chunks_mut(plane).enumerate().collect();
+    run_tiles(tiles, exec.threads, |(tile, out_plane)| {
+        let (ni, oc) = (tile / o, tile % o);
+        if let Some(b) = bias {
+            out_plane.fill(b[oc]);
+        }
         // Per-weight dispatch: every entry independently re-derives its
         // geometry — the irregular path.
-        for &(oc, ic, ky, kx, val) in layer.entries() {
+        for &(ic, ky, kx, val) in &per_oc[oc] {
             let x_plane = &xd[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
-            let out_base = (ni * o + oc) * oh * ow;
             for oy in 0..oh {
                 let iy = (oy * stride + ky) as isize - pad as isize;
                 accumulate_row(
-                    &mut out[out_base + oy * ow..out_base + (oy + 1) * ow],
+                    &mut out_plane[oy * ow..(oy + 1) * ow],
                     x_plane,
                     w,
                     iy,
@@ -232,7 +281,7 @@ pub fn conv2d_unstructured(
                 );
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, o, oh, ow])
 }
 
@@ -301,6 +350,32 @@ mod tests {
         let dense = ops::conv2d(&x, &w, None, 1, 0).unwrap();
         let pc = PatternCompressedConv::from_dense(&w, 1, 0).unwrap();
         assert_close(&conv2d_pattern_sparse(&x, &pc, None).unwrap(), &dense, 1e-4);
+    }
+
+    #[test]
+    fn parallel_executors_bit_identical_to_serial() {
+        for &(stride, pad, batch) in &[(1usize, 1usize, 1usize), (2, 1, 3), (1, 0, 2)] {
+            let w = pruned(3, 7, 5, 21);
+            let x = init::uniform(&mut init::rng(22), &[batch, 5, 9, 11], -1.0, 1.0);
+            let bias: Vec<f32> = (0..7).map(|v| v as f32 * 0.2 - 0.5).collect();
+            let pc = PatternCompressedConv::from_dense(&w, stride, pad).unwrap();
+            let un = UnstructuredSparseConv::from_dense(&w, stride, pad).unwrap();
+            let serial_pc =
+                conv2d_pattern_sparse_with(&x, &pc, Some(&bias), &ExecConfig::serial()).unwrap();
+            let serial_un =
+                conv2d_unstructured_with(&x, &un, Some(&bias), &ExecConfig::serial()).unwrap();
+            for threads in [2usize, 3, 5, 8] {
+                let cfg = ExecConfig::with_threads(threads);
+                let par_pc = conv2d_pattern_sparse_with(&x, &pc, Some(&bias), &cfg).unwrap();
+                let par_un = conv2d_unstructured_with(&x, &un, Some(&bias), &cfg).unwrap();
+                assert_eq!(
+                    serial_pc.as_slice(),
+                    par_pc.as_slice(),
+                    "pattern t={threads}"
+                );
+                assert_eq!(serial_un.as_slice(), par_un.as_slice(), "coo t={threads}");
+            }
+        }
     }
 
     #[test]

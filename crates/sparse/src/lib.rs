@@ -43,3 +43,4 @@ pub mod runtime;
 
 pub use format::{PatternCompressedConv, SparseFormatError, UnstructuredSparseConv};
 pub use model::{SparseModel, SparseModelError};
+pub use rtoss_tensor::exec::ExecConfig;

@@ -8,10 +8,11 @@
 //! would actually run after R-TOSS pruning, and the source of the
 //! end-to-end measured speedups in the `fig6` harness.
 
-use crate::exec::conv2d_pattern_sparse;
+use crate::exec::conv2d_pattern_sparse_with;
 use crate::format::PatternCompressedConv;
 use rtoss_nn::layers::ActivationKind;
 use rtoss_nn::{Graph, NodeOp};
+use rtoss_tensor::exec::ExecConfig;
 use rtoss_tensor::{ops, Tensor, TensorError};
 use std::error::Error;
 use std::fmt;
@@ -116,6 +117,7 @@ pub struct SparseModel {
     outputs: Vec<usize>,
     stored_weights: usize,
     dense_weights: usize,
+    exec: ExecConfig,
 }
 
 impl SparseModel {
@@ -197,7 +199,26 @@ impl SparseModel {
             outputs: graph.outputs().to_vec(),
             stored_weights: stored,
             dense_weights: dense,
+            exec: ExecConfig::default(),
         })
+    }
+
+    /// The engine's execution configuration (thread count).
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
+    }
+
+    /// Sets the execution configuration used by [`forward`](Self::forward)
+    /// and [`forward_batch`](Self::forward_batch).
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// Builder-style [`set_exec_config`](Self::set_exec_config).
+    #[must_use]
+    pub fn with_exec_config(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
     }
 
     /// Conv-weight compression achieved by the compiled engine.
@@ -220,6 +241,21 @@ impl SparseModel {
     ///
     /// Returns an error on shape mismatches at any node.
     pub fn forward(&self, input: &Tensor) -> Result<Vec<Tensor>, SparseModelError> {
+        self.forward_with(input, &self.exec)
+    }
+
+    /// [`forward`](Self::forward) with an explicit [`ExecConfig`],
+    /// overriding the engine's stored configuration for this call.
+    /// Results are bit-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches at any node.
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        exec: &ExecConfig,
+    ) -> Result<Vec<Tensor>, SparseModelError> {
         let mut acts: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
             let get = |j: usize| -> Result<&Tensor, SparseModelError> {
@@ -233,7 +269,7 @@ impl SparseModel {
             let out = match &node.op {
                 SparseOp::Input => input.clone(),
                 SparseOp::Conv { layer, bias } => {
-                    conv2d_pattern_sparse(get(node.inputs[0])?, layer, Some(bias))?
+                    conv2d_pattern_sparse_with(get(node.inputs[0])?, layer, Some(bias), exec)?
                 }
                 SparseOp::ChannelAffine { scale, shift } => {
                     channel_affine(get(node.inputs[0])?, scale, shift)?
@@ -275,8 +311,22 @@ impl SparseModel {
     /// Returns an error when `inputs` is empty, when the inputs disagree
     /// in non-batch dimensions, or when the forward pass itself fails.
     pub fn forward_batch(&self, inputs: &[&Tensor]) -> Result<Vec<Vec<Tensor>>, SparseModelError> {
+        self.forward_batch_with(inputs, &self.exec)
+    }
+
+    /// [`forward_batch`](Self::forward_batch) with an explicit
+    /// [`ExecConfig`] for the batched pass.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`forward_batch`](Self::forward_batch).
+    pub fn forward_batch_with(
+        &self,
+        inputs: &[&Tensor],
+        exec: &ExecConfig,
+    ) -> Result<Vec<Vec<Tensor>>, SparseModelError> {
         let stacked = ops::batch_stack(inputs)?;
-        let outs = self.forward(&stacked)?;
+        let outs = self.forward_with(&stacked, exec)?;
         let sizes: Vec<usize> = inputs.iter().map(|x| x.shape()[0]).collect();
         let mut per_request: Vec<Vec<Tensor>> = (0..inputs.len())
             .map(|_| Vec::with_capacity(outs.len()))

@@ -1,8 +1,9 @@
 //! Wall-clock measurement of dense vs sparse execution — the measured
 //! CPU series of the Fig. 6 speedup harness.
 
-use crate::exec::{conv2d_pattern_sparse, conv2d_unstructured};
+use crate::exec::{conv2d_pattern_sparse_with, conv2d_unstructured_with};
 use crate::format::{PatternCompressedConv, UnstructuredSparseConv};
+use rtoss_tensor::exec::ExecConfig;
 use rtoss_tensor::{ops, Tensor, TensorError};
 use std::time::Instant;
 
@@ -56,6 +57,24 @@ pub fn measure_layer(
     pad: usize,
     reps: usize,
 ) -> Result<LayerTiming, TensorError> {
+    measure_layer_with(x, weights, stride, pad, reps, &ExecConfig::default())
+}
+
+/// [`measure_layer`] with an explicit [`ExecConfig`]: all three
+/// executors (dense / pattern / unstructured) are timed at the given
+/// thread count, so thread-scaling sweeps compare like with like.
+///
+/// # Errors
+///
+/// Returns an error if the weight/input geometry is invalid.
+pub fn measure_layer_with(
+    x: &Tensor,
+    weights: &Tensor,
+    stride: usize,
+    pad: usize,
+    reps: usize,
+    exec: &ExecConfig,
+) -> Result<LayerTiming, TensorError> {
     let pc = PatternCompressedConv::from_dense(weights, stride, pad).map_err(|e| {
         TensorError::Invalid {
             op: "measure_layer",
@@ -68,9 +87,11 @@ pub fn measure_layer(
             msg: e.to_string(),
         }
     })?;
-    let dense_s = time(reps, || ops::conv2d(x, weights, None, stride, pad))?;
-    let pattern_s = time(reps, || conv2d_pattern_sparse(x, &pc, None))?;
-    let unstructured_s = time(reps, || conv2d_unstructured(x, &un, None))?;
+    let dense_s = time(reps, || {
+        ops::conv2d_with(x, weights, None, stride, pad, exec)
+    })?;
+    let pattern_s = time(reps, || conv2d_pattern_sparse_with(x, &pc, None, exec))?;
+    let unstructured_s = time(reps, || conv2d_unstructured_with(x, &un, None, exec))?;
     Ok(LayerTiming {
         dense_s,
         pattern_s,
@@ -106,7 +127,24 @@ pub fn measure_model(
     x: &Tensor,
     reps: usize,
 ) -> Result<ModelTiming, Box<dyn std::error::Error>> {
-    let engine = crate::SparseModel::compile(graph)?;
+    measure_model_with(graph, x, reps, &ExecConfig::default())
+}
+
+/// [`measure_model`] with an explicit [`ExecConfig`] applied to the
+/// compiled sparse engine. (The dense graph side runs through the
+/// layers' own `ops::conv2d` calls, which use the process default —
+/// set `RTOSS_THREADS` to steer both sides together.)
+///
+/// # Errors
+///
+/// Returns an error if the graph cannot be compiled or inference fails.
+pub fn measure_model_with(
+    graph: &mut rtoss_nn::Graph,
+    x: &Tensor,
+    reps: usize,
+    exec: &ExecConfig,
+) -> Result<ModelTiming, Box<dyn std::error::Error>> {
+    let engine = crate::SparseModel::compile(graph)?.with_exec_config(*exec);
     graph.set_training(false);
     graph.forward(x)?; // warm-up
     let start = Instant::now();

@@ -1,0 +1,152 @@
+//! Data-parallel execution configuration and the scoped-thread tiling
+//! helper shared by the dense and sparse convolution executors.
+//!
+//! The executors parallelise over *output-disjoint* tiles — one
+//! `(batch, out-channel)` output plane (or a contiguous block of them)
+//! per tile, carved out of the output buffer with `chunks_mut`. Every
+//! tile owns its `&mut` slice exclusively, so workers never synchronise
+//! on the hot path; `std::thread::scope` is the only machinery used (no
+//! external thread-pool dependency — the workspace is offline/vendored).
+//!
+//! Within a tile, each output element is accumulated in exactly the
+//! same floating-point order as the single-threaded executor, so
+//! results are **bit-identical** for every thread count, and
+//! `threads = 1` takes the plain serial loop with zero spawn overhead.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Environment variable overriding the default thread count.
+pub const THREADS_ENV: &str = "RTOSS_THREADS";
+
+/// Default worker-thread count: `RTOSS_THREADS` when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`]. Cached for
+/// the process lifetime (CI sets the variable before launch).
+pub fn default_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// How an executor spreads its tile work across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads to tile across (clamped to ≥ 1 at use sites;
+    /// `1` means the plain serial path).
+    pub threads: usize,
+}
+
+impl ExecConfig {
+    /// The serial configuration: one thread, today's classic loops.
+    pub fn serial() -> Self {
+        ExecConfig { threads: 1 }
+    }
+
+    /// A configuration with an explicit thread count (min 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process default: `RTOSS_THREADS` or the machine's available
+    /// parallelism (see [`default_threads`]).
+    pub fn from_env() -> Self {
+        ExecConfig {
+            threads: default_threads(),
+        }
+    }
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig::from_env()
+    }
+}
+
+/// Runs `f` over every tile, spread across up to `threads` scoped
+/// threads.
+///
+/// Tiles are dealt round-robin to workers, so equal-cost tiles balance
+/// without a shared work queue. Tiles typically carry disjoint `&mut`
+/// output slices (from `chunks_mut`), which is what makes this safe
+/// without any locking. With `threads <= 1` (or a single tile) the
+/// tiles run inline on the caller's thread in order.
+pub fn run_tiles<T, F>(tiles: Vec<T>, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = threads.max(1).min(tiles.len().max(1));
+    if threads == 1 {
+        for t in tiles {
+            f(t);
+        }
+        return;
+    }
+    let mut buckets: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, t) in tiles.into_iter().enumerate() {
+        buckets[i % threads].push(t);
+    }
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            let f = &f;
+            s.spawn(move || {
+                for t in bucket {
+                    f(t);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn exec_config_clamps_to_one_thread() {
+        assert_eq!(ExecConfig::with_threads(0).threads, 1);
+        assert_eq!(ExecConfig::serial().threads, 1);
+        assert!(ExecConfig::default().threads >= 1);
+    }
+
+    #[test]
+    fn run_tiles_visits_every_tile_once() {
+        for threads in [1usize, 2, 4, 8] {
+            let mut out = [0u8; 37];
+            let tiles: Vec<(usize, &mut [u8])> = out.chunks_mut(5).enumerate().collect();
+            let visits = AtomicUsize::new(0);
+            run_tiles(tiles, threads, |(i, tile)| {
+                visits.fetch_add(1, Ordering::Relaxed);
+                for v in tile.iter_mut() {
+                    *v = i as u8 + 1;
+                }
+            });
+            assert_eq!(visits.load(Ordering::Relaxed), 8, "threads={threads}");
+            assert!(out.iter().all(|&v| v != 0), "threads={threads}");
+            // Tile i covers elements [5i, 5i+5): check the mapping held.
+            assert_eq!(out[0], 1);
+            assert_eq!(out[36], 8);
+        }
+    }
+
+    #[test]
+    fn run_tiles_handles_empty_and_oversubscribed() {
+        run_tiles(Vec::<usize>::new(), 4, |_| panic!("no tiles to run"));
+        let mut out = [0u8; 2];
+        let tiles: Vec<&mut [u8]> = out.chunks_mut(1).collect();
+        run_tiles(tiles, 16, |t| t[0] = 9);
+        assert_eq!(out, [9, 9]);
+    }
+}

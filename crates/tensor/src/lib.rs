@@ -29,9 +29,11 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod exec;
 pub mod init;
 pub mod ops;
 
 pub use error::TensorError;
+pub use exec::ExecConfig;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -6,6 +6,7 @@
 //! that exploits R-TOSS masks.
 
 use super::matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
+use crate::exec::{run_tiles, ExecConfig};
 use crate::{Tensor, TensorError};
 
 /// Output spatial extent for one dimension.
@@ -202,6 +203,28 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor, TensorError> {
+    conv2d_with(x, w, bias, stride, pad, &ExecConfig::default())
+}
+
+/// [`conv2d`] with an explicit [`ExecConfig`].
+///
+/// With `exec.threads > 1` the output is tiled across
+/// `(batch, out-channel-block)` tiles — each worker runs the im2col
+/// matmul for a disjoint block of output rows — so no synchronisation
+/// is needed and results stay bit-identical to the serial path for
+/// every thread count. `threads = 1` runs the classic streaming loop.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_with(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    exec: &ExecConfig,
+) -> Result<Tensor, TensorError> {
     let (n, c, h, wd, o, kh, kw, oh, ow) = check_conv_args(x, w, stride, pad)?;
     if let Some(b) = bias {
         if b.len() != o {
@@ -215,25 +238,74 @@ pub fn conv2d(
     let mut out = vec![0.0f32; n * o * oh * ow];
     let img_elems = c * h * wd;
     let out_plane = oh * ow;
-    for ni in 0..n {
-        let img = Tensor::from_vec(
-            x.as_slice()[ni * img_elems..(ni + 1) * img_elems].to_vec(),
-            &[c, h, wd],
-        )?;
-        let cols = im2col(&img, kh, kw, stride, pad)?;
-        let y = matmul(&wmat, &cols)?; // (O, oh*ow)
-        let yd = y.as_slice();
-        let dst = &mut out[ni * o * out_plane..(ni + 1) * o * out_plane];
-        dst.copy_from_slice(yd);
+    let threads = exec.threads.max(1);
+    if threads == 1 {
+        // Serial path: one im2col buffer live at a time.
+        for ni in 0..n {
+            let img = Tensor::from_vec(
+                x.as_slice()[ni * img_elems..(ni + 1) * img_elems].to_vec(),
+                &[c, h, wd],
+            )?;
+            let cols = im2col(&img, kh, kw, stride, pad)?;
+            let y = matmul(&wmat, &cols)?; // (O, oh*ow)
+            let dst = &mut out[ni * o * out_plane..(ni + 1) * o * out_plane];
+            dst.copy_from_slice(y.as_slice());
+            if let Some(b) = bias {
+                for (oc, &bo) in b.iter().enumerate() {
+                    for v in &mut dst[oc * out_plane..(oc + 1) * out_plane] {
+                        *v += bo;
+                    }
+                }
+            }
+        }
+        return Tensor::from_vec(out, &[n, o, oh, ow]);
+    }
+
+    // Parallel path. Phase 1: unfold every image (one tile per image).
+    let mut cols: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+    {
+        let col_tiles: Vec<(usize, &mut Option<Tensor>)> = cols.iter_mut().enumerate().collect();
+        run_tiles(col_tiles, threads, |(ni, slot)| {
+            let img = Tensor::from_vec(
+                x.as_slice()[ni * img_elems..(ni + 1) * img_elems].to_vec(),
+                &[c, h, wd],
+            )
+            .expect("geometry validated");
+            *slot = Some(im2col(&img, kh, kw, stride, pad).expect("geometry validated"));
+        });
+    }
+    // Phase 2: (batch, out-channel-block) tiles over the output buffer.
+    // Splitting wmat by rows never changes any element's accumulation
+    // order, so every thread count produces the same bits.
+    let blocks_per_img = threads.div_ceil(n.max(1)).min(o).max(1);
+    let rows_per_block = o.div_ceil(blocks_per_img).max(1);
+    let wd_mat = wmat.as_slice();
+    let krows = c * kh * kw;
+    let mut tiles: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(n * blocks_per_img);
+    for (ni, img_out) in out.chunks_mut(o * out_plane).enumerate() {
+        for (bi, block) in img_out.chunks_mut(rows_per_block * out_plane).enumerate() {
+            tiles.push((ni, bi * rows_per_block, block));
+        }
+    }
+    run_tiles(tiles, threads, |(ni, oc0, block)| {
+        let rows = block.len() / out_plane;
+        let wblock = Tensor::from_vec(
+            wd_mat[oc0 * krows..(oc0 + rows) * krows].to_vec(),
+            &[rows, krows],
+        )
+        .expect("geometry validated");
+        let cols = cols[ni].as_ref().expect("unfolded in phase 1");
+        let y = matmul(&wblock, cols).expect("geometry validated");
+        block.copy_from_slice(y.as_slice());
         if let Some(b) = bias {
-            for oc in 0..o {
-                let bo = b[oc];
-                for v in &mut dst[oc * out_plane..(oc + 1) * out_plane] {
+            for r in 0..rows {
+                let bo = b[oc0 + r];
+                for v in &mut block[r * out_plane..(r + 1) * out_plane] {
                     *v += bo;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[n, o, oh, ow])
 }
 
@@ -467,6 +539,31 @@ mod tests {
         // dL/db_o = number of (batch, spatial) positions = 2*4*4.
         for &gb in &g.grad_bias {
             assert!((gb - 32.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_conv_is_bit_identical_to_serial() {
+        for &(n, c, h, w, o, k, s, p) in &[
+            (
+                3usize, 4usize, 9usize, 9usize, 6usize, 3usize, 1usize, 1usize,
+            ),
+            (1, 2, 7, 8, 5, 3, 2, 1),
+            (2, 3, 6, 6, 4, 1, 1, 0),
+        ] {
+            let x = rand_t(41, &[n, c, h, w]);
+            let wt = rand_t(42, &[o, c, k, k]);
+            let b: Vec<f32> = (0..o).map(|i| i as f32 * 0.05).collect();
+            let serial = conv2d_with(&x, &wt, Some(&b), s, p, &ExecConfig::serial()).unwrap();
+            for threads in [2usize, 3, 4, 8] {
+                let par = conv2d_with(&x, &wt, Some(&b), s, p, &ExecConfig::with_threads(threads))
+                    .unwrap();
+                assert_eq!(
+                    serial.as_slice(),
+                    par.as_slice(),
+                    "threads={threads} diverged from serial"
+                );
+            }
         }
     }
 

@@ -3,7 +3,9 @@
 //! overload, and panic isolation.
 
 use rtoss::core::{EntryPattern, Pruner, RTossPruner};
-use rtoss::serve::{BackpressurePolicy, RequestError, ServeConfig, ServeModel, Server, Ticket};
+use rtoss::serve::{
+    BackpressurePolicy, ExecConfig, RequestError, ServeConfig, ServeModel, Server, Ticket,
+};
 use rtoss::sparse::SparseModel;
 use rtoss::tensor::{init, Tensor};
 use std::sync::Arc;
@@ -76,7 +78,7 @@ struct SlowEcho {
 }
 
 impl ServeModel for SlowEcho {
-    fn run_batch(&self, batch: &Tensor) -> Result<Vec<Tensor>, String> {
+    fn run_batch(&self, batch: &Tensor, _exec: &ExecConfig) -> Result<Vec<Tensor>, String> {
         if let Some(v) = self.panic_on_value {
             if batch.as_slice().contains(&v) {
                 panic!("poison value {v}");
@@ -148,6 +150,109 @@ fn overload_sheds_expired_requests_and_bounds_completed_p99() {
         p99 < bound_ms,
         "completed p99 {p99:.1} ms exceeds shedding bound {bound_ms:.1} ms"
     );
+}
+
+/// The timing split: `execute` is pure model time while `batch_assembly`
+/// absorbs straggler-waiting *and* input stacking. A model that sleeps
+/// 25 ms must show all of that sleep in `execute` and none of it in
+/// `batch_assembly`.
+#[test]
+fn execute_timing_excludes_batch_assembly() {
+    let delay = Duration::from_millis(25);
+    let server = Server::start(
+        Arc::new(SlowEcho {
+            delay,
+            panic_on_value: None,
+        }),
+        ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            batch_timeout: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    );
+    let resp = server
+        .submit(Tensor::full(&[1, 1, 2, 2], 1.0), None)
+        .expect("submit")
+        .wait()
+        .expect("served");
+    server.shutdown();
+    assert!(
+        resp.timing.execute >= delay,
+        "execute {:?} lost model time (model slept {delay:?})",
+        resp.timing.execute
+    );
+    assert!(
+        resp.timing.batch_assembly < delay,
+        "batch_assembly {:?} absorbed model time",
+        resp.timing.batch_assembly
+    );
+}
+
+/// Under concurrent producers and every backpressure policy, the
+/// terminal counters partition the submission attempts exactly:
+/// `submitted == completed + rejected + shed + failed` once every
+/// ticket has resolved.
+#[test]
+fn concurrent_stress_counters_partition_all_submissions() {
+    for policy in [
+        BackpressurePolicy::Block,
+        BackpressurePolicy::RejectWhenFull,
+        BackpressurePolicy::ShedExpired,
+    ] {
+        let server = Server::start(
+            Arc::new(SlowEcho {
+                delay: Duration::from_micros(500),
+                panic_on_value: None,
+            }),
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 4,
+                policy,
+                max_batch: 4,
+                batch_timeout: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        );
+        let producers = 4usize;
+        let per_producer = 30usize;
+        let deadline = match policy {
+            // Tight enough that the slow model sheds part of the queue.
+            BackpressurePolicy::ShedExpired => Some(Duration::from_millis(2)),
+            _ => None,
+        };
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let server = &server;
+                s.spawn(move || {
+                    for i in 0..per_producer {
+                        let x = Tensor::full(&[1, 1, 2, 2], (p * per_producer + i) as f32);
+                        match server.submit(x, deadline) {
+                            Ok(ticket) => match ticket.wait() {
+                                Ok(_) | Err(RequestError::Shed) => {}
+                                Err(e) => panic!("unexpected ticket outcome: {e}"),
+                            },
+                            Err(RequestError::Rejected) | Err(RequestError::Shed) => {}
+                            Err(e) => panic!("unexpected submit outcome: {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        // Every ticket has resolved, so the partition must be exact.
+        let snap = server.metrics().snapshot();
+        server.shutdown();
+        assert_eq!(
+            snap.submitted,
+            (producers * per_producer) as u64,
+            "{policy:?}: every open-queue attempt counts as submitted"
+        );
+        assert_eq!(
+            snap.submitted,
+            snap.completed + snap.rejected + snap.shed + snap.failed,
+            "{policy:?}: counters do not partition submissions: {snap:?}"
+        );
+    }
 }
 
 /// (c) A poisoned batch panics the model; the batch fails, the panic is
