@@ -10,11 +10,15 @@
 //! unstructured sparsity does not.
 //!
 //! ```text
-//! fig6 [--threads N]
+//! fig6 [--threads N] [--verify]
 //! ```
 //!
 //! `--threads` sets the intra-op tile-parallelism of the measured CPU
 //! and model series (defaults to `RTOSS_THREADS` or the core count).
+//! `--verify` runs the rtoss-verify static checks over every pruned
+//! artifact about to be timed and refuses to benchmark (exit 1) if any
+//! invariant is violated — a broken model would produce a fast but
+//! meaningless number.
 
 use rtoss_bench::{print_table, run_roster};
 use rtoss_core::baselines::MagnitudePruner;
@@ -168,8 +172,9 @@ fn measured_model_series(exec: &ExecConfig) {
     );
 }
 
-fn parse_exec() -> ExecConfig {
+fn parse_args() -> (ExecConfig, bool) {
     let mut exec = ExecConfig::default();
+    let mut verify = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -184,17 +189,59 @@ fn parse_exec() -> ExecConfig {
                 });
                 exec = ExecConfig::with_threads(n);
             }
+            "--verify" => verify = true,
             other => {
-                eprintln!("fig6: unknown flag {other}\nusage: fig6 [--threads N]");
+                eprintln!("fig6: unknown flag {other}\nusage: fig6 [--threads N] [--verify]");
                 std::process::exit(2);
             }
         }
     }
-    exec
+    (exec, verify)
+}
+
+/// Pre-flight: statically verify every artifact this harness is about
+/// to time. Refuses to benchmark ill-formed models (exit 1).
+fn preflight(exec: &ExecConfig) {
+    use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+    let mut report = rtoss_verify::Report::new();
+    // The end-to-end model series: pruned twins through the sparse engine.
+    for entry in [EntryPattern::Three, EntryPattern::Two] {
+        let mut m = rtoss_models::yolov5s_twin(16, 3, 42).expect("twin builds");
+        RTossPruner::new(entry)
+            .prune_graph(&mut m.graph)
+            .expect("pruning succeeds");
+        report.extend(rtoss_verify::check_model(&m.graph, &[1, 3, 64, 64]).diagnostics);
+        let engine = rtoss_sparse::SparseModel::compile(&m.graph).expect("compiles");
+        report.extend(rtoss_verify::check_sparse_model(&engine).diagnostics);
+    }
+    // The CPU layer series: pruned 64x64x3x3 weights in compressed form.
+    for k in [2usize, 3, 4] {
+        let mut w = init::uniform(&mut init::rng(8), &[64, 64, 3, 3], -1.0, 1.0);
+        prune_3x3_weights(&mut w, &canonical_set(k).expect("pattern set")).expect("prune succeeds");
+        let pc = rtoss_sparse::PatternCompressedConv::from_dense(&w, 1, 1).expect("compresses");
+        report.extend(rtoss_verify::check_pattern_layer(
+            &format!("{k}EP layer"),
+            &pc,
+        ));
+    }
+    // The executor the timed runs will deal tiles through.
+    report.extend(rtoss_verify::check_tile_partition(64, exec.threads.max(1)).diagnostics);
+    if report.has_errors() {
+        eprint!("{}", report.render());
+        eprintln!("fig6: refusing to benchmark ill-formed artifacts");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "pre-flight verify: clean ({} findings)",
+        report.diagnostics.len()
+    );
 }
 
 fn main() {
-    let exec = parse_exec();
+    let (exec, verify) = parse_args();
+    if verify {
+        preflight(&exec);
+    }
     eprintln!("device-model series: YOLOv5s...");
     sweep(
         "YOLOv5s",

@@ -6,8 +6,12 @@
 //! `results/par_scaling.txt` + `results/par_scaling.json`.
 //!
 //! ```text
-//! par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH]
+//! par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH] [--verify]
 //! ```
+//!
+//! `--verify` statically checks the pruned weights (compressed form)
+//! and the tile partition for every swept thread count before timing,
+//! exiting non-zero instead of benchmarking an ill-formed layer.
 //!
 //! Speedups are relative to the 1-thread run of the same executor, so
 //! the table reads directly as parallel efficiency. On a single-core
@@ -58,6 +62,7 @@ struct Args {
     image: usize,
     channels: usize,
     out_dir: String,
+    verify: bool,
 }
 
 fn parse_args() -> Args {
@@ -66,10 +71,14 @@ fn parse_args() -> Args {
         image: 40,
         channels: 64,
         out_dir: "results".to_string(),
+        verify: false,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("par_scaling: {msg}");
-        eprintln!("usage: par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH]");
+        eprintln!(
+            "usage: par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH] \
+             [--verify]"
+        );
         std::process::exit(2);
     }
     fn number<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
@@ -87,6 +96,7 @@ fn parse_args() -> Args {
             "--image" => args.image = number(&flag, &value()),
             "--channels" => args.channels = number(&flag, &value()),
             "--out-dir" => args.out_dir = value(),
+            "--verify" => args.verify = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -121,6 +131,31 @@ fn main() {
         .into_iter()
         .map(|k| (k, pruned_weight(args.channels, k)))
         .collect();
+
+    if args.verify {
+        // Refuse to time ill-formed layers: verify the compressed form
+        // of every pruned weight and the tile partition at each swept
+        // thread count (one tile per output channel at batch 1).
+        let mut pre = rtoss_verify::Report::new();
+        for (k, w) in &weights {
+            let pc = rtoss_sparse::PatternCompressedConv::from_dense(w, 1, 1).expect("compresses");
+            pre.extend(rtoss_verify::check_pattern_layer(
+                &format!("{k}EP layer"),
+                &pc,
+            ));
+        }
+        let max_threads = THREAD_SWEEP.iter().copied().max().unwrap_or(1);
+        pre.extend(rtoss_verify::check_tile_partition(args.channels, max_threads).diagnostics);
+        if pre.has_errors() {
+            eprint!("{}", pre.render());
+            eprintln!("par_scaling: refusing to benchmark ill-formed layers");
+            std::process::exit(1);
+        }
+        println!(
+            "pre-flight verify: clean ({} findings)\n",
+            pre.diagnostics.len()
+        );
+    }
 
     let mut rows = Vec::new();
     for threads in THREAD_SWEEP {

@@ -11,11 +11,14 @@
 //! ```text
 //! serve_bench [--qps N] [--requests N] [--seed N] [--workers N]
 //!             [--max-batch N] [--deadline-ms N] [--image N]
-//!             [--threads N] [--out PATH]
+//!             [--threads N] [--out PATH] [--verify]
 //! ```
 //!
 //! `--threads` sets the intra-op tile-parallelism of every forward pass
 //! (defaults to `RTOSS_THREADS` or the machine's core count).
+//! `--verify` statically checks each pruned graph and compiled engine
+//! with rtoss-verify before serving it, and exits non-zero instead of
+//! reporting numbers from an ill-formed model.
 //!
 //! Writes a JSON report (and verifies it round-trips through serde) to
 //! `results/serve/serve_bench.json` by default.
@@ -78,6 +81,7 @@ struct Args {
     image: usize,
     threads: usize,
     out: String,
+    verify: bool,
 }
 
 fn parse_args() -> Args {
@@ -91,12 +95,14 @@ fn parse_args() -> Args {
         image: 32,
         threads: rtoss_tensor::exec::default_threads(),
         out: "results/serve/serve_bench.json".to_string(),
+        verify: false,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("serve_bench: {msg}");
         eprintln!(
             "usage: serve_bench [--qps N] [--requests N] [--seed N] [--workers N] \
-             [--max-batch N] [--deadline-ms N] [--image N] [--threads N] [--out PATH]"
+             [--max-batch N] [--deadline-ms N] [--image N] [--threads N] [--out PATH] \
+             [--verify]"
         );
         std::process::exit(2);
     }
@@ -120,6 +126,7 @@ fn parse_args() -> Args {
             "--image" => args.image = number(&flag, &value()),
             "--threads" => args.threads = number(&flag, &value()),
             "--out" => args.out = value(),
+            "--verify" => args.verify = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -143,6 +150,18 @@ fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRo
     };
     let workload = workload_for(&model, &report, structure);
     let engine = Arc::new(SparseModel::compile(&model.graph).expect("compiles"));
+    if args.verify {
+        // Refuse to serve (and time) an ill-formed artifact: a broken
+        // mask or sparse layer would report meaningless latencies.
+        let mut pre = rtoss_verify::check_model(&model.graph, &[1, 3, args.image, args.image]);
+        pre.extend(rtoss_verify::check_sparse_model(&engine).diagnostics);
+        if pre.has_errors() {
+            eprint!("{}", pre.render());
+            eprintln!("serve_bench: {mode}: refusing to serve an ill-formed model");
+            std::process::exit(1);
+        }
+        eprintln!("serve_bench: {mode}: pre-flight verify clean");
+    }
     let compression = engine.compression_ratio();
 
     let server = Server::start(

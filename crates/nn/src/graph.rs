@@ -279,6 +279,130 @@ impl Graph {
         }
     }
 
+    /// Statically infers every node's output shape for a given input
+    /// shape, without running any layer.
+    ///
+    /// Uses the same geometry rules the executors enforce at runtime
+    /// (conv/pool extent via [`rtoss_tensor::ops::out_extent`], Add shape
+    /// equality, Concat channel summation), so a graph that passes here
+    /// cannot fail shape validation during [`Graph::forward`]. Returns
+    /// one shape per node, indexed by [`NodeId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Graph`] naming the offending node if any layer
+    /// rejects its inferred input shape.
+    pub fn infer_shapes(&self, input_shape: &[usize]) -> Result<Vec<Vec<usize>>, NnError> {
+        let fail = |node: &Node, msg: String| NnError::Graph {
+            msg: format!(
+                "shape inference at node {} ({:?}): {msg}",
+                node.id, node.name
+            ),
+        };
+        let spatial =
+            |node: &Node, s: &[usize], k: usize, stride: usize, pad: usize, what: &str| {
+                if s.len() != 4 {
+                    return Err(fail(
+                        node,
+                        format!("{what} expects rank-4 input, got {s:?}"),
+                    ));
+                }
+                let oh = rtoss_tensor::ops::out_extent(s[2], k, stride, pad);
+                let ow = rtoss_tensor::ops::out_extent(s[3], k, stride, pad);
+                match (oh, ow) {
+                    (Some(oh), Some(ow)) => Ok((oh, ow)),
+                    _ => Err(fail(
+                        node,
+                        format!(
+                            "{what} kernel {k} (stride {stride}, pad {pad}) does not fit {s:?}"
+                        ),
+                    )),
+                }
+            };
+        let mut shapes: Vec<Vec<usize>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = match &node.op {
+                NodeOp::Input => input_shape.to_vec(),
+                NodeOp::Layer(l) => {
+                    let s = &shapes[node.inputs[0]];
+                    if let Some(c) = l.as_conv2d() {
+                        if s.len() != 4 || s[1] != c.in_channels() {
+                            return Err(fail(
+                                node,
+                                format!(
+                                    "conv expects {} input channels, got {s:?}",
+                                    c.in_channels()
+                                ),
+                            ));
+                        }
+                        let (oh, ow) =
+                            spatial(node, s, c.kernel_size(), c.stride(), c.padding(), "conv")?;
+                        vec![s[0], c.out_channels(), oh, ow]
+                    } else if let Some(b) = l.as_batchnorm() {
+                        if s.len() != 4 || s[1] != b.channels() {
+                            return Err(fail(
+                                node,
+                                format!("batchnorm expects {} channels, got {s:?}", b.channels()),
+                            ));
+                        }
+                        s.clone()
+                    } else if let Some(p) = l.as_maxpool() {
+                        let (oh, ow) =
+                            spatial(node, s, p.kernel_size(), p.stride(), p.padding(), "maxpool")?;
+                        vec![s[0], s[1], oh, ow]
+                    } else if l.as_upsample().is_some() {
+                        if s.len() != 4 {
+                            return Err(fail(node, format!("upsample expects rank-4, got {s:?}")));
+                        }
+                        vec![s[0], s[1], s[2] * 2, s[3] * 2]
+                    } else if let Some(lin) = l.as_linear() {
+                        if s.len() != 2 || s[1] != lin.in_features() {
+                            return Err(fail(
+                                node,
+                                format!("linear expects (N, {}), got {s:?}", lin.in_features()),
+                            ));
+                        }
+                        vec![s[0], lin.out_features()]
+                    } else {
+                        // Pointwise layers (activations) preserve shape.
+                        s.clone()
+                    }
+                }
+                NodeOp::Add => {
+                    let (a, b) = (&shapes[node.inputs[0]], &shapes[node.inputs[1]]);
+                    if a != b {
+                        return Err(fail(
+                            node,
+                            format!("add of mismatched shapes {a:?} vs {b:?}"),
+                        ));
+                    }
+                    a.clone()
+                }
+                NodeOp::Concat => {
+                    let first = &shapes[node.inputs[0]];
+                    if first.len() != 4 {
+                        return Err(fail(node, format!("concat expects rank-4, got {first:?}")));
+                    }
+                    let mut total_c = 0;
+                    for &j in &node.inputs {
+                        let s = &shapes[j];
+                        if s.len() != 4 || s[0] != first[0] || s[2] != first[2] || s[3] != first[3]
+                        {
+                            return Err(fail(
+                                node,
+                                format!("concat of incompatible shapes {first:?} vs {s:?}"),
+                            ));
+                        }
+                        total_c += s[1];
+                    }
+                    vec![first[0], total_c, first[2], first[3]]
+                }
+            };
+            shapes.push(out);
+        }
+        Ok(shapes)
+    }
+
     /// Runs the graph on `input`, returning the declared outputs in order.
     ///
     /// # Errors
@@ -567,6 +691,38 @@ mod tests {
         let mut g2 = Graph::new();
         g2.add_input("x");
         assert!(g2.forward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn infer_shapes_matches_forward() {
+        use crate::layers::{MaxPool2d, UpsampleNearest2x};
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let c1 = g.add_layer("c1", conv(2, 4, 3, 1), x).unwrap();
+        let p = g
+            .add_layer("p", Box::new(MaxPool2d::new(2, 2, 0)), c1)
+            .unwrap();
+        let up = g
+            .add_layer("up", Box::new(UpsampleNearest2x::new()), p)
+            .unwrap();
+        let c2 = g.add_layer("c2", conv(4, 3, 1, 2), up).unwrap();
+        let cat = g.add_concat("cat", vec![c1, c2]).unwrap();
+        g.set_outputs(vec![cat]).unwrap();
+        let input = init::uniform(&mut init::rng(13), &[2, 2, 8, 8], -1.0, 1.0);
+        let inferred = g.infer_shapes(input.shape()).unwrap();
+        let y = g.forward(&input).unwrap();
+        assert_eq!(inferred[cat], y[0].shape().to_vec());
+        for (id, s) in inferred.iter().enumerate() {
+            assert_eq!(
+                s,
+                &g.activations[id].as_ref().unwrap().shape().to_vec(),
+                "node {id}"
+            );
+        }
+        // Mismatched channel count is rejected statically.
+        assert!(g.infer_shapes(&[1, 3, 8, 8]).is_err());
+        // Kernel that cannot fit the spatial extent is rejected.
+        assert!(g.infer_shapes(&[1, 2, 1, 1]).is_err());
     }
 
     #[test]

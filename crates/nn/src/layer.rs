@@ -97,4 +97,9 @@ pub trait Layer: std::fmt::Debug {
     fn as_upsample(&self) -> Option<&crate::layers::UpsampleNearest2x> {
         None
     }
+
+    /// Downcast to [`Linear`](crate::layers::Linear).
+    fn as_linear(&self) -> Option<&crate::layers::Linear> {
+        None
+    }
 }

@@ -97,6 +97,10 @@ impl Layer for Linear {
         LayerKind::Linear
     }
 
+    fn as_linear(&self) -> Option<&Linear> {
+        Some(self)
+    }
+
     fn clear_cache(&mut self) {
         self.cached_input = None;
     }

@@ -92,6 +92,9 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Number of fixed log-spaced buckets.
+    pub const NUM_BUCKETS: usize = BUCKETS;
+
     /// Creates an empty histogram.
     pub fn new() -> Self {
         LatencyHistogram::default()
@@ -101,16 +104,28 @@ impl LatencyHistogram {
     /// holds `(upper(i-1), upper(i)]`. Keeping bucket 0's upper bound at
     /// exactly `BUCKET_LO_NS` means a sub-250 ns sample can never report
     /// a quantile above 250 ns.
-    fn bucket_index(ns: f64) -> usize {
+    ///
+    /// Public (with [`bucket_upper_ns`](Self::bucket_upper_ns)) so the
+    /// boundary checks in `rtoss-verify` exercise the exact mapping the
+    /// recorder uses.
+    pub fn bucket_index(ns: f64) -> usize {
         if ns <= BUCKET_LO_NS {
             return 0;
         }
         let steps = ((ns / BUCKET_LO_NS).log2() / LOG2_GROWTH).floor() as usize;
-        (steps + 1).min(BUCKETS - 1)
+        let mut idx = (steps + 1).min(BUCKETS - 1);
+        // The log/floor above can overshoot by one when `ns` sits exactly
+        // on (or within float error of) a bucket's upper bound: a sample
+        // at upper(i) computed steps == i, landing it in bucket i+1 and
+        // violating the half-open range documented above (RV021).
+        while idx > 0 && ns <= Self::bucket_upper_ns(idx - 1) {
+            idx -= 1;
+        }
+        idx
     }
 
     /// Upper bound of bucket `i` in nanoseconds (`upper(0) == BUCKET_LO_NS`).
-    fn bucket_upper_ns(i: usize) -> f64 {
+    pub fn bucket_upper_ns(i: usize) -> f64 {
         BUCKET_LO_NS * 2f64.powf(LOG2_GROWTH * i as f64)
     }
 
@@ -327,6 +342,24 @@ mod tests {
         let p100_ns = h.quantile_ms(1.0) * 1e6;
         assert!(p100_ns <= 250.0, "quantile {p100_ns} ns exceeds bucket 0");
         assert!(p100_ns > 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_half_open_and_monotonic() {
+        // A sample exactly on a bucket's upper bound belongs to that
+        // bucket, not the next one (RV021 regression).
+        for i in 0..LatencyHistogram::NUM_BUCKETS {
+            let upper = LatencyHistogram::bucket_upper_ns(i);
+            assert_eq!(
+                LatencyHistogram::bucket_index(upper),
+                i,
+                "upper({i}) = {upper} ns"
+            );
+            if i + 1 < LatencyHistogram::NUM_BUCKETS {
+                assert!(upper < LatencyHistogram::bucket_upper_ns(i + 1));
+                assert_eq!(LatencyHistogram::bucket_index(upper * 1.0001), i + 1);
+            }
+        }
     }
 
     #[test]

@@ -151,7 +151,9 @@ impl BoundedQueue {
                 if self.policy == BackpressurePolicy::ShedExpired
                     && front.request.expired_at(Instant::now())
                 {
-                    let expired = inner.deque.pop_front().expect("front exists");
+                    let Some(expired) = inner.deque.pop_front() else {
+                        break;
+                    };
                     metrics.shed.incr();
                     expired.fulfiller.fulfil(Err(RequestError::Shed));
                     self.not_full.notify_one();
@@ -163,7 +165,9 @@ impl BoundedQueue {
                 if !compatible {
                     break;
                 }
-                let mut p = inner.deque.pop_front().expect("front exists");
+                let Some(mut p) = inner.deque.pop_front() else {
+                    break;
+                };
                 p.popped_at = Some(Instant::now());
                 batch.push(p);
                 self.not_full.notify_one();

@@ -36,11 +36,27 @@ pub trait ServeModel: Send + Sync + 'static {
     /// Returns a human-readable message when inference fails; the server
     /// maps it to [`RequestError::Failed`] for every request on board.
     fn run_batch(&self, batch: &Tensor, exec: &ExecConfig) -> Result<Vec<Tensor>, String>;
+
+    /// Opt-in pre-flight validation: one message per structural
+    /// invariant violation in the model's compiled artifacts (empty =
+    /// fit to serve). Run before [`Server::start`] to refuse ill-formed
+    /// models instead of discovering them request by request. The
+    /// default has nothing to check.
+    fn verify(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl ServeModel for SparseModel {
     fn run_batch(&self, batch: &Tensor, exec: &ExecConfig) -> Result<Vec<Tensor>, String> {
         self.forward_with(batch, exec).map_err(|e| e.to_string())
+    }
+
+    fn verify(&self) -> Vec<String> {
+        SparseModel::verify(self)
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect()
     }
 }
 
@@ -143,9 +159,13 @@ impl Server {
         match self.queue.push(pending, &self.metrics) {
             Ok(()) => Ok(ticket),
             // The queue resolved the ticket; surface the reason directly.
+            // A resolved-with-success ticket here would be a queue bug;
+            // report it as a failure rather than panicking in submit.
             Err(()) => match ticket.wait() {
                 Err(e) => Err(e),
-                Ok(_) => unreachable!("rejected ticket cannot carry a response"),
+                Ok(_) => Err(RequestError::Failed(
+                    "internal: rejected ticket carried a response".into(),
+                )),
             },
         }
     }
@@ -264,7 +284,15 @@ fn serve_batch(
         Ok(mut per_request) => {
             // Resolve in reverse so we can pop off the end cheaply.
             for pending in batch.into_iter().rev() {
-                let outputs = per_request.pop().expect("one output set per request");
+                let Some(outputs) = per_request.pop() else {
+                    // split_outputs produced fewer sets than requests —
+                    // fail this request instead of panicking the worker.
+                    pending.fulfiller.fulfil(Err(RequestError::Failed(
+                        "internal: missing output set for request".into(),
+                    )));
+                    metrics.failed.incr();
+                    continue;
+                };
                 let popped_at = pending.popped_at.unwrap_or(assembly_start);
                 let timing = RequestTiming {
                     queue_wait: popped_at.duration_since(pending.request.submitted_at),

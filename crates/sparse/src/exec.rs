@@ -22,15 +22,8 @@
 
 use crate::format::{PatternCompressedConv, UnstructuredSparseConv};
 use rtoss_tensor::exec::{run_tiles, ExecConfig};
+use rtoss_tensor::ops::out_extent;
 use rtoss_tensor::{Tensor, TensorError};
-
-fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
-    let padded = input + 2 * pad;
-    if padded < kernel || stride == 0 {
-        return None;
-    }
-    Some((padded - kernel) / stride + 1)
-}
 
 fn check_input(
     x: &Tensor,
@@ -158,6 +151,18 @@ pub fn conv2d_pattern_sparse_with(
             });
         }
     }
+    // Debug-build checkpoint: a corrupt artifact (out-of-bounds channel
+    // or offset) would otherwise surface as an index panic in the tiled
+    // workers below. Release builds rely on the opt-in `rtoss-verify`
+    // pre-flight pass instead of paying this on every forward.
+    #[cfg(debug_assertions)]
+    {
+        let violations = layer.validate();
+        debug_assert!(
+            violations.is_empty(),
+            "conv2d_pattern_sparse on invalid layer: {violations:?}"
+        );
+    }
     // Index kernels by output channel, preserving the serial sweep's
     // group-major order so each plane accumulates identically.
     type OcKernel<'a> = (&'a [(usize, usize)], usize, &'a [f32]);
@@ -247,6 +252,15 @@ pub fn conv2d_unstructured_with(
                 msg: format!("bias length {} != out channels {o}", b.len()),
             });
         }
+    }
+    // Debug-build checkpoint; see conv2d_pattern_sparse_with.
+    #[cfg(debug_assertions)]
+    {
+        let violations = layer.validate();
+        debug_assert!(
+            violations.is_empty(),
+            "conv2d_unstructured on invalid layer: {violations:?}"
+        );
     }
     // Index COO entries by output channel, preserving entry order.
     let mut per_oc: Vec<Vec<(usize, usize, usize, f32)>> = vec![Vec::new(); o];

@@ -31,6 +31,31 @@ impl fmt::Display for SparseFormatError {
 
 impl Error for SparseFormatError {}
 
+/// One structural-invariant violation found by a format `validate()`.
+///
+/// `code` is a stable diagnostic identifier from the RV0xx registry
+/// (see DESIGN.md §9); the `rtoss-verify` crate wraps these into full
+/// [`Diagnostic`]s with location context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatViolation {
+    /// Stable diagnostic code (e.g. `"RV010"`).
+    pub code: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl FormatViolation {
+    fn new(code: &'static str, message: String) -> Self {
+        FormatViolation { code, message }
+    }
+}
+
+impl fmt::Display for FormatViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
 /// One group of kernels sharing the same non-zero pattern.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PatternGroup {
@@ -169,6 +194,146 @@ impl PatternCompressedConv {
         }
     }
 
+    /// Assembles a compressed layer directly from pattern groups
+    /// *without* checking any invariant.
+    ///
+    /// This is the deserialization/testing escape hatch paired with
+    /// [`PatternCompressedConv::validate`]: [`from_dense`] is valid by
+    /// construction, but artifacts loaded from outside the process (or
+    /// corruption fixtures in tests) are not. Always run `validate()`
+    /// on a layer built this way before executing it.
+    ///
+    /// [`from_dense`]: PatternCompressedConv::from_dense
+    pub fn from_parts(
+        out_ch: usize,
+        in_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: Vec<PatternGroup>,
+    ) -> Self {
+        let stored = groups
+            .iter()
+            .flat_map(|g| g.kernels.iter())
+            .map(|(_, _, v)| v.len())
+            .sum();
+        PatternCompressedConv {
+            out_ch,
+            in_ch,
+            kernel,
+            stride,
+            pad,
+            groups,
+            dense_weights: out_ch * in_ch * kernel * kernel,
+            stored_weights: stored,
+        }
+    }
+
+    /// Checks every structural invariant the sparse executor relies on,
+    /// returning one [`FormatViolation`] per breach (empty = valid).
+    ///
+    /// Invariants, with their RV0xx codes:
+    /// - **RV010** — group offsets are non-empty, strictly increasing in
+    ///   row-major `(ky, kx)` order, in-bounds for the kernel extent,
+    ///   and no two groups share the same pattern;
+    /// - **RV011** — kernel coordinates `(oc, ic)` are in-bounds, appear
+    ///   at most once across all groups, and each kernel carries exactly
+    ///   one value per offset;
+    /// - **RV012** — `stored_weights` equals the values actually held
+    ///   and no stored value is zero (zeros must be *dropped*, or the
+    ///   compression ratio lies).
+    pub fn validate(&self) -> Vec<FormatViolation> {
+        let mut out = Vec::new();
+        let k = self.kernel;
+        let mut seen_patterns = std::collections::BTreeSet::new();
+        let mut seen_kernels = std::collections::BTreeSet::new();
+        let mut stored = 0usize;
+        for (gi, g) in self.groups.iter().enumerate() {
+            if g.offsets.is_empty() {
+                out.push(FormatViolation::new(
+                    "RV010",
+                    format!("group {gi}: empty offset pattern"),
+                ));
+            }
+            for w in g.offsets.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                if a.0 * k + a.1 >= b.0 * k + b.1 {
+                    out.push(FormatViolation::new(
+                        "RV010",
+                        format!("group {gi}: offsets not strictly row-major sorted at {a:?},{b:?}"),
+                    ));
+                }
+            }
+            for &(ky, kx) in &g.offsets {
+                if ky >= k || kx >= k {
+                    out.push(FormatViolation::new(
+                        "RV010",
+                        format!("group {gi}: offset ({ky},{kx}) out of bounds for kernel {k}"),
+                    ));
+                }
+            }
+            if !seen_patterns.insert(g.offsets.clone()) {
+                out.push(FormatViolation::new(
+                    "RV010",
+                    format!("group {gi}: duplicate pattern {:?}", g.offsets),
+                ));
+            }
+            for &(oc, ic, ref values) in &g.kernels {
+                if oc >= self.out_ch || ic >= self.in_ch {
+                    out.push(FormatViolation::new(
+                        "RV011",
+                        format!(
+                            "group {gi}: kernel ({oc},{ic}) out of bounds for {}x{} layer",
+                            self.out_ch, self.in_ch
+                        ),
+                    ));
+                }
+                if !seen_kernels.insert((oc, ic)) {
+                    out.push(FormatViolation::new(
+                        "RV011",
+                        format!("kernel ({oc},{ic}) stored more than once"),
+                    ));
+                }
+                if values.len() != g.offsets.len() {
+                    out.push(FormatViolation::new(
+                        "RV011",
+                        format!(
+                            "group {gi}: kernel ({oc},{ic}) has {} values for {} offsets",
+                            values.len(),
+                            g.offsets.len()
+                        ),
+                    ));
+                }
+                if values.contains(&0.0) {
+                    out.push(FormatViolation::new(
+                        "RV012",
+                        format!("group {gi}: kernel ({oc},{ic}) stores an explicit zero"),
+                    ));
+                }
+                stored += values.len();
+            }
+        }
+        if stored != self.stored_weights {
+            out.push(FormatViolation::new(
+                "RV012",
+                format!(
+                    "stored_weights bookkeeping says {} but {} values are held",
+                    self.stored_weights, stored
+                ),
+            ));
+        }
+        if self.dense_weights != self.out_ch * self.in_ch * k * k {
+            out.push(FormatViolation::new(
+                "RV012",
+                format!(
+                    "dense_weights bookkeeping says {} for a {}x{}x{k}x{k} layer",
+                    self.dense_weights, self.out_ch, self.in_ch
+                ),
+            ));
+        }
+        out
+    }
+
     /// Reconstructs the dense weight tensor (for verification).
     pub fn to_dense(&self) -> Tensor {
         let k = self.kernel;
@@ -270,6 +435,92 @@ impl UnstructuredSparseConv {
         &self.entries
     }
 
+    /// Assembles a COO layer directly from entries *without* checking
+    /// any invariant — the deserialization/testing escape hatch paired
+    /// with [`UnstructuredSparseConv::validate`].
+    pub fn from_entries(
+        out_ch: usize,
+        in_ch: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        entries: Vec<(usize, usize, usize, usize, f32)>,
+    ) -> Self {
+        UnstructuredSparseConv {
+            out_ch,
+            in_ch,
+            kernel,
+            stride,
+            pad,
+            entries,
+            dense_weights: out_ch * in_ch * kernel * kernel,
+        }
+    }
+
+    /// Checks the COO invariants the unstructured executor relies on,
+    /// returning one [`FormatViolation`] per breach (empty = valid).
+    ///
+    /// All violations carry code **RV013**: entries must be in-bounds,
+    /// strictly sorted in `(oc, ic, ky, kx)` lexicographic order (which
+    /// also rules out duplicates), and must not store explicit zeros.
+    pub fn validate(&self) -> Vec<FormatViolation> {
+        let mut out = Vec::new();
+        let k = self.kernel;
+        for &(oc, ic, ky, kx, v) in &self.entries {
+            if oc >= self.out_ch || ic >= self.in_ch || ky >= k || kx >= k {
+                out.push(FormatViolation::new(
+                    "RV013",
+                    format!(
+                        "entry ({oc},{ic},{ky},{kx}) out of bounds for {}x{}x{k}x{k} layer",
+                        self.out_ch, self.in_ch
+                    ),
+                ));
+            }
+            if v == 0.0 {
+                out.push(FormatViolation::new(
+                    "RV013",
+                    format!("entry ({oc},{ic},{ky},{kx}) stores an explicit zero"),
+                ));
+            }
+        }
+        for w in self.entries.windows(2) {
+            let a = (w[0].0, w[0].1, w[0].2, w[0].3);
+            let b = (w[1].0, w[1].1, w[1].2, w[1].3);
+            if a >= b {
+                out.push(FormatViolation::new(
+                    "RV013",
+                    format!("entries not strictly sorted at {a:?},{b:?}"),
+                ));
+            }
+        }
+        if self.dense_weights != self.out_ch * self.in_ch * k * k {
+            out.push(FormatViolation::new(
+                "RV013",
+                format!(
+                    "dense_weights bookkeeping says {} for a {}x{}x{k}x{k} layer",
+                    self.dense_weights, self.out_ch, self.in_ch
+                ),
+            ));
+        }
+        out
+    }
+
+    /// Reconstructs the dense weight tensor (for verification).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds entries; run
+    /// [`UnstructuredSparseConv::validate`] first on untrusted layers.
+    pub fn to_dense(&self) -> Tensor {
+        let k = self.kernel;
+        let mut w = Tensor::zeros(&[self.out_ch, self.in_ch, k, k]);
+        let wd = w.as_mut_slice();
+        for &(oc, ic, ky, kx, v) in &self.entries {
+            wd[((oc * self.in_ch + ic) * k + ky) * k + kx] = v;
+        }
+        w
+    }
+
     /// Dense-to-stored weight ratio.
     pub fn compression_ratio(&self) -> f64 {
         if self.entries.is_empty() {
@@ -354,6 +605,68 @@ mod tests {
         assert!(UnstructuredSparseConv::from_dense(&w, 1, 1).is_err());
         let w = Tensor::zeros(&[2, 2, 3]);
         assert!(PatternCompressedConv::from_dense(&w, 1, 1).is_err());
+    }
+
+    #[test]
+    fn validate_passes_on_from_dense_output() {
+        let w = pruned_weight(3, 7);
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        assert!(pc.validate().is_empty());
+        let un = UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
+        assert!(un.validate().is_empty());
+    }
+
+    #[test]
+    fn validate_catches_seeded_corruption() {
+        let codes = |vs: &[FormatViolation]| {
+            vs.iter()
+                .map(|v| v.code)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        // Unsorted + out-of-bounds offsets (RV010), duplicate kernel and
+        // value-count mismatch (RV011), stored zero (RV012).
+        let bad = PatternCompressedConv::from_parts(
+            2,
+            1,
+            3,
+            1,
+            1,
+            vec![
+                PatternGroup {
+                    offsets: vec![(1, 1), (0, 0), (3, 0)],
+                    kernels: vec![(0, 0, vec![1.0, 2.0, 3.0]), (0, 0, vec![1.0, 0.0, 3.0])],
+                },
+                PatternGroup {
+                    offsets: vec![(0, 1)],
+                    kernels: vec![(5, 0, vec![1.0, 2.0])],
+                },
+            ],
+        );
+        let vs = bad.validate();
+        let cs = codes(&vs);
+        assert!(cs.contains("RV010"), "{vs:?}");
+        assert!(cs.contains("RV011"), "{vs:?}");
+        assert!(cs.contains("RV012"), "{vs:?}");
+
+        // COO: out-of-bounds, unsorted duplicate, explicit zero (RV013).
+        let bad = UnstructuredSparseConv::from_entries(
+            2,
+            2,
+            3,
+            1,
+            1,
+            vec![(0, 0, 1, 1, 2.0), (0, 0, 1, 1, 0.0), (9, 0, 0, 0, 1.0)],
+        );
+        let vs = bad.validate();
+        assert!(codes(&vs).contains("RV013"), "{vs:?}");
+        assert!(vs.len() >= 3, "{vs:?}");
+    }
+
+    #[test]
+    fn unstructured_to_dense_round_trips() {
+        let w = pruned_weight(2, 8);
+        let un = UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
+        assert_eq!(un.to_dense(), w);
     }
 
     #[test]

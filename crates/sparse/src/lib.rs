@@ -41,6 +41,8 @@ mod model;
 pub mod exec;
 pub mod runtime;
 
-pub use format::{PatternCompressedConv, SparseFormatError, UnstructuredSparseConv};
+pub use format::{
+    FormatViolation, PatternCompressedConv, PatternGroup, SparseFormatError, UnstructuredSparseConv,
+};
 pub use model::{SparseModel, SparseModelError};
 pub use rtoss_tensor::exec::ExecConfig;

@@ -9,7 +9,7 @@
 //! end-to-end measured speedups in the `fig6` harness.
 
 use crate::exec::conv2d_pattern_sparse_with;
-use crate::format::PatternCompressedConv;
+use crate::format::{FormatViolation, PatternCompressedConv};
 use rtoss_nn::layers::ActivationKind;
 use rtoss_nn::{Graph, NodeOp};
 use rtoss_tensor::exec::ExecConfig;
@@ -235,6 +235,47 @@ impl SparseModel {
         self.stored_weights
     }
 
+    /// The compiled sparse convolution layers, as `(node_index, layer)`
+    /// pairs in topological order. Exposed so `rtoss-verify` can check
+    /// the exact artifacts the engine will execute.
+    pub fn conv_layers(&self) -> Vec<(usize, &PatternCompressedConv)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.op {
+                SparseOp::Conv { layer, .. } => Some((i, layer)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Validates every compiled conv layer's storage invariants
+    /// (see [`PatternCompressedConv::validate`]), plus the engine's
+    /// weight bookkeeping, returning all violations found (empty =
+    /// valid). This is the opt-in pre-flight check the serving layer
+    /// and benchmark harnesses run before trusting an engine.
+    pub fn verify(&self) -> Vec<FormatViolation> {
+        let mut out = Vec::new();
+        let mut stored = 0usize;
+        for (i, layer) in self.conv_layers() {
+            for mut v in layer.validate() {
+                v.message = format!("node {i}: {}", v.message);
+                out.push(v);
+            }
+            stored += layer.stored_weights();
+        }
+        if stored != self.stored_weights {
+            out.push(FormatViolation {
+                code: "RV012",
+                message: format!(
+                    "engine stored_weights bookkeeping says {} but layers hold {stored}",
+                    self.stored_weights
+                ),
+            });
+        }
+        out
+    }
+
     /// Runs the engine, returning the declared outputs.
     ///
     /// # Errors
@@ -290,11 +331,17 @@ impl SparseModel {
             };
             acts[i] = Some(out);
         }
-        Ok(self
-            .outputs
+        self.outputs
             .iter()
-            .map(|&o| acts[o].clone().expect("outputs computed in sweep"))
-            .collect())
+            .map(|&o| {
+                acts.get(o).and_then(|a| a.clone()).ok_or_else(|| {
+                    SparseModelError::Tensor(TensorError::Invalid {
+                        op: "sparse_forward",
+                        msg: format!("output node {o} was not computed"),
+                    })
+                })
+            })
+            .collect()
     }
 
     /// Runs several independent requests in one batched pass.
@@ -482,6 +529,17 @@ mod tests {
                 assert_eq!(g.as_slice(), w.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn verify_clean_on_compiled_engine() {
+        let mut m = yolov5s_twin(4, 2, 81).unwrap();
+        RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap();
+        assert!(!engine.conv_layers().is_empty());
+        assert!(engine.verify().is_empty());
     }
 
     #[test]

@@ -73,20 +73,37 @@ impl Default for ExecConfig {
     }
 }
 
+/// The worker count [`run_tiles`] actually spawns for a tile count and
+/// a requested thread count: clamped to at least 1 and at most one
+/// worker per tile.
+pub fn effective_threads(n_tiles: usize, threads: usize) -> usize {
+    threads.max(1).min(n_tiles.max(1))
+}
+
+/// The worker bucket tile `tile_index` is dealt to when `run_tiles`
+/// spreads tiles round-robin across `threads` workers. Exposed so the
+/// static executor checks in `rtoss-verify` prove the partition the
+/// runtime *actually uses* is disjoint and exhaustive, rather than a
+/// re-derivation of it.
+pub fn bucket_of(tile_index: usize, threads: usize) -> usize {
+    tile_index % threads.max(1)
+}
+
 /// Runs `f` over every tile, spread across up to `threads` scoped
 /// threads.
 ///
-/// Tiles are dealt round-robin to workers, so equal-cost tiles balance
-/// without a shared work queue. Tiles typically carry disjoint `&mut`
-/// output slices (from `chunks_mut`), which is what makes this safe
-/// without any locking. With `threads <= 1` (or a single tile) the
-/// tiles run inline on the caller's thread in order.
+/// Tiles are dealt round-robin to workers (see [`bucket_of`]), so
+/// equal-cost tiles balance without a shared work queue. Tiles
+/// typically carry disjoint `&mut` output slices (from `chunks_mut`),
+/// which is what makes this safe without any locking. With
+/// `threads <= 1` (or a single tile) the tiles run inline on the
+/// caller's thread in order.
 pub fn run_tiles<T, F>(tiles: Vec<T>, threads: usize, f: F)
 where
     T: Send,
     F: Fn(T) + Sync,
 {
-    let threads = threads.max(1).min(tiles.len().max(1));
+    let threads = effective_threads(tiles.len(), threads);
     if threads == 1 {
         for t in tiles {
             f(t);
@@ -95,7 +112,7 @@ where
     }
     let mut buckets: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, t) in tiles.into_iter().enumerate() {
-        buckets[i % threads].push(t);
+        buckets[bucket_of(i, threads)].push(t);
     }
     std::thread::scope(|s| {
         for bucket in buckets {
@@ -139,6 +156,24 @@ mod tests {
             assert_eq!(out[0], 1);
             assert_eq!(out[36], 8);
         }
+    }
+
+    #[test]
+    fn bucket_assignment_partitions_tiles() {
+        for threads in 1..=8usize {
+            for n_tiles in 0..20usize {
+                let eff = effective_threads(n_tiles, threads);
+                assert!(eff >= 1 && eff <= threads.max(1));
+                let mut per_bucket = vec![0usize; eff];
+                for i in 0..n_tiles {
+                    let b = bucket_of(i, eff);
+                    assert!(b < eff, "tile {i} -> bucket {b} of {eff}");
+                    per_bucket[b] += 1;
+                }
+                assert_eq!(per_bucket.iter().sum::<usize>(), n_tiles);
+            }
+        }
+        assert_eq!(bucket_of(5, 0), 0, "zero threads clamps to one bucket");
     }
 
     #[test]

@@ -9,8 +9,12 @@ use super::matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
 use crate::exec::{run_tiles, ExecConfig};
 use crate::{Tensor, TensorError};
 
-/// Output spatial extent for one dimension.
-pub(crate) fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
+/// Output spatial extent for one dimension: `(input + 2·pad − kernel) /
+/// stride + 1`, or `None` when the kernel does not fit the padded input
+/// or `stride` is zero. Public so shape inference (`rtoss-nn`) and the
+/// static checks in `rtoss-verify` use the exact formula the executors
+/// validate against, rather than a re-derivation of it.
+pub fn out_extent(input: usize, kernel: usize, stride: usize, pad: usize) -> Option<usize> {
     let padded = input + 2 * pad;
     if padded < kernel || stride == 0 {
         return None;

@@ -11,7 +11,7 @@ mod matmul;
 mod pool;
 
 pub use batch::{batch_split, batch_stack};
-pub use conv::{col2im, conv2d, conv2d_backward, conv2d_with, im2col, Conv2dGrads};
+pub use conv::{col2im, conv2d, conv2d_backward, conv2d_with, im2col, out_extent, Conv2dGrads};
 pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
 pub use pool::{
     avgpool2d_global, maxpool2d, maxpool2d_backward, upsample_nearest2x,

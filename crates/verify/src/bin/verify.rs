@@ -1,0 +1,107 @@
+//! Pre-flight static analysis over the seed pruned models.
+//!
+//! Default mode prunes the scaled YOLOv5s / RetinaNet twins with the
+//! 2- and 3-entry-pattern configurations, compiles each to the sparse
+//! engine, and runs every artifact check; the exit code is non-zero if
+//! any invariant is violated. `--fixture NAME` instead runs one
+//! seeded-corruption fixture — there the checks are *supposed* to
+//! fire, so a non-zero exit proves the verifier can fail.
+
+use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+use rtoss_sparse::SparseModel;
+use rtoss_verify::{fixtures, Report};
+use std::process::ExitCode;
+
+/// NCHW input shape both scaled twins serve.
+const INPUT: [usize; 4] = [1, 3, 64, 64];
+
+fn check_one(label: &str, entry: EntryPattern, report: &mut Report) -> Result<(), String> {
+    let mut model = match label {
+        "yolov5s_twin" => rtoss_models::yolov5s_twin(8, 2, 0x5EED),
+        "retinanet_twin" => rtoss_models::retinanet_twin(8, 2, 0x5EED),
+        _ => unreachable!("labels are fixed above"),
+    }
+    .map_err(|e| format!("{label}: model construction failed: {e}"))?;
+    RTossPruner::new(entry)
+        .prune_graph(&mut model.graph)
+        .map_err(|e| format!("{label}/{}: pruning failed: {e}", entry.label()))?;
+    report.extend(
+        rtoss_verify::check_model(&model.graph, &INPUT)
+            .diagnostics
+            .into_iter()
+            .map(|mut d| {
+                d.location = format!("{label}/{}: {}", entry.label(), d.location);
+                d
+            }),
+    );
+    let engine = SparseModel::compile(&model.graph)
+        .map_err(|e| format!("{label}/{}: sparse compile failed: {e}", entry.label()))?;
+    report.extend(
+        rtoss_verify::check_sparse_model(&engine)
+            .diagnostics
+            .into_iter()
+            .map(|mut d| {
+                d.location = format!("{label}/{}: {}", entry.label(), d.location);
+                d
+            }),
+    );
+    Ok(())
+}
+
+fn full_run() -> ExitCode {
+    let mut report = Report::new();
+    for label in ["yolov5s_twin", "retinanet_twin"] {
+        for entry in [EntryPattern::Two, EntryPattern::Three] {
+            if let Err(e) = check_one(label, entry, &mut report) {
+                eprintln!("verify: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Executor invariants are model-independent: prove the tile dealing
+    // for a spread of tile counts and the serving histogram geometry.
+    for n_tiles in [0, 1, 3, 8, 33, 128] {
+        report.extend(rtoss_verify::check_tile_partition(n_tiles, 8).diagnostics);
+    }
+    report.extend(rtoss_verify::check_histogram_buckets().diagnostics);
+    print!("{}", report.render());
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn fixture_run(name: &str) -> ExitCode {
+    let Some(report) = fixtures::run(name) else {
+        eprintln!(
+            "verify: unknown fixture {name:?}; known: {}",
+            fixtures::NAMES.join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    print!("{}", report.render());
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        [] => full_run(),
+        ["--fixture", name] => fixture_run(name),
+        ["--list-fixtures"] => {
+            for name in fixtures::NAMES {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: verify [--fixture NAME | --list-fixtures]");
+            ExitCode::from(2)
+        }
+    }
+}

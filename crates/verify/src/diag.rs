@@ -1,0 +1,172 @@
+//! Diagnostic types shared by every rtoss-verify pass.
+//!
+//! A pass reports problems as [`Diagnostic`]s — a severity, a stable
+//! `RV0xx` code (see DESIGN.md §9 for the registry), the location of
+//! the offending artifact, and a human-readable message. Passes never
+//! panic on malformed input; they collect everything they find into a
+//! [`Report`] so one run surfaces *all* violations, not just the first.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; never affects the exit code.
+    Info,
+    /// Suspicious but not provably wrong; never affects the exit code.
+    Warning,
+    /// An invariant violation. The artifact must not be executed.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding from a verification pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Stable registry code, e.g. `"RV002"`.
+    pub code: &'static str,
+    /// Where the violation lives — a node name, layer index, file:line,
+    /// or other artifact coordinate.
+    pub location: String,
+    /// What is wrong, in one sentence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds an error-severity diagnostic.
+    pub fn error(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a warning-severity diagnostic.
+    pub fn warning(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            code,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// The collected output of one or more verification passes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding from another pass.
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    /// Whether any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Whether a finding with the given registry code is present.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Renders the report to a string, one diagnostic per line, with a
+    /// trailing summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        let errors = self.error_count();
+        let warnings = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        out.push_str(&format!(
+            "verify: {} error(s), {} warning(s), {} finding(s) total\n",
+            errors,
+            warnings,
+            self.diagnostics.len()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_tracks_errors_and_codes() {
+        let mut r = Report::new();
+        assert!(!r.has_errors());
+        r.push(Diagnostic::warning("RV999", "here", "odd"));
+        assert!(!r.has_errors());
+        r.push(Diagnostic::error("RV001", "layer 3", "bad entry count"));
+        assert!(r.has_errors());
+        assert_eq!(r.error_count(), 1);
+        assert!(r.has_code("RV001"));
+        assert!(!r.has_code("RV002"));
+        let text = r.render();
+        assert!(text.contains("error[RV001] layer 3: bad entry count"));
+        assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Executor checks: tile-partition soundness and latency-histogram
+//! bucket geometry (RV020/RV021).
+//!
+//! The parallel executor deals (batch × out-channel) tiles to worker
+//! threads; correctness requires the dealt buckets to *partition* the
+//! tile range — every tile in exactly one bucket, no bucket out of
+//! range. [`check_tile_partition`] proves that for the real dealing
+//! functions ([`rtoss_tensor::exec::bucket_of`] /
+//! [`effective_threads`]) across every thread count up to a bound, and
+//! [`check_tile_partition_buckets`] checks an arbitrary materialised
+//! assignment (used by the corruption fixtures).
+//!
+//! The serving histogram's bucket boundaries must be strictly
+//! monotonic with half-open `(upper(i-1), upper(i)]` ranges;
+//! [`check_histogram_buckets`] proves it for
+//! [`rtoss_serve::LatencyHistogram`] and
+//! [`check_histogram_mapping`] for any `(upper, index)` pair.
+//!
+//! [`effective_threads`]: rtoss_tensor::exec::effective_threads
+
+use crate::diag::{Diagnostic, Report};
+use rtoss_serve::LatencyHistogram;
+use rtoss_tensor::exec::{bucket_of, effective_threads};
+
+/// Checks that `buckets` partitions the tile range `0..n_tiles`:
+/// no out-of-range index, no duplicate, no missing tile.
+pub fn check_tile_partition_buckets(
+    location: &str,
+    n_tiles: usize,
+    buckets: &[Vec<usize>],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut owner: Vec<Option<usize>> = vec![None; n_tiles];
+    for (b, tiles) in buckets.iter().enumerate() {
+        for &t in tiles {
+            if t >= n_tiles {
+                out.push(Diagnostic::error(
+                    "RV020",
+                    location,
+                    format!("bucket {b} claims tile {t}, but only {n_tiles} tiles exist"),
+                ));
+                continue;
+            }
+            match owner[t] {
+                Some(prev) => out.push(Diagnostic::error(
+                    "RV020",
+                    location,
+                    format!("tile {t} dealt to both bucket {prev} and bucket {b} (overlap)"),
+                )),
+                None => owner[t] = Some(b),
+            }
+        }
+    }
+    for (t, o) in owner.iter().enumerate() {
+        if o.is_none() {
+            out.push(Diagnostic::error(
+                "RV020",
+                location,
+                format!("tile {t} dealt to no bucket (work lost)"),
+            ));
+        }
+    }
+    out
+}
+
+/// Materialises the executor's round-robin dealing for one
+/// `(n_tiles, threads)` configuration, exactly as `run_tiles` does.
+pub fn dealt_buckets(n_tiles: usize, threads: usize) -> Vec<Vec<usize>> {
+    let eff = effective_threads(n_tiles, threads);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); eff];
+    for tile in 0..n_tiles {
+        let b = bucket_of(tile, eff);
+        // An out-of-range bucket would panic here in the executor too;
+        // surface it as a (reportable) overflow bucket instead.
+        if b < eff {
+            buckets[b].push(tile);
+        } else {
+            buckets.push(vec![tile]);
+        }
+    }
+    buckets
+}
+
+/// Proves the executor's tile dealing partitions `0..n_tiles` for every
+/// thread count in `1..=max_threads`, and that no worker idles while
+/// others hold multiple tiles (balance within one tile).
+pub fn check_tile_partition(n_tiles: usize, max_threads: usize) -> Report {
+    let mut report = Report::new();
+    for threads in 1..=max_threads.max(1) {
+        let loc = format!("run_tiles(n_tiles={n_tiles}, threads={threads})");
+        let buckets = dealt_buckets(n_tiles, threads);
+        report.extend(check_tile_partition_buckets(&loc, n_tiles, &buckets));
+        let (min, max) = buckets.iter().fold((usize::MAX, 0), |(lo, hi), b| {
+            (lo.min(b.len()), hi.max(b.len()))
+        });
+        if !buckets.is_empty() && max > min + 1 {
+            report.push(Diagnostic::error(
+                "RV020",
+                loc,
+                format!(
+                    "round-robin dealing is unbalanced: bucket sizes range {min}..={max} \
+                     (must differ by at most one tile)"
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// Checks an arbitrary histogram bucket geometry: `upper(i)` strictly
+/// increasing, and `index` honouring half-open `(upper(i-1), upper(i)]`
+/// ranges at and just past every boundary.
+pub fn check_histogram_mapping(
+    location: &str,
+    n_buckets: usize,
+    upper: impl Fn(usize) -> f64,
+    index: impl Fn(f64) -> usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in 1..n_buckets {
+        if upper(i) <= upper(i - 1) {
+            out.push(Diagnostic::error(
+                "RV021",
+                location,
+                format!(
+                    "bucket boundaries not strictly increasing: upper({i}) = {} <= \
+                     upper({}) = {}",
+                    upper(i),
+                    i - 1,
+                    upper(i - 1)
+                ),
+            ));
+        }
+    }
+    // The last bucket is a catch-all; boundary behaviour applies below it.
+    for i in 0..n_buckets.saturating_sub(1) {
+        let at = index(upper(i));
+        if at != i {
+            out.push(Diagnostic::error(
+                "RV021",
+                location,
+                format!(
+                    "sample at upper({i}) = {} lands in bucket {at}; ranges are \
+                     half-open (lo, hi], so it belongs to bucket {i}",
+                    upper(i)
+                ),
+            ));
+        }
+        let past = index(upper(i) * 1.0001);
+        if past != i + 1 {
+            out.push(Diagnostic::error(
+                "RV021",
+                location,
+                format!(
+                    "sample just past upper({i}) lands in bucket {past}, expected {}",
+                    i + 1
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Proves the serving histogram's bucket geometry (RV021).
+pub fn check_histogram_buckets() -> Report {
+    let mut report = Report::new();
+    report.extend(check_histogram_mapping(
+        "LatencyHistogram",
+        LatencyHistogram::NUM_BUCKETS,
+        LatencyHistogram::bucket_upper_ns,
+        LatencyHistogram::bucket_index,
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_dealing_partitions_for_all_thread_counts() {
+        for n_tiles in [0, 1, 3, 7, 16, 33] {
+            let report = check_tile_partition(n_tiles, 8);
+            assert!(!report.has_errors(), "{}", report.render());
+        }
+    }
+
+    #[test]
+    fn corrupted_partition_is_rv020() {
+        // Tile 0 dealt twice, tile 2 never dealt.
+        let buckets = vec![vec![0, 1], vec![0, 3]];
+        let ds = check_tile_partition_buckets("fixture", 4, &buckets);
+        assert!(ds.iter().any(|d| d.message.contains("overlap")), "{ds:?}");
+        assert!(ds.iter().any(|d| d.message.contains("no bucket")), "{ds:?}");
+        assert!(ds.iter().all(|d| d.code == "RV020"));
+    }
+
+    #[test]
+    fn serving_histogram_geometry_is_clean() {
+        let report = check_histogram_buckets();
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn pre_fix_bucket_mapping_is_rv021() {
+        // The mapping shipped before the RV021 fix: floor + 1 without the
+        // boundary correction, which drops exact-boundary samples one
+        // bucket too high.
+        let broken = |ns: f64| {
+            if ns <= 250.0 {
+                return 0;
+            }
+            let steps = ((ns / 250.0).log2() / 0.5).floor() as usize;
+            (steps + 1).min(LatencyHistogram::NUM_BUCKETS - 1)
+        };
+        let ds = check_histogram_mapping(
+            "fixture",
+            LatencyHistogram::NUM_BUCKETS,
+            LatencyHistogram::bucket_upper_ns,
+            broken,
+        );
+        assert!(ds.iter().any(|d| d.code == "RV021"), "{ds:?}");
+    }
+}

@@ -1,0 +1,262 @@
+//! Seeded-corruption fixtures: one per check family.
+//!
+//! Each fixture builds a *valid* artifact, applies a single targeted
+//! corruption, and runs the matching verification pass. A healthy
+//! verifier reports at least the fixture's registry code; the `verify`
+//! binary's `--fixture NAME` mode exits non-zero exactly when that
+//! happens, which is how CI proves the checks can actually fail.
+
+use crate::diag::Report;
+use crate::exec::{check_histogram_mapping, check_tile_partition_buckets};
+use crate::lint::lint_source;
+use crate::model::{check_model, chunk_bits};
+use crate::sparse::check_pattern_layer;
+use rtoss_core::dfs::group_layers;
+use rtoss_core::pattern::{canonical_set, Pattern};
+use rtoss_core::prune1x1::prune_1x1_weights;
+use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+use rtoss_nn::layers::Conv2d;
+use rtoss_nn::Graph;
+use rtoss_serve::LatencyHistogram;
+use rtoss_sparse::{PatternCompressedConv, PatternGroup};
+use rtoss_tensor::{init, Tensor};
+use std::collections::BTreeSet;
+
+/// Fixture names accepted by [`run`], in registry order.
+pub const NAMES: &[&str] = &[
+    "mask",
+    "group",
+    "roundtrip",
+    "format",
+    "tiles",
+    "histogram",
+    "lint",
+];
+
+/// Runs the named fixture, returning its report (`None` for an unknown
+/// name).
+pub fn run(name: &str) -> Option<Report> {
+    match name {
+        "mask" => Some(mask_fixture()),
+        "group" => Some(group_fixture()),
+        "roundtrip" => Some(roundtrip_fixture()),
+        "format" => Some(format_fixture()),
+        "tiles" => Some(tiles_fixture()),
+        "histogram" => Some(histogram_fixture()),
+        "lint" => Some(lint_fixture()),
+        _ => None,
+    }
+}
+
+/// The registry code each fixture is guaranteed to trigger.
+pub fn expected_code(name: &str) -> Option<&'static str> {
+    match name {
+        "mask" => Some("RV002"),
+        "group" => Some("RV004"),
+        "roundtrip" => Some("RV005"),
+        "format" => Some("RV010"),
+        "tiles" => Some("RV020"),
+        "histogram" => Some("RV021"),
+        "lint" => Some("RV030"),
+        _ => None,
+    }
+}
+
+/// Mask legality: one kernel keeps two opposite corners (disconnected,
+/// RV002), another keeps six weights (illegal entry count, RV001).
+pub fn mask_fixture() -> Report {
+    let w = Tensor::full(&[2, 1, 3, 3], 0.5);
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g
+        .add_layer("bad_conv", Box::new(Conv2d::from_weight(w, 1, 1)), x)
+        .expect("valid node");
+    g.set_outputs(vec![c]).expect("valid output");
+    let mut mask = vec![0.0f32; 18];
+    mask[0] = 1.0; // (0,0)
+    mask[8] = 1.0; // (2,2): 4-disconnected from (0,0)
+    for slot in mask[9..15].iter_mut() {
+        *slot = 1.0; // kernel 1 keeps 6 > 5 weights
+    }
+    let conv = g.conv_mut(c).expect("conv node");
+    conv.weight_mut()
+        .set_mask(Tensor::from_vec(mask, &[2, 1, 3, 3]).expect("mask shape"))
+        .expect("mask matches weight");
+    conv.weight_mut().apply_mask();
+    check_model(&g, &[1, 1, 8, 8])
+}
+
+/// DFS-group consistency: a child kernel is re-masked with a connected
+/// pattern its parent never selected (RV004).
+pub fn group_fixture() -> Report {
+    let mut m = rtoss_models::yolov5s_twin(8, 2, 0x5EED).expect("twin builds");
+    RTossPruner::new(EntryPattern::Three)
+        .prune_graph(&mut m.graph)
+        .expect("twin prunes");
+    let groups = group_layers(&m.graph);
+    let mut target = None;
+    'outer: for group in groups.groups() {
+        let Some(pc) = m.graph.conv(group.parent) else {
+            continue;
+        };
+        if pc.kernel_size() != 3 {
+            continue;
+        }
+        let Some(pmask) = pc.weight().mask() else {
+            continue;
+        };
+        let parent_bits: BTreeSet<u16> = pmask.as_slice().chunks_exact(9).map(chunk_bits).collect();
+        if parent_bits.is_empty() {
+            continue;
+        }
+        for &child in &group.children {
+            let masked = m
+                .graph
+                .conv(child)
+                .is_some_and(|cc| cc.weight().mask().is_some());
+            if masked {
+                target = Some((parent_bits, child));
+                break 'outer;
+            }
+        }
+    }
+    let (parent_bits, child) = target.expect("twin has a masked 3x3 group with a child");
+    let rogue = (0u16..512)
+        .find(|&b| {
+            b.count_ones() == 3
+                && Pattern::from_bits(b)
+                    .map(|p| p.is_connected())
+                    .unwrap_or(false)
+                && !parent_bits.contains(&b)
+        })
+        .expect("a connected 3-entry pattern outside the parent's set exists");
+    let param = m
+        .graph
+        .conv_mut(child)
+        .expect("child is a conv")
+        .weight_mut();
+    let mut mask = param.mask().expect("child is masked").clone();
+    for (i, slot) in mask.as_mut_slice()[..9].iter_mut().enumerate() {
+        *slot = if rogue & (1 << i) != 0 { 1.0 } else { 0.0 };
+    }
+    for (i, wv) in param.value.as_mut_slice()[..9].iter_mut().enumerate() {
+        *wv = if rogue & (1 << i) != 0 { 0.25 } else { 0.0 };
+    }
+    param.set_mask(mask).expect("same shape");
+    check_model(&m.graph, &[1, 3, 64, 64])
+}
+
+/// 1×1 round-trip: the tail weight Algorithm 3 must prune is
+/// resurrected (RV005).
+pub fn roundtrip_fixture() -> Report {
+    // 5×2 = 10 weights: one full 9-chunk plus a 1-weight tail.
+    let mut w = init::uniform(&mut init::rng(5), &[5, 2, 1, 1], -1.0, 1.0);
+    let set = canonical_set(2).expect("canonical 2-entry set");
+    let out = prune_1x1_weights(&mut w, &set).expect("1x1 prune");
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let c = g
+        .add_layer("bad_1x1", Box::new(Conv2d::from_weight(w, 1, 0)), x)
+        .expect("valid node");
+    g.set_outputs(vec![c]).expect("valid output");
+    let param = g.conv_mut(c).expect("conv node").weight_mut();
+    let mut mask = out.mask;
+    mask.as_mut_slice()[9] = 1.0;
+    param.value.as_mut_slice()[9] = 0.75;
+    param.set_mask(mask).expect("same shape");
+    check_model(&g, &[1, 2, 8, 8])
+}
+
+/// Sparse format: unsorted offsets, duplicate kernel, stored zero, and
+/// a value-count mismatch in one hand-assembled layer (RV010–RV012).
+pub fn format_fixture() -> Report {
+    let layer = PatternCompressedConv::from_parts(
+        6,
+        2,
+        3,
+        1,
+        1,
+        vec![
+            PatternGroup {
+                offsets: vec![(1, 1), (0, 0), (3, 0)], // unsorted + out of bounds
+                kernels: vec![
+                    (0, 0, vec![1.0, 2.0, 3.0]),
+                    (0, 0, vec![4.0, 0.0, 6.0]), // duplicate kernel + stored zero
+                ],
+            },
+            PatternGroup {
+                offsets: vec![(2, 2)],
+                kernels: vec![(5, 0, vec![7.0, 8.0])], // two values for one offset
+            },
+        ],
+    );
+    let mut report = Report::new();
+    report.extend(check_pattern_layer("fixture layer", &layer));
+    report
+}
+
+/// Tile partition: one tile dealt to two buckets, another to none
+/// (RV020).
+pub fn tiles_fixture() -> Report {
+    let buckets = vec![vec![0, 1, 2], vec![2, 4, 5], vec![7]];
+    let mut report = Report::new();
+    report.extend(check_tile_partition_buckets(
+        "fixture partition (6 tiles)",
+        6,
+        &buckets,
+    ));
+    report
+}
+
+/// Histogram geometry: the pre-fix bucket mapping that dropped
+/// exact-boundary samples one bucket too high (RV021).
+pub fn histogram_fixture() -> Report {
+    let broken = |ns: f64| {
+        if ns <= 250.0 {
+            return 0;
+        }
+        let steps = ((ns / 250.0).log2() / 0.5).floor() as usize;
+        (steps + 1).min(LatencyHistogram::NUM_BUCKETS - 1)
+    };
+    let mut report = Report::new();
+    report.extend(check_histogram_mapping(
+        "fixture histogram",
+        LatencyHistogram::NUM_BUCKETS,
+        LatencyHistogram::bucket_upper_ns,
+        broken,
+    ));
+    report
+}
+
+/// Source lint: a hot-path snippet that unwraps a queue pop (RV030).
+pub fn lint_fixture() -> Report {
+    let src = "pub fn drain(q: &Queue) -> Request {\n    q.pop().unwrap()\n}\n";
+    let mut report = Report::new();
+    report.extend(lint_source("fixtures/hot_path.rs", src));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixture_triggers_its_registry_code() {
+        for &name in NAMES {
+            let report = run(name).expect("known fixture");
+            let code = expected_code(name).expect("known fixture");
+            assert!(
+                report.has_code(code),
+                "fixture {name} did not trigger {code}:\n{}",
+                report.render()
+            );
+            assert!(report.has_errors(), "fixture {name} produced no errors");
+        }
+    }
+
+    #[test]
+    fn unknown_fixture_is_none() {
+        assert!(run("nope").is_none());
+        assert!(expected_code("nope").is_none());
+    }
+}

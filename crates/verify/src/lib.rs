@@ -1,0 +1,59 @@
+//! Static invariant checking for R-TOSS artifacts.
+//!
+//! The runtime crates compute; this crate *proves*. Before a pruned
+//! model or compiled sparse engine is benchmarked or served, the
+//! passes here check that it actually satisfies the invariants the
+//! paper's algorithms promise — pattern legality (Algorithm 2), group
+//! consistency (Algorithm 1), 1×1 round-trip residue (Algorithm 3),
+//! sparse-format well-formedness, tile-partition soundness, and
+//! histogram bucket geometry — and a source lint keeps panic-capable
+//! calls out of the serving/execution hot paths.
+//!
+//! Run the full pass over the seed models:
+//!
+//! ```text
+//! cargo run -p rtoss-verify --bin verify
+//! cargo run -p rtoss-verify --bin verify -- --fixture mask   # must fail
+//! cargo run -p rtoss-verify --bin lint
+//! ```
+//!
+//! # Registry
+//!
+//! | Code  | Family | Invariant |
+//! |-------|--------|-----------|
+//! | RV001 | model  | pattern entry count in 2..=5, uniform per layer |
+//! | RV002 | model  | pattern is 4-adjacent connected |
+//! | RV003 | model  | DFS groups partition the conv layers exactly |
+//! | RV004 | model  | child pattern set ⊆ parent pattern set |
+//! | RV005 | model  | 1×1 tail (`numel % 9`) fully pruned |
+//! | RV006 | model  | whole-graph shape inference succeeds |
+//! | RV007 | model  | mask shape matches weight; no weight survives a zero mask |
+//! | RV010 | sparse | pattern offsets sorted, in-bounds, distinct per layer |
+//! | RV011 | sparse | kernel coordinates in-bounds, unique, value counts match |
+//! | RV012 | sparse | nnz bookkeeping consistent; no explicit zeros stored |
+//! | RV013 | sparse | COO entries sorted, in-bounds, non-zero |
+//! | RV014 | sparse | dense reconstruction matches the nnz bookkeeping |
+//! | RV020 | exec   | tile buckets partition the tile range |
+//! | RV021 | exec   | histogram boundaries strictly increasing, half-open |
+//! | RV030 | lint   | no panic-capable call in a hot path |
+//! | RV031 | lint   | every `unsafe` carries a `// SAFETY:` comment |
+//!
+//! Severity is always `Error` for registry violations; artifacts with
+//! errors must not be executed. See DESIGN.md §9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diag;
+
+pub mod exec;
+pub mod fixtures;
+pub mod lint;
+pub mod model;
+pub mod sparse;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use exec::{check_histogram_buckets, check_tile_partition};
+pub use lint::{lint_paths, lint_source};
+pub use model::check_model;
+pub use sparse::{check_pattern_layer, check_sparse_model, check_unstructured_layer};

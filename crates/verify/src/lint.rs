@@ -1,0 +1,163 @@
+//! Source lint for the serving and sparse-execution hot paths
+//! (RV030/RV031).
+//!
+//! The serving loop and the sparse executors must not panic: a panic in
+//! a worker thread poisons locks and silently drops queued requests.
+//! This lint walks `crates/serve/src` and `crates/sparse/src` and
+//! denies panic-capable calls (`.unwrap()`, `.expect(`, `panic!(`,
+//! `unreachable!(`, `todo!(`, `unimplemented!(`) outside test code
+//! (RV030), and requires every `unsafe` site to carry a `// SAFETY:`
+//! comment on the same or preceding line (RV031). It is a line
+//! scanner, not a parser — by repo convention test modules sit in a
+//! trailing `#[cfg(test)] mod tests`, so scanning stops at the first
+//! `#[cfg(test)]`.
+//!
+//! Deliberately *not* flagged: `.unwrap_or_else(`, `.unwrap_or(`,
+//! `.expect_err(` (none of which can panic on the hot path), and
+//! `debug_assert!` (compiled out of release builds).
+
+use crate::diag::Diagnostic;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Panic-capable call patterns denied in hot-path source (RV030).
+/// `.unwrap()` with parens excludes `.unwrap_or*`; `.expect(` with the
+/// open paren excludes `.expect_err(`.
+const DENIED: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+/// Lints one source file's text. `path_label` seeds diagnostic
+/// locations as `path:line`.
+pub fn lint_source(path_label: &str, src: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut prev_line: &str = "";
+    for (lineno, line) in src.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.contains("#[cfg(test)]") {
+            break; // trailing test module: out of scope
+        }
+        if trimmed.starts_with("//") {
+            prev_line = line;
+            continue; // comment (incl. /// and //!)
+        }
+        let loc = || format!("{path_label}:{}", lineno + 1);
+        for &pat in DENIED {
+            if trimmed.contains(pat) {
+                out.push(Diagnostic::error(
+                    "RV030",
+                    loc(),
+                    format!(
+                        "panic-capable `{pat})` in a hot path; recover \
+                         (`unwrap_or_else(|e| e.into_inner())` for locks) or \
+                         return an error",
+                        pat = pat.trim_end_matches('('),
+                    ),
+                ));
+            }
+        }
+        if trimmed.contains("unsafe") && !trimmed.contains("unsafe_code") {
+            let documented =
+                line.contains("// SAFETY:") || prev_line.trim_start().starts_with("// SAFETY:");
+            if !documented {
+                out.push(Diagnostic::error(
+                    "RV031",
+                    loc(),
+                    "`unsafe` without a `// SAFETY:` comment on the same or \
+                     preceding line"
+                        .to_string(),
+                ));
+            }
+        }
+        prev_line = line;
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable
+/// output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The hot-path source roots the lint covers, relative to the repo
+/// root.
+pub const HOT_PATH_ROOTS: &[&str] = &["crates/serve/src", "crates/sparse/src"];
+
+/// Lints every hot-path source file under `repo_root`.
+pub fn lint_paths(repo_root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    for root in HOT_PATH_ROOTS {
+        let dir = repo_root.join(root);
+        if dir.is_dir() {
+            rust_files(&dir, &mut files)?;
+        }
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let src = fs::read_to_string(&file)?;
+        let label = file
+            .strip_prefix(repo_root)
+            .unwrap_or(&file)
+            .display()
+            .to_string();
+        out.extend(lint_source(&label, &src));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn denies_unwrap_outside_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let ds = lint_source("x.rs", src);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, "RV030");
+        assert_eq!(ds[0].location, "x.rs:2");
+    }
+
+    #[test]
+    fn allows_unwrap_in_test_module_and_recovery_forms() {
+        let src = "fn f() {\n    let g = m.lock().unwrap_or_else(|e| e.into_inner());\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        let ds = lint_source("x.rs", bad);
+        assert!(ds.iter().any(|d| d.code == "RV031"), "{ds:?}");
+        let good = "fn f() {\n    // SAFETY: n < len checked above\n    unsafe { g(n) }\n}\n";
+        assert!(lint_source("x.rs", good).is_empty());
+        let forbid = "#![forbid(unsafe_code)]\n";
+        assert!(lint_source("x.rs", forbid).is_empty());
+    }
+
+    #[test]
+    fn repo_hot_paths_are_clean() {
+        // crates/verify is two levels below the repo root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ds = lint_paths(&root).unwrap();
+        assert!(ds.is_empty(), "hot-path lint findings: {ds:?}");
+    }
+}

@@ -1,0 +1,318 @@
+//! Model/IR checks: pattern-mask legality, DFS-group consistency,
+//! 1×1 round-trip residue, and whole-graph shape inference.
+//!
+//! These passes prove that a pruned [`Graph`] actually satisfies the
+//! invariants the paper's three algorithms promise:
+//!
+//! - **Algorithm 2** (3×3 pattern pruning): every kernel's surviving
+//!   mask is a legal pattern — 2 to 5 entries ([`RV001`]), 4-adjacent
+//!   connected ([`RV002`]) — and entry counts are uniform per layer.
+//! - **Algorithm 1** (DFS grouping): the layer groups partition the
+//!   conv layers exactly ([`RV003`]) and every child's pattern set is a
+//!   subset of its parent's ([`RV004`]).
+//! - **Algorithm 3** (1×1 transform): the flattened 1×1 weight's tail
+//!   (`numel % 9` trailing weights) is pruned to zero ([`RV005`]), and
+//!   the full 9-chunks obey the 3×3 pattern rules.
+//! - Shape inference over the whole graph succeeds ([`RV006`]), so
+//!   every executor sees consistent activation shapes.
+//! - Masks and weights agree: the mask has the weight's shape and no
+//!   weight survives where its mask is zero ([`RV007`]).
+//!
+//! [`RV001`]: crate#registry
+//! [`RV002`]: crate#registry
+//! [`RV003`]: crate#registry
+//! [`RV004`]: crate#registry
+//! [`RV005`]: crate#registry
+//! [`RV006`]: crate#registry
+//! [`RV007`]: crate#registry
+
+use crate::diag::{Diagnostic, Report};
+use rtoss_core::dfs::group_layers;
+use rtoss_core::pattern::Pattern;
+use rtoss_nn::layers::Conv2d;
+use rtoss_nn::{Graph, NodeId};
+use std::collections::BTreeSet;
+
+/// Legal pattern entry counts: EntryPattern::{Two..Five}.
+const MIN_ENTRIES: u32 = 2;
+const MAX_ENTRIES: u32 = 5;
+
+/// Converts one 9-element mask chunk to a `Pattern` bitmask
+/// (bit `3*row + col`, matching `rtoss_core::pattern`).
+pub(crate) fn chunk_bits(chunk: &[f32]) -> u16 {
+    let mut bits = 0u16;
+    for (i, &m) in chunk.iter().enumerate() {
+        if m != 0.0 {
+            bits |= 1 << i;
+        }
+    }
+    bits
+}
+
+/// The distinct pattern bitmasks a masked conv layer uses, reading the
+/// mask in 9-weight chunks (kernels for 3×3 layers, Algorithm 3 chunks
+/// for 1×1 layers). Returns `None` for unmasked or other-kernel layers.
+fn layer_pattern_bits(conv: &Conv2d) -> Option<BTreeSet<u16>> {
+    let mask = conv.weight().mask()?;
+    if !matches!(conv.kernel_size(), 1 | 3) {
+        return None;
+    }
+    let mut set = BTreeSet::new();
+    for chunk in mask.as_slice().chunks_exact(9) {
+        set.insert(chunk_bits(chunk));
+    }
+    Some(set)
+}
+
+/// Checks mask/weight agreement for one conv node (RV007) and the
+/// per-chunk pattern legality rules (RV001/RV002/RV005).
+fn check_conv_masks(name: &str, conv: &Conv2d, report: &mut Report) {
+    let param = conv.weight();
+    let Some(mask) = param.mask() else {
+        return; // dense layer (protected, stem, or non-prunable kernel)
+    };
+    let loc = format!("conv {name}");
+    if mask.shape() != param.value.shape() {
+        report.push(Diagnostic::error(
+            "RV007",
+            loc,
+            format!(
+                "mask shape {:?} does not match weight shape {:?}",
+                mask.shape(),
+                param.value.shape()
+            ),
+        ));
+        return; // chunk-level checks would misalign
+    }
+    let w = param.value.as_slice();
+    let m = mask.as_slice();
+    for (i, (&wv, &mv)) in w.iter().zip(m.iter()).enumerate() {
+        if mv == 0.0 && wv != 0.0 {
+            report.push(Diagnostic::error(
+                "RV007",
+                loc.clone(),
+                format!("weight {i} is {wv} but its mask entry is 0 (mask/weight desync)"),
+            ));
+        }
+    }
+
+    match conv.kernel_size() {
+        3 => check_pattern_chunks(&loc, m, "kernel", report),
+        1 => {
+            // Algorithm 3: full 9-chunks behave like 3×3 kernels; the
+            // tail (numel % 9 trailing weights) must be pruned away.
+            let full = (m.len() / 9) * 9;
+            check_pattern_chunks(&loc, &m[..full], "chunk", report);
+            for (j, (&mv, &wv)) in m[full..].iter().zip(w[full..].iter()).enumerate() {
+                if mv != 0.0 || wv != 0.0 {
+                    report.push(Diagnostic::error(
+                        "RV005",
+                        loc.clone(),
+                        format!(
+                            "1x1 tail weight {} (mask {mv}, value {wv}) survives; \
+                             Algorithm 3 prunes the {} trailing weights past the last \
+                             full 9-chunk",
+                            full + j,
+                            m.len() - full
+                        ),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// RV001/RV002 over a run of 9-weight mask chunks.
+fn check_pattern_chunks(loc: &str, mask: &[f32], unit: &str, report: &mut Report) {
+    let mut counts: BTreeSet<u32> = BTreeSet::new();
+    for (idx, chunk) in mask.chunks_exact(9).enumerate() {
+        let bits = chunk_bits(chunk);
+        let entries = bits.count_ones();
+        if !(MIN_ENTRIES..=MAX_ENTRIES).contains(&entries) {
+            report.push(Diagnostic::error(
+                "RV001",
+                loc.to_string(),
+                format!(
+                    "{unit} {idx} keeps {entries} weights; patterns must keep \
+                     {MIN_ENTRIES}..={MAX_ENTRIES}"
+                ),
+            ));
+            continue; // connectivity is meaningless for illegal counts
+        }
+        counts.insert(entries);
+        match Pattern::from_bits(bits) {
+            Ok(p) if !p.is_connected() => report.push(Diagnostic::error(
+                "RV002",
+                loc.to_string(),
+                format!("{unit} {idx} pattern {bits:#011b} is not 4-adjacent connected"),
+            )),
+            Ok(_) => {}
+            Err(e) => report.push(Diagnostic::error(
+                "RV002",
+                loc.to_string(),
+                format!("{unit} {idx} bitmask {bits:#x} is not a valid pattern: {e}"),
+            )),
+        }
+    }
+    if counts.len() > 1 {
+        report.push(Diagnostic::error(
+            "RV001",
+            loc.to_string(),
+            format!(
+                "mixed entry counts {counts:?} in one layer; a pattern set has a \
+                 single entry count"
+            ),
+        ));
+    }
+}
+
+/// Checks Algorithm 1's output: groups partition the convs (RV003) and
+/// children use a subset of the parent's patterns (RV004).
+fn check_groups(graph: &Graph, report: &mut Report) {
+    let groups = group_layers(graph);
+    let convs: BTreeSet<NodeId> = graph.conv_ids().into_iter().collect();
+    let mut covered: BTreeSet<NodeId> = BTreeSet::new();
+    for (gi, group) in groups.groups().iter().enumerate() {
+        for id in group.members() {
+            if !convs.contains(&id) {
+                report.push(Diagnostic::error(
+                    "RV003",
+                    format!("group {gi}"),
+                    format!("member node {id} is not a convolution"),
+                ));
+            }
+            if !covered.insert(id) {
+                report.push(Diagnostic::error(
+                    "RV003",
+                    format!("group {gi}"),
+                    format!("node {id} appears in more than one group"),
+                ));
+            }
+        }
+    }
+    for &id in convs.difference(&covered) {
+        report.push(Diagnostic::error(
+            "RV003",
+            format!("node {id} ({})", graph.node(id).name),
+            "prunable conv belongs to no layer group".to_string(),
+        ));
+    }
+
+    for (gi, group) in groups.groups().iter().enumerate() {
+        let Some(parent_conv) = graph.conv(group.parent) else {
+            continue; // already reported as RV003
+        };
+        let Some(parent_bits) = layer_pattern_bits(parent_conv) else {
+            continue; // dense parent: children select from the full set
+        };
+        if parent_bits.is_empty() {
+            // A 1×1 parent smaller than one 9-chunk has no pattern
+            // choices to share; children fall back to the full set.
+            continue;
+        }
+        for &child in &group.children {
+            let Some(child_bits) = graph.conv(child).and_then(layer_pattern_bits) else {
+                continue;
+            };
+            for bits in child_bits.difference(&parent_bits) {
+                report.push(Diagnostic::error(
+                    "RV004",
+                    format!(
+                        "group {gi}, child node {child} ({})",
+                        graph.node(child).name
+                    ),
+                    format!(
+                        "child uses pattern {bits:#011b} that its parent node {} never \
+                         selected; Algorithm 1 children share the parent's patterns",
+                        group.parent
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Runs every model/IR pass over a pruned graph.
+///
+/// `input_shape` is the NCHW shape the model serves (e.g.
+/// `[1, 3, 64, 64]` for the scaled twins); shape inference walks the
+/// whole graph from it and any arity/shape conflict is RV006.
+pub fn check_model(graph: &Graph, input_shape: &[usize]) -> Report {
+    let mut report = Report::new();
+    if let Err(e) = graph.infer_shapes(input_shape) {
+        report.push(Diagnostic::error(
+            "RV006",
+            format!("graph (input {input_shape:?})"),
+            format!("shape inference failed: {e}"),
+        ));
+    }
+    for id in graph.conv_ids() {
+        if let Some(conv) = graph.conv(id) {
+            check_conv_masks(&graph.node(id).name, conv, &mut report);
+        }
+    }
+    check_groups(graph, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+
+    #[test]
+    fn clean_pruned_twin_has_no_findings() {
+        let mut m = rtoss_models::yolov5s_twin(8, 2, 7).unwrap();
+        RTossPruner::new(EntryPattern::Three)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let report = check_model(&m.graph, &[1, 3, 64, 64]);
+        assert!(
+            !report.has_errors(),
+            "expected clean report, got:\n{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn desynced_weight_is_rv007() {
+        let mut m = rtoss_models::yolov5s_twin(4, 2, 9).unwrap();
+        RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        // Resurrect one pruned weight without touching its mask.
+        let id = *m
+            .graph
+            .conv_ids()
+            .iter()
+            .find(|&&id| {
+                m.graph
+                    .conv(id)
+                    .is_some_and(|c| c.kernel_size() == 3 && c.weight().mask().is_some())
+            })
+            .unwrap();
+        let conv = m.graph.conv_mut(id).unwrap();
+        let zero_at = conv
+            .weight()
+            .mask()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .position(|&v| v == 0.0)
+            .unwrap();
+        conv.weight_mut().value.as_mut_slice()[zero_at] = 0.5;
+        let report = check_model(&m.graph, &[1, 3, 64, 64]);
+        assert!(report.has_code("RV007"), "{}", report.render());
+    }
+
+    #[test]
+    fn bad_input_shape_is_rv006() {
+        let mut m = rtoss_models::yolov5s_twin(4, 2, 9).unwrap();
+        RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let report = check_model(&m.graph, &[1, 4, 64, 64]);
+        assert!(report.has_code("RV006"), "{}", report.render());
+    }
+}

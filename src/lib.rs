@@ -12,6 +12,7 @@
 //! - [`sparse`] — pattern-grouped sparse convolution executor
 //! - [`hw`] — RTX 2080 Ti / Jetson TX2 latency & energy models
 //! - [`serve`] — deadline-aware, micro-batched inference serving
+//! - [`verify`] — static invariant checks over every artifact above
 //!
 //! # Quickstart
 //!
@@ -38,3 +39,4 @@ pub use rtoss_nn as nn;
 pub use rtoss_serve as serve;
 pub use rtoss_sparse as sparse;
 pub use rtoss_tensor as tensor;
+pub use rtoss_verify as verify;
