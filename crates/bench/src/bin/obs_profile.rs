@@ -1,0 +1,142 @@
+//! Per-layer profile report over the sparse executors.
+//!
+//! Traces repeated forward passes of the pruned (2EP / 3EP) and dense
+//! scaled YOLOv5s and RetinaNet twins, attributes self-time to each
+//! `layer:*` span with [`rtoss_obs::Profile`], and renders the top-N
+//! layers per configuration — the "where does the millisecond go"
+//! table that tells you which layers the pruning actually sped up.
+//!
+//! ```text
+//! obs_profile [--image N] [--threads N] [--repeats N] [--top N] [--out PATH]
+//! ```
+//!
+//! Writes the combined report to `results/obs/profile.txt` by default.
+
+use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+use rtoss_obs as obs;
+use rtoss_sparse::SparseModel;
+use rtoss_tensor::{init, ExecConfig};
+
+struct Args {
+    image: usize,
+    threads: usize,
+    repeats: usize,
+    top: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        image: 32,
+        threads: rtoss_tensor::exec::default_threads(),
+        repeats: 5,
+        top: 12,
+        out: "results/obs/profile.txt".to_string(),
+    };
+    fn usage_error(msg: &str) -> ! {
+        eprintln!("obs_profile: {msg}");
+        eprintln!(
+            "usage: obs_profile [--image N] [--threads N] [--repeats N] [--top N] [--out PATH]"
+        );
+        std::process::exit(2);
+    }
+    fn number<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+        raw.parse()
+            .unwrap_or_else(|_| usage_error(&format!("{flag} takes a number, got {raw:?}")))
+    }
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("missing value for {flag}")))
+        };
+        match flag.as_str() {
+            "--image" => args.image = number(&flag, &value()),
+            "--threads" => args.threads = number(&flag, &value()),
+            "--repeats" => args.repeats = number(&flag, &value()),
+            "--top" => args.top = number(&flag, &value()),
+            "--out" => args.out = value(),
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+/// Compiles one (model, pruning) configuration into a sparse engine.
+fn build(model: &str, entry: Option<EntryPattern>, seed: u64) -> SparseModel {
+    let mut m = match model {
+        "yolov5s" => rtoss_models::yolov5s_twin(8, 2, seed),
+        "retinanet" => rtoss_models::retinanet_twin(8, 2, seed),
+        _ => unreachable!("model names are fixed below"),
+    }
+    .expect("twin builds");
+    if let Some(e) = entry {
+        RTossPruner::new(e)
+            .prune_graph(&mut m.graph)
+            .expect("prunes");
+    }
+    SparseModel::compile(&m.graph).expect("compiles")
+}
+
+/// Traces `repeats` forward passes and returns the per-span profile.
+fn profile_engine(engine: &SparseModel, args: &Args, seed: u64) -> obs::Profile {
+    let exec = ExecConfig::with_threads(args.threads);
+    let input = init::uniform(
+        &mut init::rng(seed),
+        &[1, 3, args.image, args.image],
+        0.0,
+        1.0,
+    );
+    // One untraced warmup so allocator effects land outside the trace.
+    engine.forward_with(&input, &exec).expect("forward");
+    obs::reset();
+    for _ in 0..args.repeats {
+        engine.forward_with(&input, &exec).expect("forward");
+    }
+    obs::Profile::from_trace(&obs::drain())
+}
+
+fn main() {
+    let args = parse_args();
+    obs::set_enabled(true);
+    obs::set_sample_every(1);
+
+    let configs: [(&str, &str, Option<EntryPattern>); 6] = [
+        ("yolov5s", "dense", None),
+        ("yolov5s", "2EP", Some(EntryPattern::Two)),
+        ("yolov5s", "3EP", Some(EntryPattern::Three)),
+        ("retinanet", "dense", None),
+        ("retinanet", "2EP", Some(EntryPattern::Two)),
+        ("retinanet", "3EP", Some(EntryPattern::Three)),
+    ];
+
+    let mut report = format!(
+        "obs_profile: per-layer self time, {} repeats, {}x{} input, {} threads\n\
+         (layer spans only; self time excludes nested child spans)\n",
+        args.repeats, args.image, args.image, args.threads
+    );
+    for (model, mode, entry) in configs {
+        let engine = build(model, entry, 0x5EED);
+        let profile = profile_engine(&engine, &args, 0x5EED);
+        let layers = profile.with_prefix("layer:");
+        assert!(
+            !layers.is_empty(),
+            "{model}/{mode}: traced run produced no layer spans"
+        );
+        let total_ms: f64 = layers.iter().map(|s| s.self_ns as f64 / 1e6).sum();
+        report.push_str(&format!(
+            "\n== {model} {mode}: {} layers, {:.3} ms total layer self time ==\n",
+            layers.len(),
+            total_ms / args.repeats as f64
+        ));
+        report.push_str(&profile.render_table("layer:", args.top));
+    }
+
+    print!("{report}");
+    let out = std::path::Path::new(&args.out);
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("output dir");
+    }
+    std::fs::write(out, &report).expect("write report");
+    println!("\nreport: {}", args.out);
+}

@@ -12,6 +12,7 @@
 //! serve_bench [--qps N] [--requests N] [--seed N] [--workers N]
 //!             [--max-batch N] [--deadline-ms N] [--image N]
 //!             [--threads N] [--out PATH] [--verify]
+//!             [--trace-out PATH] [--events-out PATH] [--prom-out PATH]
 //! ```
 //!
 //! `--threads` sets the intra-op tile-parallelism of every forward pass
@@ -20,7 +21,17 @@
 //! with rtoss-verify before serving it, and exits non-zero instead of
 //! reporting numbers from an ill-formed model.
 //!
-//! Writes a JSON report (and verifies it round-trips through serde) to
+//! The observability flags turn tracing on programmatically (no
+//! `RTOSS_TRACE=1` needed) and export the run: `--trace-out` writes a
+//! Chrome/Perfetto `trace.json` covering every served variant,
+//! `--events-out` writes the same events as JSONL, and `--prom-out`
+//! writes one Prometheus text exposition per variant (the mode name is
+//! inserted before the extension, e.g. `serve.prom` → `serve.2EP.prom`).
+//! Every export is validated with the rtoss-verify RV04x passes before
+//! it is written; an invalid trace or exposition aborts with exit 1.
+//!
+//! Writes a JSON report (and verifies it round-trips through serde,
+//! including the full per-phase latency bucket counts) to
 //! `results/serve/serve_bench.json` by default.
 
 use rtoss_bench::{print_table, workload_for};
@@ -82,6 +93,9 @@ struct Args {
     threads: usize,
     out: String,
     verify: bool,
+    trace_out: Option<String>,
+    events_out: Option<String>,
+    prom_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -96,13 +110,16 @@ fn parse_args() -> Args {
         threads: rtoss_tensor::exec::default_threads(),
         out: "results/serve/serve_bench.json".to_string(),
         verify: false,
+        trace_out: None,
+        events_out: None,
+        prom_out: None,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("serve_bench: {msg}");
         eprintln!(
             "usage: serve_bench [--qps N] [--requests N] [--seed N] [--workers N] \
              [--max-batch N] [--deadline-ms N] [--image N] [--threads N] [--out PATH] \
-             [--verify]"
+             [--verify] [--trace-out PATH] [--events-out PATH] [--prom-out PATH]"
         );
         std::process::exit(2);
     }
@@ -127,6 +144,9 @@ fn parse_args() -> Args {
             "--threads" => args.threads = number(&flag, &value()),
             "--out" => args.out = value(),
             "--verify" => args.verify = true,
+            "--trace-out" => args.trace_out = Some(value()),
+            "--events-out" => args.events_out = Some(value()),
+            "--prom-out" => args.prom_out = Some(value()),
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -206,8 +226,38 @@ fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRo
     }
 }
 
+/// Writes `text` to `path`, creating parent directories.
+fn write_output(path: &str, text: &str) {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent() {
+        std::fs::create_dir_all(dir).expect("output dir");
+    }
+    std::fs::write(p, text).expect("write output");
+}
+
+/// Inserts `mode` before the extension: `serve.prom` → `serve.2EP.prom`.
+fn mode_path(path: &str, mode: &str) -> String {
+    let p = std::path::Path::new(path);
+    match (p.file_stem(), p.extension()) {
+        (Some(stem), Some(ext)) => p
+            .with_file_name(format!(
+                "{}.{mode}.{}",
+                stem.to_string_lossy(),
+                ext.to_string_lossy()
+            ))
+            .to_string_lossy()
+            .into_owned(),
+        _ => format!("{path}.{mode}"),
+    }
+}
+
 fn main() {
     let args = parse_args();
+    let tracing = args.trace_out.is_some() || args.events_out.is_some();
+    if tracing {
+        rtoss_obs::set_enabled(true);
+        rtoss_obs::reset();
+    }
     println!(
         "serve_bench: YOLOv5s twin, {} req @ {} qps, seed {}, {} workers, max batch {}, \
          deadline {} ms, {} intra-op threads\n",
@@ -271,14 +321,62 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     let back: ServeBenchReport = serde_json::from_str(&json).expect("report deserializes");
     assert_eq!(back, report, "serde round-trip must be lossless");
-    let out = std::path::Path::new(&args.out);
-    if let Some(dir) = out.parent() {
-        std::fs::create_dir_all(dir).expect("output dir");
-    }
-    std::fs::write(out, &json).expect("write report");
+    write_output(&args.out, &json);
     println!(
         "\nreport: {} ({} bytes, serde round-trip verified)",
         args.out,
         json.len()
     );
+
+    // Observability exports: validate with the rtoss-verify RV04x
+    // passes first, refuse to write anything ill-formed.
+    let mut bad = false;
+    if let Some(prom_out) = &args.prom_out {
+        for row in &report.rows {
+            let text = row.metrics.to_prometheus();
+            let check = rtoss_verify::check_prometheus_snapshot(&row.mode, &text, &row.metrics);
+            if check.has_errors() {
+                eprint!("{}", check.render());
+                bad = true;
+                continue;
+            }
+            let path = mode_path(prom_out, &row.mode);
+            write_output(&path, &text);
+            println!("prometheus: {path} (RV043/RV044 clean)");
+        }
+    }
+    if tracing {
+        rtoss_obs::set_enabled(false);
+        let trace = rtoss_obs::drain();
+        if trace.dropped > 0 {
+            eprintln!(
+                "serve_bench: warning: {} events dropped (per-thread buffer cap)",
+                trace.dropped
+            );
+        }
+        let chrome = trace.to_chrome_json();
+        // check_trace_json re-parses the export, so this validates both
+        // the recorded trace and the serialization of it.
+        let check = rtoss_verify::check_trace_json("serve_bench trace", &chrome);
+        if check.has_errors() {
+            eprint!("{}", check.render());
+            bad = true;
+        } else {
+            if let Some(path) = &args.trace_out {
+                write_output(path, &chrome);
+                println!(
+                    "trace: {path} ({} events, RV040-RV042 clean)",
+                    trace.events.len()
+                );
+            }
+            if let Some(path) = &args.events_out {
+                write_output(path, &trace.to_jsonl());
+                println!("events: {path}");
+            }
+        }
+    }
+    if bad {
+        eprintln!("serve_bench: observability exports failed verification");
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,63 @@
+//! # rtoss-obs — observability for the R-TOSS serving stack
+//!
+//! End-to-end tracing, per-layer profiling, and metrics exposition for
+//! the sparse serving pipeline. Dependency-free (std only) so every
+//! runtime crate — `rtoss-tensor`, `rtoss-sparse`, `rtoss-serve` — can
+//! instrument through it without pulling the dependency graph upward.
+//!
+//! Four pieces:
+//!
+//! - [`trace`] — the lock-cheap span/event core: thread-local span
+//!   stacks, per-thread buffers drained into a global collector, a
+//!   zero-cost disabled path, and sampling (`RTOSS_TRACE`,
+//!   `RTOSS_TRACE_SAMPLE`).
+//! - [`chrome`] — exporters: Chrome/Perfetto `trace.json` and a JSONL
+//!   structured event log (methods on [`Trace`]).
+//! - [`prom`] — Prometheus text exposition: a generic metric model,
+//!   renderer, and parser (for round-trip verification).
+//! - [`profile`] — per-span self-time aggregation and the top-N layer
+//!   table behind the `obs_profile` report.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! rtoss_obs::set_enabled(true);
+//! rtoss_obs::reset();
+//! {
+//!     let _batch = rtoss_obs::span("execute");
+//!     let _layer = rtoss_obs::span("layer:demo");
+//! }
+//! rtoss_obs::set_enabled(false);
+//! let trace = rtoss_obs::drain();
+//! assert_eq!(trace.events.len(), 2);
+//! let json = trace.to_chrome_json(); // load in ui.perfetto.dev
+//! assert!(json.contains("\"ph\":\"X\""));
+//! ```
+//!
+//! The global trace state (enabled flag, sampling divisor, per-thread
+//! buffers) is process-wide; tests that toggle it should serialize
+//! themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod profile;
+pub mod prom;
+pub mod trace;
+
+pub use profile::{Profile, SpanStat};
+pub use prom::{PromHistogram, PromMetric, PromSample, PromValue};
+pub use trace::{
+    batch_scope, current_tid, drain, emit_async, emit_instant, emit_span, enabled, now_ns,
+    recording, reset, sample_every, set_enabled, set_sample_every, span, span_lazy, ts_ns,
+    ArgValue, Args, EventKind, ScopeGuard, SpanGuard, Trace, TraceEvent, MAX_EVENTS_PER_THREAD,
+    SAMPLE_ENV, TRACE_ENV,
+};
+
+/// Serializes unit tests that mutate the process-wide trace state.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,247 @@
+//! Per-layer profile aggregation: turns a drained [`Trace`] into a
+//! self-time table.
+//!
+//! Self time is the span's duration minus the durations of its
+//! *immediate* synchronous children (same thread, interval-contained).
+//! For the executor's `layer:*` spans this attributes time to the
+//! layer that actually spent it rather than to enclosing phases.
+
+use crate::trace::{EventKind, Trace, TraceEvent};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name (e.g. `layer:model.9.cv2`).
+    pub name: String,
+    /// Number of occurrences.
+    pub count: u64,
+    /// Total wall time across occurrences, nanoseconds.
+    pub total_ns: u64,
+    /// Total self time (total minus immediate children), nanoseconds.
+    pub self_ns: u64,
+}
+
+impl SpanStat {
+    /// Mean wall time per occurrence, milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1e6
+        }
+    }
+}
+
+/// A per-name profile built from a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// One entry per distinct span name, sorted by descending self
+    /// time.
+    pub stats: Vec<SpanStat>,
+}
+
+fn span_events(trace: &Trace) -> HashMap<u64, Vec<&TraceEvent>> {
+    let mut by_tid: HashMap<u64, Vec<&TraceEvent>> = HashMap::new();
+    for e in &trace.events {
+        if e.kind == EventKind::Span {
+            by_tid.entry(e.tid).or_default().push(e);
+        }
+    }
+    by_tid
+}
+
+impl Profile {
+    /// Builds a profile from every synchronous span in the trace.
+    ///
+    /// Per thread, spans are sorted by (start ascending, duration
+    /// descending) so a parent always precedes its children; a stack
+    /// walk then charges each span's duration against its immediate
+    /// parent's self time. Async events and instants are ignored.
+    pub fn from_trace(trace: &Trace) -> Profile {
+        let mut acc: HashMap<&str, SpanStat> = HashMap::new();
+        for (_tid, mut spans) in span_events(trace) {
+            spans.sort_by(|a, b| a.ts_ns.cmp(&b.ts_ns).then_with(|| b.dur_ns.cmp(&a.dur_ns)));
+            // Stack of (end_ns, index into a parallel self-time vec).
+            let mut self_ns: Vec<u64> = Vec::with_capacity(spans.len());
+            let mut stack: Vec<(u64, usize)> = Vec::new();
+            for (i, e) in spans.iter().enumerate() {
+                self_ns.push(e.dur_ns);
+                let end = e.ts_ns + e.dur_ns;
+                while let Some(&(parent_end, _)) = stack.last() {
+                    if e.ts_ns >= parent_end {
+                        stack.pop();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(&(_, parent_idx)) = stack.last() {
+                    self_ns[parent_idx] = self_ns[parent_idx].saturating_sub(e.dur_ns);
+                }
+                stack.push((end, i));
+            }
+            for (e, s) in spans.iter().zip(&self_ns) {
+                let stat = acc.entry(e.name.as_ref()).or_insert_with(|| SpanStat {
+                    name: e.name.to_string(),
+                    count: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                });
+                stat.count += 1;
+                stat.total_ns += e.dur_ns;
+                stat.self_ns += s;
+            }
+        }
+        let mut stats: Vec<SpanStat> = acc.into_values().collect();
+        stats.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+        Profile { stats }
+    }
+
+    /// Entries whose name starts with `prefix` (e.g. `"layer:"`), order
+    /// preserved.
+    pub fn with_prefix(&self, prefix: &str) -> Vec<&SpanStat> {
+        self.stats
+            .iter()
+            .filter(|s| s.name.starts_with(prefix))
+            .collect()
+    }
+
+    /// Renders a fixed-width top-N table (all rows if `top_n` is 0),
+    /// restricted to names starting with `prefix` when non-empty.
+    pub fn render_table(&self, prefix: &str, top_n: usize) -> String {
+        let rows: Vec<&SpanStat> = if prefix.is_empty() {
+            self.stats.iter().collect()
+        } else {
+            self.with_prefix(prefix)
+        };
+        let shown = if top_n == 0 {
+            rows.len()
+        } else {
+            top_n.min(rows.len())
+        };
+        let total_self: u64 = rows.iter().map(|s| s.self_ns).sum();
+        let name_w = rows[..shown]
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>7}  {:>12}  {:>12}  {:>6}",
+            "name", "count", "self(ms)", "total(ms)", "self%"
+        );
+        for s in &rows[..shown] {
+            let pct = if total_self == 0 {
+                0.0
+            } else {
+                100.0 * s.self_ns as f64 / total_self as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>5.1}%",
+                s.name,
+                s.count,
+                s.self_ns as f64 / 1e6,
+                s.total_ns as f64 / 1e6,
+                pct
+            );
+        }
+        if shown < rows.len() {
+            let rest: u64 = rows[shown..].iter().map(|s| s.self_ns).sum();
+            let pct = if total_self == 0 {
+                0.0
+            } else {
+                100.0 * rest as f64 / total_self as f64
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>7}  {:>12.3}  {:>12}  {:>5.1}%",
+                format!("(+{} more)", rows.len() - shown),
+                "",
+                rest as f64 / 1e6,
+                "",
+                pct
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn span(name: &'static str, tid: u64, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name: Cow::Borrowed(name),
+            kind: EventKind::Span,
+            tid,
+            ts_ns: ts,
+            dur_ns: dur,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_immediate_children_only() {
+        // execute [0, 100) contains layer:a [10, 40) which contains
+        // conv2d [15, 35); layer:b [50, 90) is a sibling.
+        let trace = Trace {
+            events: vec![
+                span("conv2d", 1, 15, 20),
+                span("layer:a", 1, 10, 30),
+                span("layer:b", 1, 50, 40),
+                span("execute", 1, 0, 100),
+            ],
+            dropped: 0,
+        };
+        let p = Profile::from_trace(&trace);
+        let get = |n: &str| p.stats.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(get("execute").self_ns, 100 - 30 - 40);
+        assert_eq!(get("layer:a").self_ns, 30 - 20);
+        assert_eq!(get("layer:a").total_ns, 30);
+        assert_eq!(get("conv2d").self_ns, 20);
+        assert_eq!(get("layer:b").self_ns, 40);
+    }
+
+    #[test]
+    fn aggregates_across_occurrences_and_threads() {
+        let trace = Trace {
+            events: vec![
+                span("layer:a", 1, 0, 10),
+                span("layer:a", 1, 20, 30),
+                span("layer:a", 2, 0, 5),
+            ],
+            dropped: 0,
+        };
+        let p = Profile::from_trace(&trace);
+        assert_eq!(p.stats.len(), 1);
+        assert_eq!(p.stats[0].count, 3);
+        assert_eq!(p.stats[0].total_ns, 45);
+        assert_eq!(p.stats[0].self_ns, 45);
+    }
+
+    #[test]
+    fn table_sorts_by_self_time_and_truncates() {
+        let trace = Trace {
+            events: vec![
+                span("layer:small", 1, 0, 10),
+                span("layer:big", 1, 100, 1000),
+                span("layer:mid", 1, 2000, 500),
+                span("other", 1, 3000, 9999),
+            ],
+            dropped: 0,
+        };
+        let p = Profile::from_trace(&trace);
+        let table = p.render_table("layer:", 2);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[1].starts_with("layer:big"));
+        assert!(lines[2].starts_with("layer:mid"));
+        assert!(lines[3].contains("(+1 more)"));
+        assert!(!table.contains("other"), "prefix filter applies");
+    }
+}

@@ -1,0 +1,647 @@
+//! The tracing core: lock-cheap span recording into per-thread buffers.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero-cost when off.** Opening a span with tracing disabled is
+//!    one relaxed atomic load and two thread-local `Cell` reads — no
+//!    allocation, no lock, no timestamp. The serving and executor hot
+//!    paths are instrumented unconditionally and rely on this.
+//! 2. **Lock-cheap when on.** Each thread records into its own bounded
+//!    buffer behind a `Mutex` that only the owning thread touches
+//!    during recording; the collector locks it at drain time. There is
+//!    no shared hot lock.
+//! 3. **Deterministic drains.** [`drain`] takes every thread's events
+//!    (per-thread order preserved, threads in registration order) and
+//!    compacts buffers whose threads have exited.
+//!
+//! Spans are recorded *at close time* as complete intervals, so within
+//! one thread's buffer the event stream is ordered by non-decreasing
+//! end timestamp — an invariant `rtoss-verify` checks (RV041).
+//!
+//! Two knobs control recording:
+//!
+//! - `RTOSS_TRACE` (or [`set_enabled`]): `1`/`true`/`on` turns the
+//!   whole subsystem on; anything else (or unset) leaves it off.
+//! - `RTOSS_TRACE_SAMPLE` (or [`set_sample_every`]): keep one out of
+//!   every N sampling roots (guard spans opened at depth 0, and
+//!   [`batch_scope`] decisions). `1` (the default) keeps everything.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Environment variable that turns tracing on (`1`, `true`, `on`).
+pub const TRACE_ENV: &str = "RTOSS_TRACE";
+
+/// Environment variable holding the sampling divisor (keep 1 in N).
+pub const SAMPLE_ENV: &str = "RTOSS_TRACE_SAMPLE";
+
+/// Hard cap on buffered events per thread; once full, further events
+/// are dropped and counted in [`Trace::dropped`].
+pub const MAX_EVENTS_PER_THREAD: usize = 1 << 18;
+
+// Global enabled flag: 0 = uninitialised (read env on first query),
+// 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+// Sampling divisor: 0 = uninitialised (read env on first query).
+static SAMPLE: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide trace epoch: every timestamp is nanoseconds since this
+/// instant. Initialised the first time the trace state is touched.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether tracing is globally enabled. The first call reads
+/// [`TRACE_ENV`]; [`set_enabled`] overrides it either way.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_enabled(),
+    }
+}
+
+#[cold]
+fn init_enabled() -> bool {
+    let on = std::env::var(TRACE_ENV)
+        .map(|v| matches!(v.trim(), "1" | "true" | "on"))
+        .unwrap_or(false);
+    // Racing initialisers agree (both read the same env), so a plain
+    // store is fine.
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    if on {
+        epoch();
+    }
+    on
+}
+
+/// Turns tracing on or off programmatically (overrides [`TRACE_ENV`]).
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The sampling divisor: sampling roots are kept when
+/// `root_index % divisor == 0`. The first call reads [`SAMPLE_ENV`].
+pub fn sample_every() -> u64 {
+    match SAMPLE.load(Ordering::Relaxed) {
+        0 => init_sample(),
+        n => n,
+    }
+}
+
+#[cold]
+fn init_sample() -> u64 {
+    let n = std::env::var(SAMPLE_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    SAMPLE.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Sets the sampling divisor (min 1) programmatically.
+pub fn set_sample_every(n: u64) {
+    SAMPLE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Nanoseconds since the trace epoch, for `Instant::now()`.
+#[inline]
+pub fn now_ns() -> u64 {
+    ts_ns(Instant::now())
+}
+
+/// Nanoseconds since the trace epoch for an arbitrary instant.
+/// Instants taken before the epoch (e.g. a request submitted before
+/// tracing was enabled) saturate to 0.
+pub fn ts_ns(at: Instant) -> u64 {
+    at.checked_duration_since(epoch())
+        .map(|d| d.as_nanos().min(u128::from(u64::MAX)) as u64)
+        .unwrap_or(0)
+}
+
+/// One recorded argument value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// Owned string.
+    Str(String),
+    /// Static string (no allocation).
+    Static(&'static str),
+}
+
+/// Key/value argument list attached to an event.
+pub type Args = Vec<(&'static str, ArgValue)>;
+
+/// What kind of event a [`TraceEvent`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A synchronous span: properly nested within its thread.
+    Span,
+    /// An asynchronous interval (e.g. a request's queue wait): may
+    /// overlap other events on the same thread; grouped by `id` in the
+    /// Chrome export.
+    Async {
+        /// Correlation id (e.g. the request id).
+        id: u64,
+    },
+    /// A point-in-time marker.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name, e.g. `"execute"` or `"layer:backbone.c3"`.
+    pub name: Cow<'static, str>,
+    /// Span / async / instant.
+    pub kind: EventKind,
+    /// Recording thread's stable trace id (dense, from 1).
+    pub tid: u64,
+    /// Start (or occurrence) time, nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Attached arguments.
+    pub args: Args,
+}
+
+/// A drained set of trace events.
+///
+/// `events` holds each thread's events contiguously, in the order they
+/// were recorded (non-decreasing end timestamp per thread); threads
+/// appear in registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// All recorded events.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because a thread buffer hit
+    /// [`MAX_EVENTS_PER_THREAD`].
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Whether nothing was recorded (and nothing dropped).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread buffers and the global registry.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ThreadBuf {
+    tid: u64,
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+}
+
+static REGISTRY: Mutex<Vec<Arc<ThreadBuf>>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static BUF: Arc<ThreadBuf> = register_thread();
+    /// Open recorded guard spans on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    /// Nested suppression scopes (sampling or explicit).
+    static SUPPRESS: Cell<u32> = const { Cell::new(0) };
+    /// Nested force-record scopes (a sampled-in batch).
+    static FORCE: Cell<u32> = const { Cell::new(0) };
+    /// Sampling-root counter for this thread.
+    static ROOTS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn register_thread() -> Arc<ThreadBuf> {
+    let buf = Arc::new(ThreadBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Mutex::new(Vec::new()),
+        dropped: AtomicU64::new(0),
+    });
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(buf.clone());
+    buf
+}
+
+fn record(event: TraceEvent) {
+    BUF.with(|buf| {
+        let mut events = buf.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() < MAX_EVENTS_PER_THREAD {
+            events.push(event);
+        } else {
+            buf.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// The calling thread's stable trace id.
+pub fn current_tid() -> u64 {
+    BUF.with(|b| b.tid)
+}
+
+/// Whether an event recorded right now on this thread would be kept:
+/// tracing on and no suppression scope active. Callers use this to
+/// skip building argument lists for [`emit_span`]-style raw emission.
+#[inline]
+pub fn recording() -> bool {
+    enabled() && SUPPRESS.with(Cell::get) == 0
+}
+
+/// Takes every thread's recorded events (and drop counts), leaving all
+/// buffers empty. Buffers owned by threads that have exited are
+/// removed from the registry afterwards.
+pub fn drain() -> Trace {
+    let mut registry = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut trace = Trace::default();
+    for buf in registry.iter() {
+        let mut events = buf.events.lock().unwrap_or_else(|e| e.into_inner());
+        trace.events.append(&mut *events);
+        trace.dropped += buf.dropped.swap(0, Ordering::Relaxed);
+    }
+    // A live thread holds one clone via its thread-local; count == 1
+    // means only the registry is left and the buffer can never fill
+    // again.
+    registry.retain(|buf| Arc::strong_count(buf) > 1);
+    trace
+}
+
+/// Drains and discards everything recorded so far.
+pub fn reset() {
+    drop(drain());
+}
+
+// ---------------------------------------------------------------------
+// Guard-based spans.
+// ---------------------------------------------------------------------
+
+/// RAII handle for an open span; records one [`EventKind::Span`] event
+/// on drop (when sampled in). Not `Send`: spans belong to the thread
+/// that opened them.
+#[derive(Debug)]
+pub struct SpanGuard {
+    rec: Option<(Cow<'static, str>, u64, Args)>,
+    suppressing: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    fn inert() -> Self {
+        SpanGuard {
+            rec: None,
+            suppressing: false,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.suppressing {
+            SUPPRESS.with(|s| s.set(s.get().saturating_sub(1)));
+        }
+        if let Some((name, start, args)) = self.rec.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let end = now_ns();
+            record(TraceEvent {
+                name,
+                kind: EventKind::Span,
+                tid: current_tid(),
+                ts_ns: start,
+                dur_ns: end.saturating_sub(start),
+                args,
+            });
+        }
+    }
+}
+
+/// Decides whether a new sampling root is kept, updating the
+/// per-thread root counter.
+fn roll_sampling_dice() -> bool {
+    let n = sample_every();
+    if n <= 1 {
+        return true;
+    }
+    ROOTS.with(|r| {
+        let i = r.get();
+        r.set(i.wrapping_add(1));
+        i % n == 0
+    })
+}
+
+fn open_span(make: impl FnOnce() -> (Cow<'static, str>, Args)) -> SpanGuard {
+    if !enabled() || SUPPRESS.with(Cell::get) > 0 {
+        return SpanGuard::inert();
+    }
+    let forced = FORCE.with(Cell::get) > 0;
+    let depth = DEPTH.with(Cell::get);
+    if !forced && depth == 0 && !roll_sampling_dice() {
+        // Sampled out: suppress every descendant until this closes.
+        SUPPRESS.with(|s| s.set(s.get() + 1));
+        let mut g = SpanGuard::inert();
+        g.suppressing = true;
+        return g;
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    let (name, args) = make();
+    SpanGuard {
+        rec: Some((name, now_ns(), args)),
+        suppressing: false,
+        _not_send: PhantomData,
+    }
+}
+
+/// Opens a span with a static name and no arguments. Zero allocation
+/// on the disabled path *and* the enabled path.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    open_span(|| (Cow::Borrowed(name), Vec::new()))
+}
+
+/// Opens a span whose name/arguments are built lazily — the closure
+/// runs only when the span is actually recorded, so the disabled path
+/// never allocates.
+#[inline]
+pub fn span_lazy<N, F>(make: F) -> SpanGuard
+where
+    N: Into<Cow<'static, str>>,
+    F: FnOnce() -> (N, Args),
+{
+    open_span(|| {
+        let (name, args) = make();
+        (name.into(), args)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Scopes: explicit suppression / forcing (batch-granularity sampling).
+// ---------------------------------------------------------------------
+
+/// What a [`batch_scope`] decided for its extent.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    kind: ScopeKind,
+    _not_send: PhantomData<*const ()>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    Inert,
+    Suppress,
+    Force,
+}
+
+impl ScopeGuard {
+    /// Whether events inside this scope are recorded.
+    pub fn recording(&self) -> bool {
+        self.kind == ScopeKind::Force
+    }
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        match self.kind {
+            ScopeKind::Inert => {}
+            ScopeKind::Suppress => SUPPRESS.with(|s| s.set(s.get().saturating_sub(1))),
+            ScopeKind::Force => FORCE.with(|f| f.set(f.get().saturating_sub(1))),
+        }
+    }
+}
+
+/// Opens a sampling scope for one unit of work (the server uses one
+/// per micro-batch): rolls the sampling dice once and either records
+/// everything inside — including nested guard spans, bypassing their
+/// own root sampling — or suppresses it all.
+pub fn batch_scope() -> ScopeGuard {
+    let kind = if !enabled() {
+        ScopeKind::Inert
+    } else if roll_sampling_dice() {
+        FORCE.with(|f| f.set(f.get() + 1));
+        ScopeKind::Force
+    } else {
+        SUPPRESS.with(|s| s.set(s.get() + 1));
+        ScopeKind::Suppress
+    };
+    ScopeGuard {
+        kind,
+        _not_send: PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Raw emission (retroactive intervals, async events, instants).
+// ---------------------------------------------------------------------
+
+/// Records a complete span with explicit endpoints on the calling
+/// thread. Used for intervals whose start predates the emitting code
+/// path (e.g. a micro-batch measured from its first pop). Subject to
+/// [`recording`] — suppressed scopes drop it.
+pub fn emit_span(name: impl Into<Cow<'static, str>>, ts_ns: u64, end_ns: u64, args: Args) {
+    if !recording() {
+        return;
+    }
+    record(TraceEvent {
+        name: name.into(),
+        kind: EventKind::Span,
+        tid: current_tid(),
+        ts_ns,
+        dur_ns: end_ns.saturating_sub(ts_ns),
+        args,
+    });
+}
+
+/// Records an async interval (may overlap anything on this thread),
+/// correlated by `id` — e.g. one request's queue wait.
+pub fn emit_async(
+    name: impl Into<Cow<'static, str>>,
+    id: u64,
+    ts_ns: u64,
+    end_ns: u64,
+    args: Args,
+) {
+    if !recording() {
+        return;
+    }
+    record(TraceEvent {
+        name: name.into(),
+        kind: EventKind::Async { id },
+        tid: current_tid(),
+        ts_ns,
+        dur_ns: end_ns.saturating_sub(ts_ns),
+        args,
+    });
+}
+
+/// Records a point-in-time marker at "now".
+pub fn emit_instant(name: impl Into<Cow<'static, str>>, args: Args) {
+    if !recording() {
+        return;
+    }
+    record(TraceEvent {
+        name: name.into(),
+        kind: EventKind::Instant,
+        tid: current_tid(),
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        args,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock();
+        set_enabled(false);
+        reset();
+        {
+            let _a = span("outer");
+            let _b = span_lazy(|| (format!("inner {}", 1), vec![("k", ArgValue::U64(1))]));
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_record_contained_intervals() {
+        let _g = test_lock();
+        set_enabled(true);
+        set_sample_every(1);
+        reset();
+        {
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+            }
+        }
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.events.len(), 2);
+        // Recorded at close: inner first, outer second.
+        let inner = &trace.events[0];
+        let outer = &trace.events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert!(outer.ts_ns <= inner.ts_ns);
+        assert!(inner.ts_ns + inner.dur_ns <= outer.ts_ns + outer.dur_ns);
+        assert_eq!(inner.tid, outer.tid);
+    }
+
+    #[test]
+    fn sampling_keeps_one_root_in_n() {
+        let _g = test_lock();
+        set_enabled(true);
+        set_sample_every(4);
+        reset();
+        for _ in 0..8 {
+            let _root = span("root");
+            let _child = span("child"); // must follow its root's fate
+        }
+        set_enabled(false);
+        set_sample_every(1);
+        let trace = drain();
+        let roots = trace.events.iter().filter(|e| e.name == "root").count();
+        let children = trace.events.iter().filter(|e| e.name == "child").count();
+        assert_eq!(roots, 2, "8 roots at 1-in-4 keeps 2");
+        assert_eq!(children, roots, "children sampled with their root");
+    }
+
+    #[test]
+    fn batch_scope_forces_or_suppresses_everything() {
+        let _g = test_lock();
+        set_enabled(true);
+        set_sample_every(2);
+        reset();
+        let mut kept = 0;
+        for _ in 0..4 {
+            let scope = batch_scope();
+            if scope.recording() {
+                kept += 1;
+            }
+            emit_instant("marker", Vec::new());
+            let _s = span("under_scope");
+        }
+        set_enabled(false);
+        set_sample_every(1);
+        let trace = drain();
+        assert_eq!(kept, 2);
+        let markers = trace.events.iter().filter(|e| e.name == "marker").count();
+        let spans = trace
+            .events
+            .iter()
+            .filter(|e| e.name == "under_scope")
+            .count();
+        assert_eq!(markers, 2, "instants follow the scope decision");
+        assert_eq!(spans, 2, "guard spans follow the scope decision");
+    }
+
+    #[test]
+    fn drain_collects_across_threads_and_preserves_tids() {
+        let _g = test_lock();
+        set_enabled(true);
+        set_sample_every(1);
+        reset();
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let _s =
+                        span_lazy(|| (format!("thread {i}"), vec![("i", ArgValue::U64(i as u64))]));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.events.len(), 3);
+        let mut tids: Vec<u64> = trace.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each thread has its own tid");
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn emit_async_and_retro_spans_are_recorded() {
+        let _g = test_lock();
+        set_enabled(true);
+        set_sample_every(1);
+        reset();
+        let t0 = now_ns();
+        emit_async(
+            "queue_wait",
+            7,
+            t0,
+            t0 + 500,
+            vec![("req", ArgValue::U64(7))],
+        );
+        emit_span("assembly", t0 + 500, t0 + 800, Vec::new());
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].kind, EventKind::Async { id: 7 });
+        assert_eq!(trace.events[0].dur_ns, 500);
+        assert_eq!(trace.events[1].dur_ns, 300);
+    }
+}

@@ -1,0 +1,61 @@
+//! Proves the disabled tracing path allocates nothing.
+//!
+//! The instrumentation sits inside per-layer executor loops and the
+//! serving hot path, so when tracing is off a span probe must cost a
+//! flag load — in particular, zero heap traffic. A counting global
+//! allocator makes that a hard assertion rather than a benchmark.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the counter increment has no effect on allocation semantics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded verbatim; caller upholds the layout contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded verbatim; `ptr` came from this allocator's
+        // `alloc` with the same layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracing_allocates_nothing_per_span() {
+    rtoss_obs::set_enabled(false);
+    // Warm up the thread-local state outside the counted window.
+    drop(rtoss_obs::span("warmup"));
+    rtoss_obs::emit_instant("warmup", Vec::new());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        let _guard = rtoss_obs::span("probe");
+        // The lazy variant must not even run its closure when disabled —
+        // this one would allocate a String and a Vec if it did.
+        let _lazy = rtoss_obs::span_lazy(|| {
+            (
+                format!("expensive-{i}"),
+                vec![("i", rtoss_obs::ArgValue::U64(i))],
+            )
+        });
+        rtoss_obs::emit_instant("probe", Vec::new());
+        std::hint::black_box(i);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span/instant probes must not touch the heap"
+    );
+}

@@ -61,7 +61,9 @@ mod queue;
 mod request;
 mod server;
 
-pub use metrics::{LatencyHistogram, MetricsSnapshot, PhaseStats, ServerMetrics, StripedCounter};
+pub use metrics::{
+    LatencyHistogram, MetricsSnapshot, PhaseHistogram, PhaseStats, ServerMetrics, StripedCounter,
+};
 pub use queue::BackpressurePolicy;
 pub use request::{
     InferenceRequest, InferenceResponse, RequestError, RequestResult, RequestTiming, Ticket,

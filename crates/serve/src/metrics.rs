@@ -179,6 +179,27 @@ impl LatencyHistogram {
             p99_ms: self.quantile_ms(0.99),
         }
     }
+
+    /// Full bucket-level snapshot (every bucket count plus the exact
+    /// sum), for diffable reports and Prometheus exposition.
+    pub fn full(&self) -> PhaseHistogram {
+        PhaseHistogram {
+            count: self.count(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Upper bounds of every bucket in nanoseconds, in order. The last
+    /// bucket also absorbs anything larger (the recorder clamps), so
+    /// `sum(buckets) == count` always holds for [`full`](Self::full).
+    pub fn bucket_upper_bounds_ns() -> Vec<f64> {
+        (0..BUCKETS).map(Self::bucket_upper_ns).collect()
+    }
 }
 
 /// Headline latency statistics for one serving phase.
@@ -194,6 +215,24 @@ pub struct PhaseStats {
     pub p95_ms: f64,
     /// 99th percentile (bucket upper bound), milliseconds.
     pub p99_ms: f64,
+}
+
+/// Full bucket-level view of one phase histogram: per-bucket counts in
+/// the fixed log-spaced geometry (see
+/// [`LatencyHistogram::bucket_upper_bounds_ns`]) plus the exact sample
+/// sum. Unlike [`PhaseStats`] this loses nothing — two runs are
+/// diffable bucket by bucket, and the Prometheus exposition is derived
+/// from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseHistogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum_ns: u64,
+    /// Per-bucket counts, `LatencyHistogram::NUM_BUCKETS` entries; the
+    /// last bucket also holds everything above its bound, so the counts
+    /// always sum to `count`.
+    pub buckets: Vec<u64>,
 }
 
 /// All counters and histograms for one running server.
@@ -259,6 +298,9 @@ impl ServerMetrics {
             queue_wait: self.queue_wait.stats(),
             batch_assembly: self.batch_assembly.stats(),
             execute: self.execute.stats(),
+            queue_wait_hist: self.queue_wait.full(),
+            batch_assembly_hist: self.batch_assembly.full(),
+            execute_hist: self.execute.full(),
         }
     }
 }
@@ -290,6 +332,94 @@ pub struct MetricsSnapshot {
     pub batch_assembly: PhaseStats,
     /// Execute phase statistics.
     pub execute: PhaseStats,
+    /// Queue-wait phase, full bucket counts.
+    pub queue_wait_hist: PhaseHistogram,
+    /// Batch-assembly phase, full bucket counts.
+    pub batch_assembly_hist: PhaseHistogram,
+    /// Execute phase, full bucket counts.
+    pub execute_hist: PhaseHistogram,
+}
+
+impl MetricsSnapshot {
+    /// The three phase histograms with their exposition names, in a
+    /// fixed order (`queue_wait`, `batch_assembly`, `execute`).
+    pub fn phase_histograms(&self) -> [(&'static str, &PhaseHistogram); 3] {
+        [
+            ("queue_wait", &self.queue_wait_hist),
+            ("batch_assembly", &self.batch_assembly_hist),
+            ("execute", &self.execute_hist),
+        ]
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format:
+    /// every counter as `rtoss_<name>_total`, the batch-size and
+    /// energy gauges, and each phase histogram as
+    /// `rtoss_<phase>_seconds` with the full log-bucket geometry
+    /// (bounds converted to seconds).
+    pub fn to_prometheus(&self) -> String {
+        use rtoss_obs::prom::{render, PromHistogram, PromMetric, PromValue};
+        let counters: [(&str, &str, u64); 7] = [
+            (
+                "submitted",
+                "Submission attempts while the queue was open",
+                self.submitted,
+            ),
+            ("completed", "Requests served to completion", self.completed),
+            (
+                "rejected",
+                "Requests refused at submission (queue full)",
+                self.rejected,
+            ),
+            (
+                "shed",
+                "Requests dropped by the ShedExpired policy",
+                self.shed,
+            ),
+            (
+                "deadline_missed",
+                "Completed requests that finished after their deadline",
+                self.deadline_missed,
+            ),
+            ("worker_panics", "Worker panics caught", self.worker_panics),
+            ("failed", "Requests failed with a model error", self.failed),
+        ];
+        let mut metrics = Vec::new();
+        for (name, help, v) in counters {
+            metrics.push(PromMetric::counter(
+                format!("rtoss_{name}_total"),
+                help,
+                v as f64,
+            ));
+        }
+        metrics.push(PromMetric::gauge(
+            "rtoss_mean_batch_size",
+            "Mean micro-batch size over the run",
+            self.mean_batch_size,
+        ));
+        metrics.push(PromMetric::counter(
+            "rtoss_energy_joules_total",
+            "Modelled energy consumed, joules",
+            self.energy_j,
+        ));
+        let upper_bounds_s: Vec<f64> = LatencyHistogram::bucket_upper_bounds_ns()
+            .into_iter()
+            .map(|ns| ns / 1e9)
+            .collect();
+        for (phase, hist) in self.phase_histograms() {
+            metrics.push(PromMetric {
+                name: format!("rtoss_{phase}_seconds"),
+                help: format!("Latency of the {phase} serving phase"),
+                labels: Vec::new(),
+                value: PromValue::Histogram(PromHistogram {
+                    upper_bounds: upper_bounds_s.clone(),
+                    counts: hist.buckets.clone(),
+                    sum: hist.sum_ns as f64 / 1e9,
+                    count: hist.count,
+                }),
+            });
+        }
+        render(&metrics)
+    }
 }
 
 #[cfg(test)]
@@ -390,5 +520,48 @@ mod tests {
         assert_eq!(back, snap);
         assert_eq!(back.energy_j, 1.5);
         assert_eq!(back.mean_batch_size, 3.0);
+        // The full bucket counts ride along and survive the round trip.
+        assert_eq!(back.queue_wait_hist.count, 1);
+        assert_eq!(
+            back.queue_wait_hist.buckets.iter().sum::<u64>(),
+            back.queue_wait_hist.count
+        );
+        assert_eq!(
+            back.execute_hist.buckets.len(),
+            LatencyHistogram::NUM_BUCKETS
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_round_trips_bucket_counts() {
+        let m = ServerMetrics::new();
+        m.submitted.add(5);
+        m.completed.add(5);
+        m.execute.record(Duration::from_millis(2));
+        m.execute.record(Duration::from_millis(2));
+        m.execute.record(Duration::from_micros(10));
+        let snap = m.snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE rtoss_execute_seconds histogram"));
+        assert!(text.contains("rtoss_submitted_total 5"));
+        let samples = rtoss_obs::prom::parse(&text).expect("own exposition parses");
+        // Cumulative bucket counts must reconstruct the snapshot's.
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.name == "rtoss_execute_seconds_bucket")
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(buckets.len(), LatencyHistogram::NUM_BUCKETS + 1);
+        let mut cumulative = 0u64;
+        for (i, c) in snap.execute_hist.buckets.iter().enumerate() {
+            cumulative += c;
+            assert_eq!(buckets[i], cumulative as f64, "bucket {i}");
+        }
+        assert_eq!(*buckets.last().unwrap(), snap.execute_hist.count as f64);
+        let count = samples
+            .iter()
+            .find(|s| s.name == "rtoss_execute_seconds_count")
+            .unwrap();
+        assert_eq!(count.value, 3.0);
     }
 }

@@ -9,9 +9,17 @@
 
 use crate::metrics::ServerMetrics;
 use crate::request::{Fulfiller, InferenceRequest, RequestError};
+use rtoss_obs as obs;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Marks one shed request in the trace (no-op unless recording).
+fn trace_shed(request: &InferenceRequest) {
+    if obs::recording() {
+        obs::emit_instant("shed", vec![("request", obs::ArgValue::U64(request.id))]);
+    }
+}
 
 /// What the server does when the queue is full (and, for
 /// [`ShedExpired`](BackpressurePolicy::ShedExpired), when deadlines pass).
@@ -106,6 +114,7 @@ impl BoundedQueue {
                     inner.deque.retain(|p| {
                         if p.request.expired_at(now) {
                             metrics.shed.incr();
+                            trace_shed(&p.request);
                             p.fulfiller.fulfil(Err(RequestError::Shed));
                             false
                         } else {
@@ -155,6 +164,7 @@ impl BoundedQueue {
                         break;
                     };
                     metrics.shed.incr();
+                    trace_shed(&expired.request);
                     expired.fulfiller.fulfil(Err(RequestError::Shed));
                     self.not_full.notify_one();
                     continue;

@@ -7,12 +7,20 @@
 //! std-only blocking primitives the rest of the crate is built on.
 
 use rtoss_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Process-wide request id source: dense, from 1, shared by every
+/// server in the process so trace ids never collide.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
 /// One inference request as submitted by a client.
 #[derive(Debug)]
 pub struct InferenceRequest {
+    /// Process-unique request id (dense, from 1). Propagated into trace
+    /// events (`queue_wait` async intervals are correlated by it).
+    pub id: u64,
     /// Input activation tensor, NCHW (typically batch dimension 1).
     pub input: Tensor,
     /// When the request entered the server.
@@ -23,9 +31,10 @@ pub struct InferenceRequest {
 }
 
 impl InferenceRequest {
-    /// Builds a request stamped with the current time.
+    /// Builds a request stamped with the current time and a fresh id.
     pub fn new(input: Tensor, deadline: Option<Duration>) -> Self {
         InferenceRequest {
+            id: NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
             input,
             submitted_at: Instant::now(),
             deadline,
@@ -202,6 +211,14 @@ mod tests {
             .expect_err("still pending");
         fulfiller.fulfil(Err(RequestError::Shed));
         assert!(matches!(ticket.wait(), Err(RequestError::Shed)));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let a = InferenceRequest::new(Tensor::zeros(&[1, 1, 2, 2]), None);
+        let b = InferenceRequest::new(Tensor::zeros(&[1, 1, 2, 2]), None);
+        assert_ne!(a.id, 0);
+        assert_ne!(a.id, b.id);
     }
 
     #[test]

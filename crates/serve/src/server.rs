@@ -13,12 +13,18 @@ use crate::request::{
     ticket_pair, InferenceRequest, InferenceResponse, RequestError, RequestTiming, Ticket,
 };
 use rtoss_hw::{DeviceModel, EnergyBreakdown, Workload};
+use rtoss_obs as obs;
 use rtoss_sparse::SparseModel;
 use rtoss_tensor::{ops, ExecConfig, Tensor};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+
+/// Process-wide micro-batch id source (dense, from 1), tagged onto
+/// every batch-level trace event.
+static NEXT_BATCH_ID: AtomicU64 = AtomicU64::new(1);
 
 /// A model the server can drive.
 ///
@@ -151,13 +157,20 @@ impl Server {
         deadline: Option<Duration>,
     ) -> Result<Ticket, RequestError> {
         let (ticket, fulfiller) = ticket_pair();
+        let request = InferenceRequest::new(input, deadline);
+        let request_id = request.id;
         let pending = Pending {
-            request: InferenceRequest::new(input, deadline),
+            request,
             fulfiller,
             popped_at: None,
         };
         match self.queue.push(pending, &self.metrics) {
-            Ok(()) => Ok(ticket),
+            Ok(()) => {
+                if obs::recording() {
+                    obs::emit_instant("enqueue", vec![("request", obs::ArgValue::U64(request_id))]);
+                }
+                Ok(ticket)
+            }
             // The queue resolved the ticket; surface the reason directly.
             // A resolved-with-success ticket here would be a queue bug;
             // report it as a failure rather than panicking in submit.
@@ -236,9 +249,40 @@ fn serve_batch(
     model: &dyn ServeModel,
     config: &ServeConfig,
 ) {
+    // One sampling decision per micro-batch: either the whole batch is
+    // traced (queue waits, phases, nested per-layer spans) or none of
+    // it, so a sampled trace never contains execute spans without their
+    // layer children (RV042).
+    let scope = obs::batch_scope();
+    let batch_id = NEXT_BATCH_ID.fetch_add(1, Ordering::Relaxed);
     let assembly_start = Instant::now();
     metrics.batches.incr();
     metrics.batched_requests.add(batch.len() as u64);
+
+    // Assembly is measured from the first pop: that is when the batch
+    // started forming (matches the per-request `batch_assembly` phase).
+    let first_popped = batch
+        .iter()
+        .filter_map(|p| p.popped_at)
+        .min()
+        .unwrap_or(assembly_start);
+    if scope.recording() {
+        // Queue waits overlap each other and span two threads, so they
+        // are async intervals correlated by request id, not sync spans.
+        for p in &batch {
+            let popped = p.popped_at.unwrap_or(assembly_start);
+            obs::emit_async(
+                "queue_wait",
+                p.request.id,
+                obs::ts_ns(p.request.submitted_at),
+                obs::ts_ns(popped),
+                vec![
+                    ("request", obs::ArgValue::U64(p.request.id)),
+                    ("batch", obs::ArgValue::U64(batch_id)),
+                ],
+            );
+        }
+    }
 
     let inputs: Vec<&Tensor> = batch.iter().map(|p| &p.request.input).collect();
     let sizes: Vec<usize> = inputs.iter().map(|x| x.shape()[0]).collect();
@@ -250,6 +294,18 @@ fn serve_batch(
         ops::batch_stack(&inputs).map_err(|e| e.to_string())
     }));
     let exec_start = Instant::now();
+    if scope.recording() {
+        obs::emit_span(
+            "batch_assembly",
+            obs::ts_ns(first_popped),
+            obs::ts_ns(exec_start),
+            vec![
+                ("batch", obs::ArgValue::U64(batch_id)),
+                ("requests", obs::ArgValue::U64(batch.len() as u64)),
+                ("frames", obs::ArgValue::U64(frames as u64)),
+            ],
+        );
+    }
     let result = match stacked {
         Ok(Ok(stacked)) => {
             catch_unwind(AssertUnwindSafe(|| model.run_batch(&stacked, &config.exec)))
@@ -258,6 +314,22 @@ fn serve_batch(
         Err(panic) => Err(panic),
     };
     let exec_dur = exec_start.elapsed();
+    if scope.recording() {
+        // Emitted after the model's own layer spans closed, keeping the
+        // per-thread buffer ordered by end timestamp (RV041); interval
+        // containment still nests the layers inside this span.
+        obs::emit_span(
+            "execute",
+            obs::ts_ns(exec_start),
+            obs::ts_ns(exec_start + exec_dur),
+            vec![
+                ("batch", obs::ArgValue::U64(batch_id)),
+                ("requests", obs::ArgValue::U64(batch.len() as u64)),
+                ("frames", obs::ArgValue::U64(frames as u64)),
+                ("threads", obs::ArgValue::U64(config.exec.threads as u64)),
+            ],
+        );
+    }
 
     let outcome: Result<Vec<Vec<Tensor>>, RequestError> = match result {
         Ok(Ok(outs)) => split_outputs(&outs, &sizes),
@@ -326,6 +398,28 @@ fn serve_batch(
                 pending.fulfiller.fulfil(Err(err.clone()));
             }
         }
+    }
+
+    if scope.recording() {
+        let end = Instant::now();
+        obs::emit_span(
+            "respond",
+            obs::ts_ns(now),
+            obs::ts_ns(end),
+            vec![("batch", obs::ArgValue::U64(batch_id))],
+        );
+        // The whole batch, first pop to last ticket resolved; emitted
+        // last so it closes after everything it contains.
+        obs::emit_span(
+            "batch",
+            obs::ts_ns(first_popped),
+            obs::ts_ns(end),
+            vec![
+                ("batch", obs::ArgValue::U64(batch_id)),
+                ("requests", obs::ArgValue::U64(batch_size as u64)),
+                ("frames", obs::ArgValue::U64(frames as u64)),
+            ],
+        );
     }
 }
 

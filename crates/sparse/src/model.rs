@@ -87,8 +87,48 @@ enum SparseOp {
 /// A node of the compiled engine.
 #[derive(Debug)]
 struct SparseNode {
+    /// Source graph node name, carried through compilation so per-layer
+    /// trace spans and profiles attribute time to recognizable layers.
+    name: String,
     op: SparseOp,
     inputs: Vec<usize>,
+}
+
+impl SparseNode {
+    fn kind(&self) -> &'static str {
+        match &self.op {
+            SparseOp::Input => "input",
+            SparseOp::Conv { .. } => "conv",
+            SparseOp::ChannelAffine { .. } => "channel_affine",
+            SparseOp::Activation(_) => "activation",
+            SparseOp::MaxPool { .. } => "maxpool",
+            SparseOp::Upsample2x => "upsample2x",
+            SparseOp::Add => "add",
+            SparseOp::Concat => "concat",
+        }
+    }
+
+    /// Opens the `layer:<name>` trace span for executing this node.
+    /// Name and args are built lazily — nothing allocates unless the
+    /// span is actually recorded.
+    fn trace_span(&self, idx: usize, exec: &ExecConfig) -> rtoss_obs::SpanGuard {
+        rtoss_obs::span_lazy(|| {
+            use rtoss_obs::ArgValue;
+            let mut args = vec![
+                ("node", ArgValue::U64(idx as u64)),
+                ("kind", ArgValue::Static(self.kind())),
+                ("threads", ArgValue::U64(exec.threads as u64)),
+            ];
+            if let SparseOp::Conv { layer, .. } = &self.op {
+                args.push(("oc", ArgValue::U64(layer.out_channels() as u64)));
+                args.push(("ic", ArgValue::U64(layer.in_channels() as u64)));
+                args.push(("k", ArgValue::U64(layer.kernel_size() as u64)));
+                args.push(("format", ArgValue::Static("pattern")));
+                args.push(("nnz", ArgValue::U64(layer.stored_weights() as u64)));
+            }
+            (format!("layer:{}", self.name), args)
+        })
+    }
 }
 
 /// A compiled sparse inference engine for a pruned detector graph.
@@ -190,6 +230,7 @@ impl SparseModel {
                 }
             };
             nodes.push(SparseNode {
+                name: n.name.clone(),
                 op,
                 inputs: n.inputs.clone(),
             });
@@ -307,6 +348,7 @@ impl SparseModel {
                         msg: format!("node {j} not yet computed"),
                     }))
             };
+            let _span = node.trace_span(i, exec);
             let out = match &node.op {
                 SparseOp::Input => input.clone(),
                 SparseOp::Conv { layer, bias } => {

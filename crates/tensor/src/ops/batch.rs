@@ -37,6 +37,16 @@ pub fn batch_stack(xs: &[&Tensor]) -> Result<Tensor, TensorError> {
         }
         total_batch += x.shape()[0];
     }
+    let _span = rtoss_obs::span_lazy(|| {
+        use rtoss_obs::ArgValue;
+        (
+            "batch_stack",
+            vec![
+                ("inputs", ArgValue::U64(xs.len() as u64)),
+                ("frames", ArgValue::U64(total_batch as u64)),
+            ],
+        )
+    });
     let mut data = Vec::with_capacity(total_batch * tail.iter().product::<usize>());
     for x in xs {
         data.extend_from_slice(x.as_slice());

@@ -230,6 +230,19 @@ pub fn conv2d_with(
     exec: &ExecConfig,
 ) -> Result<Tensor, TensorError> {
     let (n, c, h, wd, o, kh, kw, oh, ow) = check_conv_args(x, w, stride, pad)?;
+    let _span = rtoss_obs::span_lazy(|| {
+        use rtoss_obs::ArgValue;
+        (
+            "conv2d",
+            vec![
+                ("n", ArgValue::U64(n as u64)),
+                ("c", ArgValue::U64(c as u64)),
+                ("oc", ArgValue::U64(o as u64)),
+                ("k", ArgValue::U64(kh as u64)),
+                ("threads", ArgValue::U64(exec.threads.max(1) as u64)),
+            ],
+        )
+    });
     if let Some(b) = bias {
         if b.len() != o {
             return Err(TensorError::Invalid {

@@ -72,6 +72,25 @@ fn full_run() -> ExitCode {
     }
 }
 
+/// Reads `path` and runs `check` over its contents, exiting non-zero on
+/// any error finding. Shared by the `--trace` and `--prom` modes.
+fn file_run(path: &str, check: impl FnOnce(&str, &str) -> Report) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("verify: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = check(path, &text);
+    print!("{}", report.render());
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn fixture_run(name: &str) -> ExitCode {
     let Some(report) = fixtures::run(name) else {
         eprintln!(
@@ -93,6 +112,8 @@ fn main() -> ExitCode {
     match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
         [] => full_run(),
         ["--fixture", name] => fixture_run(name),
+        ["--trace", path] => file_run(path, rtoss_verify::check_trace_json),
+        ["--prom", path] => file_run(path, rtoss_verify::check_prometheus),
         ["--list-fixtures"] => {
             for name in fixtures::NAMES {
                 println!("{name}");
@@ -100,7 +121,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: verify [--fixture NAME | --list-fixtures]");
+            eprintln!(
+                "usage: verify [--fixture NAME | --trace FILE | --prom FILE | --list-fixtures]"
+            );
             ExitCode::from(2)
         }
     }

@@ -11,6 +11,7 @@ use crate::exec::{check_histogram_mapping, check_tile_partition_buckets};
 use crate::lint::lint_source;
 use crate::model::{check_model, chunk_bits};
 use crate::sparse::check_pattern_layer;
+use crate::trace::{check_prometheus, check_trace};
 use rtoss_core::dfs::group_layers;
 use rtoss_core::pattern::{canonical_set, Pattern};
 use rtoss_core::prune1x1::prune_1x1_weights;
@@ -31,6 +32,10 @@ pub const NAMES: &[&str] = &[
     "tiles",
     "histogram",
     "lint",
+    "trace-nesting",
+    "trace-order",
+    "trace-orphan",
+    "prom",
 ];
 
 /// Runs the named fixture, returning its report (`None` for an unknown
@@ -44,6 +49,10 @@ pub fn run(name: &str) -> Option<Report> {
         "tiles" => Some(tiles_fixture()),
         "histogram" => Some(histogram_fixture()),
         "lint" => Some(lint_fixture()),
+        "trace-nesting" => Some(trace_nesting_fixture()),
+        "trace-order" => Some(trace_order_fixture()),
+        "trace-orphan" => Some(trace_orphan_fixture()),
+        "prom" => Some(prom_fixture()),
         _ => None,
     }
 }
@@ -58,6 +67,10 @@ pub fn expected_code(name: &str) -> Option<&'static str> {
         "tiles" => Some("RV020"),
         "histogram" => Some("RV021"),
         "lint" => Some("RV030"),
+        "trace-nesting" => Some("RV040"),
+        "trace-order" => Some("RV041"),
+        "trace-orphan" => Some("RV042"),
+        "prom" => Some("RV043"),
         _ => None,
     }
 }
@@ -234,6 +247,69 @@ pub fn lint_fixture() -> Report {
     let mut report = Report::new();
     report.extend(lint_source("fixtures/hot_path.rs", src));
     report
+}
+
+/// Builds a span event for the trace fixtures.
+fn fixture_span(name: &'static str, tid: u64, ts_ns: u64, dur_ns: u64) -> rtoss_obs::TraceEvent {
+    rtoss_obs::TraceEvent {
+        name: name.into(),
+        kind: rtoss_obs::EventKind::Span,
+        tid,
+        ts_ns,
+        dur_ns,
+        args: Vec::new(),
+    }
+}
+
+/// Trace nesting: two sync spans on one thread partially overlap —
+/// neither nests in nor stays disjoint from the other (RV040).
+pub fn trace_nesting_fixture() -> Report {
+    let trace = rtoss_obs::Trace {
+        events: vec![
+            fixture_span("batch_assembly", 1, 0, 100),
+            fixture_span("execute", 1, 50, 100),
+        ],
+        dropped: 0,
+    };
+    check_trace("fixture trace (partial overlap)", &trace)
+}
+
+/// Trace order: a thread's buffer holds a span ending *before* its
+/// predecessor's end, impossible for recorded-at-close spans (RV041).
+pub fn trace_order_fixture() -> Report {
+    let trace = rtoss_obs::Trace {
+        events: vec![
+            fixture_span("execute", 1, 0, 200),
+            fixture_span("layer:stem", 1, 10, 40),
+        ],
+        dropped: 0,
+    };
+    check_trace("fixture trace (out-of-order ends)", &trace)
+}
+
+/// Trace completeness: an `execute` span with no `layer:*` child — the
+/// per-layer instrumentation went missing (RV042).
+pub fn trace_orphan_fixture() -> Report {
+    let trace = rtoss_obs::Trace {
+        events: vec![fixture_span("execute", 1, 0, 100)],
+        dropped: 0,
+    };
+    check_trace("fixture trace (hollow execute)", &trace)
+}
+
+/// Prometheus exposition: a histogram whose cumulative bucket counts
+/// decrease and whose `+Inf` bucket disagrees with `_count` (RV043).
+pub fn prom_fixture() -> Report {
+    let text = "\
+# HELP rtoss_execute_seconds Latency of the execute serving phase
+# TYPE rtoss_execute_seconds histogram
+rtoss_execute_seconds_bucket{le=\"0.1\"} 5
+rtoss_execute_seconds_bucket{le=\"0.2\"} 3
+rtoss_execute_seconds_bucket{le=\"+Inf\"} 7
+rtoss_execute_seconds_sum 1.25
+rtoss_execute_seconds_count 9
+";
+    check_prometheus("fixture exposition", text)
 }
 
 #[cfg(test)]

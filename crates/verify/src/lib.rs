@@ -37,6 +37,11 @@
 //! | RV021 | exec   | histogram boundaries strictly increasing, half-open |
 //! | RV030 | lint   | no panic-capable call in a hot path |
 //! | RV031 | lint   | every `unsafe` carries a `// SAFETY:` comment |
+//! | RV040 | trace  | sync spans properly nested per thread; trace JSON well-formed |
+//! | RV041 | trace  | per-thread events ordered by non-decreasing end timestamp |
+//! | RV042 | trace  | every `execute` span contains ≥ 1 `layer:*` child span |
+//! | RV043 | trace  | Prometheus exposition parses; histograms cumulative, `+Inf`-terminated |
+//! | RV044 | trace  | exposition bucket counts round-trip against the metrics snapshot |
 //!
 //! Severity is always `Error` for registry violations; artifacts with
 //! errors must not be executed. See DESIGN.md §9.
@@ -51,9 +56,11 @@ pub mod fixtures;
 pub mod lint;
 pub mod model;
 pub mod sparse;
+pub mod trace;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use exec::{check_histogram_buckets, check_tile_partition};
 pub use lint::{lint_paths, lint_source};
 pub use model::check_model;
 pub use sparse::{check_pattern_layer, check_sparse_model, check_unstructured_layer};
+pub use trace::{check_prometheus, check_prometheus_snapshot, check_trace, check_trace_json};

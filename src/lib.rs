@@ -12,6 +12,7 @@
 //! - [`sparse`] — pattern-grouped sparse convolution executor
 //! - [`hw`] — RTX 2080 Ti / Jetson TX2 latency & energy models
 //! - [`serve`] — deadline-aware, micro-batched inference serving
+//! - [`obs`] — span tracing, per-layer profiling, metrics exposition
 //! - [`verify`] — static invariant checks over every artifact above
 //!
 //! # Quickstart
@@ -36,6 +37,7 @@ pub use rtoss_data as data;
 pub use rtoss_hw as hw;
 pub use rtoss_models as models;
 pub use rtoss_nn as nn;
+pub use rtoss_obs as obs;
 pub use rtoss_serve as serve;
 pub use rtoss_sparse as sparse;
 pub use rtoss_tensor as tensor;
