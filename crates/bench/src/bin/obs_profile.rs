@@ -8,14 +8,23 @@
 //!
 //! ```text
 //! obs_profile [--image N] [--threads N] [--repeats N] [--top N] [--out PATH]
+//!             [--no-plan]
 //! ```
 //!
-//! Writes the combined report to `results/obs/profile.txt` by default.
+//! By default the engines run through compiled execution plans, and the
+//! per-layer table carries two extra columns joined from the plan:
+//! the epilogue fusion applied to each step (`affine+act` marks a conv
+//! that absorbed its BN and activation) and the arena slot holding its
+//! output. `--no-plan` profiles the per-call interpreter instead (no
+//! plan columns). Writes the combined report to
+//! `results/obs/profile.txt` by default.
 
 use rtoss_core::{EntryPattern, Pruner, RTossPruner};
 use rtoss_obs as obs;
 use rtoss_sparse::SparseModel;
 use rtoss_tensor::{init, ExecConfig};
+use std::collections::HashMap;
+use std::fmt::Write as _;
 
 struct Args {
     image: usize,
@@ -23,6 +32,7 @@ struct Args {
     repeats: usize,
     top: usize,
     out: String,
+    plan: bool,
 }
 
 fn parse_args() -> Args {
@@ -32,11 +42,13 @@ fn parse_args() -> Args {
         repeats: 5,
         top: 12,
         out: "results/obs/profile.txt".to_string(),
+        plan: true,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("obs_profile: {msg}");
         eprintln!(
-            "usage: obs_profile [--image N] [--threads N] [--repeats N] [--top N] [--out PATH]"
+            "usage: obs_profile [--image N] [--threads N] [--repeats N] [--top N] [--out PATH] \
+             [--no-plan]"
         );
         std::process::exit(2);
     }
@@ -56,6 +68,7 @@ fn parse_args() -> Args {
             "--repeats" => args.repeats = number(&flag, &value()),
             "--top" => args.top = number(&flag, &value()),
             "--out" => args.out = value(),
+            "--no-plan" => args.plan = false,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -76,6 +89,61 @@ fn build(model: &str, entry: Option<EntryPattern>, seed: u64) -> SparseModel {
             .expect("prunes");
     }
     SparseModel::compile(&m.graph).expect("compiles")
+}
+
+/// Per-layer table with the plan join: fusion kind and arena slot per
+/// step, looked up by graph node name (absorbed BN/activation nodes
+/// execute inside their conv's epilogue and so have no row of their
+/// own). `plan` is `None` under `--no-plan`.
+fn render_layers(
+    layers: &[&obs::SpanStat],
+    top: usize,
+    repeats: usize,
+    plan: Option<&HashMap<String, (&'static str, usize)>>,
+) -> String {
+    let shown = if top == 0 {
+        layers.len()
+    } else {
+        top.min(layers.len())
+    };
+    let total_self: u64 = layers.iter().map(|s| s.self_ns).sum();
+    let name_w = layers[..shown]
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<name_w$}  {:>7}  {:>12}  {:>6}  {:>10}  {:>5}",
+        "name", "count", "self(ms/it)", "self%", "fused", "slot"
+    );
+    for s in &layers[..shown] {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * s.self_ns as f64 / total_self as f64
+        };
+        let (fused, slot) = match plan.and_then(|p| p.get(s.name.trim_start_matches("layer:"))) {
+            Some(&(fused, slot)) => (fused, slot.to_string()),
+            None => ("-", "-".to_string()),
+        };
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>7}  {:>12.3}  {:>5.1}%  {:>10}  {:>5}",
+            s.name,
+            s.count,
+            s.self_ns as f64 / 1e6 / repeats as f64,
+            pct,
+            fused,
+            slot
+        );
+    }
+    if layers.len() > shown {
+        let _ = writeln!(out, "... {} more", layers.len() - shown);
+    }
+    out
 }
 
 /// Traces `repeats` forward passes and returns the per-span profile.
@@ -116,7 +184,27 @@ fn main() {
         args.repeats, args.image, args.image, args.threads
     );
     for (model, mode, entry) in configs {
-        let engine = build(model, entry, 0x5EED);
+        let engine = build(model, entry, 0x5EED).with_planning(args.plan);
+        let plan_map = if args.plan {
+            let summary = engine
+                .plan_summary(&[1, 3, args.image, args.image])
+                .expect("plans");
+            report.push_str(&format!(
+                "\n== {model} {mode}: arena {} KiB (peak live {} KiB, interpreter would retain {} KiB) ==\n",
+                summary.arena_bytes / 1024,
+                summary.peak_live_bytes / 1024,
+                summary.retained_bytes / 1024
+            ));
+            Some(
+                summary
+                    .steps
+                    .iter()
+                    .map(|s| (s.name.clone(), (s.fused, s.out_slot)))
+                    .collect::<HashMap<_, _>>(),
+            )
+        } else {
+            None
+        };
         let profile = profile_engine(&engine, &args, 0x5EED);
         let layers = profile.with_prefix("layer:");
         assert!(
@@ -124,12 +212,20 @@ fn main() {
             "{model}/{mode}: traced run produced no layer spans"
         );
         let total_ms: f64 = layers.iter().map(|s| s.self_ns as f64 / 1e6).sum();
+        if plan_map.is_none() {
+            report.push_str(&format!("\n== {model} {mode} ==\n"));
+        }
         report.push_str(&format!(
-            "\n== {model} {mode}: {} layers, {:.3} ms total layer self time ==\n",
+            "{} layer spans, {:.3} ms total layer self time per iteration\n",
             layers.len(),
             total_ms / args.repeats as f64
         ));
-        report.push_str(&profile.render_table("layer:", args.top));
+        report.push_str(&render_layers(
+            &layers,
+            args.top,
+            args.repeats,
+            plan_map.as_ref(),
+        ));
     }
 
     print!("{report}");

@@ -2,16 +2,20 @@
 //!
 //! Times the dense im2col executor and the pattern-grouped sparse
 //! executor (2EP / 3EP / 4EP pruning) on one representative 3×3 layer
-//! at 1 / 2 / 4 / 8 intra-op threads, and writes the table to
-//! `results/par_scaling.txt` + `results/par_scaling.json`.
+//! at 1 / 2 / 4 / 8 intra-op threads — plus the full 3EP-pruned
+//! YOLOv5s twin through the compiled execution plan — and writes the
+//! table to `results/par_scaling.txt` + `results/par_scaling.json`.
 //!
 //! ```text
-//! par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH] [--verify]
+//! par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH]
+//!             [--verify] [--no-plan]
 //! ```
 //!
 //! `--verify` statically checks the pruned weights (compressed form)
 //! and the tile partition for every swept thread count before timing,
 //! exiting non-zero instead of benchmarking an ill-formed layer.
+//! `--no-plan` runs the end-to-end engine column through the per-call
+//! graph interpreter instead of the compiled execution plan.
 //!
 //! Speedups are relative to the 1-thread run of the same executor, so
 //! the table reads directly as parallel efficiency. On a single-core
@@ -21,6 +25,7 @@
 use rtoss_bench::print_table;
 use rtoss_core::pattern::canonical_set;
 use rtoss_core::prune3x3::prune_3x3_weights;
+use rtoss_core::{EntryPattern, Pruner, RTossPruner};
 use rtoss_sparse::runtime::measure_layer_with;
 use rtoss_tensor::{init, ExecConfig, Tensor};
 use serde::{Deserialize, Serialize};
@@ -40,6 +45,8 @@ struct ScalingRow {
     pattern_3ep_s: f64,
     /// Pattern-grouped executor at 4EP pruning, seconds per run.
     pattern_4ep_s: f64,
+    /// 3EP-pruned YOLOv5s twin end-to-end, seconds per run.
+    engine_3ep_s: f64,
 }
 
 /// The scaling report written to disk.
@@ -53,6 +60,9 @@ struct ScalingReport {
     reps: u64,
     /// Cores the host actually has (`available_parallelism`).
     host_cores: u64,
+    /// Whether the engine column ran through compiled execution plans
+    /// (`false` = `--no-plan` interpreter baseline).
+    plan: bool,
     /// One row per thread count.
     rows: Vec<ScalingRow>,
 }
@@ -63,6 +73,7 @@ struct Args {
     channels: usize,
     out_dir: String,
     verify: bool,
+    plan: bool,
 }
 
 fn parse_args() -> Args {
@@ -72,12 +83,13 @@ fn parse_args() -> Args {
         channels: 64,
         out_dir: "results".to_string(),
         verify: false,
+        plan: true,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("par_scaling: {msg}");
         eprintln!(
             "usage: par_scaling [--reps N] [--image N] [--channels N] [--out-dir PATH] \
-             [--verify]"
+             [--verify] [--no-plan]"
         );
         std::process::exit(2);
     }
@@ -97,6 +109,7 @@ fn parse_args() -> Args {
             "--channels" => args.channels = number(&flag, &value()),
             "--out-dir" => args.out_dir = value(),
             "--verify" => args.verify = true,
+            "--no-plan" => args.plan = false,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -157,6 +170,17 @@ fn main() {
         );
     }
 
+    // End-to-end column: the 3EP-pruned YOLOv5s twin through the
+    // compiled engine (planned by default, interpreter with --no-plan).
+    let mut twin = rtoss_models::yolov5s_twin(8, 2, 42).expect("twin builds");
+    RTossPruner::new(EntryPattern::Three)
+        .prune_graph(&mut twin.graph)
+        .expect("prunes");
+    let engine = rtoss_sparse::SparseModel::compile(&twin.graph)
+        .expect("compiles")
+        .with_planning(args.plan);
+    let x_model = init::uniform(&mut init::rng(9), &[1, 3, args.image, args.image], 0.0, 1.0);
+
     let mut rows = Vec::new();
     for threads in THREAD_SWEEP {
         let exec = ExecConfig::with_threads(threads);
@@ -169,12 +193,20 @@ fn main() {
             }
             pattern[i] = t.pattern_s;
         }
+        engine.forward_with(&x_model, &exec).expect("forward"); // warm-up
+        let start = std::time::Instant::now();
+        for _ in 0..args.reps {
+            let y = engine.forward_with(&x_model, &exec).expect("forward");
+            std::hint::black_box(y[0].as_slice()[0]);
+        }
+        let engine_3ep_s = start.elapsed().as_secs_f64() / args.reps as f64;
         rows.push(ScalingRow {
             threads: threads as u64,
             dense_s,
             pattern_2ep_s: pattern[0],
             pattern_3ep_s: pattern[1],
             pattern_4ep_s: pattern[2],
+            engine_3ep_s,
         });
     }
 
@@ -189,18 +221,29 @@ fn main() {
                 cell(r.pattern_2ep_s, base.pattern_2ep_s),
                 cell(r.pattern_3ep_s, base.pattern_3ep_s),
                 cell(r.pattern_4ep_s, base.pattern_4ep_s),
+                cell(r.engine_3ep_s, base.engine_3ep_s),
             ]
         })
         .collect();
+    let engine_col = if args.plan {
+        "3EP twin (plan)"
+    } else {
+        "3EP twin (interp)"
+    };
     let title =
         format!("Tiled-executor thread scaling (speedup vs 1 thread; host: {host_cores} core(s))");
-    print_table(&title, &["threads", "dense", "2EP", "3EP", "4EP"], &table);
+    print_table(
+        &title,
+        &["threads", "dense", "2EP", "3EP", "4EP", engine_col],
+        &table,
+    );
 
     let report = ScalingReport {
         image: args.image as u64,
         channels: args.channels as u64,
         reps: args.reps as u64,
         host_cores: host_cores as u64,
+        plan: args.plan,
         rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -211,7 +254,8 @@ fn main() {
     let json_path = format!("{}/par_scaling.json", args.out_dir);
     std::fs::write(&json_path, &json).expect("write json report");
     let mut text = format!(
-        "{title}\n\nthreads | dense | 2EP | 3EP | 4EP (seconds/run, speedup vs threads=1)\n"
+        "{title}\n\nthreads | dense | 2EP | 3EP | 4EP | {engine_col} \
+         (seconds/run, speedup vs threads=1)\n"
     );
     for row in &table {
         text.push_str(&row.join(" | "));

@@ -11,7 +11,7 @@
 //! ```text
 //! serve_bench [--qps N] [--requests N] [--seed N] [--workers N]
 //!             [--max-batch N] [--deadline-ms N] [--image N]
-//!             [--threads N] [--out PATH] [--verify]
+//!             [--threads N] [--out PATH] [--verify] [--no-plan]
 //!             [--trace-out PATH] [--events-out PATH] [--prom-out PATH]
 //! ```
 //!
@@ -19,7 +19,10 @@
 //! (defaults to `RTOSS_THREADS` or the machine's core count).
 //! `--verify` statically checks each pruned graph and compiled engine
 //! with rtoss-verify before serving it, and exits non-zero instead of
-//! reporting numbers from an ill-formed model.
+//! reporting numbers from an ill-formed model. By default every engine
+//! serves through compiled execution plans prewarmed for each
+//! micro-batch size; `--no-plan` serves through the per-call graph
+//! interpreter instead (the pre-plan baseline, useful for A/B runs).
 //!
 //! The observability flags turn tracing on programmatically (no
 //! `RTOSS_TRACE=1` needed) and export the run: `--trace-out` writes a
@@ -78,6 +81,9 @@ struct ServeBenchReport {
     image: u64,
     /// Intra-op threads per forward pass.
     threads: u64,
+    /// Whether engines served through compiled execution plans
+    /// (`false` = `--no-plan` interpreter baseline).
+    plan: bool,
     /// One row per served variant.
     rows: Vec<ModeRow>,
 }
@@ -93,6 +99,7 @@ struct Args {
     threads: usize,
     out: String,
     verify: bool,
+    plan: bool,
     trace_out: Option<String>,
     events_out: Option<String>,
     prom_out: Option<String>,
@@ -110,6 +117,7 @@ fn parse_args() -> Args {
         threads: rtoss_tensor::exec::default_threads(),
         out: "results/serve/serve_bench.json".to_string(),
         verify: false,
+        plan: true,
         trace_out: None,
         events_out: None,
         prom_out: None,
@@ -119,7 +127,7 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: serve_bench [--qps N] [--requests N] [--seed N] [--workers N] \
              [--max-batch N] [--deadline-ms N] [--image N] [--threads N] [--out PATH] \
-             [--verify] [--trace-out PATH] [--events-out PATH] [--prom-out PATH]"
+             [--verify] [--no-plan] [--trace-out PATH] [--events-out PATH] [--prom-out PATH]"
         );
         std::process::exit(2);
     }
@@ -144,6 +152,7 @@ fn parse_args() -> Args {
             "--threads" => args.threads = number(&flag, &value()),
             "--out" => args.out = value(),
             "--verify" => args.verify = true,
+            "--no-plan" => args.plan = false,
             "--trace-out" => args.trace_out = Some(value()),
             "--events-out" => args.events_out = Some(value()),
             "--prom-out" => args.prom_out = Some(value()),
@@ -169,7 +178,11 @@ fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRo
         ),
     };
     let workload = workload_for(&model, &report, structure);
-    let engine = Arc::new(SparseModel::compile(&model.graph).expect("compiles"));
+    let engine = Arc::new(
+        SparseModel::compile(&model.graph)
+            .expect("compiles")
+            .with_planning(args.plan),
+    );
     if args.verify {
         // Refuse to serve (and time) an ill-formed artifact: a broken
         // mask or sparse layer would report meaningless latencies.
@@ -197,6 +210,10 @@ fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRo
                 workload,
             }),
             exec: ExecConfig::with_threads(args.threads),
+            // Compile plans for every micro-batch size up front so the
+            // workers never plan on the request path (no-op under
+            // --no-plan, where the engine interprets per call).
+            prewarm: Some(vec![1, 3, args.image, args.image]),
         },
     );
 
@@ -269,6 +286,9 @@ fn main() {
         args.deadline_ms,
         args.threads
     );
+    if !args.plan {
+        println!("(--no-plan: serving through the per-call interpreter, no compiled plans)\n");
+    }
 
     let variants: [(&str, Option<EntryPattern>); 4] = [
         ("dense", None),
@@ -316,6 +336,7 @@ fn main() {
         max_batch: args.max_batch as u64,
         image: args.image as u64,
         threads: args.threads as u64,
+        plan: args.plan,
         rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -267,12 +267,24 @@ pub struct ServerMetrics {
     pub batch_assembly: LatencyHistogram,
     /// Batched forward pass.
     pub execute: LatencyHistogram,
+    /// High-water mark of the served engine's activation-arena bytes
+    /// across its compiled execution plans (0 until a planning model
+    /// reports one). A gauge, not a counter: updated by max, so
+    /// concurrent workers racing on it cannot lose the peak.
+    pub peak_activation_bytes: AtomicU64,
 }
 
 impl ServerMetrics {
     /// Creates zeroed metrics.
     pub fn new() -> Self {
         ServerMetrics::default()
+    }
+
+    /// Raises the peak-activation-bytes high-water mark to `bytes` if
+    /// it is higher than the current value.
+    pub fn record_peak_activation_bytes(&self, bytes: u64) {
+        self.peak_activation_bytes
+            .fetch_max(bytes, Ordering::Relaxed);
     }
 
     /// Takes a consistent-enough snapshot for reporting. Counters are
@@ -295,6 +307,7 @@ impl ServerMetrics {
                 batched as f64 / batches as f64
             },
             energy_j: self.energy_uj.get() as f64 / 1e6,
+            peak_activation_bytes: self.peak_activation_bytes.load(Ordering::Relaxed),
             queue_wait: self.queue_wait.stats(),
             batch_assembly: self.batch_assembly.stats(),
             execute: self.execute.stats(),
@@ -326,6 +339,9 @@ pub struct MetricsSnapshot {
     pub mean_batch_size: f64,
     /// Modelled energy, joules.
     pub energy_j: f64,
+    /// High-water mark of the served engine's activation-arena bytes
+    /// (0 when the model does not plan its execution).
+    pub peak_activation_bytes: u64,
     /// Queue-wait phase statistics.
     pub queue_wait: PhaseStats,
     /// Batch-assembly phase statistics.
@@ -400,6 +416,11 @@ impl MetricsSnapshot {
             "rtoss_energy_joules_total",
             "Modelled energy consumed, joules",
             self.energy_j,
+        ));
+        metrics.push(PromMetric::gauge(
+            "rtoss_peak_activation_bytes",
+            "Peak activation-arena bytes across the engine's compiled execution plans",
+            self.peak_activation_bytes as f64,
         ));
         let upper_bounds_s: Vec<f64> = LatencyHistogram::bucket_upper_bounds_ns()
             .into_iter()
@@ -530,6 +551,18 @@ mod tests {
             back.execute_hist.buckets.len(),
             LatencyHistogram::NUM_BUCKETS
         );
+    }
+
+    #[test]
+    fn peak_activation_bytes_is_a_high_water_mark() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.snapshot().peak_activation_bytes, 0);
+        m.record_peak_activation_bytes(4096);
+        m.record_peak_activation_bytes(1024); // lower: must not regress
+        assert_eq!(m.snapshot().peak_activation_bytes, 4096);
+        let text = m.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE rtoss_peak_activation_bytes gauge"));
+        assert!(text.contains("rtoss_peak_activation_bytes 4096"));
     }
 
     #[test]

@@ -51,6 +51,20 @@ pub trait ServeModel: Send + Sync + 'static {
     fn verify(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Compiles whatever per-shape artifacts the model caches (e.g. an
+    /// execution plan) for `input_shape`, so the first real request at
+    /// that shape pays no compilation latency. The default does
+    /// nothing; failures are deliberately swallowed — an unplannable
+    /// shape surfaces as a per-request error, not a startup crash.
+    fn prewarm(&self, _input_shape: &[usize], _exec: &ExecConfig) {}
+
+    /// Peak activation-arena bytes across the model's compiled plans,
+    /// when the model plans its execution (`None` otherwise). Exported
+    /// as the `rtoss_peak_activation_bytes` gauge.
+    fn peak_activation_bytes(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl ServeModel for SparseModel {
@@ -63,6 +77,16 @@ impl ServeModel for SparseModel {
             .into_iter()
             .map(|v| v.to_string())
             .collect()
+    }
+
+    fn prewarm(&self, input_shape: &[usize], _exec: &ExecConfig) {
+        if self.planning() {
+            let _ = self.plan_for(input_shape);
+        }
+    }
+
+    fn peak_activation_bytes(&self) -> Option<u64> {
+        SparseModel::peak_activation_bytes(self)
     }
 }
 
@@ -95,6 +119,12 @@ pub struct ServeConfig {
     /// Intra-op execution config passed to [`ServeModel::run_batch`]
     /// (thread count for the tiled conv executors).
     pub exec: ExecConfig,
+    /// Single-frame input shape (`[1, c, h, w]`) to prewarm before
+    /// serving: [`Server::start`] compiles the model's per-shape
+    /// artifacts for every micro-batch size `1..=max_batch`, so the
+    /// micro-batch workers never plan on the request path. `None`
+    /// skips prewarming (plans compile lazily on first use).
+    pub prewarm: Option<Vec<usize>>,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +137,7 @@ impl Default for ServeConfig {
             batch_timeout: Duration::from_millis(2),
             energy: None,
             exec: ExecConfig::default(),
+            prewarm: None,
         }
     }
 }
@@ -128,6 +159,19 @@ impl Server {
     pub fn start(model: Arc<dyn ServeModel>, config: ServeConfig) -> Self {
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity, config.policy));
         let metrics = Arc::new(ServerMetrics::new());
+        if let Some(frame) = &config.prewarm {
+            if let Some((&frames, rest)) = frame.split_first() {
+                for b in 1..=config.max_batch.max(1) {
+                    let mut shape = Vec::with_capacity(frame.len());
+                    shape.push(frames.max(1) * b);
+                    shape.extend_from_slice(rest);
+                    model.prewarm(&shape, &config.exec);
+                }
+            }
+            if let Some(bytes) = model.peak_activation_bytes() {
+                metrics.record_peak_activation_bytes(bytes);
+            }
+        }
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 spawn_worker(
@@ -314,6 +358,11 @@ fn serve_batch(
         Err(panic) => Err(panic),
     };
     let exec_dur = exec_start.elapsed();
+    // Lazily-compiled plans (no prewarm configured) surface their
+    // arena footprint as soon as the first batch at a shape has run.
+    if let Some(bytes) = model.peak_activation_bytes() {
+        metrics.record_peak_activation_bytes(bytes);
+    }
     if scope.recording() {
         // Emitted after the model's own layer spans closed, keeping the
         // per-thread buffer ordered by end timestamp (RV041); interval

@@ -21,26 +21,26 @@
 //! for every thread count.
 
 use crate::format::{PatternCompressedConv, UnstructuredSparseConv};
-use rtoss_tensor::exec::{run_tiles, ExecConfig};
+use rtoss_tensor::exec::{run_tiles, Epilogue, ExecConfig};
 use rtoss_tensor::ops::out_extent;
 use rtoss_tensor::{Tensor, TensorError};
 
 fn check_input(
-    x: &Tensor,
+    shape: &[usize],
     in_ch: usize,
     kernel: usize,
     stride: usize,
     pad: usize,
     op: &'static str,
 ) -> Result<(usize, usize, usize, usize, usize), TensorError> {
-    if x.rank() != 4 {
+    if shape.len() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
-            actual: x.rank(),
+            actual: shape.len(),
             op,
         });
     }
-    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
     if c != in_ch {
         return Err(TensorError::Invalid {
             op,
@@ -133,9 +133,122 @@ pub fn conv2d_pattern_sparse_with(
     bias: Option<&[f32]>,
     exec: &ExecConfig,
 ) -> Result<Tensor, TensorError> {
+    let shape = conv_output_shape(
+        x.shape(),
+        layer.in_channels(),
+        layer.out_channels(),
+        layer.kernel_size(),
+        layer.stride(),
+        layer.padding(),
+        "conv2d_pattern_sparse",
+    )?;
+    let mut out = vec![0.0f32; shape.iter().product()];
+    conv2d_pattern_sparse_into_with(
+        x.as_slice(),
+        x.shape(),
+        layer,
+        bias,
+        &Epilogue::NONE,
+        &mut out,
+        exec,
+    )?;
+    Tensor::from_vec(out, &shape)
+}
+
+/// Output shape `[n, out_ch, oh, ow]` of a sparse convolution over an
+/// input of `x_shape`, validating geometry without executing anything.
+/// The execution plan calls this once at plan time so per-call forwards
+/// skip shape inference entirely.
+///
+/// # Errors
+///
+/// Returns an error if the input rank/channels do not match the layer
+/// or the kernel does not fit.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_output_shape(
+    x_shape: &[usize],
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    op: &'static str,
+) -> Result<[usize; 4], TensorError> {
+    let (n, _h, _w, oh, ow) = check_input(x_shape, in_ch, kernel, stride, pad, op)?;
+    Ok([n, out_ch, oh, ow])
+}
+
+/// Validates bias/epilogue/output-buffer lengths shared by both
+/// into-variants.
+fn check_into_args(
+    op: &'static str,
+    o: usize,
+    bias: Option<&[f32]>,
+    epilogue: &Epilogue<'_>,
+    out_len: usize,
+    want_len: usize,
+) -> Result<(), TensorError> {
+    if let Some(b) = bias {
+        if b.len() != o {
+            return Err(TensorError::Invalid {
+                op,
+                msg: format!("bias length {} != out channels {o}", b.len()),
+            });
+        }
+    }
+    if let Some((scale, shift)) = epilogue.affine {
+        if scale.len() != o || shift.len() != o {
+            return Err(TensorError::Invalid {
+                op,
+                msg: format!(
+                    "epilogue affine lengths {}/{} != out channels {o}",
+                    scale.len(),
+                    shift.len()
+                ),
+            });
+        }
+    }
+    if out_len != want_len {
+        return Err(TensorError::Invalid {
+            op,
+            msg: format!("output buffer holds {out_len} elements, need {want_len}"),
+        });
+    }
+    Ok(())
+}
+
+/// Write-into-buffer variant of [`conv2d_pattern_sparse_with`] with an
+/// [`Epilogue`] hook: the compiled execution plan's conv step.
+///
+/// `x`/`x_shape` describe the input (an arena slice — no `Tensor`
+/// allocation on the hot path); the result is written into `out`, which
+/// must hold exactly `n * out_channels * oh * ow` elements. Every
+/// element of `out` is overwritten (bias or zero fill first), so a
+/// reused arena buffer needs no clearing. The epilogue runs per output
+/// plane after that plane's accumulation, inside the same tile — hot in
+/// cache, composing with the scoped-thread tiling, and bit-identical
+/// for every thread count (each plane is processed by exactly one
+/// worker in the serial sweep's order).
+///
+/// Returns the output shape `[n, out_channels, oh, ow]`.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_pattern_sparse`], plus mismatched
+/// epilogue or output-buffer lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_pattern_sparse_into_with(
+    x: &[f32],
+    x_shape: &[usize],
+    layer: &PatternCompressedConv,
+    bias: Option<&[f32]>,
+    epilogue: &Epilogue<'_>,
+    out: &mut [f32],
+    exec: &ExecConfig,
+) -> Result<[usize; 4], TensorError> {
     let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
     let (n, h, w, oh, ow) = check_input(
-        x,
+        x_shape,
         layer.in_channels(),
         k,
         stride,
@@ -143,14 +256,15 @@ pub fn conv2d_pattern_sparse_with(
         "conv2d_pattern_sparse",
     )?;
     let (o, c) = (layer.out_channels(), layer.in_channels());
-    if let Some(b) = bias {
-        if b.len() != o {
-            return Err(TensorError::Invalid {
-                op: "conv2d_pattern_sparse",
-                msg: format!("bias length {} != out channels {o}", b.len()),
-            });
-        }
-    }
+    let plane = oh * ow;
+    check_into_args(
+        "conv2d_pattern_sparse",
+        o,
+        bias,
+        epilogue,
+        out.len(),
+        n * o * plane,
+    )?;
     // Debug-build checkpoint: a corrupt artifact (out-of-bounds channel
     // or offset) would otherwise surface as an index panic in the tiled
     // workers below. Release builds rely on the opt-in `rtoss-verify`
@@ -174,17 +288,13 @@ pub fn conv2d_pattern_sparse_with(
             per_oc[*oc].push((g.offsets.as_slice(), *ic, values.as_slice()));
         }
     }
-    let xd = x.as_slice();
-    let plane = oh * ow;
-    let mut out = vec![0.0f32; n * o * plane];
     let tiles: Vec<(usize, &mut [f32])> = out.chunks_mut(plane).enumerate().collect();
     run_tiles(tiles, exec.threads, |(tile, out_plane)| {
         let (ni, oc) = (tile / o, tile % o);
-        if let Some(b) = bias {
-            out_plane.fill(b[oc]);
-        }
+        // The buffer may be a reused arena slot: fill unconditionally.
+        out_plane.fill(bias.map_or(0.0, |b| b[oc]));
         for &(offsets, ic, values) in &per_oc[oc] {
-            let x_plane = &xd[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
+            let x_plane = &x[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
             for (&(ky, kx), &val) in offsets.iter().zip(values.iter()) {
                 for oy in 0..oh {
                     let iy = (oy * stride + ky) as isize - pad as isize;
@@ -202,8 +312,9 @@ pub fn conv2d_pattern_sparse_with(
                 }
             }
         }
+        epilogue.apply(oc, out_plane);
     });
-    Tensor::from_vec(out, &[n, o, oh, ow])
+    Ok([n, o, oh, ow])
 }
 
 /// Executes an unstructured (COO) sparse convolution.
@@ -235,9 +346,53 @@ pub fn conv2d_unstructured_with(
     bias: Option<&[f32]>,
     exec: &ExecConfig,
 ) -> Result<Tensor, TensorError> {
+    let shape = conv_output_shape(
+        x.shape(),
+        layer.in_channels(),
+        layer.out_channels(),
+        layer.kernel_size(),
+        layer.stride(),
+        layer.padding(),
+        "conv2d_unstructured",
+    )?;
+    let mut out = vec![0.0f32; shape.iter().product()];
+    conv2d_unstructured_into_with(
+        x.as_slice(),
+        x.shape(),
+        layer,
+        bias,
+        &Epilogue::NONE,
+        &mut out,
+        exec,
+    )?;
+    Tensor::from_vec(out, &shape)
+}
+
+/// Write-into-buffer variant of [`conv2d_unstructured_with`] with an
+/// [`Epilogue`] hook; the COO twin of
+/// [`conv2d_pattern_sparse_into_with`] (same buffer contract: `out` is
+/// fully overwritten, the epilogue runs per output plane inside the
+/// tile, bit-identical for every thread count).
+///
+/// Returns the output shape `[n, out_channels, oh, ow]`.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_unstructured`], plus mismatched epilogue
+/// or output-buffer lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_unstructured_into_with(
+    x: &[f32],
+    x_shape: &[usize],
+    layer: &UnstructuredSparseConv,
+    bias: Option<&[f32]>,
+    epilogue: &Epilogue<'_>,
+    out: &mut [f32],
+    exec: &ExecConfig,
+) -> Result<[usize; 4], TensorError> {
     let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
     let (n, h, w, oh, ow) = check_input(
-        x,
+        x_shape,
         layer.in_channels(),
         k,
         stride,
@@ -245,15 +400,16 @@ pub fn conv2d_unstructured_with(
         "conv2d_unstructured",
     )?;
     let (o, c) = (layer.out_channels(), layer.in_channels());
-    if let Some(b) = bias {
-        if b.len() != o {
-            return Err(TensorError::Invalid {
-                op: "conv2d_unstructured",
-                msg: format!("bias length {} != out channels {o}", b.len()),
-            });
-        }
-    }
-    // Debug-build checkpoint; see conv2d_pattern_sparse_with.
+    let plane = oh * ow;
+    check_into_args(
+        "conv2d_unstructured",
+        o,
+        bias,
+        epilogue,
+        out.len(),
+        n * o * plane,
+    )?;
+    // Debug-build checkpoint; see conv2d_pattern_sparse_into_with.
     #[cfg(debug_assertions)]
     {
         let violations = layer.validate();
@@ -267,19 +423,15 @@ pub fn conv2d_unstructured_with(
     for &(oc, ic, ky, kx, val) in layer.entries() {
         per_oc[oc].push((ic, ky, kx, val));
     }
-    let xd = x.as_slice();
-    let plane = oh * ow;
-    let mut out = vec![0.0f32; n * o * plane];
     let tiles: Vec<(usize, &mut [f32])> = out.chunks_mut(plane).enumerate().collect();
     run_tiles(tiles, exec.threads, |(tile, out_plane)| {
         let (ni, oc) = (tile / o, tile % o);
-        if let Some(b) = bias {
-            out_plane.fill(b[oc]);
-        }
+        // The buffer may be a reused arena slot: fill unconditionally.
+        out_plane.fill(bias.map_or(0.0, |b| b[oc]));
         // Per-weight dispatch: every entry independently re-derives its
         // geometry — the irregular path.
         for &(ic, ky, kx, val) in &per_oc[oc] {
-            let x_plane = &xd[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
+            let x_plane = &x[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
             for oy in 0..oh {
                 let iy = (oy * stride + ky) as isize - pad as isize;
                 accumulate_row(
@@ -295,8 +447,9 @@ pub fn conv2d_unstructured_with(
                 );
             }
         }
+        epilogue.apply(oc, out_plane);
     });
-    Tensor::from_vec(out, &[n, o, oh, ow])
+    Ok([n, o, oh, ow])
 }
 
 #[cfg(test)]
@@ -390,6 +543,103 @@ mod tests {
                 assert_eq!(serial_un.as_slice(), par_un.as_slice(), "coo t={threads}");
             }
         }
+    }
+
+    #[test]
+    fn into_variants_with_fused_epilogue_match_separate_passes() {
+        let w = pruned(3, 6, 4, 31);
+        let x = init::uniform(&mut init::rng(32), &[2, 4, 9, 9], -1.0, 1.0);
+        let bias: Vec<f32> = (0..6).map(|v| v as f32 * 0.1 - 0.2).collect();
+        let scale: Vec<f32> = (0..6).map(|v| 0.5 + v as f32 * 0.3).collect();
+        let shift: Vec<f32> = (0..6).map(|v| v as f32 * -0.4).collect();
+        let relu: fn(f32) -> f32 = |v| v.max(0.0);
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        let un = UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
+        // Reference per executor: unfused conv, then standalone affine
+        // + activation passes in the order the epilogue uses. (The two
+        // executors accumulate in different float orders, so each gets
+        // its own bit-exact reference.)
+        let plane = 9 * 9;
+        let unfused_then_epilogue = |conv: &Tensor| {
+            let mut want = conv.as_slice().to_vec();
+            for (tile, p) in want.chunks_mut(plane).enumerate() {
+                let oc = tile % 6;
+                for v in p.iter_mut() {
+                    *v = relu(scale[oc] * *v + shift[oc]);
+                }
+            }
+            want
+        };
+        let want = unfused_then_epilogue(&conv2d_pattern_sparse(&x, &pc, Some(&bias)).unwrap());
+        let want_un = unfused_then_epilogue(&conv2d_unstructured(&x, &un, Some(&bias)).unwrap());
+        let epi = Epilogue {
+            affine: Some((&scale, &shift)),
+            act: Some(rtoss_tensor::EpilogueAct::Relu),
+        };
+        for threads in [1usize, 2, 4, 7] {
+            let cfg = ExecConfig::with_threads(threads);
+            // Dirty buffers prove every element is overwritten.
+            let mut got = vec![f32::NAN; 2 * 6 * plane];
+            let shape = conv2d_pattern_sparse_into_with(
+                x.as_slice(),
+                x.shape(),
+                &pc,
+                Some(&bias),
+                &epi,
+                &mut got,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(shape, [2, 6, 9, 9]);
+            assert_eq!(got, want, "pattern t={threads}");
+            let mut got_un = vec![f32::NAN; 2 * 6 * plane];
+            conv2d_unstructured_into_with(
+                x.as_slice(),
+                x.shape(),
+                &un,
+                Some(&bias),
+                &epi,
+                &mut got_un,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(got_un, want_un, "coo t={threads}");
+        }
+    }
+
+    #[test]
+    fn into_variants_reject_bad_buffers_and_epilogues() {
+        let w = pruned(3, 4, 2, 33);
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        let x = init::uniform(&mut init::rng(34), &[1, 2, 5, 5], -1.0, 1.0);
+        let cfg = ExecConfig::serial();
+        let mut short = vec![0.0f32; 3];
+        assert!(conv2d_pattern_sparse_into_with(
+            x.as_slice(),
+            x.shape(),
+            &pc,
+            None,
+            &Epilogue::NONE,
+            &mut short,
+            &cfg,
+        )
+        .is_err());
+        let bad_scale = [1.0f32; 3]; // layer has 4 out channels
+        let bad_shift = [0.0f32; 3];
+        let mut out = vec![0.0f32; 4 * 25];
+        assert!(conv2d_pattern_sparse_into_with(
+            x.as_slice(),
+            x.shape(),
+            &pc,
+            None,
+            &Epilogue {
+                affine: Some((&bad_scale, &bad_shift)),
+                act: None,
+            },
+            &mut out,
+            &cfg,
+        )
+        .is_err());
     }
 
     #[test]

@@ -39,10 +39,12 @@ mod format;
 mod model;
 
 pub mod exec;
+pub mod plan;
 pub mod runtime;
 
 pub use format::{
     FormatViolation, PatternCompressedConv, PatternGroup, SparseFormatError, UnstructuredSparseConv,
 };
 pub use model::{SparseModel, SparseModelError};
+pub use plan::{ExecutionPlan, PlanSummary, StepSummary};
 pub use rtoss_tensor::exec::ExecConfig;

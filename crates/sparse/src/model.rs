@@ -10,12 +10,15 @@
 
 use crate::exec::conv2d_pattern_sparse_with;
 use crate::format::{FormatViolation, PatternCompressedConv};
+use crate::plan::{ExecutionPlan, PlanSummary};
 use rtoss_nn::layers::ActivationKind;
 use rtoss_nn::{Graph, NodeOp};
 use rtoss_tensor::exec::ExecConfig;
 use rtoss_tensor::{ops, Tensor, TensorError};
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Error produced when compiling or running a [`SparseModel`].
 #[derive(Debug, Clone, PartialEq)]
@@ -60,7 +63,7 @@ impl From<TensorError> for SparseModelError {
 
 /// One compiled operation of the sparse engine.
 #[derive(Debug)]
-enum SparseOp {
+pub(crate) enum SparseOp {
     Input,
     /// Sparse convolution with optional folded per-channel scale/shift
     /// (from a following BatchNorm) — bias is pre-folded too.
@@ -86,16 +89,16 @@ enum SparseOp {
 
 /// A node of the compiled engine.
 #[derive(Debug)]
-struct SparseNode {
+pub(crate) struct SparseNode {
     /// Source graph node name, carried through compilation so per-layer
     /// trace spans and profiles attribute time to recognizable layers.
-    name: String,
-    op: SparseOp,
-    inputs: Vec<usize>,
+    pub(crate) name: String,
+    pub(crate) op: SparseOp,
+    pub(crate) inputs: Vec<usize>,
 }
 
 impl SparseNode {
-    fn kind(&self) -> &'static str {
+    pub(crate) fn kind(&self) -> &'static str {
         match &self.op {
             SparseOp::Input => "input",
             SparseOp::Conv { .. } => "conv",
@@ -153,11 +156,25 @@ impl SparseNode {
 /// ```
 #[derive(Debug)]
 pub struct SparseModel {
-    nodes: Vec<SparseNode>,
-    outputs: Vec<usize>,
+    pub(crate) nodes: Vec<SparseNode>,
+    pub(crate) outputs: Vec<usize>,
+    /// Per-node consumer count: occurrences in later nodes' input lists
+    /// plus occurrences in the output list. Drives last-use activation
+    /// dropping in the interpreter and liveness analysis in the plan
+    /// compiler.
+    pub(crate) uses: Vec<usize>,
     stored_weights: usize,
     dense_weights: usize,
     exec: ExecConfig,
+    /// When true (the default), `forward*` compiles the input shape to a
+    /// cached [`ExecutionPlan`] and runs that; when false, the retained
+    /// per-call interpreter runs instead.
+    planning: bool,
+    /// Compiled plans keyed by input shape. A batched forward with a new
+    /// batch size plans once, then reuses the plan for every later call
+    /// with that shape — the serving layer's micro-batch worker never
+    /// re-plans on the hot path.
+    plans: RwLock<HashMap<Vec<usize>, Arc<ExecutionPlan>>>,
 }
 
 impl SparseModel {
@@ -235,12 +252,29 @@ impl SparseModel {
                 inputs: n.inputs.clone(),
             });
         }
+        let outputs = graph.outputs().to_vec();
+        let mut uses = vec![0usize; nodes.len()];
+        for node in &nodes {
+            for &j in &node.inputs {
+                if let Some(u) = uses.get_mut(j) {
+                    *u += 1;
+                }
+            }
+        }
+        for &o in &outputs {
+            if let Some(u) = uses.get_mut(o) {
+                *u += 1;
+            }
+        }
         Ok(SparseModel {
             nodes,
-            outputs: graph.outputs().to_vec(),
+            outputs,
+            uses,
             stored_weights: stored,
             dense_weights: dense,
             exec: ExecConfig::default(),
+            planning: true,
+            plans: RwLock::new(HashMap::new()),
         })
     }
 
@@ -260,6 +294,71 @@ impl SparseModel {
     pub fn with_exec_config(mut self, exec: ExecConfig) -> Self {
         self.exec = exec;
         self
+    }
+
+    /// Whether `forward*` compiles-and-caches an [`ExecutionPlan`]
+    /// (true, the default) or runs the per-call interpreter.
+    pub fn planning(&self) -> bool {
+        self.planning
+    }
+
+    /// Enables or disables plan-compiled execution (`--no-plan` in the
+    /// benches sets this to false to A/B against the interpreter).
+    pub fn set_planning(&mut self, on: bool) {
+        self.planning = on;
+    }
+
+    /// Builder-style [`set_planning`](Self::set_planning).
+    #[must_use]
+    pub fn with_planning(mut self, on: bool) -> Self {
+        self.planning = on;
+        self
+    }
+
+    /// The compiled plan for `input_shape`, compiling and caching it on
+    /// first use. Plans are keyed by the full input shape, so distinct
+    /// batch sizes get distinct plans and repeat calls are a read-lock
+    /// plus a map lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the shape cannot be planned (rank/channel
+    /// mismatches surface here, once, instead of on every forward).
+    pub fn plan_for(&self, input_shape: &[usize]) -> Result<Arc<ExecutionPlan>, SparseModelError> {
+        {
+            let plans = self.plans.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(plan) = plans.get(input_shape) {
+                return Ok(Arc::clone(plan));
+            }
+        }
+        let plan = Arc::new(ExecutionPlan::compile(self, input_shape)?);
+        let mut plans = self.plans.write().unwrap_or_else(PoisonError::into_inner);
+        // A racing caller may have planned the same shape; keep the
+        // first so Arc identity is stable for observers.
+        Ok(Arc::clone(
+            plans
+                .entry(input_shape.to_vec())
+                .or_insert_with(|| Arc::clone(&plan)),
+        ))
+    }
+
+    /// Summary of the compiled plan for `input_shape` (schedule, arena
+    /// assignment, memory accounting) — the artifact `rtoss-verify`'s
+    /// RV05x checks inspect.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`plan_for`](Self::plan_for).
+    pub fn plan_summary(&self, input_shape: &[usize]) -> Result<PlanSummary, SparseModelError> {
+        Ok(self.plan_for(input_shape)?.summary_for(self))
+    }
+
+    /// Arena bytes of the largest plan compiled so far, or `None` when
+    /// no forward has been planned yet. This is the value exported as
+    /// the `peak_activation_bytes` gauge by the serving metrics.
+    pub fn peak_activation_bytes(&self) -> Option<u64> {
+        let plans = self.plans.read().unwrap_or_else(PoisonError::into_inner);
+        plans.values().map(|p| p.arena_bytes()).max()
     }
 
     /// Conv-weight compression achieved by the compiled engine.
@@ -328,7 +427,8 @@ impl SparseModel {
 
     /// [`forward`](Self::forward) with an explicit [`ExecConfig`],
     /// overriding the engine's stored configuration for this call.
-    /// Results are bit-identical for every thread count.
+    /// Results are bit-identical for every thread count, and the
+    /// plan-compiled path is bit-identical to the interpreter.
     ///
     /// # Errors
     ///
@@ -338,11 +438,46 @@ impl SparseModel {
         input: &Tensor,
         exec: &ExecConfig,
     ) -> Result<Vec<Tensor>, SparseModelError> {
+        if self.planning {
+            self.plan_for(input.shape())?.run(self, input, exec)
+        } else {
+            self.forward_interpreted_with(input, exec)
+        }
+    }
+
+    /// The per-call graph interpreter: walks the node list, computing
+    /// one freshly allocated tensor per node. Kept as the reference
+    /// semantics the compiled plan must match bit-for-bit, and as the
+    /// fallback behind `--no-plan`. Activations are dropped as soon as
+    /// their last consumer has run, so even the interpreter's peak
+    /// memory tracks liveness rather than the whole graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatches at any node.
+    pub fn forward_interpreted_with(
+        &self,
+        input: &Tensor,
+        exec: &ExecConfig,
+    ) -> Result<Vec<Tensor>, SparseModelError> {
+        let mut remaining = self.uses.clone();
         let mut acts: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for (i, node) in self.nodes.iter().enumerate() {
+            if matches!(node.op, SparseOp::Input) {
+                // Input nodes store nothing: consumers read the caller's
+                // tensor directly instead of a per-call clone.
+                continue;
+            }
             let get = |j: usize| -> Result<&Tensor, SparseModelError> {
-                acts[j]
-                    .as_ref()
+                if let Some(SparseNode {
+                    op: SparseOp::Input,
+                    ..
+                }) = self.nodes.get(j)
+                {
+                    return Ok(input);
+                }
+                acts.get(j)
+                    .and_then(Option::as_ref)
                     .ok_or(SparseModelError::Tensor(TensorError::Invalid {
                         op: "sparse_forward",
                         msg: format!("node {j} not yet computed"),
@@ -350,7 +485,8 @@ impl SparseModel {
             };
             let _span = node.trace_span(i, exec);
             let out = match &node.op {
-                SparseOp::Input => input.clone(),
+                // Handled above; nothing is stored for inputs.
+                SparseOp::Input => continue,
                 SparseOp::Conv { layer, bias } => {
                     conv2d_pattern_sparse_with(get(node.inputs[0])?, layer, Some(bias), exec)?
                 }
@@ -372,11 +508,42 @@ impl SparseModel {
                 }
             };
             acts[i] = Some(out);
+            // Last-use drop: a consumed activation whose remaining uses
+            // hit zero is freed now, not at the end of the pass.
+            for &j in &node.inputs {
+                if let Some(r) = remaining.get_mut(j) {
+                    *r = r.saturating_sub(1);
+                    if *r == 0 {
+                        if let Some(a) = acts.get_mut(j) {
+                            *a = None;
+                        }
+                    }
+                }
+            }
         }
         self.outputs
             .iter()
             .map(|&o| {
-                acts.get(o).and_then(|a| a.clone()).ok_or_else(|| {
+                if let Some(SparseNode {
+                    op: SparseOp::Input,
+                    ..
+                }) = self.nodes.get(o)
+                {
+                    return Ok(input.clone());
+                }
+                let last = remaining.get_mut(o).map(|r| {
+                    *r = r.saturating_sub(1);
+                    *r == 0
+                });
+                let act = acts.get_mut(o);
+                let taken = match (last, act) {
+                    // Move the tensor out on its final use; clone only
+                    // when another output still needs it.
+                    (Some(true), Some(a)) => a.take(),
+                    (_, Some(a)) => a.clone(),
+                    _ => None,
+                };
+                taken.ok_or_else(|| {
                     SparseModelError::Tensor(TensorError::Invalid {
                         op: "sparse_forward",
                         msg: format!("output node {o} was not computed"),
@@ -438,22 +605,28 @@ fn pool_params_of(l: &dyn rtoss_nn::Layer) -> Option<(usize, usize, usize)> {
         .map(|p| (p.kernel_size(), p.stride(), p.padding()))
 }
 
-fn eval_act(kind: ActivationKind, x: f32) -> f32 {
-    let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
-    match kind {
-        ActivationKind::Silu => x * sigmoid(x),
-        ActivationKind::Relu => x.max(0.0),
-        ActivationKind::LeakyRelu => {
-            if x > 0.0 {
-                x
-            } else {
-                0.1 * x
-            }
-        }
-        ActivationKind::Sigmoid => sigmoid(x),
+pub(crate) fn eval_act(kind: ActivationKind, x: f32) -> f32 {
+    match epilogue_act(kind) {
+        Some(a) => a.eval(x),
         // ActivationKind is #[non_exhaustive]: treat unknown future
         // activations as identity rather than failing at inference.
-        _ => x,
+        None => x,
+    }
+}
+
+/// Maps a graph activation onto the executor epilogue's activation —
+/// the single definition of the arithmetic both the interpreter and
+/// the fused plan evaluate. `None` for future kinds the epilogue does
+/// not know (the interpreter treats those as identity, so an absorbed
+/// `None` epilogue stays bit-identical).
+pub(crate) fn epilogue_act(kind: ActivationKind) -> Option<rtoss_tensor::EpilogueAct> {
+    use rtoss_tensor::EpilogueAct;
+    match kind {
+        ActivationKind::Silu => Some(EpilogueAct::Silu),
+        ActivationKind::Relu => Some(EpilogueAct::Relu),
+        ActivationKind::LeakyRelu => Some(EpilogueAct::LeakyRelu),
+        ActivationKind::Sigmoid => Some(EpilogueAct::Sigmoid),
+        _ => None,
     }
 }
 

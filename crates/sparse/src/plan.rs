@@ -1,0 +1,1191 @@
+//! Compile-before-run execution plans for the sparse engine.
+//!
+//! [`SparseModel::forward_with`] used to be a per-call graph
+//! interpreter: every request re-walked the node list, re-validated
+//! shapes, heap-allocated a fresh tensor per node, kept every
+//! activation alive until the pass ended, and applied batch-norm
+//! affines and activations as separate full passes over memory. Mobile
+//! pattern-pruning deployments (PatDNN-style compiler stacks) get their
+//! speedups from doing all of that work *ahead of time* — and that is
+//! what an [`ExecutionPlan`] is:
+//!
+//! 1. **Shape inference & validation once.** Compiling a plan for an
+//!    input shape runs the whole symbolic forward pass; per-call
+//!    execution does no shape checks.
+//! 2. **Liveness analysis + buffer arena.** The plan computes each
+//!    value's last consumer and assigns outputs to reusable arena slots
+//!    (best-fit from a free list). A slot is recycled as soon as its
+//!    tenant's last consumer has run, so peak activation memory is the
+//!    liveness peak, not the sum over all nodes. The plan reports
+//!    [`arena_bytes`](ExecutionPlan::arena_bytes) (what a run actually
+//!    allocates), [`peak_live_bytes`](ExecutionPlan::peak_live_bytes)
+//!    (the liveness-simulation peak), and
+//!    [`retained_bytes`](ExecutionPlan::retained_bytes) (what the old
+//!    keep-everything interpreter held).
+//! 3. **Conv → ChannelAffine → Activation fusion.** A conv whose sole
+//!    consumer is a channel affine (folded BN), optionally followed by
+//!    a sole-consumer activation, collapses into one conv step with an
+//!    [`Epilogue`]: the affine and activation run per output plane
+//!    while it is hot in cache, inside the tiled executor, instead of
+//!    as two extra passes over the whole tensor.
+//!
+//! Every transformation is bit-exact: the fused epilogue performs the
+//! same `f32` operations in the same order as the standalone passes,
+//! the arena ops mirror the interpreter's loops exactly, and the tiled
+//! conv executor already guarantees thread-count independence — so
+//! planned outputs are **bit-identical** to interpreted outputs for
+//! every thread count. `rtoss-verify`'s RV05x family checks the
+//! schedule, the arena assignment, and that equivalence on seeded
+//! engines.
+
+use crate::exec::{conv2d_pattern_sparse_into_with, conv_output_shape};
+use crate::model::{epilogue_act, eval_act, SparseModel, SparseModelError, SparseNode, SparseOp};
+use rtoss_nn::layers::ActivationKind;
+use rtoss_tensor::exec::{Epilogue, ExecConfig};
+use rtoss_tensor::ops::out_extent;
+use rtoss_tensor::{Tensor, TensorError};
+use std::sync::{Mutex, PoisonError};
+
+/// Arenas kept for reuse across runs; above this the extras are freed.
+/// Matches the serving layer's typical worker count so concurrent
+/// micro-batch workers each find a warm arena.
+const POOL_CAP: usize = 8;
+
+/// Where a plan step reads one of its operands from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepSource {
+    /// The caller's input tensor (an `Input` graph node).
+    Extern,
+    /// The output of an earlier plan step.
+    Step(usize),
+}
+
+/// One scheduled operation of a compiled plan.
+#[derive(Debug)]
+struct PlanStep {
+    /// Model node this step computes (the conv node for fused chains).
+    node: usize,
+    /// Model node of a `ChannelAffine` fused into this conv's epilogue.
+    fused_affine: Option<usize>,
+    /// Activation fused into this conv's epilogue.
+    fused_act: Option<ActivationKind>,
+    /// Operand sources, in the node's input order.
+    inputs: Vec<StepSource>,
+    /// Arena slot holding this step's output.
+    out_slot: usize,
+    /// Output shape, inferred at plan time.
+    out_shape: Vec<usize>,
+    /// Output element count (`out_shape` product).
+    out_len: usize,
+    /// Step index of the last consumer; `usize::MAX` marks a retained
+    /// output whose slot is never recycled; a step's own index marks a
+    /// dead value freed immediately.
+    last_use: usize,
+}
+
+impl PlanStep {
+    fn fused_label(&self) -> &'static str {
+        match (self.fused_affine, self.fused_act) {
+            (Some(_), Some(_)) => "affine+act",
+            (Some(_), None) => "affine",
+            (None, Some(_)) => "act",
+            (None, None) => "none",
+        }
+    }
+}
+
+/// Summary of one plan step, for verification and reporting. All
+/// fields are public so `rtoss-verify` fixtures can construct corrupted
+/// summaries that prove the RV05x checks fire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepSummary {
+    /// Model node index this step computes.
+    pub node: usize,
+    /// Source graph node name.
+    pub name: String,
+    /// Operation kind (`conv`, `maxpool`, …).
+    pub kind: &'static str,
+    /// Epilogue fusion applied: `none`, `affine`, `act`, `affine+act`.
+    pub fused: &'static str,
+    /// Producing step index per operand; `None` = the extern input.
+    pub inputs: Vec<Option<usize>>,
+    /// Arena slot holding the output.
+    pub out_slot: usize,
+    /// Output element count.
+    pub out_len: usize,
+    /// Last consuming step index (`usize::MAX` = retained output).
+    pub last_use: usize,
+}
+
+/// Summary of a compiled plan: the schedule, arena assignment, and
+/// memory accounting `rtoss-verify`'s RV05x checks inspect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSummary {
+    /// Input shape the plan was compiled for.
+    pub input_shape: Vec<usize>,
+    /// Scheduled steps in execution order.
+    pub steps: Vec<StepSummary>,
+    /// Producing step per declared output; `None` = the extern input.
+    pub outputs: Vec<Option<usize>>,
+    /// Element capacity of each arena slot.
+    pub slot_caps: Vec<usize>,
+    /// Bytes a run allocates for the arena (Σ slot capacities × 4).
+    pub arena_bytes: u64,
+    /// Peak bytes simultaneously live during the liveness simulation.
+    pub peak_live_bytes: u64,
+    /// Bytes the keep-everything interpreter would retain (Σ step
+    /// outputs) — the pre-plan baseline.
+    pub retained_bytes: u64,
+}
+
+/// A [`SparseModel`] compiled for one input shape: validated schedule,
+/// fused conv epilogues, and arena slot assignment. Compile once (per
+/// shape), run many times.
+#[derive(Debug)]
+pub struct ExecutionPlan {
+    input_shape: Vec<usize>,
+    /// Node count of the model this plan was compiled from; guards
+    /// against running a plan against a different engine.
+    n_nodes: usize,
+    steps: Vec<PlanStep>,
+    outputs: Vec<StepSource>,
+    slot_caps: Vec<usize>,
+    peak_live_bytes: u64,
+    retained_bytes: u64,
+    /// Recycled arenas (one per concurrent runner), so steady-state
+    /// runs allocate only the retained-output buffers.
+    pool: Mutex<Vec<Vec<Vec<f32>>>>,
+}
+
+/// Fused chain recorded per conv node: the absorbed `ChannelAffine`
+/// node (if any), the absorbed activation kind (if any), and the chain
+/// tail node whose output the conv step now produces.
+type FusedChain = (Option<usize>, Option<ActivationKind>, usize);
+
+fn plan_err(msg: String) -> SparseModelError {
+    SparseModelError::Tensor(TensorError::Invalid {
+        op: "execution_plan",
+        msg,
+    })
+}
+
+impl ExecutionPlan {
+    /// Compiles `model` for `input_shape`: infers and validates every
+    /// shape, fuses conv→affine→activation chains, computes liveness,
+    /// and assigns arena slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any node's shape constraints fail for this
+    /// input shape — the same conditions the interpreter would hit per
+    /// call, surfaced once at plan time.
+    pub fn compile(model: &SparseModel, input_shape: &[usize]) -> Result<Self, SparseModelError> {
+        let nodes = &model.nodes;
+        let n = nodes.len();
+        let shapes = infer_shapes(nodes, input_shape)?;
+
+        // Sole-consumer map for fusion legality: a node is absorbable
+        // when exactly one edge consumes it and it is not an output.
+        let mut is_output = vec![false; n];
+        for &o in &model.outputs {
+            if let Some(f) = is_output.get_mut(o) {
+                *f = true;
+            }
+        }
+        let mut consumer_of: Vec<Option<usize>> = vec![None; n];
+        for (i, node) in nodes.iter().enumerate() {
+            for &j in &node.inputs {
+                if let Some(c) = consumer_of.get_mut(j) {
+                    *c = Some(i);
+                }
+            }
+        }
+        let sole_consumer = |i: usize| -> Option<usize> {
+            if model.uses.get(i) == Some(&1) && !is_output[i] {
+                consumer_of[i]
+            } else {
+                None
+            }
+        };
+
+        // Fusion pass: for each conv, greedily absorb a sole-consumer
+        // ChannelAffine, then a sole-consumer Activation, into the
+        // conv's epilogue. Absorbed nodes get no step of their own.
+        let mut fused_into_conv = vec![false; n];
+        let mut fusion: Vec<Option<FusedChain>> = vec![None; n];
+        for (i, node) in nodes.iter().enumerate() {
+            if !matches!(node.op, SparseOp::Conv { .. }) {
+                continue;
+            }
+            let mut tail = i;
+            let mut affine = None;
+            let mut act = None;
+            if let Some(j) = sole_consumer(tail) {
+                if matches!(nodes[j].op, SparseOp::ChannelAffine { .. }) {
+                    affine = Some(j);
+                    tail = j;
+                }
+            }
+            if let Some(j) = sole_consumer(tail) {
+                if let SparseOp::Activation(kind) = nodes[j].op {
+                    act = Some(kind);
+                    tail = j;
+                }
+            }
+            if let Some(j) = affine {
+                fused_into_conv[j] = true;
+            }
+            if act.is_some() {
+                fused_into_conv[tail] = true;
+            }
+            fusion[i] = Some((affine, act, tail));
+        }
+
+        // Scheduling: one step per non-input, non-absorbed node, in
+        // node order (already topological — the graph builder only
+        // wires existing nodes).
+        let mut node_to_step: Vec<Option<usize>> = vec![None; n];
+        let mut steps: Vec<PlanStep> = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if matches!(node.op, SparseOp::Input) || fused_into_conv[i] {
+                continue;
+            }
+            let mut inputs = Vec::with_capacity(node.inputs.len());
+            for &j in &node.inputs {
+                if j >= i {
+                    return Err(plan_err(format!(
+                        "node {i} reads node {j}: not topological"
+                    )));
+                }
+                if matches!(nodes[j].op, SparseOp::Input) {
+                    inputs.push(StepSource::Extern);
+                } else {
+                    let s = node_to_step[j]
+                        .ok_or_else(|| plan_err(format!("node {i} reads unscheduled node {j}")))?;
+                    inputs.push(StepSource::Step(s));
+                }
+            }
+            let (fused_affine, fused_act, tail) = match fusion[i] {
+                Some((a, k, t)) => (a, k, t),
+                None => (None, None, i),
+            };
+            let out_shape = shapes[tail].clone();
+            let out_len = out_shape.iter().product();
+            let s = steps.len();
+            steps.push(PlanStep {
+                node: i,
+                fused_affine,
+                fused_act,
+                inputs,
+                out_slot: usize::MAX,
+                out_shape,
+                out_len,
+                last_use: s,
+            });
+            node_to_step[i] = Some(s);
+            // Consumers of an absorbed chain's tail read the conv step.
+            node_to_step[tail] = Some(s);
+            if let Some(j) = fused_affine {
+                node_to_step[j] = Some(s);
+            }
+        }
+
+        // Liveness: last consuming step per step; retained outputs
+        // never die.
+        for s in 0..steps.len() {
+            let sources = steps[s].inputs.clone();
+            for src in sources {
+                if let StepSource::Step(i) = src {
+                    steps[i].last_use = steps[i].last_use.max(s);
+                }
+            }
+        }
+        let mut outputs = Vec::with_capacity(model.outputs.len());
+        for &o in &model.outputs {
+            if matches!(nodes.get(o).map(|n| &n.op), Some(SparseOp::Input)) {
+                outputs.push(StepSource::Extern);
+                continue;
+            }
+            let s = node_to_step
+                .get(o)
+                .copied()
+                .flatten()
+                .ok_or_else(|| plan_err(format!("output node {o} was not scheduled")))?;
+            steps[s].last_use = usize::MAX;
+            outputs.push(StepSource::Step(s));
+        }
+
+        // Arena assignment: best-fit from the free list. The output
+        // slot is chosen while the step's inputs are still allocated,
+        // so an output never aliases a dying input; dying inputs are
+        // then freed for the *next* step.
+        let mut slot_caps: Vec<usize> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut live_bytes: u64 = 0;
+        let mut peak_live: u64 = 0;
+        let mut retained: u64 = 0;
+        for s in 0..steps.len() {
+            let len = steps[s].out_len;
+            retained += 4 * len as u64;
+            let slot = match best_fit(&free, &slot_caps, len) {
+                Some(pos) => {
+                    let slot = free.swap_remove(pos);
+                    slot_caps[slot] = slot_caps[slot].max(len);
+                    slot
+                }
+                None => {
+                    slot_caps.push(len);
+                    slot_caps.len() - 1
+                }
+            };
+            steps[s].out_slot = slot;
+            live_bytes += 4 * len as u64;
+            peak_live = peak_live.max(live_bytes);
+            let mut dying: Vec<usize> = steps[s]
+                .inputs
+                .iter()
+                .filter_map(|src| match src {
+                    StepSource::Step(i) if steps[*i].last_use == s => Some(*i),
+                    _ => None,
+                })
+                .collect();
+            dying.sort_unstable();
+            dying.dedup();
+            for i in dying {
+                free.push(steps[i].out_slot);
+                live_bytes = live_bytes.saturating_sub(4 * steps[i].out_len as u64);
+            }
+            if steps[s].last_use == s {
+                // Dead value (no consumer, not an output): recycle now.
+                free.push(slot);
+                live_bytes = live_bytes.saturating_sub(4 * len as u64);
+            }
+        }
+
+        Ok(ExecutionPlan {
+            input_shape: input_shape.to_vec(),
+            n_nodes: n,
+            steps,
+            outputs,
+            slot_caps,
+            peak_live_bytes: peak_live,
+            retained_bytes: retained,
+            pool: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The input shape this plan was compiled for.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Scheduled step count (fused chains count once).
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Bytes a run allocates for the activation arena (Σ slot
+    /// capacities × 4). This is the plan's measured peak activation
+    /// footprint — what the serving metrics export as
+    /// `peak_activation_bytes`.
+    pub fn arena_bytes(&self) -> u64 {
+        4 * self.slot_caps.iter().map(|&c| c as u64).sum::<u64>()
+    }
+
+    /// Peak bytes simultaneously live during the liveness simulation
+    /// (≤ [`arena_bytes`](Self::arena_bytes), which also pays slot
+    /// capacity growth from reuse across different-sized values).
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+
+    /// Bytes the keep-everything interpreter would have retained at the
+    /// end of a pass (Σ all step outputs) — the pre-plan baseline the
+    /// arena numbers are compared against.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_bytes
+    }
+
+    /// The plan's schedule, arena assignment, and memory accounting.
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            input_shape: self.input_shape.clone(),
+            steps: self
+                .steps
+                .iter()
+                .map(|s| StepSummary {
+                    node: s.node,
+                    name: String::new(),
+                    kind: "",
+                    fused: s.fused_label(),
+                    inputs: s
+                        .inputs
+                        .iter()
+                        .map(|src| match src {
+                            StepSource::Extern => None,
+                            StepSource::Step(i) => Some(*i),
+                        })
+                        .collect(),
+                    out_slot: s.out_slot,
+                    out_len: s.out_len,
+                    last_use: s.last_use,
+                })
+                .collect(),
+            outputs: self
+                .outputs
+                .iter()
+                .map(|src| match src {
+                    StepSource::Extern => None,
+                    StepSource::Step(i) => Some(*i),
+                })
+                .collect(),
+            slot_caps: self.slot_caps.clone(),
+            arena_bytes: self.arena_bytes(),
+            peak_live_bytes: self.peak_live_bytes,
+            retained_bytes: self.retained_bytes,
+        }
+    }
+
+    /// Like [`summary`](Self::summary) but with step names and kinds
+    /// resolved from the model the plan was compiled from.
+    pub fn summary_for(&self, model: &SparseModel) -> PlanSummary {
+        let mut s = self.summary();
+        for step in &mut s.steps {
+            if let Some(node) = model.nodes.get(step.node) {
+                step.name = node.name.clone();
+                step.kind = node.kind();
+            }
+        }
+        s
+    }
+
+    /// Executes the plan. `model` must be the engine this plan was
+    /// compiled from (checked cheaply by node count).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `model` or the input shape does not match
+    /// the compiled plan. Per-node shape errors cannot occur here —
+    /// they were ruled out at plan time.
+    pub fn run(
+        &self,
+        model: &SparseModel,
+        input: &Tensor,
+        exec: &ExecConfig,
+    ) -> Result<Vec<Tensor>, SparseModelError> {
+        if model.nodes.len() != self.n_nodes {
+            return Err(plan_err(format!(
+                "plan was compiled for a {}-node engine, got {}",
+                self.n_nodes,
+                model.nodes.len()
+            )));
+        }
+        if input.shape() != self.input_shape {
+            return Err(plan_err(format!(
+                "plan was compiled for input shape {:?}, got {:?}",
+                self.input_shape,
+                input.shape()
+            )));
+        }
+        if rtoss_obs::recording() {
+            rtoss_obs::emit_instant(
+                "plan",
+                vec![
+                    ("steps", rtoss_obs::ArgValue::U64(self.steps.len() as u64)),
+                    ("arena_bytes", rtoss_obs::ArgValue::U64(self.arena_bytes())),
+                    (
+                        "peak_live_bytes",
+                        rtoss_obs::ArgValue::U64(self.peak_live_bytes),
+                    ),
+                ],
+            );
+        }
+        let mut arena = {
+            let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+            pool.pop().unwrap_or_default()
+        };
+        arena.resize_with(self.slot_caps.len(), Vec::new);
+        for (buf, &cap) in arena.iter_mut().zip(&self.slot_caps) {
+            if buf.len() < cap {
+                // Fresh capacity; every op fully overwrites its output
+                // prefix, so no clearing between runs is needed.
+                *buf = vec![0.0; cap];
+            }
+        }
+
+        for (si, step) in self.steps.iter().enumerate() {
+            let node = match model.nodes.get(step.node) {
+                Some(n) => n,
+                None => return Err(plan_err(format!("step {si}: node {} missing", step.node))),
+            };
+            let _span = step_span(step, node, exec);
+            let mut out = match arena.get_mut(step.out_slot) {
+                Some(buf) => std::mem::take(buf),
+                None => {
+                    return Err(plan_err(format!(
+                        "step {si}: slot {} missing",
+                        step.out_slot
+                    )))
+                }
+            };
+            let res = self.exec_step(step, model, node, input, &arena, &mut out, exec);
+            if let Some(buf) = arena.get_mut(step.out_slot) {
+                *buf = out;
+            }
+            res?;
+        }
+
+        let mut outs = Vec::with_capacity(self.outputs.len());
+        for (k, src) in self.outputs.iter().enumerate() {
+            let t = match src {
+                StepSource::Extern => input.clone(),
+                StepSource::Step(i) => {
+                    let step = &self.steps[*i];
+                    if self.outputs[k + 1..].contains(src) {
+                        // Another declared output reads the same step:
+                        // copy now, move on the final occurrence.
+                        let data = arena
+                            .get(step.out_slot)
+                            .and_then(|b| b.get(..step.out_len))
+                            .ok_or_else(|| plan_err(format!("output step {i} missing")))?;
+                        Tensor::from_vec(data.to_vec(), &step.out_shape)?
+                    } else {
+                        let mut buf = arena
+                            .get_mut(step.out_slot)
+                            .map(std::mem::take)
+                            .ok_or_else(|| plan_err(format!("output step {i} missing")))?;
+                        buf.truncate(step.out_len);
+                        Tensor::from_vec(buf, &step.out_shape)?
+                    }
+                }
+            };
+            outs.push(t);
+        }
+        let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
+        if pool.len() < POOL_CAP {
+            pool.push(arena);
+        }
+        Ok(outs)
+    }
+
+    /// Executes one step, writing into `out[..out_len]`.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_step(
+        &self,
+        step: &PlanStep,
+        model: &SparseModel,
+        node: &SparseNode,
+        input: &Tensor,
+        arena: &[Vec<f32>],
+        out_buf: &mut [f32],
+        exec: &ExecConfig,
+    ) -> Result<(), SparseModelError> {
+        let out = out_buf
+            .get_mut(..step.out_len)
+            .ok_or_else(|| plan_err(format!("slot {} under-allocated", step.out_slot)))?;
+        let src = |k: usize| -> Result<(&[f32], &[usize]), SparseModelError> {
+            match step.inputs.get(k) {
+                Some(StepSource::Extern) => Ok((input.as_slice(), input.shape())),
+                Some(StepSource::Step(i)) => {
+                    let st = self
+                        .steps
+                        .get(*i)
+                        .ok_or_else(|| plan_err(format!("operand step {i} missing")))?;
+                    let buf = arena
+                        .get(st.out_slot)
+                        .and_then(|b| b.get(..st.out_len))
+                        .ok_or_else(|| plan_err(format!("operand slot {} missing", st.out_slot)))?;
+                    Ok((buf, st.out_shape.as_slice()))
+                }
+                None => Err(plan_err(format!(
+                    "step for node {} lacks operand {k}",
+                    step.node
+                ))),
+            }
+        };
+        match &node.op {
+            SparseOp::Conv { layer, bias } => {
+                let affine = match step.fused_affine {
+                    Some(j) => match model.nodes.get(j).map(|n| &n.op) {
+                        Some(SparseOp::ChannelAffine { scale, shift }) => {
+                            Some((scale.as_slice(), shift.as_slice()))
+                        }
+                        _ => {
+                            return Err(plan_err(format!(
+                                "fused affine node {j} is not a channel affine"
+                            )))
+                        }
+                    },
+                    None => None,
+                };
+                let (x, xs) = src(0)?;
+                let epi = Epilogue {
+                    affine,
+                    act: step.fused_act.and_then(epilogue_act),
+                };
+                conv2d_pattern_sparse_into_with(x, xs, layer, Some(bias), &epi, out, exec)?;
+            }
+            SparseOp::ChannelAffine { scale, shift } => {
+                let (x, xs) = src(0)?;
+                channel_affine_into(x, xs, scale, shift, out);
+            }
+            SparseOp::Activation(kind) => {
+                let (x, _) = src(0)?;
+                let k = *kind;
+                for (o, &v) in out.iter_mut().zip(x.iter()) {
+                    *o = eval_act(k, v);
+                }
+            }
+            SparseOp::MaxPool { k, stride, pad } => {
+                let (x, xs) = src(0)?;
+                maxpool2d_into(x, xs, *k, *stride, *pad, &step.out_shape, out);
+            }
+            SparseOp::Upsample2x => {
+                let (x, xs) = src(0)?;
+                upsample_nearest2x_into(x, xs, out);
+            }
+            SparseOp::Add => {
+                let (a, _) = src(0)?;
+                let (b, _) = src(1)?;
+                for ((o, &av), &bv) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+                    *o = av + bv;
+                }
+            }
+            SparseOp::Concat => {
+                let mut parts = Vec::with_capacity(step.inputs.len());
+                for k in 0..step.inputs.len() {
+                    parts.push(src(k)?);
+                }
+                concat_channels_into(&parts, &step.out_shape, out);
+            }
+            SparseOp::Input => {
+                return Err(plan_err("input node scheduled as a step".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Best-fit free-slot lookup: index into `free` of the smallest slot
+/// with capacity ≥ `len`, else the largest free slot (grown by the
+/// caller), else `None`.
+fn best_fit(free: &[usize], caps: &[usize], len: usize) -> Option<usize> {
+    let mut fit: Option<(usize, usize)> = None; // (pos, cap)
+    let mut largest: Option<(usize, usize)> = None;
+    for (pos, &slot) in free.iter().enumerate() {
+        let cap = caps[slot];
+        if cap >= len && fit.is_none_or(|(_, c)| cap < c) {
+            fit = Some((pos, cap));
+        }
+        if largest.is_none_or(|(_, c)| cap > c) {
+            largest = Some((pos, cap));
+        }
+    }
+    fit.or(largest).map(|(pos, _)| pos)
+}
+
+/// Plan-time shape inference over the compiled node list — the one
+/// place shapes are validated; per-call execution trusts these.
+fn infer_shapes(
+    nodes: &[SparseNode],
+    input_shape: &[usize],
+) -> Result<Vec<Vec<usize>>, SparseModelError> {
+    let mut shapes: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        let in0 = || -> Result<&Vec<usize>, SparseModelError> {
+            node.inputs
+                .first()
+                .and_then(|&j| shapes.get(j))
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| plan_err(format!("node {i} has no resolvable input")))
+        };
+        let rank4 = |s: &[usize]| -> Result<(usize, usize, usize, usize), SparseModelError> {
+            if s.len() != 4 {
+                return Err(plan_err(format!("node {i} expects rank 4, got {s:?}")));
+            }
+            Ok((s[0], s[1], s[2], s[3]))
+        };
+        let shape = match &node.op {
+            SparseOp::Input => input_shape.to_vec(),
+            SparseOp::Conv { layer, bias } => {
+                if bias.len() != layer.out_channels() {
+                    return Err(plan_err(format!(
+                        "node {i}: bias length {} != out channels {}",
+                        bias.len(),
+                        layer.out_channels()
+                    )));
+                }
+                conv_output_shape(
+                    in0()?,
+                    layer.in_channels(),
+                    layer.out_channels(),
+                    layer.kernel_size(),
+                    layer.stride(),
+                    layer.padding(),
+                    "execution_plan",
+                )?
+                .to_vec()
+            }
+            SparseOp::ChannelAffine { scale, shift } => {
+                let s = in0()?.clone();
+                let (_, c, _, _) = rank4(&s)?;
+                if scale.len() != c || shift.len() != c {
+                    return Err(plan_err(format!(
+                        "node {i}: affine over {c} channels has {}/{} params",
+                        scale.len(),
+                        shift.len()
+                    )));
+                }
+                s
+            }
+            SparseOp::Activation(_) => in0()?.clone(),
+            SparseOp::MaxPool { k, stride, pad } => {
+                let s = in0()?.clone();
+                let (n, c, h, w) = rank4(&s)?;
+                let oh = out_extent(h, *k, *stride, *pad)
+                    .ok_or_else(|| plan_err(format!("node {i}: pool window does not fit")))?;
+                let ow = out_extent(w, *k, *stride, *pad)
+                    .ok_or_else(|| plan_err(format!("node {i}: pool window does not fit")))?;
+                vec![n, c, oh, ow]
+            }
+            SparseOp::Upsample2x => {
+                let s = in0()?.clone();
+                let (n, c, h, w) = rank4(&s)?;
+                vec![n, c, 2 * h, 2 * w]
+            }
+            SparseOp::Add => {
+                let a = in0()?.clone();
+                let b = node
+                    .inputs
+                    .get(1)
+                    .and_then(|&j| shapes.get(j))
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| plan_err(format!("node {i}: add lacks a second operand")))?;
+                if &a != b {
+                    return Err(plan_err(format!("node {i}: add of {a:?} vs {b:?}")));
+                }
+                a
+            }
+            SparseOp::Concat => {
+                let mut it = node.inputs.iter();
+                let first = it
+                    .next()
+                    .and_then(|&j| shapes.get(j))
+                    .filter(|s| !s.is_empty())
+                    .ok_or_else(|| plan_err(format!("node {i}: empty concat")))?;
+                let (n, mut c, h, w) = rank4(first)?;
+                for &j in it {
+                    let s = shapes
+                        .get(j)
+                        .filter(|s| !s.is_empty())
+                        .ok_or_else(|| plan_err(format!("node {i}: unresolved operand {j}")))?;
+                    let (nj, cj, hj, wj) = rank4(s)?;
+                    if (nj, hj, wj) != (n, h, w) {
+                        return Err(plan_err(format!(
+                            "node {i}: concat of {s:?} onto (n={n},h={h},w={w})"
+                        )));
+                    }
+                    c += cj;
+                }
+                vec![n, c, h, w]
+            }
+        };
+        shapes[i] = shape;
+    }
+    Ok(shapes)
+}
+
+/// Per-channel affine into an arena slice, mirroring the interpreter's
+/// `channel_affine` loop exactly (same `s * v + b` expression, same
+/// traversal order) for bit-identity.
+fn channel_affine_into(
+    x: &[f32],
+    x_shape: &[usize],
+    scale: &[f32],
+    shift: &[f32],
+    out: &mut [f32],
+) {
+    let (n, c, h, w) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let plane = h * w;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            let (s, b) = (scale[ci], shift[ci]);
+            for (o, &v) in out[base..base + plane]
+                .iter_mut()
+                .zip(&x[base..base + plane])
+            {
+                *o = s * v + b;
+            }
+        }
+    }
+}
+
+/// Max pooling into an arena slice, mirroring
+/// [`rtoss_tensor::ops::maxpool2d`]'s comparison order exactly (padded
+/// cells skipped; an all-padding window writes 0).
+fn maxpool2d_into(
+    x: &[f32],
+    x_shape: &[usize],
+    k: usize,
+    stride: usize,
+    pad: usize,
+    out_shape: &[usize],
+    out: &mut [f32],
+) {
+    let (n, c, h, w) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let (oh, ow) = (out_shape[2], out_shape[3]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = usize::MAX;
+                    for ki in 0..k {
+                        let iy = (oy * stride + ki) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..k {
+                            let ix = (ox * stride + kj) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = plane + iy as usize * w + ix as usize;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((ni * c + ci) * oh + oy) * ow + ox;
+                    out[oidx] = if best_idx == usize::MAX { 0.0 } else { best };
+                }
+            }
+        }
+    }
+}
+
+/// Nearest-neighbour 2× upsampling into an arena slice, mirroring
+/// [`rtoss_tensor::ops::upsample_nearest2x`].
+fn upsample_nearest2x_into(x: &[f32], x_shape: &[usize], out: &mut [f32]) {
+    let (n, c, h, w) = (x_shape[0], x_shape[1], x_shape[2], x_shape[3]);
+    let (oh, ow) = (2 * h, 2 * w);
+    for nc in 0..n * c {
+        let src = nc * h * w;
+        let dst = nc * oh * ow;
+        for y in 0..oh {
+            for xx in 0..ow {
+                out[dst + y * ow + xx] = x[src + (y / 2) * w + (xx / 2)];
+            }
+        }
+    }
+}
+
+/// Channel concatenation into an arena slice, mirroring the
+/// interpreter's `concat_channels` copy order.
+fn concat_channels_into(parts: &[(&[f32], &[usize])], out_shape: &[usize], out: &mut [f32]) {
+    let (n, total_c, h, w) = (out_shape[0], out_shape[1], out_shape[2], out_shape[3]);
+    let plane = h * w;
+    for ni in 0..n {
+        let mut c_off = 0;
+        for &(x, xs) in parts {
+            let c = xs[1];
+            let src = &x[ni * c * plane..(ni + 1) * c * plane];
+            let dst = (ni * total_c + c_off) * plane;
+            out[dst..dst + c * plane].copy_from_slice(src);
+            c_off += c;
+        }
+    }
+}
+
+/// Opens the `layer:<name>` trace span for a plan step, carrying the
+/// plan metadata (fused epilogue kind, arena slot) alongside the
+/// interpreter's per-layer args.
+fn step_span(step: &PlanStep, node: &SparseNode, exec: &ExecConfig) -> rtoss_obs::SpanGuard {
+    rtoss_obs::span_lazy(|| {
+        use rtoss_obs::ArgValue;
+        let mut args = vec![
+            ("node", ArgValue::U64(step.node as u64)),
+            ("kind", ArgValue::Static(node.kind())),
+            ("threads", ArgValue::U64(exec.threads as u64)),
+            ("fused", ArgValue::Static(step.fused_label())),
+            ("slot", ArgValue::U64(step.out_slot as u64)),
+        ];
+        if let SparseOp::Conv { layer, .. } = &node.op {
+            args.push(("oc", ArgValue::U64(layer.out_channels() as u64)));
+            args.push(("ic", ArgValue::U64(layer.in_channels() as u64)));
+            args.push(("k", ArgValue::U64(layer.kernel_size() as u64)));
+            args.push(("format", ArgValue::Static("pattern")));
+            args.push(("nnz", ArgValue::U64(layer.stored_weights() as u64)));
+        }
+        (format!("layer:{}", node.name), args)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+    use rtoss_models::yolov5s_twin;
+    use rtoss_nn::layers::{Activation, BatchNorm2d, Conv2d};
+    use rtoss_nn::Graph;
+    use rtoss_tensor::init;
+
+    /// input → a → {b, c} → add → out: the smallest graph where slot
+    /// recycling kicks in.
+    fn diamond_engine() -> SparseModel {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g
+            .add_layer("a", Box::new(Conv2d::new(3, 4, 3, 1, 1, 10)), x)
+            .unwrap();
+        let b = g
+            .add_layer("b", Box::new(Conv2d::new(4, 4, 3, 1, 1, 11)), a)
+            .unwrap();
+        let c = g
+            .add_layer("c", Box::new(Conv2d::new(4, 4, 3, 1, 1, 12)), a)
+            .unwrap();
+        let d = g.add_add("d", b, c).unwrap();
+        g.set_outputs(vec![d]).unwrap();
+        SparseModel::compile(&g).unwrap()
+    }
+
+    #[test]
+    fn diamond_graph_recycles_slots() {
+        let engine = diamond_engine();
+        let plan = ExecutionPlan::compile(&engine, &[1, 3, 8, 8]).unwrap();
+        let s = plan.summary_for(&engine);
+        // Four steps (a, b, c, add) over fewer arena slots than steps:
+        // `a` dies when `c` reads it, so `add` reuses its slot.
+        assert_eq!(s.steps.len(), 4);
+        assert!(s.slot_caps.len() < s.steps.len(), "no slot reuse: {s:#?}");
+        assert!(plan.arena_bytes() < plan.retained_bytes());
+        assert!(plan.peak_live_bytes() <= plan.arena_bytes());
+        // Slot lifetimes must be disjoint: recompute from the summary.
+        for slot in 0..s.slot_caps.len() {
+            let mut tenants: Vec<&StepSummary> = s
+                .steps
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.out_slot == slot)
+                .map(|(_, st)| st)
+                .collect();
+            tenants.sort_by_key(|st| st.node);
+            for pair in tenants.windows(2) {
+                let (prev, next) = (&pair[0], &pair[1]);
+                let next_idx = s.steps.iter().position(|st| st.node == next.node).unwrap();
+                assert!(
+                    prev.last_use < next_idx,
+                    "slot {slot}: {} still live when {} claims it",
+                    prev.name,
+                    next.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concat_graph_plans_channel_sum() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g
+            .add_layer("a", Box::new(Conv2d::new(3, 4, 3, 1, 1, 20)), x)
+            .unwrap();
+        let b = g
+            .add_layer("b", Box::new(Conv2d::new(3, 6, 3, 1, 1, 21)), x)
+            .unwrap();
+        let c = g.add_concat("c", vec![a, b]).unwrap();
+        g.set_outputs(vec![c]).unwrap();
+        let engine = SparseModel::compile(&g).unwrap();
+        let plan = ExecutionPlan::compile(&engine, &[2, 3, 8, 8]).unwrap();
+        let s = plan.summary_for(&engine);
+        let concat = s.steps.iter().find(|st| st.kind == "concat").unwrap();
+        assert_eq!(concat.out_len, 2 * 10 * 8 * 8);
+        assert_eq!(concat.last_use, usize::MAX, "output slot is retained");
+        // `a` and `b` are both live until the concat runs, and the
+        // concat's (larger) output is assigned before they die — three
+        // distinct slots, no reuse possible.
+        assert_eq!(s.slot_caps.len(), 3);
+        let out = engine.forward(&Tensor::ones(&[2, 3, 8, 8])).unwrap();
+        assert_eq!(out[0].shape(), &[2, 10, 8, 8]);
+    }
+
+    #[test]
+    fn conv_bn_act_chain_fuses_into_one_step() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g
+            .add_layer("conv", Box::new(Conv2d::new(3, 4, 3, 1, 1, 30)), x)
+            .unwrap();
+        let bn = g.add_layer("bn", Box::new(BatchNorm2d::new(4)), a).unwrap();
+        let act = g
+            .add_layer("act", Box::new(Activation::new(ActivationKind::Silu)), bn)
+            .unwrap();
+        g.set_outputs(vec![act]).unwrap();
+        let engine = SparseModel::compile(&g).unwrap();
+        let plan = ExecutionPlan::compile(&engine, &[1, 3, 8, 8]).unwrap();
+        assert_eq!(
+            plan.num_steps(),
+            1,
+            "chain should collapse to one conv step"
+        );
+        let s = plan.summary_for(&engine);
+        assert_eq!(s.steps[0].fused, "affine+act");
+        assert_eq!(s.steps[0].kind, "conv");
+        // Fused output is bit-identical to the unfused interpreter.
+        let probe = init::uniform(&mut init::rng(31), &[1, 3, 8, 8], -1.0, 1.0);
+        let planned = engine.forward(&probe).unwrap();
+        let interp = engine
+            .forward_interpreted_with(&probe, &ExecConfig::serial())
+            .unwrap();
+        assert_eq!(planned[0].as_slice(), interp[0].as_slice());
+    }
+
+    #[test]
+    fn bn_not_after_conv_is_not_fused() {
+        // maxpool → bn: the affine has no conv producer to fuse into.
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g
+            .add_layer("conv", Box::new(Conv2d::new(3, 4, 3, 2, 1, 40)), x)
+            .unwrap();
+        let p = g
+            .add_layer(
+                "pool",
+                Box::new(rtoss_nn::layers::MaxPool2d::new(2, 2, 0)),
+                a,
+            )
+            .unwrap();
+        let bn = g.add_layer("bn", Box::new(BatchNorm2d::new(4)), p).unwrap();
+        g.set_outputs(vec![bn]).unwrap();
+        let engine = SparseModel::compile(&g).unwrap();
+        let plan = ExecutionPlan::compile(&engine, &[1, 3, 16, 16]).unwrap();
+        let s = plan.summary_for(&engine);
+        assert_eq!(plan.num_steps(), 3);
+        assert!(s.steps.iter().all(|st| st.fused == "none"));
+        let probe = init::uniform(&mut init::rng(41), &[1, 3, 16, 16], -1.0, 1.0);
+        let planned = engine.forward(&probe).unwrap();
+        let interp = engine
+            .forward_interpreted_with(&probe, &ExecConfig::serial())
+            .unwrap();
+        assert_eq!(planned[0].as_slice(), interp[0].as_slice());
+    }
+
+    #[test]
+    fn tapped_intermediate_output_is_retained() {
+        // `b` is both consumed by `d` and a declared output: its slot
+        // must never be recycled, and the tensor must surface intact.
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g
+            .add_layer("a", Box::new(Conv2d::new(3, 4, 3, 1, 1, 50)), x)
+            .unwrap();
+        let b = g
+            .add_layer("b", Box::new(Conv2d::new(4, 4, 3, 1, 1, 51)), a)
+            .unwrap();
+        let c = g
+            .add_layer("c", Box::new(Conv2d::new(4, 4, 3, 1, 1, 52)), b)
+            .unwrap();
+        let d = g.add_add("d", b, c).unwrap();
+        g.set_outputs(vec![b, d]).unwrap();
+        let engine = SparseModel::compile(&g).unwrap();
+        let probe = init::uniform(&mut init::rng(53), &[1, 3, 8, 8], -1.0, 1.0);
+        let planned = engine.forward(&probe).unwrap();
+        let interp = engine
+            .forward_interpreted_with(&probe, &ExecConfig::serial())
+            .unwrap();
+        assert_eq!(planned.len(), 2);
+        for (p, i) in planned.iter().zip(&interp) {
+            assert_eq!(p.as_slice(), i.as_slice());
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_compiled_plans_per_shape() {
+        let engine = diamond_engine();
+        let p1 = engine.plan_for(&[1, 3, 8, 8]).unwrap();
+        let p2 = engine.plan_for(&[1, 3, 8, 8]).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&p1, &p2), "same shape, same plan");
+        let p3 = engine.plan_for(&[2, 3, 8, 8]).unwrap();
+        assert!(!std::sync::Arc::ptr_eq(&p1, &p3));
+        assert_eq!(
+            engine.peak_activation_bytes(),
+            Some(p1.arena_bytes().max(p3.arena_bytes()))
+        );
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_input_shape() {
+        let engine = diamond_engine();
+        let plan = engine.plan_for(&[1, 3, 8, 8]).unwrap();
+        let wrong = Tensor::ones(&[1, 3, 16, 16]);
+        assert!(plan.run(&engine, &wrong, &ExecConfig::serial()).is_err());
+        // Shape errors surface at plan time, not mid-run.
+        assert!(engine.plan_for(&[1, 5, 8, 8]).is_err());
+    }
+
+    #[test]
+    fn planned_twin_beats_interpreter_on_memory() {
+        let mut m = yolov5s_twin(4, 2, 60).unwrap();
+        RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap();
+        let plan = engine.plan_for(&[1, 3, 32, 32]).unwrap();
+        assert!(
+            plan.arena_bytes() < plan.retained_bytes(),
+            "arena {} vs retained {}",
+            plan.arena_bytes(),
+            plan.retained_bytes()
+        );
+        let s = plan.summary_for(&engine);
+        assert!(
+            s.steps.iter().any(|st| st.fused == "affine+act"),
+            "twin should have fusable conv→bn→act chains"
+        );
+        assert!(s.steps.len() < engine.conv_layers().len() * 3);
+    }
+
+    #[test]
+    fn interpreter_frees_activations_without_changing_outputs() {
+        // Satellite: the interpreter drops each activation after its
+        // last consumer; outputs must be unchanged, and repeated calls
+        // must agree exactly (no freed buffer is ever read).
+        let mut m = yolov5s_twin(4, 2, 61).unwrap();
+        RTossPruner::new(EntryPattern::Three)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap().with_planning(false);
+        assert!(!engine.planning());
+        let probe = init::uniform(&mut init::rng(62), &[1, 3, 32, 32], 0.0, 1.0);
+        let one = engine.forward(&probe).unwrap();
+        let two = engine.forward(&probe).unwrap();
+        assert!(!one.is_empty());
+        assert_eq!(one.len(), two.len());
+        for (a, b) in one.iter().zip(&two) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn input_passthrough_output_is_cloned() {
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g
+            .add_layer("a", Box::new(Conv2d::new(3, 4, 3, 1, 1, 70)), x)
+            .unwrap();
+        g.set_outputs(vec![x, a]).unwrap();
+        let engine = SparseModel::compile(&g).unwrap();
+        let probe = init::uniform(&mut init::rng(71), &[1, 3, 8, 8], -1.0, 1.0);
+        let planned = engine.forward(&probe).unwrap();
+        let interp = engine
+            .forward_interpreted_with(&probe, &ExecConfig::serial())
+            .unwrap();
+        assert_eq!(planned[0].as_slice(), probe.as_slice());
+        for (p, i) in planned.iter().zip(&interp) {
+            assert_eq!(p.as_slice(), i.as_slice());
+        }
+    }
+}

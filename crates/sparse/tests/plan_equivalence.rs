@@ -1,0 +1,80 @@
+//! Property test: the compiled execution plan is **bit-identical** to
+//! the per-call interpreter.
+//!
+//! This is the plan compiler's contract (and what `rtoss-verify`'s
+//! RV052 re-checks statically on seeded engines): epilogue fusion,
+//! arena slot reuse, and output moves may change *how* a forward pass
+//! runs, but never a single output bit — across entry patterns
+//! (dense / 4EP / 3EP / 2EP), thread counts, and batch sizes.
+
+use proptest::prelude::*;
+use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+use rtoss_models::{retinanet_twin, yolov5s_twin};
+use rtoss_sparse::{ExecConfig, SparseModel};
+use rtoss_tensor::init;
+
+/// `None` = dense (unpruned) engine.
+const FORMATS: [Option<EntryPattern>; 4] = [
+    None,
+    Some(EntryPattern::Four),
+    Some(EntryPattern::Three),
+    Some(EntryPattern::Two),
+];
+
+fn build_engine(twin: usize, format: Option<EntryPattern>, seed: u64) -> SparseModel {
+    let mut m = if twin == 0 {
+        yolov5s_twin(4, 2, seed).expect("twin builds")
+    } else {
+        retinanet_twin(4, 2, seed).expect("twin builds")
+    };
+    // Non-trivial BN stats so the folded affine is not a no-op.
+    let x = init::uniform(&mut init::rng(seed ^ 1), &[2, 3, 32, 32], 0.0, 1.0);
+    m.graph.set_training(true);
+    m.graph.forward(&x).expect("train pass");
+    m.graph.set_training(false);
+    if let Some(entry) = format {
+        RTossPruner::new(entry)
+            .prune_graph(&mut m.graph)
+            .expect("prune");
+    }
+    SparseModel::compile(&m.graph).expect("compile")
+}
+
+proptest! {
+    // Each case runs 2 twins x 4 formats; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn planned_forward_is_bit_identical_to_interpreter(
+        seed in 0u64..1000,
+        threads_idx in 0usize..2,
+        batch_idx in 0usize..2,
+    ) {
+        let threads = [1usize, 4][threads_idx];
+        let batch = [1usize, 3][batch_idx];
+        let exec = ExecConfig::with_threads(threads);
+        let probe = init::uniform(&mut init::rng(seed), &[batch, 3, 32, 32], 0.0, 1.0);
+        for twin in 0..2usize {
+            for format in FORMATS {
+                let engine = build_engine(twin, format, 100 + seed % 7);
+                let planned = engine.forward_with(&probe, &exec).expect("planned");
+                let interp = engine
+                    .forward_interpreted_with(&probe, &exec)
+                    .expect("interpreted");
+                prop_assert_eq!(planned.len(), interp.len());
+                for (p, i) in planned.iter().zip(&interp) {
+                    prop_assert_eq!(p.shape(), i.shape());
+                    prop_assert_eq!(
+                        p.as_slice(),
+                        i.as_slice(),
+                        "twin={} format={:?} threads={} batch={}",
+                        twin,
+                        format,
+                        threads,
+                        batch
+                    );
+                }
+            }
+        }
+    }
+}

@@ -34,6 +34,6 @@ pub mod init;
 pub mod ops;
 
 pub use error::TensorError;
-pub use exec::ExecConfig;
+pub use exec::{Epilogue, EpilogueAct, ExecConfig};
 pub use shape::Shape;
 pub use tensor::Tensor;

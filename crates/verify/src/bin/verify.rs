@@ -45,6 +45,18 @@ fn check_one(label: &str, entry: EntryPattern, report: &mut Report) -> Result<()
                 d
             }),
     );
+    // Plan checks (RV050/RV051/RV052): schedule, arena, and planned ≡
+    // interpreted bit-identity on a seeded probe, serial and tiled.
+    let probe = rtoss_tensor::init::uniform(&mut rtoss_tensor::init::rng(0x5EED), &INPUT, 0.0, 1.0);
+    report.extend(
+        rtoss_verify::check_execution_plan(&engine, &probe, &[1, 4])
+            .diagnostics
+            .into_iter()
+            .map(|mut d| {
+                d.location = format!("{label}/{}: {}", entry.label(), d.location);
+                d
+            }),
+    );
     Ok(())
 }
 

@@ -36,6 +36,9 @@ pub const NAMES: &[&str] = &[
     "trace-order",
     "trace-orphan",
     "prom",
+    "plan-schedule",
+    "plan-arena",
+    "plan-fused",
 ];
 
 /// Runs the named fixture, returning its report (`None` for an unknown
@@ -53,6 +56,9 @@ pub fn run(name: &str) -> Option<Report> {
         "trace-order" => Some(trace_order_fixture()),
         "trace-orphan" => Some(trace_orphan_fixture()),
         "prom" => Some(prom_fixture()),
+        "plan-schedule" => Some(plan_schedule_fixture()),
+        "plan-arena" => Some(plan_arena_fixture()),
+        "plan-fused" => Some(plan_fused_fixture()),
         _ => None,
     }
 }
@@ -71,6 +77,9 @@ pub fn expected_code(name: &str) -> Option<&'static str> {
         "trace-order" => Some("RV041"),
         "trace-orphan" => Some("RV042"),
         "prom" => Some("RV043"),
+        "plan-schedule" => Some("RV050"),
+        "plan-arena" => Some("RV051"),
+        "plan-fused" => Some("RV052"),
         _ => None,
     }
 }
@@ -310,6 +319,93 @@ rtoss_execute_seconds_sum 1.25
 rtoss_execute_seconds_count 9
 ";
     check_prometheus("fixture exposition", text)
+}
+
+/// A small but structurally interesting engine for the plan fixtures:
+/// a fused conv→BN→SiLU stem feeding a diamond (two branches joined by
+/// an add), so the compiled plan has fusion, slot reuse, and liveness.
+fn plan_fixture_engine() -> rtoss_sparse::SparseModel {
+    use rtoss_nn::layers::{Activation, ActivationKind, BatchNorm2d};
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let stem = g
+        .add_layer("stem", Box::new(Conv2d::new(3, 4, 3, 1, 1, 0xA0)), x)
+        .expect("valid node");
+    let bn = g
+        .add_layer("stem_bn", Box::new(BatchNorm2d::new(4)), stem)
+        .expect("valid node");
+    let act = g
+        .add_layer(
+            "stem_act",
+            Box::new(Activation::new(ActivationKind::Silu)),
+            bn,
+        )
+        .expect("valid node");
+    let left = g
+        .add_layer("left", Box::new(Conv2d::new(4, 4, 3, 1, 1, 0xA1)), act)
+        .expect("valid node");
+    let right = g
+        .add_layer("right", Box::new(Conv2d::new(4, 4, 3, 1, 1, 0xA2)), act)
+        .expect("valid node");
+    let join = g.add_add("join", left, right).expect("valid node");
+    g.set_outputs(vec![join]).expect("valid output");
+    rtoss_sparse::SparseModel::compile(&g).expect("engine compiles")
+}
+
+/// Plan schedule: an early step is rewired to read a step that has not
+/// executed yet — a forward operand reference (RV050).
+pub fn plan_schedule_fixture() -> Report {
+    let engine = plan_fixture_engine();
+    let mut summary = engine
+        .plan_summary(&[1, 3, 8, 8])
+        .expect("plan compiles for the fixture engine");
+    let last = summary.steps.len() - 1;
+    summary.steps[0].inputs = vec![Some(last)];
+    let mut report = Report::new();
+    report.extend(crate::plan::check_plan_schedule(
+        "fixture plan (forward operand)",
+        &summary,
+    ));
+    report
+}
+
+/// Plan arena: the left branch is rewired to write into the stem's
+/// slot while the stem is still live (the right branch reads it a step
+/// later) — overlapping lifetimes a run would corrupt (RV051).
+pub fn plan_arena_fixture() -> Report {
+    let engine = plan_fixture_engine();
+    let mut summary = engine
+        .plan_summary(&[1, 3, 8, 8])
+        .expect("plan compiles for the fixture engine");
+    summary.steps[1].out_slot = summary.steps[0].out_slot;
+    let mut report = Report::new();
+    report.extend(crate::plan::check_plan_arena(
+        "fixture plan (overlapping slot lifetimes)",
+        &summary,
+    ));
+    report
+}
+
+/// Fused bit-identity: one output element of the planned forward pass
+/// is flipped by a single bit — RV052 must notice, because "close" is
+/// not the contract (RV052).
+pub fn plan_fused_fixture() -> Report {
+    let engine = plan_fixture_engine();
+    let probe = init::uniform(&mut init::rng(0xA3), &[1, 3, 8, 8], 0.0, 1.0);
+    let interpreted = engine
+        .forward_interpreted_with(&probe, &rtoss_sparse::ExecConfig::serial())
+        .expect("interpreter runs");
+    let mut planned = interpreted.clone();
+    let mut data = planned[0].as_slice().to_vec();
+    data[0] = f32::from_bits(data[0].to_bits() ^ 1);
+    planned[0] = Tensor::from_vec(data, interpreted[0].shape()).expect("same shape");
+    let mut report = Report::new();
+    report.extend(crate::plan::check_outputs_bit_identical(
+        "fixture plan (single-ulp drift)",
+        &planned,
+        &interpreted,
+    ));
+    report
 }
 
 #[cfg(test)]

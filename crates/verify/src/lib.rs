@@ -42,6 +42,9 @@
 //! | RV042 | trace  | every `execute` span contains ≥ 1 `layer:*` child span |
 //! | RV043 | trace  | Prometheus exposition parses; histograms cumulative, `+Inf`-terminated |
 //! | RV044 | trace  | exposition bucket counts round-trip against the metrics snapshot |
+//! | RV050 | plan   | schedule topological; liveness forward; outputs retained |
+//! | RV051 | plan   | arena slot lifetimes disjoint; capacities cover tenants; byte accounting consistent |
+//! | RV052 | plan   | planned (fused, arena) forward bit-identical to the interpreter |
 //!
 //! Severity is always `Error` for registry violations; artifacts with
 //! errors must not be executed. See DESIGN.md §9.
@@ -55,6 +58,7 @@ pub mod exec;
 pub mod fixtures;
 pub mod lint;
 pub mod model;
+pub mod plan;
 pub mod sparse;
 pub mod trace;
 
@@ -62,5 +66,8 @@ pub use diag::{Diagnostic, Report, Severity};
 pub use exec::{check_histogram_buckets, check_tile_partition};
 pub use lint::{lint_paths, lint_source};
 pub use model::check_model;
+pub use plan::{
+    check_execution_plan, check_outputs_bit_identical, check_plan_arena, check_plan_schedule,
+};
 pub use sparse::{check_pattern_layer, check_sparse_model, check_unstructured_layer};
 pub use trace::{check_prometheus, check_prometheus_snapshot, check_trace, check_trace_json};

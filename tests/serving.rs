@@ -295,3 +295,45 @@ fn panicking_model_leaves_server_healthy() {
     assert!(snap.failed >= 1);
     assert_eq!(snap.completed, 10);
 }
+
+/// (f) Prewarming compiles execution plans for every micro-batch size
+/// up front: workers never plan on the request path, the
+/// peak-activation gauge is live before the first request, and served
+/// outputs still match direct execution exactly.
+#[test]
+fn prewarm_compiles_plans_and_exports_arena_gauge() {
+    let engine = Arc::new(pruned_engine(EntryPattern::Three, 6));
+    let server = Server::start(
+        engine.clone(),
+        ServeConfig {
+            workers: 1,
+            max_batch: 3,
+            batch_timeout: Duration::from_millis(5),
+            prewarm: Some(vec![1, 3, 32, 32]),
+            ..ServeConfig::default()
+        },
+    );
+    // Prewarm already compiled plans for batches 1..=3 and published
+    // the arena high-water mark — before any request was submitted.
+    let warm = server.metrics().snapshot().peak_activation_bytes;
+    assert!(warm > 0, "prewarm should publish the arena gauge");
+    assert_eq!(ServeModel::peak_activation_bytes(&*engine), Some(warm));
+
+    let x = probe(900);
+    let resp = server
+        .submit(x.clone(), None)
+        .expect("submit")
+        .wait()
+        .expect("served");
+    let direct = engine.forward(&x).expect("direct");
+    for (served, want) in resp.outputs.iter().zip(&direct) {
+        assert_eq!(served.as_slice(), want.as_slice());
+    }
+    let snap = server.metrics().snapshot();
+    assert_eq!(
+        snap.peak_activation_bytes, warm,
+        "serving at prewarmed shapes must not grow the arena"
+    );
+    assert!(snap.to_prometheus().contains("rtoss_peak_activation_bytes"));
+    server.shutdown();
+}
