@@ -12,8 +12,13 @@
 //! serve_bench [--qps N] [--requests N] [--seed N] [--workers N]
 //!             [--max-batch N] [--deadline-ms N] [--image N]
 //!             [--threads N] [--out PATH] [--verify] [--no-plan]
-//!             [--trace-out PATH] [--events-out PATH] [--prom-out PATH]
+//!             [--burst F] [--trace-out PATH] [--events-out PATH]
+//!             [--prom-out PATH]
 //! ```
+//!
+//! `--burst F` (F >= 1) replaces the Poisson arrivals with the seeded
+//! on/off Markov-modulated bursty schedule at the same mean rate —
+//! `--burst 1` (the default) is plain Poisson.
 //!
 //! `--threads` sets the intra-op tile-parallelism of every forward pass
 //! (defaults to `RTOSS_THREADS` or the machine's core count).
@@ -41,7 +46,7 @@ use rtoss_bench::{print_table, workload_for};
 use rtoss_core::{snapshot_report, EntryPattern, Pruner, RTossPruner};
 use rtoss_hw::{DeviceModel, SparsityStructure};
 use rtoss_models::yolov5s_twin;
-use rtoss_serve::loadgen::{poisson_schedule, run_open_loop, LoadSummary};
+use rtoss_serve::loadgen::{bursty_schedule, poisson_schedule, run_open_loop, LoadSummary};
 use rtoss_serve::{BackpressurePolicy, EnergyModelHook, MetricsSnapshot, ServeConfig, Server};
 use rtoss_sparse::SparseModel;
 use rtoss_tensor::{init, ExecConfig};
@@ -84,6 +89,9 @@ struct ServeBenchReport {
     /// Whether engines served through compiled execution plans
     /// (`false` = `--no-plan` interpreter baseline).
     plan: bool,
+    /// Arrival burstiness factor (1 = plain Poisson; >1 = on/off
+    /// Markov-modulated arrivals at the same mean rate).
+    burst: f64,
     /// One row per served variant.
     rows: Vec<ModeRow>,
 }
@@ -100,6 +108,7 @@ struct Args {
     out: String,
     verify: bool,
     plan: bool,
+    burst: f64,
     trace_out: Option<String>,
     events_out: Option<String>,
     prom_out: Option<String>,
@@ -118,6 +127,7 @@ fn parse_args() -> Args {
         out: "results/serve/serve_bench.json".to_string(),
         verify: false,
         plan: true,
+        burst: 1.0,
         trace_out: None,
         events_out: None,
         prom_out: None,
@@ -127,7 +137,8 @@ fn parse_args() -> Args {
         eprintln!(
             "usage: serve_bench [--qps N] [--requests N] [--seed N] [--workers N] \
              [--max-batch N] [--deadline-ms N] [--image N] [--threads N] [--out PATH] \
-             [--verify] [--no-plan] [--trace-out PATH] [--events-out PATH] [--prom-out PATH]"
+             [--verify] [--no-plan] [--burst F] [--trace-out PATH] [--events-out PATH] \
+             [--prom-out PATH]"
         );
         std::process::exit(2);
     }
@@ -153,6 +164,7 @@ fn parse_args() -> Args {
             "--out" => args.out = value(),
             "--verify" => args.verify = true,
             "--no-plan" => args.plan = false,
+            "--burst" => args.burst = number(&flag, &value()),
             "--trace-out" => args.trace_out = Some(value()),
             "--events-out" => args.events_out = Some(value()),
             "--prom-out" => args.prom_out = Some(value()),
@@ -217,7 +229,11 @@ fn serve_variant(mode: &str, entry: Option<EntryPattern>, args: &Args) -> ModeRo
         },
     );
 
-    let schedule = poisson_schedule(args.seed, args.qps, args.requests);
+    let schedule = if args.burst > 1.0 {
+        bursty_schedule(args.seed, args.qps, args.requests, args.burst)
+    } else {
+        poisson_schedule(args.seed, args.qps, args.requests)
+    };
     let side = args.image;
     let seed = args.seed;
     let summary = run_open_loop(
@@ -337,6 +353,7 @@ fn main() {
         image: args.image as u64,
         threads: args.threads as u64,
         plan: args.plan,
+        burst: args.burst,
         rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -155,12 +155,13 @@ pub fn run_entry_sweep(build: impl Fn() -> DetectorModel) -> Vec<MethodRun> {
         .collect()
 }
 
-/// Prints an aligned plain-text table.
+/// Renders an aligned plain-text table to a string (also what the
+/// benchmark bins write as their `.txt` artifacts).
 ///
 /// # Panics
 ///
 /// Panics if a row's length differs from the header's.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     for row in rows {
         assert_eq!(row.len(), headers.len(), "ragged table row");
     }
@@ -170,7 +171,6 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             *w = (*w).max(cell.len());
         }
     }
-    println!("\n== {title} ==");
     let fmt_row = |cells: &[String]| {
         cells
             .iter()
@@ -180,14 +180,23 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .join("  ")
     };
     let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
-    println!("{}", fmt_row(&head));
-    println!(
-        "{}",
-        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
-    );
+    let mut out = format!("\n== {title} ==\n{}\n", fmt_row(&head));
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
     for row in rows {
-        println!("{}", fmt_row(row));
+        out.push_str(&fmt_row(row));
+        out.push('\n');
     }
+    out
+}
+
+/// Prints an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if a row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(title, headers, rows));
 }
 
 #[cfg(test)]

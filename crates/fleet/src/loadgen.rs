@@ -1,0 +1,188 @@
+//! Multi-tenant open-loop load generation for fleets.
+//!
+//! Extends the serve crate's seeded open-loop driver with tenant and
+//! stream tagging: each arrival is assigned a tenant (weighted draw)
+//! and a stream key (bounded pool per tenant, so consistent-hash
+//! affinity is observable), then replayed against [`Fleet::submit`].
+//! Arrival schedules come from either [`poisson_schedule`] or
+//! [`bursty_schedule`] — both seeded, both reproducible.
+
+use crate::fleet::{Fleet, FleetError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rtoss_serve::{RequestError, Ticket};
+use rtoss_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+pub use rtoss_serve::loadgen::{bursty_schedule, poisson_schedule};
+
+/// Relative traffic weight of one tenant in a generated workload.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Tenant id (must be registered with the fleet).
+    pub id: String,
+    /// Relative share of arrivals (weights are normalized).
+    pub weight: f64,
+    /// Number of distinct stream keys the tenant cycles through.
+    pub streams: usize,
+}
+
+/// Per-tenant outcome tallies of one fleet load run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantOutcome {
+    /// Tenant id.
+    pub id: String,
+    /// Requests offered on behalf of this tenant.
+    pub offered: u64,
+    /// Requests that completed with a response.
+    pub completed: u64,
+    /// Completed requests that beat their deadline.
+    pub deadline_hit: u64,
+    /// Requests throttled by the tenant quota.
+    pub throttled: u64,
+    /// Requests shed at admission or in the queue.
+    pub shed: u64,
+    /// Requests that failed (model error or shutdown).
+    pub failed: u64,
+}
+
+/// Outcome of one multi-tenant open-loop run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetLoadSummary {
+    /// Total requests offered.
+    pub offered: u64,
+    /// Total completed.
+    pub completed: u64,
+    /// Completed requests that beat their deadline.
+    pub deadline_hit: u64,
+    /// Per-tenant breakdown, in tenant-id order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Mean end-to-end latency over completed requests, milliseconds.
+    pub mean_ms: f64,
+    /// Median end-to-end latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// Wall-clock duration, seconds.
+    pub wall_s: f64,
+}
+
+impl FleetLoadSummary {
+    /// Fraction of *offered* requests that completed within deadline —
+    /// the fleet-level goodput measure the degradation curves plot
+    /// (shed and throttled requests count against it).
+    pub fn deadline_hit_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.deadline_hit as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Replays `schedule` against `fleet`, drawing a tenant for each
+/// arrival by weight and a stream key from the tenant's pool (both from
+/// `seed`, independent of the schedule's seed), then waits for every
+/// ticket and tallies outcomes per tenant.
+pub fn run_fleet_open_loop(
+    fleet: &Fleet,
+    schedule: &[Duration],
+    mix: &[TenantLoad],
+    seed: u64,
+    mut make_input: impl FnMut(usize) -> Tensor,
+) -> FleetLoadSummary {
+    assert!(!mix.is_empty(), "tenant mix must not be empty");
+    let total_weight: f64 = mix.iter().map(|t| t.weight.max(0.0)).sum();
+    assert!(total_weight > 0.0, "tenant mix needs positive weight");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut tenants: BTreeMap<String, TenantOutcome> = mix
+        .iter()
+        .map(|t| {
+            (
+                t.id.clone(),
+                TenantOutcome {
+                    id: t.id.clone(),
+                    ..TenantOutcome::default()
+                },
+            )
+        })
+        .collect();
+
+    let start = Instant::now();
+    let mut tickets: Vec<Option<(String, Ticket)>> = Vec::with_capacity(schedule.len());
+    for (i, &offset) in schedule.iter().enumerate() {
+        let now = start.elapsed();
+        if offset > now {
+            std::thread::sleep(offset - now);
+        }
+        // Weighted tenant draw.
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut chosen = &mix[0];
+        for t in mix {
+            let w = t.weight.max(0.0);
+            if pick < w {
+                chosen = t;
+                break;
+            }
+            pick -= w;
+        }
+        let stream = rng.gen_range(0..chosen.streams.max(1));
+        let key = format!("{}/stream-{stream}", chosen.id);
+        let outcome = tenants.get_mut(&chosen.id).expect("mix tenant registered");
+        outcome.offered += 1;
+        match fleet.submit(&chosen.id, &key, make_input(i), None) {
+            Ok(ticket) => tickets.push(Some((chosen.id.clone(), ticket))),
+            Err(e) => {
+                match e {
+                    FleetError::Throttled => outcome.throttled += 1,
+                    FleetError::Shed(_) => outcome.shed += 1,
+                    _ => outcome.failed += 1,
+                }
+                tickets.push(None);
+            }
+        }
+    }
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for (tenant, ticket) in tickets.into_iter().flatten() {
+        let outcome = tenants.get_mut(&tenant).expect("tenant registered");
+        match ticket.wait() {
+            Ok(resp) => {
+                outcome.completed += 1;
+                if !resp.deadline_missed {
+                    outcome.deadline_hit += 1;
+                }
+                latencies_ms.push(resp.timing.total().as_secs_f64() * 1e3);
+            }
+            Err(RequestError::Shed) => outcome.shed += 1,
+            Err(_) => outcome.failed += 1,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let pct = |q: f64| -> f64 {
+        if latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let idx =
+            ((q * latencies_ms.len() as f64).ceil() as usize).clamp(1, latencies_ms.len()) - 1;
+        latencies_ms[idx]
+    };
+    FleetLoadSummary {
+        offered: schedule.len() as u64,
+        completed: tenants.values().map(|t| t.completed).sum(),
+        deadline_hit: tenants.values().map(|t| t.deadline_hit).sum(),
+        tenants: tenants.into_values().collect(),
+        mean_ms: if latencies_ms.is_empty() {
+            0.0
+        } else {
+            latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+        },
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        wall_s,
+    }
+}

@@ -1,0 +1,224 @@
+//! Accuracy tiers and the hysteresis degradation controller.
+//!
+//! The paper's lever: the same detector exists as a dense engine and as
+//! progressively sparser R-TOSS variants (3EP, 2EP) with known
+//! accuracy/latency trade-offs. Instead of shedding frames under
+//! overload, a replica *degrades* — the controller moves the serving
+//! tier toward the sparser (faster, slightly less accurate) variants
+//! when pressure rises, and back when it clears. The controller is a
+//! pure state machine (`observe` takes explicit time), so its monotone
+//! and hysteresis properties are checkable without a running fleet
+//! (RV061).
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// One accuracy tier of a replica: tier 0 is the densest/most accurate,
+/// higher indices are sparser and faster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Display name, e.g. `"dense"`, `"3EP"`, `"2EP"`.
+    pub name: String,
+    /// Modelled KITTI mAP of this variant (points, 0–100) from the
+    /// calibrated accuracy model — the cost the fleet reports when it
+    /// serves at this tier.
+    pub map_estimate: f64,
+}
+
+impl TierSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, map_estimate: f64) -> Self {
+        TierSpec {
+            name: name.into(),
+            map_estimate,
+        }
+    }
+}
+
+/// Controller tuning. Pressure is `max(queue-depth fraction,
+/// deadline-miss EWMA)`, both in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierControllerConfig {
+    /// Upgrade (toward denser) only while pressure is below this.
+    pub upgrade_below: f64,
+    /// Downgrade (toward sparser) once pressure reaches this. Must be
+    /// strictly above `upgrade_below` — the gap is the hysteresis band
+    /// that stops tier flapping.
+    pub downgrade_above: f64,
+    /// Minimum time between transitions (in either direction).
+    pub dwell: Duration,
+    /// EWMA smoothing factor for the deadline-miss sample, in `(0, 1]`.
+    pub miss_alpha: f64,
+}
+
+impl Default for TierControllerConfig {
+    fn default() -> Self {
+        TierControllerConfig {
+            upgrade_below: 0.25,
+            downgrade_above: 0.70,
+            dwell: Duration::from_millis(25),
+            miss_alpha: 0.3,
+        }
+    }
+}
+
+impl TierControllerConfig {
+    /// Structural validation: the hysteresis band must be well-formed.
+    /// Violations are what RV061 reports.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if !(0.0..=1.0).contains(&self.upgrade_below) {
+            problems.push(format!(
+                "upgrade_below {} outside [0, 1]",
+                self.upgrade_below
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.downgrade_above) {
+            problems.push(format!(
+                "downgrade_above {} outside [0, 1]",
+                self.downgrade_above
+            ));
+        }
+        if self.upgrade_below >= self.downgrade_above {
+            problems.push(format!(
+                "hysteresis band inverted: upgrade_below {} >= downgrade_above {} \
+                 (the controller would flap between tiers)",
+                self.upgrade_below, self.downgrade_above
+            ));
+        }
+        if !(self.miss_alpha > 0.0 && self.miss_alpha <= 1.0) {
+            problems.push(format!("miss_alpha {} outside (0, 1]", self.miss_alpha));
+        }
+        problems
+    }
+}
+
+/// Hysteresis tier controller for one replica.
+#[derive(Debug, Clone)]
+pub struct TierController {
+    cfg: TierControllerConfig,
+    num_tiers: usize,
+    level: usize,
+    miss_ewma: f64,
+    last_transition: Option<Instant>,
+}
+
+impl TierController {
+    /// Creates a controller pinned at tier 0 (densest).
+    pub fn new(cfg: TierControllerConfig, num_tiers: usize) -> Self {
+        TierController {
+            cfg,
+            num_tiers: num_tiers.max(1),
+            level: 0,
+            miss_ewma: 0.0,
+            last_transition: None,
+        }
+    }
+
+    /// Current tier index (0 = densest).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Smoothed deadline-miss fraction.
+    pub fn miss_ewma(&self) -> f64 {
+        self.miss_ewma
+    }
+
+    /// Combined pressure for the given queue-depth fraction at the
+    /// current EWMA state.
+    pub fn pressure(&self, queue_frac: f64) -> f64 {
+        queue_frac.clamp(0.0, 1.0).max(self.miss_ewma)
+    }
+
+    /// Feeds one control-loop sample and returns the (possibly updated)
+    /// tier. `queue_frac` is queue depth over capacity; `miss_sample`
+    /// the deadline-miss fraction observed since the last tick. Both
+    /// clamp to `[0, 1]`.
+    pub fn observe(&mut self, queue_frac: f64, miss_sample: f64, now: Instant) -> usize {
+        let a = self.cfg.miss_alpha;
+        self.miss_ewma = a * miss_sample.clamp(0.0, 1.0) + (1.0 - a) * self.miss_ewma;
+        let pressure = self.pressure(queue_frac);
+        let dwell_over = self
+            .last_transition
+            .is_none_or(|t| now.saturating_duration_since(t) >= self.cfg.dwell);
+        if dwell_over {
+            if pressure >= self.cfg.downgrade_above && self.level + 1 < self.num_tiers {
+                self.level += 1;
+                self.last_transition = Some(now);
+            } else if pressure <= self.cfg.upgrade_below && self.level > 0 {
+                self.level -= 1;
+                self.last_transition = Some(now);
+            }
+        }
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TierControllerConfig {
+        TierControllerConfig {
+            dwell: Duration::from_millis(1),
+            ..TierControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn degrades_under_pressure_and_recovers() {
+        let mut c = TierController::new(cfg(), 3);
+        let t0 = Instant::now();
+        // Sustained overload walks down tier by tier (dwell-limited).
+        assert_eq!(c.observe(1.0, 1.0, t0), 1);
+        assert_eq!(c.observe(1.0, 1.0, t0 + Duration::from_millis(2)), 2);
+        // Already at the sparsest tier: stays there.
+        assert_eq!(c.observe(1.0, 1.0, t0 + Duration::from_millis(4)), 2);
+        // Pressure clears: upgrades back one dwell at a time.
+        let mut t = t0 + Duration::from_millis(6);
+        for _ in 0..60 {
+            c.observe(0.0, 0.0, t);
+            t += Duration::from_millis(2);
+        }
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_the_tier() {
+        let mut c = TierController::new(cfg(), 3);
+        let t0 = Instant::now();
+        c.observe(1.0, 1.0, t0); // down to 1
+        assert_eq!(c.level(), 1);
+        // Mid-band pressure (between the thresholds): no movement ever.
+        let mut t = t0 + Duration::from_millis(5);
+        for _ in 0..50 {
+            assert_eq!(c.observe(0.5, 0.0, t), 1);
+            t += Duration::from_millis(2);
+        }
+    }
+
+    #[test]
+    fn dwell_limits_transition_rate() {
+        let slow = TierControllerConfig {
+            dwell: Duration::from_secs(60),
+            ..TierControllerConfig::default()
+        };
+        let mut c = TierController::new(slow, 4);
+        let t0 = Instant::now();
+        assert_eq!(c.observe(1.0, 1.0, t0), 1);
+        // Seconds of overload, but dwell has not elapsed: stays at 1.
+        assert_eq!(c.observe(1.0, 1.0, t0 + Duration::from_secs(1)), 1);
+    }
+
+    #[test]
+    fn invalid_configs_are_reported() {
+        let bad = TierControllerConfig {
+            upgrade_below: 0.8,
+            downgrade_above: 0.3,
+            ..TierControllerConfig::default()
+        };
+        assert!(!bad.validate().is_empty());
+        assert!(TierControllerConfig::default().validate().is_empty());
+    }
+}

@@ -22,8 +22,9 @@
 //!   serde-serializable [`MetricsSnapshot`];
 //! - a modelled **energy hook** charging each request its share of a
 //!   micro-batched pass on an [`rtoss_hw`] device model;
-//! - a seeded **open-loop Poisson load generator** for reproducible
-//!   overload experiments ([`loadgen`]).
+//! - a seeded **open-loop load generator** (pure Poisson and bursty
+//!   on/off-modulated arrivals) for reproducible overload experiments
+//!   ([`loadgen`]).
 //!
 //! # Example
 //!
@@ -69,4 +70,4 @@ pub use request::{
     InferenceRequest, InferenceResponse, RequestError, RequestResult, RequestTiming, Ticket,
 };
 pub use rtoss_tensor::ExecConfig;
-pub use server::{EnergyModelHook, ServeConfig, ServeModel, Server};
+pub use server::{EnergyModelHook, QueueDepthHandle, ServeConfig, ServeModel, Server};

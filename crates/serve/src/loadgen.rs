@@ -31,6 +31,56 @@ pub fn poisson_schedule(seed: u64, qps: f64, n: usize) -> Vec<Duration> {
         .collect()
 }
 
+/// Draws `n` bursty arrival offsets at `qps` *mean* rate: a seeded
+/// on/off-modulated Poisson process (Markov-modulated, two states).
+///
+/// The process alternates exponentially-long ON and OFF phases (mean
+/// 50 ms each); arrivals inside an ON phase come at `qps * burstiness`
+/// and inside an OFF phase at `qps / burstiness`, then the whole
+/// schedule is rescaled so its span matches a pure Poisson schedule's
+/// (`n / qps`) — the mean rate is exactly `qps`, only the variance
+/// changes. `burstiness = 1.0` degenerates to pure Poisson. Pure
+/// Poisson arrivals are memoryless and thus the *kindest* possible
+/// overload; real camera/sensor traffic clusters, and clustered
+/// arrivals are what break deadline-bound queues.
+pub fn bursty_schedule(seed: u64, qps: f64, n: usize, burstiness: f64) -> Vec<Duration> {
+    assert!(qps > 0.0, "qps must be positive");
+    assert!(burstiness >= 1.0, "burstiness must be >= 1");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let phase_mean_s = 0.05f64;
+    let mut t = 0.0f64;
+    let mut on = true;
+    let mut phase_end = {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln() * phase_mean_s
+    };
+    let mut offsets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let rate = if on {
+            qps * burstiness
+        } else {
+            qps / burstiness
+        };
+        let u: f64 = rng.gen_range(0.0..1.0);
+        t += -(1.0 - u).ln() / rate;
+        while t > phase_end {
+            on = !on;
+            let u: f64 = rng.gen_range(0.0..1.0);
+            phase_end += -(1.0 - u).ln() * phase_mean_s;
+        }
+        offsets.push(t);
+    }
+    // Rescale so the span equals a pure-Poisson schedule's expected
+    // span: the configured qps is the realized mean rate.
+    let span = offsets.last().copied().unwrap_or(0.0);
+    let target = n as f64 / qps;
+    let scale = if span > 0.0 { target / span } else { 1.0 };
+    offsets
+        .into_iter()
+        .map(|o| Duration::from_secs_f64(o * scale))
+        .collect()
+}
+
 /// Outcome tallies and latency statistics of one load-generation run.
 ///
 /// Latency percentiles here are *exact* (computed from the sorted
@@ -189,6 +239,35 @@ mod tests {
         assert!((0.3..0.8).contains(&span), "span {span}");
         // Monotone non-decreasing offsets.
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bursty_schedule_keeps_the_mean_rate_but_clusters() {
+        let n = 2000;
+        let qps = 1000.0;
+        let a = bursty_schedule(42, qps, n, 8.0);
+        assert_eq!(a, bursty_schedule(42, qps, n, 8.0));
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Rescaling pins the span to n/qps exactly.
+        let span = a.last().unwrap().as_secs_f64();
+        assert!((span - n as f64 / qps).abs() < 1e-9, "span {span}");
+        // Clustering: the variance of inter-arrival gaps must exceed a
+        // pure Poisson schedule's at the same mean rate (for an
+        // exponential, stddev == mean; bursty should be well above).
+        let gaps = |s: &[Duration]| -> Vec<f64> {
+            s.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect()
+        };
+        let var = |g: &[f64]| -> f64 {
+            let m = g.iter().sum::<f64>() / g.len() as f64;
+            g.iter().map(|x| (x - m).powi(2)).sum::<f64>() / g.len() as f64
+        };
+        let poisson = poisson_schedule(42, qps, n);
+        let (bv, pv) = (var(&gaps(&a)), var(&gaps(&poisson)));
+        assert!(bv > 2.0 * pv, "bursty variance {bv} not above poisson {pv}");
+        // burstiness = 1 degenerates to a plain renewal process at qps.
+        let flat = bursty_schedule(42, qps, n, 1.0);
+        let fv = var(&gaps(&flat));
+        assert!(fv < 2.0 * pv, "flat variance {fv} vs poisson {pv}");
     }
 
     struct Identity;

@@ -239,9 +239,9 @@ pub struct PhaseHistogram {
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
     /// Submission attempts while the queue was open. Every attempt ends
-    /// up in exactly one of `completed`, `rejected`, `shed`, or
-    /// `failed`, so `submitted` equals their sum once all tickets have
-    /// resolved.
+    /// up in exactly one of `completed`, `rejected`, `shed`, `failed`,
+    /// or `shut_down`, so `submitted` equals their sum once all tickets
+    /// have resolved.
     pub submitted: StripedCounter,
     /// Requests served to completion.
     pub completed: StripedCounter,
@@ -255,6 +255,9 @@ pub struct ServerMetrics {
     pub worker_panics: StripedCounter,
     /// Requests that failed with a model error.
     pub failed: StripedCounter,
+    /// Submitted requests the server shut down before serving (drained
+    /// at queue close, or woken from a blocked submit by shutdown).
+    pub shut_down: StripedCounter,
     /// Micro-batches executed.
     pub batches: StripedCounter,
     /// Requests carried by those batches (mean batch size = this ÷ batches).
@@ -301,6 +304,7 @@ impl ServerMetrics {
             deadline_missed: self.deadline_missed.get(),
             worker_panics: self.worker_panics.get(),
             failed: self.failed.get(),
+            shut_down: self.shut_down.get(),
             mean_batch_size: if batches == 0 {
                 0.0
             } else {
@@ -335,6 +339,8 @@ pub struct MetricsSnapshot {
     pub worker_panics: u64,
     /// Requests failed with a model error.
     pub failed: u64,
+    /// Submitted requests taken by shutdown before serving.
+    pub shut_down: u64,
     /// Mean micro-batch size over the run.
     pub mean_batch_size: f64,
     /// Modelled energy, joules.
@@ -374,7 +380,7 @@ impl MetricsSnapshot {
     /// (bounds converted to seconds).
     pub fn to_prometheus(&self) -> String {
         use rtoss_obs::prom::{render, PromHistogram, PromMetric, PromValue};
-        let counters: [(&str, &str, u64); 7] = [
+        let counters: [(&str, &str, u64); 8] = [
             (
                 "submitted",
                 "Submission attempts while the queue was open",
@@ -398,6 +404,11 @@ impl MetricsSnapshot {
             ),
             ("worker_panics", "Worker panics caught", self.worker_panics),
             ("failed", "Requests failed with a model error", self.failed),
+            (
+                "shut_down",
+                "Submitted requests taken by shutdown before serving",
+                self.shut_down,
+            ),
         ];
         let mut metrics = Vec::new();
         for (name, help, v) in counters {

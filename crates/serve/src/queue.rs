@@ -15,7 +15,7 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Marks one shed request in the trace (no-op unless recording).
-fn trace_shed(request: &InferenceRequest) {
+pub(crate) fn trace_shed(request: &InferenceRequest) {
     if obs::recording() {
         obs::emit_instant("shed", vec![("request", obs::ArgValue::U64(request.id))]);
     }
@@ -97,6 +97,9 @@ impl BoundedQueue {
                         inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
                     }
                     if inner.closed {
+                        // Counted as submitted above, so it needs a
+                        // terminal counter: shutdown took it.
+                        metrics.shut_down.incr();
                         pending.fulfiller.fulfil(Err(RequestError::ShutDown));
                         return Err(());
                     }
@@ -215,10 +218,14 @@ impl BoundedQueue {
     }
 
     /// Closes the queue: wakes everyone, fails still-queued requests.
-    pub(crate) fn close(&self) {
+    /// Each drained request was counted as submitted, so it is tallied
+    /// in `shut_down` — keeping the terminal counters a partition of
+    /// `submitted` even across shutdown.
+    pub(crate) fn close(&self, metrics: &ServerMetrics) {
         let mut inner = self.lock();
         inner.closed = true;
         for p in inner.deque.drain(..) {
+            metrics.shut_down.incr();
             p.fulfiller.fulfil(Err(RequestError::ShutDown));
         }
         self.not_empty.notify_all();
@@ -311,8 +318,47 @@ mod tests {
         let (q2, m2) = (q.clone(), m.clone());
         let h = thread::spawn(move || q2.pop_batch(4, Duration::from_millis(1), &m2));
         thread::sleep(Duration::from_millis(10));
-        q.close();
+        q.close(&m);
         assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one_slot() {
+        // Capacity 0 would deadlock Block and reject everything else;
+        // the queue clamps to one slot instead.
+        let q = BoundedQueue::new(0, BackpressurePolicy::RejectWhenFull);
+        let m = ServerMetrics::new();
+        let (_t1, p1) = pending(None);
+        assert!(q.push(p1, &m).is_ok());
+        assert_eq!(q.len(), 1);
+        let (t2, p2) = pending(None);
+        assert!(q.push(p2, &m).is_err());
+        assert!(matches!(t2.wait(), Err(RequestError::Rejected)));
+    }
+
+    #[test]
+    fn deadline_exactly_at_boundary_is_not_expired() {
+        // `expired_at` is strict (`>`): a request whose deadline is
+        // exactly `now` is still live, so ShedExpired must not drop it.
+        let req = InferenceRequest::new(Tensor::zeros(&[1, 1, 2, 2]), Some(Duration::from_secs(5)));
+        let at_deadline = req.submitted_at + Duration::from_secs(5);
+        assert!(!req.expired_at(at_deadline));
+        assert!(req.expired_at(at_deadline + Duration::from_nanos(1)));
+    }
+
+    #[test]
+    fn close_counts_drained_requests_as_shut_down() {
+        let q = BoundedQueue::new(4, BackpressurePolicy::Block);
+        let m = ServerMetrics::new();
+        let (t1, p1) = pending(None);
+        let (t2, p2) = pending(None);
+        q.push(p1, &m).unwrap();
+        q.push(p2, &m).unwrap();
+        q.close(&m);
+        assert!(matches!(t1.wait(), Err(RequestError::ShutDown)));
+        assert!(matches!(t2.wait(), Err(RequestError::ShutDown)));
+        assert_eq!(m.shut_down.get(), 2);
+        assert_eq!(m.submitted.get(), 2);
     }
 
     #[test]

@@ -65,6 +65,14 @@ pub trait ServeModel: Send + Sync + 'static {
     fn peak_activation_bytes(&self) -> Option<u64> {
         None
     }
+
+    /// Whether this model executes through compiled execution plans.
+    /// The planned path currently collapses under intra-op threading
+    /// (par_scaling: 0.09x at 8 threads), so multi-replica callers use
+    /// this to clamp `exec.threads` until that regression is fixed.
+    fn plans(&self) -> bool {
+        false
+    }
 }
 
 impl ServeModel for SparseModel {
@@ -87,6 +95,30 @@ impl ServeModel for SparseModel {
 
     fn peak_activation_bytes(&self) -> Option<u64> {
         SparseModel::peak_activation_bytes(self)
+    }
+
+    fn plans(&self) -> bool {
+        self.planning()
+    }
+}
+
+/// Cloneable handle reporting a server's live queue depth without
+/// holding the [`Server`] itself — control loops (e.g. a fleet's
+/// degradation controller) sample it from their own thread.
+#[derive(Debug, Clone)]
+pub struct QueueDepthHandle {
+    queue: Arc<BoundedQueue>,
+}
+
+impl QueueDepthHandle {
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -237,13 +269,21 @@ impl Server {
         self.queue.len()
     }
 
+    /// A cloneable handle that keeps reporting the queue depth from any
+    /// thread (it does not keep the server alive or serving).
+    pub fn queue_depth_handle(&self) -> QueueDepthHandle {
+        QueueDepthHandle {
+            queue: self.queue.clone(),
+        }
+    }
+
     /// Drains the queue, stops and joins all workers.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
     }
 
     fn shutdown_impl(&mut self) {
-        self.queue.close();
+        self.queue.close(&self.metrics);
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -288,11 +328,32 @@ fn worker_loop(
 }
 
 fn serve_batch(
-    batch: Vec<Pending>,
+    mut batch: Vec<Pending>,
     metrics: &ServerMetrics,
     model: &dyn ServeModel,
     config: &ServeConfig,
 ) {
+    // Under ShedExpired, a request can outlive its deadline *after*
+    // being popped — while the batch waited for stragglers or sat
+    // behind a slow predecessor. Executing it wastes a batch slot on an
+    // answer nobody can use, so it is shed here too, not just at the
+    // queue front.
+    if config.policy == BackpressurePolicy::ShedExpired {
+        let now = Instant::now();
+        batch.retain_mut(|pending| {
+            if pending.request.expired_at(now) {
+                metrics.shed.incr();
+                crate::queue::trace_shed(&pending.request);
+                pending.fulfiller.fulfil(Err(RequestError::Shed));
+                false
+            } else {
+                true
+            }
+        });
+        if batch.is_empty() {
+            return;
+        }
+    }
     // One sampling decision per micro-batch: either the whole batch is
     // traced (queue waits, phases, nested per-layer spans) or none of
     // it, so a sampled trace never contains execute spans without their
@@ -662,6 +723,99 @@ mod tests {
         assert_eq!(m.energy_uj.get(), expected_uj);
         // Sanity: strictly more than one per-frame share.
         assert!(m.energy_uj.get() > (per_frame_j * 1e6) as u64);
+    }
+
+    #[test]
+    fn request_expiring_after_pop_is_shed_not_executed() {
+        // Regression: a request that was live at pop time but expires
+        // while the batch forms (or behind a slow predecessor) must be
+        // shed at execute time, not served into a missed deadline.
+        let server = Server::start(
+            Arc::new(Echo {
+                delay: Duration::from_millis(60),
+                panic_on_value: None,
+            }),
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                batch_timeout: Duration::ZERO,
+                policy: BackpressurePolicy::ShedExpired,
+                ..ServeConfig::default()
+            },
+        );
+        // First request occupies the single worker for ~60 ms.
+        let first = server.submit(Tensor::zeros(&[1, 1, 2, 2]), None).unwrap();
+        thread::sleep(Duration::from_millis(5));
+        // Second request's 10 ms deadline expires while it waits behind
+        // the first; it reaches serve_batch already dead.
+        let doomed = server
+            .submit(
+                Tensor::zeros(&[1, 1, 2, 2]),
+                Some(Duration::from_millis(10)),
+            )
+            .unwrap();
+        assert!(first.wait().is_ok());
+        assert!(matches!(doomed.wait(), Err(RequestError::Shed)));
+        let m = server.metrics();
+        server.shutdown();
+        assert_eq!(m.shed.get(), 1);
+        assert_eq!(m.completed.get(), 1);
+        // The shed request never executed: only one batch ran.
+        assert_eq!(m.batches.get(), 1);
+        assert_eq!(m.deadline_missed.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_submit_and_shutdown_partition_submitted() {
+        // Hammer submit from several threads while the server shuts
+        // down mid-stream: every submitted request must land in exactly
+        // one terminal counter.
+        let server = Arc::new(Server::start(
+            Arc::new(Echo {
+                delay: Duration::from_micros(200),
+                panic_on_value: None,
+            }),
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 8,
+                max_batch: 4,
+                batch_timeout: Duration::ZERO,
+                policy: BackpressurePolicy::RejectWhenFull,
+                ..ServeConfig::default()
+            },
+        ));
+        let metrics = server.metrics();
+        let mut producers = Vec::new();
+        for p in 0..4 {
+            let server = server.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..100 {
+                    if let Ok(t) =
+                        server.submit(Tensor::full(&[1, 1, 2, 2], (p * 100 + i) as f32), None)
+                    {
+                        let _ = t.wait();
+                    }
+                    if i % 10 == 0 {
+                        thread::sleep(Duration::from_micros(50));
+                    }
+                }
+            }));
+        }
+        thread::sleep(Duration::from_millis(10));
+        // Shut down while producers are still submitting.
+        Arc::try_unwrap(server).map(Server::shutdown).unwrap_or(());
+        for h in producers {
+            h.join().unwrap();
+        }
+        // try_unwrap raced the producers; the Arc drop path also shuts
+        // down, so by here all tickets are resolved either way.
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.submitted,
+            snap.completed + snap.rejected + snap.shed + snap.failed + snap.shut_down,
+            "partition violated: {snap:?}"
+        );
+        assert!(snap.submitted > 0);
     }
 
     #[test]

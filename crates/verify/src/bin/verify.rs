@@ -60,6 +60,59 @@ fn check_one(label: &str, entry: EntryPattern, report: &mut Report) -> Result<()
     Ok(())
 }
 
+/// Runs a small two-replica, two-tier fleet against a handful of
+/// requests and returns its terminal snapshot for the RV062/RV063
+/// conservation checks.
+fn fleet_exercise() -> Result<rtoss_fleet::FleetSnapshot, String> {
+    use rtoss_fleet::{Fleet, FleetConfig, SloClass, TenantSpec, TierSpec};
+    use std::sync::Arc;
+
+    struct Identity;
+    impl rtoss_serve::ServeModel for Identity {
+        fn run_batch(
+            &self,
+            batch: &rtoss_tensor::Tensor,
+            _exec: &rtoss_tensor::ExecConfig,
+        ) -> Result<Vec<rtoss_tensor::Tensor>, String> {
+            Ok(vec![batch.clone()])
+        }
+    }
+
+    let fleet = Fleet::start(
+        vec![
+            (TierSpec::new("dense", 75.0), Arc::new(Identity) as _),
+            (TierSpec::new("3EP", 73.5), Arc::new(Identity) as _),
+        ],
+        FleetConfig {
+            replicas: 2,
+            tenants: vec![
+                TenantSpec::new("gold", SloClass::Gold, 1e6, 1e6),
+                TenantSpec::new("bulk", SloClass::Bulk, 1e6, 1e6),
+            ],
+            ..FleetConfig::default()
+        },
+    )
+    .map_err(|e| format!("fleet start: {e}"))?;
+    let mut tickets = Vec::new();
+    for i in 0..24 {
+        let tenant = if i % 2 == 0 { "gold" } else { "bulk" };
+        let key = format!("{tenant}/stream-{}", i % 4);
+        match fleet.submit(
+            tenant,
+            &key,
+            rtoss_tensor::Tensor::zeros(&[1, 1, 4, 4]),
+            None,
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(e) => return Err(format!("submit {i}: {e}")),
+        }
+    }
+    for t in tickets {
+        t.wait().map_err(|e| format!("wait: {e}"))?;
+    }
+    Ok(fleet.shutdown())
+}
+
 fn full_run() -> ExitCode {
     let mut report = Report::new();
     for label in ["yolov5s_twin", "retinanet_twin"] {
@@ -76,6 +129,44 @@ fn full_run() -> ExitCode {
         report.extend(rtoss_verify::check_tile_partition(n_tiles, 8).diagnostics);
     }
     report.extend(rtoss_verify::check_histogram_buckets().diagnostics);
+    // Fleet invariants: ring coverage for a spread of fleet sizes, the
+    // default degradation controller over the seed tier stack, and
+    // ledger/replica conservation on a live micro-fleet exercise.
+    for replicas in [1, 2, 4, 8] {
+        report.extend(
+            rtoss_verify::check_hash_ring(&rtoss_fleet::HashRing::new(replicas, 32), 2000)
+                .diagnostics
+                .into_iter()
+                .map(|mut d| {
+                    d.location = format!("ring({replicas}x32): {}", d.location);
+                    d
+                }),
+        );
+    }
+    for num_tiers in [2, 3] {
+        report.extend(
+            rtoss_verify::check_tier_controller(
+                rtoss_fleet::TierControllerConfig::default(),
+                num_tiers,
+            )
+            .diagnostics
+            .into_iter()
+            .map(|mut d| {
+                d.location = format!("controller({num_tiers} tiers): {}", d.location);
+                d
+            }),
+        );
+    }
+    match fleet_exercise() {
+        Ok(snapshot) => {
+            report.extend(rtoss_verify::check_fleet_ledger(&snapshot).diagnostics);
+            report.extend(rtoss_verify::check_fleet_replicas(&snapshot).diagnostics);
+        }
+        Err(e) => {
+            eprintln!("verify: fleet exercise failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
     print!("{}", report.render());
     if report.has_errors() {
         ExitCode::FAILURE

@@ -39,6 +39,9 @@ pub const NAMES: &[&str] = &[
     "plan-schedule",
     "plan-arena",
     "plan-fused",
+    "fleet-ring",
+    "fleet-tier",
+    "fleet-quota",
 ];
 
 /// Runs the named fixture, returning its report (`None` for an unknown
@@ -59,6 +62,9 @@ pub fn run(name: &str) -> Option<Report> {
         "plan-schedule" => Some(plan_schedule_fixture()),
         "plan-arena" => Some(plan_arena_fixture()),
         "plan-fused" => Some(plan_fused_fixture()),
+        "fleet-ring" => Some(fleet_ring_fixture()),
+        "fleet-tier" => Some(fleet_tier_fixture()),
+        "fleet-quota" => Some(fleet_quota_fixture()),
         _ => None,
     }
 }
@@ -80,6 +86,9 @@ pub fn expected_code(name: &str) -> Option<&'static str> {
         "plan-schedule" => Some("RV050"),
         "plan-arena" => Some("RV051"),
         "plan-fused" => Some("RV052"),
+        "fleet-ring" => Some("RV060"),
+        "fleet-tier" => Some("RV061"),
+        "fleet-quota" => Some("RV062"),
         _ => None,
     }
 }
@@ -406,6 +415,48 @@ pub fn plan_fused_fixture() -> Report {
         &interpreted,
     ));
     report
+}
+
+/// Routing ring: one replica is built with zero virtual nodes, so no
+/// key can ever reach it (RV060).
+pub fn fleet_ring_fixture() -> Report {
+    let ring = rtoss_fleet::HashRing::with_vnode_counts(&[32, 0, 32, 32]);
+    crate::fleet::check_hash_ring(&ring, 2000)
+}
+
+/// Degradation controller: the hysteresis band is inverted — the
+/// upgrade threshold sits *above* the downgrade threshold, so the
+/// controller would oscillate on every tick (RV061).
+pub fn fleet_tier_fixture() -> Report {
+    let cfg = rtoss_fleet::TierControllerConfig {
+        upgrade_below: 0.9,
+        downgrade_above: 0.2,
+        ..rtoss_fleet::TierControllerConfig::default()
+    };
+    crate::fleet::check_tier_controller(cfg, 3)
+}
+
+/// Tenant quota ledger: a snapshot where two offered requests vanished
+/// without being admitted, throttled, or shed (RV062).
+pub fn fleet_quota_fixture() -> Report {
+    use rtoss_fleet::{FleetSnapshot, TenantSnapshot};
+    let snapshot = FleetSnapshot {
+        tenants: vec![TenantSnapshot {
+            id: "cam-fleet".into(),
+            class: "gold".into(),
+            offered: 10,
+            admitted: 5, // 5 + 2 + 1 == 8 != 10: two requests leaked
+            throttled: 2,
+            shed: 1,
+        }],
+        replicas: Vec::new(),
+        routed_affinity: 5,
+        routed_spill: 0,
+        tier_upgrades: 0,
+        tier_downgrades: 0,
+        hot_swaps: 0,
+    };
+    crate::fleet::check_fleet_ledger(&snapshot)
 }
 
 #[cfg(test)]

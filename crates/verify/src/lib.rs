@@ -45,6 +45,10 @@
 //! | RV050 | plan   | schedule topological; liveness forward; outputs retained |
 //! | RV051 | plan   | arena slot lifetimes disjoint; capacities cover tenants; byte accounting consistent |
 //! | RV052 | plan   | planned (fused, arena) forward bit-identical to the interpreter |
+//! | RV060 | fleet  | routing ring covers every replica; points sorted; routing deterministic |
+//! | RV061 | fleet  | degradation controller band well-formed; tier monotone in sustained pressure; recovers to dense |
+//! | RV062 | fleet  | tenant ledger conserved: offered == admitted + throttled + shed; routing covers admitted |
+//! | RV063 | fleet  | replica tier state in range; mAP ordered densest-first; terminal counters partition submissions |
 //!
 //! Severity is always `Error` for registry violations; artifacts with
 //! errors must not be executed. See DESIGN.md §9.
@@ -56,6 +60,7 @@ mod diag;
 
 pub mod exec;
 pub mod fixtures;
+pub mod fleet;
 pub mod lint;
 pub mod model;
 pub mod plan;
@@ -64,6 +69,7 @@ pub mod trace;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use exec::{check_histogram_buckets, check_tile_partition};
+pub use fleet::{check_fleet_ledger, check_fleet_replicas, check_hash_ring, check_tier_controller};
 pub use lint::{lint_paths, lint_source};
 pub use model::check_model;
 pub use plan::{

@@ -12,6 +12,8 @@
 //! - [`sparse`] — pattern-grouped sparse convolution executor
 //! - [`hw`] — RTX 2080 Ti / Jetson TX2 latency & energy models
 //! - [`serve`] — deadline-aware, micro-batched inference serving
+//! - [`fleet`] — sharded multi-replica serving with tenant SLO classes
+//!   and accuracy-tier overload degradation
 //! - [`obs`] — span tracing, per-layer profiling, metrics exposition
 //! - [`verify`] — static invariant checks over every artifact above
 //!
@@ -34,6 +36,7 @@ pub mod train;
 
 pub use rtoss_core as core;
 pub use rtoss_data as data;
+pub use rtoss_fleet as fleet;
 pub use rtoss_hw as hw;
 pub use rtoss_models as models;
 pub use rtoss_nn as nn;
