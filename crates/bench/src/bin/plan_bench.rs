@@ -9,11 +9,19 @@
 //! holds when it keeps every activation until the forward returns).
 //!
 //! ```text
-//! plan_bench [--reps N] [--image N] [--threads N] [--out-dir PATH]
+//! plan_bench [--reps N] [--image N] [--threads N] [--out-dir PATH] [--gate-par]
 //! ```
 //!
+//! Each row also times the *parallel* plan — the same compiled plan at
+//! graph-level width `--threads` on the persistent worker pool —
+//! against the serial plan. `--gate-par` exits non-zero when the
+//! parallel plan is slower than the serial plan (beyond a 5% jitter
+//! allowance) — but only when the host reports more than one core and
+//! `--threads > 1`; a single-core host can only measure scheduler
+//! overhead, not scaling.
+//!
 //! Writes `results/plan/plan_bench.txt` + `results/plan/plan_bench.json`
-//! by default. The two paths are bit-identical by construction (proved
+//! by default. All paths are bit-identical by construction (proved
 //! by rtoss-verify RV052 and the sparse crate's property tests), so the
 //! deltas here are pure execution-strategy effects.
 //!
@@ -37,9 +45,12 @@ struct PlanRow {
     compression: f64,
     /// Interpreter forward, best-of-reps milliseconds per frame.
     interp_ms: f64,
-    /// Planned forward (fusion + arena), best-of-reps milliseconds
-    /// per frame.
+    /// Serial planned forward (fusion + arena, width 1), best-of-reps
+    /// milliseconds per frame.
     plan_ms: f64,
+    /// Parallel planned forward (graph-level width = `threads` on the
+    /// persistent worker pool), best-of-reps milliseconds per frame.
+    par_ms: f64,
     /// Arena bytes the plan actually allocates for activations.
     arena_bytes: u64,
     /// Liveness lower bound on activation bytes.
@@ -51,6 +62,10 @@ struct PlanRow {
 impl PlanRow {
     fn speedup(&self) -> f64 {
         self.interp_ms / self.plan_ms
+    }
+    /// Parallel-plan speedup over the serial plan (>1 = parallel wins).
+    fn par_scaling(&self) -> f64 {
+        self.plan_ms / self.par_ms
     }
     fn memory_saving(&self) -> f64 {
         1.0 - self.arena_bytes as f64 / self.retained_bytes as f64
@@ -64,8 +79,12 @@ struct PlanBenchReport {
     image: u64,
     /// Timed repetitions per cell.
     reps: u64,
-    /// Intra-op threads.
+    /// Threads: interpreter intra-op tiling width and planned-path
+    /// graph-level width.
     threads: u64,
+    /// Cores the host actually has (`available_parallelism`) — the
+    /// parallel-plan column only means scaling when this is > 1.
+    host_cores: u64,
     /// One row per (model, pruning) configuration.
     rows: Vec<PlanRow>,
 }
@@ -75,6 +94,7 @@ struct Args {
     image: usize,
     threads: usize,
     out_dir: String,
+    gate_par: bool,
 }
 
 fn parse_args() -> Args {
@@ -83,10 +103,13 @@ fn parse_args() -> Args {
         image: 64,
         threads: rtoss_tensor::exec::default_threads(),
         out_dir: "results/plan".to_string(),
+        gate_par: false,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("plan_bench: {msg}");
-        eprintln!("usage: plan_bench [--reps N] [--image N] [--threads N] [--out-dir PATH]");
+        eprintln!(
+            "usage: plan_bench [--reps N] [--image N] [--threads N] [--out-dir PATH] [--gate-par]"
+        );
         std::process::exit(2);
     }
     fn number<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
@@ -104,6 +127,7 @@ fn parse_args() -> Args {
             "--image" => args.image = number(&flag, &value()),
             "--threads" => args.threads = number(&flag, &value()),
             "--out-dir" => args.out_dir = value(),
+            "--gate-par" => args.gate_par = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -119,23 +143,27 @@ fn frame_ms(f: &mut impl FnMut() -> Vec<rtoss_tensor::Tensor>) -> f64 {
     ms
 }
 
-/// Times `reps` frames of each path *interleaved* (one planned frame,
-/// one interpreted frame, repeat) and reports the per-path minimum —
-/// robust against clock-speed drift and co-tenant noise, which a
-/// back-to-back block measurement folds entirely into one path.
-fn time_pair_ms(
+/// Times `reps` frames of each path *interleaved* (one serial-plan
+/// frame, one parallel-plan frame, one interpreted frame, repeat) and
+/// reports the per-path minimum — robust against clock-speed drift and
+/// co-tenant noise, which a back-to-back block measurement folds
+/// entirely into one path.
+fn time_trio_ms(
     reps: usize,
-    mut planned: impl FnMut() -> Vec<rtoss_tensor::Tensor>,
+    mut serial_plan: impl FnMut() -> Vec<rtoss_tensor::Tensor>,
+    mut par_plan: impl FnMut() -> Vec<rtoss_tensor::Tensor>,
     mut interp: impl FnMut() -> Vec<rtoss_tensor::Tensor>,
-) -> (f64, f64) {
-    std::hint::black_box(planned()); // warm-up
+) -> (f64, f64, f64) {
+    std::hint::black_box(serial_plan()); // warm-up
+    std::hint::black_box(par_plan());
     std::hint::black_box(interp());
-    let (mut plan_ms, mut interp_ms) = (f64::INFINITY, f64::INFINITY);
+    let (mut plan_ms, mut par_ms, mut interp_ms) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for _ in 0..reps {
-        plan_ms = plan_ms.min(frame_ms(&mut planned));
+        plan_ms = plan_ms.min(frame_ms(&mut serial_plan));
+        par_ms = par_ms.min(frame_ms(&mut par_plan));
         interp_ms = interp_ms.min(frame_ms(&mut interp));
     }
-    (plan_ms, interp_ms)
+    (plan_ms, par_ms, interp_ms)
 }
 
 fn measure(model: &str, mode: &str, entry: Option<EntryPattern>, args: &Args) -> PlanRow {
@@ -151,15 +179,17 @@ fn measure(model: &str, mode: &str, entry: Option<EntryPattern>, args: &Args) ->
             .expect("prunes");
     }
     let engine = SparseModel::compile(&m.graph).expect("compiles");
+    let serial = ExecConfig::serial();
     let exec = ExecConfig::with_threads(args.threads);
     let shape = [1, 3, args.image, args.image];
     let x = init::uniform(&mut init::rng(10), &shape, 0.0, 1.0);
 
-    // Plan first so compilation happens outside both timed regions.
+    // Plan first so compilation happens outside all timed regions.
     let summary = engine.plan_summary(&shape).expect("plans");
-    let (plan_ms, interp_ms) = time_pair_ms(
+    let (plan_ms, par_ms, interp_ms) = time_trio_ms(
         args.reps,
-        || engine.forward_with(&x, &exec).expect("planned forward"),
+        || engine.forward_with(&x, &serial).expect("serial plan"),
+        || engine.forward_with(&x, &exec).expect("parallel plan"),
         || {
             engine
                 .forward_interpreted_with(&x, &exec)
@@ -173,6 +203,7 @@ fn measure(model: &str, mode: &str, entry: Option<EntryPattern>, args: &Args) ->
         compression: engine.compression_ratio(),
         interp_ms,
         plan_ms,
+        par_ms,
         arena_bytes: summary.arena_bytes,
         peak_live_bytes: summary.peak_live_bytes,
         retained_bytes: summary.retained_bytes,
@@ -181,8 +212,11 @@ fn measure(model: &str, mode: &str, entry: Option<EntryPattern>, args: &Args) ->
 
 fn main() {
     let args = parse_args();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
-        "plan_bench: {s}x{s} input, {r} reps, {t} intra-op threads\n",
+        "plan_bench: {s}x{s} input, {r} reps, {t} threads, host has {host_cores} core(s)\n",
         s = args.image,
         r = args.reps,
         t = args.threads
@@ -210,6 +244,8 @@ fn main() {
                 format!("{:.2}x", r.compression),
                 format!("{:.2}", r.interp_ms),
                 format!("{:.2}", r.plan_ms),
+                format!("{:.2}", r.par_ms),
+                format!("{:.2}x", r.par_scaling()),
                 format!("{:.2}x", r.speedup()),
                 format!("{}", r.arena_bytes / 1024),
                 format!("{}", r.peak_live_bytes / 1024),
@@ -223,6 +259,8 @@ fn main() {
         "compress",
         "interp ms",
         "plan ms",
+        "par ms",
+        "par x",
         "speedup",
         "arena KiB",
         "live KiB",
@@ -236,6 +274,7 @@ fn main() {
         image: args.image as u64,
         reps: args.reps as u64,
         threads: args.threads as u64,
+        host_cores: host_cores as u64,
         rows,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -250,12 +289,49 @@ fn main() {
         text.push_str(&row.join(" | "));
         text.push('\n');
     }
-    text.push_str(
-        "\narena = activation bytes the plan allocates (slots reused after last consumer);\n\
+    text.push_str(&format!(
+        "\nplan = serial plan (width 1); par = the same plan at graph-level width {t}\n\
+         on the persistent worker pool; par x = plan ms / par ms (host: {host_cores} core(s)).\n\
+         arena = activation bytes the plan allocates (slots reused after last consumer);\n\
          live = liveness lower bound; interp = bytes the interpreter retains per forward.\n\
-         Outputs are bit-identical between the two paths (rtoss-verify RV052).\n",
-    );
+         Outputs are bit-identical across all paths (rtoss-verify RV052).\n",
+        t = args.threads
+    ));
     let txt_path = format!("{}/plan_bench.txt", args.out_dir);
     std::fs::write(&txt_path, &text).expect("write text report");
     println!("\nreports: {txt_path}, {json_path} (serde round-trip verified)");
+
+    if args.gate_par {
+        if host_cores > 1 && args.threads > 1 {
+            // The interleaved min-of-reps timer is stable, but gate with
+            // a 5% jitter allowance so a noisy CI neighbour cannot flip
+            // a genuinely-parallel run into a failure.
+            let slow: Vec<&PlanRow> = report
+                .rows
+                .iter()
+                .filter(|r| r.par_ms > r.plan_ms * 1.05)
+                .collect();
+            if slow.is_empty() {
+                println!(
+                    "gate-par: parallel plan >= serial plan on all {} rows",
+                    report.rows.len()
+                );
+            } else {
+                for r in &slow {
+                    eprintln!(
+                        "gate-par: {} {} parallel plan {:.2} ms slower than serial {:.2} ms",
+                        r.model, r.mode, r.par_ms, r.plan_ms
+                    );
+                }
+                eprintln!("gate-par: FAILED on {} row(s)", slow.len());
+                std::process::exit(1);
+            }
+        } else {
+            println!(
+                "gate-par: skipped (host has {host_cores} core(s), threads={}) — \
+                 a single-core host only measures scheduler overhead, not scaling",
+                args.threads
+            );
+        }
+    }
 }

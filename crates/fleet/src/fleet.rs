@@ -28,7 +28,7 @@ use rtoss_serve::{
 use rtoss_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, Once};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -141,23 +141,17 @@ impl std::fmt::Debug for Fleet {
     }
 }
 
-/// One-time warning when the planned-path parallel regression guard
-/// clamps intra-op threads (see ROADMAP item 2: par_scaling shows the
-/// planned path collapsing to 0.09x at 8 threads).
-static PLAN_THREAD_GUARD: Once = Once::new();
-
 impl Fleet {
     /// Starts `config.replicas` replicas, each holding every tier of
     /// `tiers` (densest first; the `Arc`s are shared across replicas —
     /// weights are immutable) behind its own bounded queue and
     /// panic-isolated worker pool.
     ///
-    /// **Planned-path guard**: when any tier serves through compiled
-    /// execution plans and `serve.exec.threads > 1`, the fleet clamps
-    /// intra-op threads to 1 and warns once — the planned path
-    /// currently *collapses* under intra-op threading (par_scaling:
-    /// 0.09x at 8 threads; ROADMAP item 2 tracks the fix). Replica
-    /// parallelism comes from the worker pool and the replica count.
+    /// `serve.exec.threads` is passed through unchanged to every
+    /// replica: for planned models it is the graph-level width of the
+    /// levelled plan scheduler (bit-identical at every width), so the
+    /// old planned-path `threads=1` clamp — a workaround for the
+    /// since-fixed par_scaling collapse (0.09x at 8 threads) — is gone.
     ///
     /// # Errors
     ///
@@ -183,18 +177,7 @@ impl Fleet {
                 ));
             }
         }
-        let mut serve = config.serve.clone();
-        if serve.exec.threads > 1 && tiers.iter().any(|(_, m)| m.plans()) {
-            PLAN_THREAD_GUARD.call_once(|| {
-                eprintln!(
-                    "rtoss-fleet: planned execution collapses under intra-op threading \
-                     (par_scaling: 0.09x at 8 threads); clamping replica intra-op threads \
-                     {} -> 1. Scale with workers/replicas instead (ROADMAP item 2).",
-                    serve.exec.threads
-                );
-            });
-            serve.exec.threads = 1;
-        }
+        let serve = config.serve.clone();
         let tier_specs: Vec<TierSpec> = tiers.iter().map(|(s, _)| s.clone()).collect();
         let mut replicas = Vec::with_capacity(config.replicas);
         for _ in 0..config.replicas {
@@ -282,8 +265,9 @@ impl Fleet {
         &self.ring
     }
 
-    /// Intra-op threads each replica actually runs with (after the
-    /// planned-path guard possibly clamped the configured value).
+    /// Execution threads each replica runs with — for planned models,
+    /// the graph-level width of the plan scheduler. Always the
+    /// configured value; the fleet no longer clamps it.
     pub fn exec_threads(&self) -> usize {
         self.serve.exec.threads
     }
@@ -810,7 +794,11 @@ mod tests {
     }
 
     #[test]
-    fn planned_models_clamp_intra_op_threads() {
+    fn planned_models_keep_configured_threads() {
+        // The old planned-path guard clamped threads to 1 around the
+        // par_scaling collapse; with the levelled plan scheduler the
+        // configured width must survive for planned and unplanned
+        // models alike.
         let planned: Vec<(TierSpec, Arc<dyn ServeModel>)> = vec![(
             TierSpec::new("dense", 75.0),
             Arc::new(Echo {
@@ -831,9 +819,8 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(fleet.exec_threads(), 1);
+        assert_eq!(fleet.exec_threads(), 8);
         drop(fleet);
-        // Unplanned models keep their configured threads.
         let fleet = Fleet::start(
             tiers(Duration::ZERO),
             FleetConfig {

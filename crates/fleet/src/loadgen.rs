@@ -163,6 +163,9 @@ pub fn run_fleet_open_loop(
     let wall_s = start.elapsed().as_secs_f64();
 
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    // Nearest-rank percentile over raw samples, same rule as
+    // rtoss-serve's load generator (see its LoadSummary docs for how
+    // it relates to the histogram's bucket-upper-bound estimate).
     let pct = |q: f64| -> f64 {
         if latencies_ms.is_empty() {
             return 0.0;

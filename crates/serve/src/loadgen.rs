@@ -83,9 +83,15 @@ pub fn bursty_schedule(seed: u64, qps: f64, n: usize, burstiness: f64) -> Vec<Du
 
 /// Outcome tallies and latency statistics of one load-generation run.
 ///
-/// Latency percentiles here are *exact* (computed from the sorted
-/// per-request samples), unlike the server's bucketed histograms —
-/// the two views cross-check each other in tests.
+/// Latency percentiles here use **nearest-rank over the sorted raw
+/// samples**: `pXX` is the value at rank `ceil(q·n)` — an actual
+/// observed latency, never an interpolation. The server's
+/// [`LatencyHistogram`](crate::LatencyHistogram) estimates the same
+/// rank but returns its **bucket's upper bound**, so the histogram
+/// estimate is ≥ the exact value and within one bucket's resolution
+/// above it (buckets grow by √2 per step). The
+/// `histogram_quantile_agrees_with_nearest_rank` test in `metrics.rs`
+/// pins that relationship on a shared sample set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoadSummary {
     /// Requests the schedule offered.
@@ -188,6 +194,9 @@ pub fn run_open_loop(
     let wall_s = start.elapsed().as_secs_f64();
 
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    // Nearest-rank percentile: the sample at rank ceil(q·n), 1-based —
+    // the same rank rule LatencyHistogram::quantile_ms resolves to a
+    // bucket upper bound (see the LoadSummary docs).
     let pct = |q: f64| -> f64 {
         if latencies_ms.is_empty() {
             return 0.0;

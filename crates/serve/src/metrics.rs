@@ -152,7 +152,13 @@ impl LatencyHistogram {
     }
 
     /// Quantile estimate in milliseconds: the upper bound of the bucket
-    /// containing the `q`-th sample (0 when empty).
+    /// containing the sample at nearest rank `ceil(q·count)` (0 when
+    /// empty). Same rank rule as the load generator's exact percentiles
+    /// (`LoadSummary`), but resolved to a bucket upper bound — so the
+    /// estimate is ≥ the exact nearest-rank sample and exceeds it by at
+    /// most one bucket's resolution (bucket bounds grow by √2 per
+    /// step). `histogram_quantile_agrees_with_nearest_rank` below pins
+    /// this agreement on a shared sample set.
     pub fn quantile_ms(&self, q: f64) -> f64 {
         let total: u64 = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum();
         if total == 0 {
@@ -492,6 +498,48 @@ mod tests {
         assert!((50.0..=75.0).contains(&p50), "p50 {p50}");
         assert!((99.0..=145.0).contains(&p99), "p99 {p99}");
         assert!((h.mean_ms() - 50.5).abs() < 0.5, "mean {}", h.mean_ms());
+    }
+
+    #[test]
+    fn histogram_quantile_agrees_with_nearest_rank() {
+        // Cross-check of the two percentile estimators on a shared
+        // sample set: the load generator takes the exact nearest-rank
+        // sample (rank ceil(q·n) over the sorted raw values); the
+        // histogram resolves the same rank to its bucket's upper
+        // bound. The two must agree within one bucket's resolution —
+        // estimate ≥ exact, and exact must not be below the bucket's
+        // lower neighbour's bound.
+        let mut samples_ns: Vec<f64> = Vec::new();
+        // Deterministic spread over several decades, incl. repeats.
+        for i in 1..=500u64 {
+            let ns = 300.0 * (1.0 + (i % 97) as f64) * (1 + i / 100) as f64;
+            samples_ns.push(ns);
+        }
+        let h = LatencyHistogram::new();
+        for &ns in &samples_ns {
+            h.record(Duration::from_nanos(ns as u64));
+        }
+        let mut sorted = samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.50, 0.90, 0.95, 0.99, 1.0] {
+            // Nearest rank, exactly as serve/fleet loadgen computes it.
+            let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            let exact_ns = sorted[idx];
+            let hist_ns = h.quantile_ms(q) * 1e6;
+            assert!(
+                hist_ns >= exact_ns - 1e-9,
+                "q={q}: histogram {hist_ns} ns below exact nearest-rank {exact_ns} ns"
+            );
+            // Same bucket: the histogram's answer is the upper bound of
+            // the bucket the exact sample falls into.
+            let bucket = LatencyHistogram::bucket_index(exact_ns);
+            let upper = LatencyHistogram::bucket_upper_ns(bucket);
+            assert!(
+                (hist_ns - upper).abs() < 1e-6,
+                "q={q}: histogram {hist_ns} ns is not the exact sample's bucket upper \
+                 bound {upper} ns — estimators diverge by more than one bucket"
+            );
+        }
     }
 
     #[test]

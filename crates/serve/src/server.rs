@@ -67,9 +67,10 @@ pub trait ServeModel: Send + Sync + 'static {
     }
 
     /// Whether this model executes through compiled execution plans.
-    /// The planned path currently collapses under intra-op threading
-    /// (par_scaling: 0.09x at 8 threads), so multi-replica callers use
-    /// this to clamp `exec.threads` until that regression is fixed.
+    /// For planned models `exec.threads` is the *graph-level* width —
+    /// independent plan steps fan out across the persistent worker
+    /// pool, and outputs stay bit-identical at every width — so
+    /// callers need no thread clamping on this path.
     fn plans(&self) -> bool {
         false
     }

@@ -156,7 +156,9 @@ impl SparseNode {
 /// ```
 #[derive(Debug)]
 pub struct SparseModel {
-    pub(crate) nodes: Vec<SparseNode>,
+    /// `Arc`ed (and never mutated after compile) so planned runs can
+    /// hand `'static` tasks referencing the nodes to the worker pool.
+    pub(crate) nodes: Arc<Vec<SparseNode>>,
     pub(crate) outputs: Vec<usize>,
     /// Per-node consumer count: occurrences in later nodes' input lists
     /// plus occurrences in the output list. Drives last-use activation
@@ -267,7 +269,7 @@ impl SparseModel {
             }
         }
         Ok(SparseModel {
-            nodes,
+            nodes: Arc::new(nodes),
             outputs,
             uses,
             stored_weights: stored,

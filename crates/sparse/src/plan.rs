@@ -28,14 +28,31 @@
 //!    [`Epilogue`]: the affine and activation run per output plane
 //!    while it is hot in cache, inside the tiled executor, instead of
 //!    as two extra passes over the whole tensor.
+//! 4. **Graph-level parallelism.** The compiler groups steps into
+//!    dependency levels (every operand of a step lives in a strictly
+//!    earlier level), so steps sharing a level are mutually
+//!    independent — the YOLOv5s PANet and RetinaNet FPN twins have
+//!    genuinely parallel branches. [`run`](ExecutionPlan::run)
+//!    executes the levels in order and fans a level's steps out across
+//!    the persistent [`WorkerPool`] (`exec.threads` caps the width,
+//!    the caller always works too). This replaces the per-call scoped
+//!    intra-op tiling that made the planned path *collapse* under
+//!    threads (par_scaling before the fix: 0.30x at 2 threads, 0.09x
+//!    at 8) — each step now runs its arithmetic serially, and
+//!    parallelism comes from the graph instead. The arena planner
+//!    cooperates: a slot may be reused only by a step in a strictly
+//!    later level than every consumer of the slot's previous tenant,
+//!    so steps that can be concurrently live never alias a slot
+//!    (checked by RV054).
 //!
 //! Every transformation is bit-exact: the fused epilogue performs the
 //! same `f32` operations in the same order as the standalone passes,
-//! the arena ops mirror the interpreter's loops exactly, and the tiled
-//! conv executor already guarantees thread-count independence — so
-//! planned outputs are **bit-identical** to interpreted outputs for
-//! every thread count. `rtoss-verify`'s RV05x family checks the
-//! schedule, the arena assignment, and that equivalence on seeded
+//! the arena ops mirror the interpreter's loops exactly, and level
+//! parallelism only changes *which step runs when*, never the
+//! arithmetic inside a step — so planned outputs are **bit-identical**
+//! to the serial plan and to the interpreter for every thread count.
+//! `rtoss-verify`'s RV05x family checks the schedule, the arena
+//! assignment, the level structure, and that equivalence on seeded
 //! engines.
 
 use crate::exec::{conv2d_pattern_sparse_into_with, conv_output_shape};
@@ -43,13 +60,23 @@ use crate::model::{epilogue_act, eval_act, SparseModel, SparseModelError, Sparse
 use rtoss_nn::layers::ActivationKind;
 use rtoss_tensor::exec::{Epilogue, ExecConfig};
 use rtoss_tensor::ops::out_extent;
+use rtoss_tensor::pool::{PoolTask, WorkerPool};
 use rtoss_tensor::{Tensor, TensorError};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 
 /// Arenas kept for reuse across runs; above this the extras are freed.
 /// Matches the serving layer's typical worker count so concurrent
 /// micro-batch workers each find a warm arena.
 const POOL_CAP: usize = 8;
+
+/// Activation buffers of one in-flight run, one per arena slot. Slots
+/// are individually `RwLock`ed so the steps of one dependency level can
+/// concurrently write their own slots while reading earlier levels'
+/// outputs; the level schedule and the arena's level-disjoint slot
+/// assignment guarantee no lock is ever contended for writing, so the
+/// locks cost an uncontended atomic each and exist to keep the crate
+/// free of `unsafe`.
+type Arena = Vec<RwLock<Vec<f32>>>;
 
 /// Where a plan step reads one of its operands from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +108,10 @@ struct PlanStep {
     /// output whose slot is never recycled; a step's own index marks a
     /// dead value freed immediately.
     last_use: usize,
+    /// Dependency level: strictly greater than every step operand's
+    /// level; extern-only steps sit at level 0. Steps sharing a level
+    /// are mutually independent and may execute concurrently.
+    level: usize,
 }
 
 impl PlanStep {
@@ -115,6 +146,10 @@ pub struct StepSummary {
     pub out_len: usize,
     /// Last consuming step index (`usize::MAX` = retained output).
     pub last_use: usize,
+    /// Dependency level (see [`PlanSummary::steps`]): strictly greater
+    /// than every step operand's level, so the levelled schedule the
+    /// parallel runner executes respects all data dependencies (RV054).
+    pub level: usize,
 }
 
 /// Summary of a compiled plan: the schedule, arena assignment, and
@@ -147,14 +182,19 @@ pub struct ExecutionPlan {
     /// Node count of the model this plan was compiled from; guards
     /// against running a plan against a different engine.
     n_nodes: usize,
-    steps: Vec<PlanStep>,
+    /// `Arc`ed so level-parallel runs can hand `'static` tasks to the
+    /// persistent worker pool without copying the schedule.
+    steps: Arc<Vec<PlanStep>>,
+    /// Step indices grouped by dependency level, in execution order;
+    /// level `L` may start only after level `L-1` finished.
+    levels: Vec<Vec<usize>>,
     outputs: Vec<StepSource>,
     slot_caps: Vec<usize>,
     peak_live_bytes: u64,
     retained_bytes: u64,
     /// Recycled arenas (one per concurrent runner), so steady-state
     /// runs allocate only the retained-output buffers.
-    pool: Mutex<Vec<Vec<Vec<f32>>>>,
+    arenas: Mutex<Vec<Arc<Arena>>>,
 }
 
 /// Fused chain recorded per conv node: the absorbed `ChannelAffine`
@@ -281,6 +321,7 @@ impl ExecutionPlan {
                 out_shape,
                 out_len,
                 last_use: s,
+                level: 0,
             });
             node_to_step[i] = Some(s);
             // Consumers of an absorbed chain's tail read the conv step.
@@ -315,21 +356,66 @@ impl ExecutionPlan {
             outputs.push(StepSource::Step(s));
         }
 
+        // Dependency levels: a step reading only the extern input is
+        // level 0, otherwise one more than its deepest operand. The
+        // schedule is in step order, so operands always precede their
+        // consumers and one forward pass suffices.
+        for s in 0..steps.len() {
+            let lv = steps[s]
+                .inputs
+                .iter()
+                .filter_map(|src| match src {
+                    StepSource::Step(i) => Some(steps[*i].level + 1),
+                    StepSource::Extern => None,
+                })
+                .max()
+                .unwrap_or(0);
+            steps[s].level = lv;
+        }
+        let n_levels = steps.iter().map(|st| st.level + 1).max().unwrap_or(0);
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); n_levels];
+        for (s, st) in steps.iter().enumerate() {
+            levels[st.level].push(s);
+        }
+        // Deepest consuming *level* per step. Note this is a max over
+        // ALL consumers, not the level of the last-indexed one — a
+        // smaller-indexed consumer can sit in a deeper level. Retained
+        // outputs stay live forever.
+        let mut last_level: Vec<usize> = steps.iter().map(|st| st.level).collect();
+        for st in &steps {
+            for src in &st.inputs {
+                if let StepSource::Step(i) = src {
+                    last_level[*i] = last_level[*i].max(st.level);
+                }
+            }
+        }
+        for (s, st) in steps.iter().enumerate() {
+            if st.last_use == usize::MAX {
+                last_level[s] = usize::MAX;
+            }
+        }
+
         // Arena assignment: best-fit from the free list. The output
         // slot is chosen while the step's inputs are still allocated,
         // so an output never aliases a dying input; dying inputs are
-        // then freed for the *next* step.
+        // then freed for the *next* step. Each freed slot remembers the
+        // deepest level that still reads its old tenant, and only steps
+        // in strictly later levels may reuse it — so two steps that can
+        // execute concurrently (same level, or a consumer racing a
+        // later level's writer) never share a slot (RV054). Because the
+        // walk stays in schedule order, the serial index rule (RV051)
+        // holds automatically.
         let mut slot_caps: Vec<usize> = Vec::new();
-        let mut free: Vec<usize> = Vec::new();
+        let mut free: Vec<(usize, usize)> = Vec::new(); // (slot, freed-at level)
         let mut live_bytes: u64 = 0;
         let mut peak_live: u64 = 0;
         let mut retained: u64 = 0;
         for s in 0..steps.len() {
             let len = steps[s].out_len;
             retained += 4 * len as u64;
-            let slot = match best_fit(&free, &slot_caps, len) {
+            let slot = match best_fit(&free, &slot_caps, len, steps[s].level) {
                 Some(pos) => {
-                    let slot = free.swap_remove(pos);
+                    let (slot, _) = free.swap_remove(pos);
                     slot_caps[slot] = slot_caps[slot].max(len);
                     slot
                 }
@@ -352,12 +438,12 @@ impl ExecutionPlan {
             dying.sort_unstable();
             dying.dedup();
             for i in dying {
-                free.push(steps[i].out_slot);
+                free.push((steps[i].out_slot, last_level[i]));
                 live_bytes = live_bytes.saturating_sub(4 * steps[i].out_len as u64);
             }
             if steps[s].last_use == s {
                 // Dead value (no consumer, not an output): recycle now.
-                free.push(slot);
+                free.push((slot, last_level[s]));
                 live_bytes = live_bytes.saturating_sub(4 * len as u64);
             }
         }
@@ -365,12 +451,13 @@ impl ExecutionPlan {
         Ok(ExecutionPlan {
             input_shape: input_shape.to_vec(),
             n_nodes: n,
-            steps,
+            steps: Arc::new(steps),
+            levels,
             outputs,
             slot_caps,
             peak_live_bytes: peak_live,
             retained_bytes: retained,
-            pool: Mutex::new(Vec::new()),
+            arenas: Mutex::new(Vec::new()),
         })
     }
 
@@ -429,6 +516,7 @@ impl ExecutionPlan {
                     out_slot: s.out_slot,
                     out_len: s.out_len,
                     last_use: s.last_use,
+                    level: s.level,
                 })
                 .collect(),
             outputs: self
@@ -462,6 +550,11 @@ impl ExecutionPlan {
     /// Executes the plan. `model` must be the engine this plan was
     /// compiled from (checked cheaply by node count).
     ///
+    /// `exec.threads` is the *graph-level* width: how many independent
+    /// steps of one dependency level may run concurrently on the
+    /// process-global [`WorkerPool`]. Each step's own arithmetic is
+    /// always serial, so outputs are bit-identical for every width.
+    ///
     /// # Errors
     ///
     /// Returns an error if `model` or the input shape does not match
@@ -472,6 +565,29 @@ impl ExecutionPlan {
         model: &SparseModel,
         input: &Tensor,
         exec: &ExecConfig,
+    ) -> Result<Vec<Tensor>, SparseModelError> {
+        self.run_with_pool(model, input, exec, WorkerPool::global())
+    }
+
+    /// [`run`](Self::run) against an explicit worker pool (the public
+    /// entry uses the process-global one; tests and verification force
+    /// a sized pool to exercise the parallel path on any host).
+    ///
+    /// Width = `min(exec.threads, pool workers + 1)` — the caller
+    /// always works too. Width 1 (always the case when the pool has no
+    /// workers, e.g. on a single-core host) takes the plain serial
+    /// schedule with zero synchronisation; wider runs execute level by
+    /// level, dealing each level's steps into at most `width` chunks:
+    /// chunk 0 plus every step that reads the borrowed extern input
+    /// stay on the caller, the rest go to the pool, and the caller
+    /// steals queued chunks back while waiting so no width is ever
+    /// slower than serial by more than the level-barrier handshake.
+    pub fn run_with_pool(
+        &self,
+        model: &SparseModel,
+        input: &Tensor,
+        exec: &ExecConfig,
+        pool: &WorkerPool,
     ) -> Result<Vec<Tensor>, SparseModelError> {
         if model.nodes.len() != self.n_nodes {
             return Err(plan_err(format!(
@@ -487,11 +603,14 @@ impl ExecutionPlan {
                 input.shape()
             )));
         }
+        let width = exec.threads.max(1).min(pool.workers() + 1);
         if rtoss_obs::recording() {
             rtoss_obs::emit_instant(
                 "plan",
                 vec![
                     ("steps", rtoss_obs::ArgValue::U64(self.steps.len() as u64)),
+                    ("levels", rtoss_obs::ArgValue::U64(self.levels.len() as u64)),
+                    ("width", rtoss_obs::ArgValue::U64(width as u64)),
                     ("arena_bytes", rtoss_obs::ArgValue::U64(self.arena_bytes())),
                     (
                         "peak_live_bytes",
@@ -500,12 +619,21 @@ impl ExecutionPlan {
                 ],
             );
         }
-        let mut arena = {
-            let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
-            pool.pop().unwrap_or_default()
-        };
-        arena.resize_with(self.slot_caps.len(), Vec::new);
-        for (buf, &cap) in arena.iter_mut().zip(&self.slot_caps) {
+        let arena: Arc<Arena> = {
+            let mut arenas = self.arenas.lock().unwrap_or_else(PoisonError::into_inner);
+            arenas.pop()
+        }
+        .filter(|a| a.len() == self.slot_caps.len())
+        .unwrap_or_else(|| {
+            Arc::new(
+                self.slot_caps
+                    .iter()
+                    .map(|_| RwLock::new(Vec::new()))
+                    .collect(),
+            )
+        });
+        for (slot, &cap) in arena.iter().zip(&self.slot_caps) {
+            let mut buf = slot.write().unwrap_or_else(PoisonError::into_inner);
             if buf.len() < cap {
                 // Fresh capacity; every op fully overwrites its output
                 // prefix, so no clearing between runs is needed.
@@ -513,26 +641,22 @@ impl ExecutionPlan {
             }
         }
 
-        for (si, step) in self.steps.iter().enumerate() {
-            let node = match model.nodes.get(step.node) {
-                Some(n) => n,
-                None => return Err(plan_err(format!("step {si}: node {} missing", step.node))),
-            };
-            let _span = step_span(step, node, exec);
-            let mut out = match arena.get_mut(step.out_slot) {
-                Some(buf) => std::mem::take(buf),
-                None => {
-                    return Err(plan_err(format!(
-                        "step {si}: slot {} missing",
-                        step.out_slot
-                    )))
-                }
-            };
-            let res = self.exec_step(step, model, node, input, &arena, &mut out, exec);
-            if let Some(buf) = arena.get_mut(step.out_slot) {
-                *buf = out;
+        // Every step runs with serial intra-op arithmetic — the plan's
+        // parallelism is across the graph, not inside a conv.
+        let step_exec = ExecConfig::serial();
+        if width <= 1 {
+            for si in 0..self.steps.len() {
+                exec_step(
+                    &self.steps,
+                    &model.nodes,
+                    si,
+                    Some(input),
+                    &arena,
+                    &step_exec,
+                )?;
             }
-            res?;
+        } else {
+            self.run_levels(model, input, &arena, pool, width, &step_exec)?;
         }
 
         let mut outs = Vec::with_capacity(self.outputs.len());
@@ -541,19 +665,24 @@ impl ExecutionPlan {
                 StepSource::Extern => input.clone(),
                 StepSource::Step(i) => {
                     let step = &self.steps[*i];
+                    let slot = arena
+                        .get(step.out_slot)
+                        .ok_or_else(|| plan_err(format!("output step {i} missing")))?;
                     if self.outputs[k + 1..].contains(src) {
                         // Another declared output reads the same step:
                         // copy now, move on the final occurrence.
-                        let data = arena
-                            .get(step.out_slot)
-                            .and_then(|b| b.get(..step.out_len))
+                        let guard = slot.read().unwrap_or_else(PoisonError::into_inner);
+                        let data = guard
+                            .get(..step.out_len)
                             .ok_or_else(|| plan_err(format!("output step {i} missing")))?;
                         Tensor::from_vec(data.to_vec(), &step.out_shape)?
                     } else {
-                        let mut buf = arena
-                            .get_mut(step.out_slot)
-                            .map(std::mem::take)
-                            .ok_or_else(|| plan_err(format!("output step {i} missing")))?;
+                        let mut buf = std::mem::take(
+                            &mut *slot.write().unwrap_or_else(PoisonError::into_inner),
+                        );
+                        if buf.len() < step.out_len {
+                            return Err(plan_err(format!("output step {i} missing")));
+                        }
                         buf.truncate(step.out_len);
                         Tensor::from_vec(buf, &step.out_shape)?
                     }
@@ -561,118 +690,263 @@ impl ExecutionPlan {
             };
             outs.push(t);
         }
-        let mut pool = self.pool.lock().unwrap_or_else(PoisonError::into_inner);
-        if pool.len() < POOL_CAP {
-            pool.push(arena);
+        let mut arenas = self.arenas.lock().unwrap_or_else(PoisonError::into_inner);
+        if arenas.len() < POOL_CAP {
+            arenas.push(arena);
         }
         Ok(outs)
     }
 
-    /// Executes one step, writing into `out[..out_len]`.
-    #[allow(clippy::too_many_arguments)]
-    fn exec_step(
+    /// Level-parallel execution: levels run in order, the steps of one
+    /// level fan out across the pool. Steps that read the extern input
+    /// stay on the caller (the input tensor is borrowed; pool tasks
+    /// are `'static`), as does chunk 0 — the caller is one of the
+    /// `width` workers, not a coordinator.
+    fn run_levels(
         &self,
-        step: &PlanStep,
         model: &SparseModel,
-        node: &SparseNode,
         input: &Tensor,
-        arena: &[Vec<f32>],
-        out_buf: &mut [f32],
-        exec: &ExecConfig,
+        arena: &Arc<Arena>,
+        pool: &WorkerPool,
+        width: usize,
+        step_exec: &ExecConfig,
     ) -> Result<(), SparseModelError> {
-        let out = out_buf
-            .get_mut(..step.out_len)
-            .ok_or_else(|| plan_err(format!("slot {} under-allocated", step.out_slot)))?;
-        let src = |k: usize| -> Result<(&[f32], &[usize]), SparseModelError> {
-            match step.inputs.get(k) {
-                Some(StepSource::Extern) => Ok((input.as_slice(), input.shape())),
-                Some(StepSource::Step(i)) => {
-                    let st = self
-                        .steps
-                        .get(*i)
-                        .ok_or_else(|| plan_err(format!("operand step {i} missing")))?;
-                    let buf = arena
-                        .get(st.out_slot)
-                        .and_then(|b| b.get(..st.out_len))
-                        .ok_or_else(|| plan_err(format!("operand slot {} missing", st.out_slot)))?;
-                    Ok((buf, st.out_shape.as_slice()))
+        for level in &self.levels {
+            let pooled: Vec<usize> = level
+                .iter()
+                .copied()
+                .filter(|&si| {
+                    self.steps[si]
+                        .inputs
+                        .iter()
+                        .all(|src| !matches!(src, StepSource::Extern))
+                })
+                .collect();
+            if level.len() < 2 || pooled.len() < 2 {
+                // Nothing to fan out (or only one off-caller step):
+                // synchronisation would cost more than it buys.
+                for &si in level {
+                    exec_step(&self.steps, &model.nodes, si, Some(input), arena, step_exec)?;
                 }
-                None => Err(plan_err(format!(
-                    "step for node {} lacks operand {k}",
-                    step.node
-                ))),
+                continue;
             }
-        };
-        match &node.op {
-            SparseOp::Conv { layer, bias } => {
-                let affine = match step.fused_affine {
-                    Some(j) => match model.nodes.get(j).map(|n| &n.op) {
-                        Some(SparseOp::ChannelAffine { scale, shift }) => {
-                            Some((scale.as_slice(), shift.as_slice()))
+            // Deal pooled steps round-robin into at most `width`
+            // chunks; chunk 0 runs on the caller.
+            let n_chunks = width.min(pooled.len());
+            let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); n_chunks];
+            for (k, &si) in pooled.iter().enumerate() {
+                chunks[k % n_chunks].push(si);
+            }
+            let first_err: Arc<Mutex<Option<SparseModelError>>> = Arc::new(Mutex::new(None));
+            let tasks: Vec<PoolTask> = chunks[1..]
+                .iter()
+                .map(|chunk| {
+                    let steps = Arc::clone(&self.steps);
+                    let nodes = Arc::clone(&model.nodes);
+                    let arena = Arc::clone(arena);
+                    let chunk = chunk.clone();
+                    let first_err = Arc::clone(&first_err);
+                    let step_exec = *step_exec;
+                    Box::new(move || {
+                        for si in chunk {
+                            if let Err(e) = exec_step(&steps, &nodes, si, None, &arena, &step_exec)
+                            {
+                                let mut slot =
+                                    first_err.lock().unwrap_or_else(PoisonError::into_inner);
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                break;
+                            }
                         }
-                        _ => {
-                            return Err(plan_err(format!(
-                                "fused affine node {j} is not a channel affine"
-                            )))
-                        }
-                    },
-                    None => None,
-                };
-                let (x, xs) = src(0)?;
-                let epi = Epilogue {
-                    affine,
-                    act: step.fused_act.and_then(epilogue_act),
-                };
-                conv2d_pattern_sparse_into_with(x, xs, layer, Some(bias), &epi, out, exec)?;
-            }
-            SparseOp::ChannelAffine { scale, shift } => {
-                let (x, xs) = src(0)?;
-                channel_affine_into(x, xs, scale, shift, out);
-            }
-            SparseOp::Activation(kind) => {
-                let (x, _) = src(0)?;
-                let k = *kind;
-                for (o, &v) in out.iter_mut().zip(x.iter()) {
-                    *o = eval_act(k, v);
+                    }) as PoolTask
+                })
+                .collect();
+            let batch = pool.submit(tasks);
+            let mut caller_err: Option<SparseModelError> = None;
+            let on_caller = level
+                .iter()
+                .filter(|si| !pooled.contains(si))
+                .chain(&chunks[0]);
+            for &si in on_caller {
+                if let Err(e) =
+                    exec_step(&self.steps, &model.nodes, si, Some(input), arena, step_exec)
+                {
+                    caller_err = Some(e);
+                    break;
                 }
             }
-            SparseOp::MaxPool { k, stride, pad } => {
-                let (x, xs) = src(0)?;
-                maxpool2d_into(x, xs, *k, *stride, *pad, &step.out_shape, out);
+            pool.help();
+            batch.wait();
+            if let Some(e) = caller_err {
+                return Err(e);
             }
-            SparseOp::Upsample2x => {
-                let (x, xs) = src(0)?;
-                upsample_nearest2x_into(x, xs, out);
-            }
-            SparseOp::Add => {
-                let (a, _) = src(0)?;
-                let (b, _) = src(1)?;
-                for ((o, &av), &bv) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
-                    *o = av + bv;
-                }
-            }
-            SparseOp::Concat => {
-                let mut parts = Vec::with_capacity(step.inputs.len());
-                for k in 0..step.inputs.len() {
-                    parts.push(src(k)?);
-                }
-                concat_channels_into(&parts, &step.out_shape, out);
-            }
-            SparseOp::Input => {
-                return Err(plan_err("input node scheduled as a step".into()));
+            let mut slot = first_err.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(e) = slot.take() {
+                return Err(e);
             }
         }
         Ok(())
     }
 }
 
-/// Best-fit free-slot lookup: index into `free` of the smallest slot
-/// with capacity ≥ `len`, else the largest free slot (grown by the
-/// caller), else `None`.
-fn best_fit(free: &[usize], caps: &[usize], len: usize) -> Option<usize> {
+/// Executes one plan step: write-locks the step's output slot,
+/// read-locks its operand slots, then runs the node's arithmetic
+/// exactly as the interpreter would. Safe to call concurrently for
+/// steps of one dependency level — the arena planner guarantees
+/// concurrently-live steps never share a slot (and an explicit aliasing
+/// check below turns any violation into an error instead of a
+/// deadlock). `input` is `None` on pool workers; the level runner keeps
+/// extern-reading steps on the caller.
+fn exec_step(
+    steps: &[PlanStep],
+    nodes: &[SparseNode],
+    si: usize,
+    input: Option<&Tensor>,
+    arena: &Arena,
+    exec: &ExecConfig,
+) -> Result<(), SparseModelError> {
+    let step = steps
+        .get(si)
+        .ok_or_else(|| plan_err(format!("step {si} missing from schedule")))?;
+    let node = nodes
+        .get(step.node)
+        .ok_or_else(|| plan_err(format!("step {si}: node {} missing", step.node)))?;
+    let _span = step_span(step, node, exec);
+    let mut out_guard = arena
+        .get(step.out_slot)
+        .ok_or_else(|| plan_err(format!("step {si}: slot {} missing", step.out_slot)))?
+        .write()
+        .unwrap_or_else(PoisonError::into_inner);
+    let out = out_guard
+        .get_mut(..step.out_len)
+        .ok_or_else(|| plan_err(format!("slot {} under-allocated", step.out_slot)))?;
+
+    // Resolve operand read guards up front so their borrows span the
+    // arithmetic below. Reading a slot twice (e.g. `add(b, b)`) is
+    // fine — no writer can be queued on an operand slot while its
+    // value is live.
+    enum Operand<'a> {
+        Extern,
+        Arena(RwLockReadGuard<'a, Vec<f32>>, &'a PlanStep),
+    }
+    let mut operands = Vec::with_capacity(step.inputs.len());
+    for (k, srcref) in step.inputs.iter().enumerate() {
+        match srcref {
+            StepSource::Extern => operands.push(Operand::Extern),
+            StepSource::Step(i) => {
+                let st = steps
+                    .get(*i)
+                    .ok_or_else(|| plan_err(format!("operand step {i} missing")))?;
+                if st.out_slot == step.out_slot {
+                    return Err(plan_err(format!(
+                        "step {si} operand {k} aliases its output slot {}",
+                        step.out_slot
+                    )));
+                }
+                let guard = arena
+                    .get(st.out_slot)
+                    .ok_or_else(|| plan_err(format!("operand slot {} missing", st.out_slot)))?
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner);
+                operands.push(Operand::Arena(guard, st));
+            }
+        }
+    }
+    let src = |k: usize| -> Result<(&[f32], &[usize]), SparseModelError> {
+        match operands.get(k) {
+            Some(Operand::Extern) => {
+                let x = input.ok_or_else(|| {
+                    plan_err(format!("step {si} reads the extern input off the caller"))
+                })?;
+                Ok((x.as_slice(), x.shape()))
+            }
+            Some(Operand::Arena(guard, st)) => {
+                let buf = guard
+                    .get(..st.out_len)
+                    .ok_or_else(|| plan_err(format!("operand slot {} missing", st.out_slot)))?;
+                Ok((buf, st.out_shape.as_slice()))
+            }
+            None => Err(plan_err(format!(
+                "step for node {} lacks operand {k}",
+                step.node
+            ))),
+        }
+    };
+    match &node.op {
+        SparseOp::Conv { layer, bias } => {
+            let affine = match step.fused_affine {
+                Some(j) => match nodes.get(j).map(|n| &n.op) {
+                    Some(SparseOp::ChannelAffine { scale, shift }) => {
+                        Some((scale.as_slice(), shift.as_slice()))
+                    }
+                    _ => {
+                        return Err(plan_err(format!(
+                            "fused affine node {j} is not a channel affine"
+                        )))
+                    }
+                },
+                None => None,
+            };
+            let (x, xs) = src(0)?;
+            let epi = Epilogue {
+                affine,
+                act: step.fused_act.and_then(epilogue_act),
+            };
+            conv2d_pattern_sparse_into_with(x, xs, layer, Some(bias), &epi, out, exec)?;
+        }
+        SparseOp::ChannelAffine { scale, shift } => {
+            let (x, xs) = src(0)?;
+            channel_affine_into(x, xs, scale, shift, out);
+        }
+        SparseOp::Activation(kind) => {
+            let (x, _) = src(0)?;
+            let k = *kind;
+            for (o, &v) in out.iter_mut().zip(x.iter()) {
+                *o = eval_act(k, v);
+            }
+        }
+        SparseOp::MaxPool { k, stride, pad } => {
+            let (x, xs) = src(0)?;
+            maxpool2d_into(x, xs, *k, *stride, *pad, &step.out_shape, out);
+        }
+        SparseOp::Upsample2x => {
+            let (x, xs) = src(0)?;
+            upsample_nearest2x_into(x, xs, out);
+        }
+        SparseOp::Add => {
+            let (a, _) = src(0)?;
+            let (b, _) = src(1)?;
+            for ((o, &av), &bv) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+                *o = av + bv;
+            }
+        }
+        SparseOp::Concat => {
+            let mut parts = Vec::with_capacity(step.inputs.len());
+            for k in 0..step.inputs.len() {
+                parts.push(src(k)?);
+            }
+            concat_channels_into(&parts, &step.out_shape, out);
+        }
+        SparseOp::Input => {
+            return Err(plan_err("input node scheduled as a step".into()));
+        }
+    }
+    Ok(())
+}
+
+/// Best-fit free-slot lookup among slots whose previous tenant's last
+/// consumer sits in a level strictly below `level` (so a
+/// concurrently-live step can never claim the slot): index into `free`
+/// of the smallest eligible slot with capacity ≥ `len`, else the
+/// largest eligible slot (grown by the caller), else `None`.
+fn best_fit(free: &[(usize, usize)], caps: &[usize], len: usize, level: usize) -> Option<usize> {
     let mut fit: Option<(usize, usize)> = None; // (pos, cap)
     let mut largest: Option<(usize, usize)> = None;
-    for (pos, &slot) in free.iter().enumerate() {
+    for (pos, &(slot, freed_level)) in free.iter().enumerate() {
+        if freed_level >= level {
+            continue;
+        }
         let cap = caps[slot];
         if cap >= len && fit.is_none_or(|(_, c)| cap < c) {
             fit = Some((pos, cap));
@@ -1186,6 +1460,132 @@ mod tests {
         assert_eq!(planned[0].as_slice(), probe.as_slice());
         for (p, i) in planned.iter().zip(&interp) {
             assert_eq!(p.as_slice(), i.as_slice());
+        }
+    }
+
+    #[test]
+    fn levels_respect_data_dependencies_and_slot_disjointness() {
+        let mut m = yolov5s_twin(4, 2, 80).unwrap();
+        RTossPruner::new(EntryPattern::Two)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap();
+        let plan = engine.plan_for(&[1, 3, 32, 32]).unwrap();
+        let s = plan.summary_for(&engine);
+        // The PANet twin has independent branches: at least one level
+        // must hold ≥ 2 steps, or "graph-level parallelism" is vacuous.
+        let max_width = s
+            .steps
+            .iter()
+            .map(|st| s.steps.iter().filter(|o| o.level == st.level).count())
+            .max()
+            .unwrap();
+        assert!(max_width >= 2, "no level with independent steps");
+        for (i, st) in s.steps.iter().enumerate() {
+            // Every operand lives in a strictly earlier level.
+            for src in st.inputs.iter().flatten() {
+                assert!(
+                    s.steps[*src].level < st.level,
+                    "step {i} (level {}) reads step {src} (level {})",
+                    st.level,
+                    s.steps[*src].level
+                );
+            }
+        }
+        // Slot tenancy windows, in step order: a later tenant's level
+        // must be strictly greater than the deepest consuming level of
+        // the previous tenant (so they can never be concurrently live).
+        for slot in 0..s.slot_caps.len() {
+            let tenants: Vec<usize> = (0..s.steps.len())
+                .filter(|&i| s.steps[i].out_slot == slot)
+                .collect();
+            for pair in tenants.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                assert_ne!(s.steps[a].last_use, usize::MAX, "retained slot reused");
+                let mut end_level = s.steps[a].level;
+                for st in &s.steps {
+                    if st.inputs.iter().flatten().any(|src| *src == a) {
+                        end_level = end_level.max(st.level);
+                    }
+                }
+                assert!(
+                    end_level < s.steps[b].level,
+                    "slot {slot}: step {b} (level {}) claims it while step {a} \
+                     is still consumed at level {end_level}",
+                    s.steps[b].level
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_plan_is_bit_identical_to_serial_plan() {
+        // Force a real multi-worker pool so the level-parallel path is
+        // exercised even on a single-core host, then require bitwise
+        // equality against the serial schedule and the interpreter.
+        let pool = WorkerPool::new(3);
+        let mut m = yolov5s_twin(4, 2, 81).unwrap();
+        RTossPruner::new(EntryPattern::Three)
+            .prune_graph(&mut m.graph)
+            .unwrap();
+        let engine = SparseModel::compile(&m.graph).unwrap();
+        let plan = engine.plan_for(&[1, 3, 32, 32]).unwrap();
+        let probe = init::uniform(&mut init::rng(82), &[1, 3, 32, 32], -1.0, 1.0);
+        let serial = plan
+            .run_with_pool(&engine, &probe, &ExecConfig::serial(), &pool)
+            .unwrap();
+        let interp = engine
+            .forward_interpreted_with(&probe, &ExecConfig::serial())
+            .unwrap();
+        for threads in [2, 4, 8] {
+            for _rep in 0..3 {
+                let par = plan
+                    .run_with_pool(&engine, &probe, &ExecConfig::with_threads(threads), &pool)
+                    .unwrap();
+                assert_eq!(par.len(), serial.len());
+                for ((p, s), i) in par.iter().zip(&serial).zip(&interp) {
+                    assert_eq!(p.shape(), s.shape());
+                    let pb: Vec<u32> = p.as_slice().iter().map(|v| v.to_bits()).collect();
+                    let sb: Vec<u32> = s.as_slice().iter().map(|v| v.to_bits()).collect();
+                    let ib: Vec<u32> = i.as_slice().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(pb, sb, "parallel ({threads} threads) != serial plan");
+                    assert_eq!(pb, ib, "parallel ({threads} threads) != interpreter");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_plan_handles_tapped_outputs_and_concat() {
+        // Branchy graph with a retained intermediate output, executed
+        // wide: exercises extern-reading steps on the caller, pooled
+        // chunks, and the read-locked shared-output copy path.
+        let pool = WorkerPool::new(2);
+        let mut g = Graph::new();
+        let x = g.add_input("x");
+        let a = g
+            .add_layer("a", Box::new(Conv2d::new(3, 4, 3, 1, 1, 90)), x)
+            .unwrap();
+        let b = g
+            .add_layer("b", Box::new(Conv2d::new(3, 6, 3, 1, 1, 91)), x)
+            .unwrap();
+        let c = g.add_concat("c", vec![a, b]).unwrap();
+        let d = g
+            .add_layer("d", Box::new(Conv2d::new(10, 4, 3, 1, 1, 92)), c)
+            .unwrap();
+        g.set_outputs(vec![a, d, a]).unwrap();
+        let engine = SparseModel::compile(&g).unwrap();
+        let plan = engine.plan_for(&[1, 3, 8, 8]).unwrap();
+        let probe = init::uniform(&mut init::rng(93), &[1, 3, 8, 8], -1.0, 1.0);
+        let serial = plan
+            .run_with_pool(&engine, &probe, &ExecConfig::serial(), &pool)
+            .unwrap();
+        let par = plan
+            .run_with_pool(&engine, &probe, &ExecConfig::with_threads(4), &pool)
+            .unwrap();
+        assert_eq!(serial.len(), 3);
+        for (p, s) in par.iter().zip(&serial) {
+            assert_eq!(p.as_slice(), s.as_slice());
         }
     }
 }

@@ -32,8 +32,10 @@ mod tensor;
 pub mod exec;
 pub mod init;
 pub mod ops;
+pub mod pool;
 
 pub use error::TensorError;
 pub use exec::{Epilogue, EpilogueAct, ExecConfig};
+pub use pool::{BatchHandle, PoolTask, WorkerPool};
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -39,6 +39,8 @@ pub const NAMES: &[&str] = &[
     "plan-schedule",
     "plan-arena",
     "plan-fused",
+    "plan-level-dep",
+    "plan-level-alias",
     "fleet-ring",
     "fleet-tier",
     "fleet-quota",
@@ -62,6 +64,8 @@ pub fn run(name: &str) -> Option<Report> {
         "plan-schedule" => Some(plan_schedule_fixture()),
         "plan-arena" => Some(plan_arena_fixture()),
         "plan-fused" => Some(plan_fused_fixture()),
+        "plan-level-dep" => Some(plan_level_dep_fixture()),
+        "plan-level-alias" => Some(plan_level_alias_fixture()),
         "fleet-ring" => Some(fleet_ring_fixture()),
         "fleet-tier" => Some(fleet_tier_fixture()),
         "fleet-quota" => Some(fleet_quota_fixture()),
@@ -86,6 +90,8 @@ pub fn expected_code(name: &str) -> Option<&'static str> {
         "plan-schedule" => Some("RV050"),
         "plan-arena" => Some("RV051"),
         "plan-fused" => Some("RV052"),
+        "plan-level-dep" => Some("RV054"),
+        "plan-level-alias" => Some("RV054"),
         "fleet-ring" => Some("RV060"),
         "fleet-tier" => Some("RV061"),
         "fleet-quota" => Some("RV062"),
@@ -413,6 +419,68 @@ pub fn plan_fused_fixture() -> Report {
         "fixture plan (single-ulp drift)",
         &planned,
         &interpreted,
+    ));
+    report
+}
+
+/// Level dependencies: a branch conv is pulled down into its
+/// producer's dependency level, so the parallel executor would start
+/// it while the stem is still being written (RV054).
+pub fn plan_level_dep_fixture() -> Report {
+    let engine = plan_fixture_engine();
+    let mut summary = engine
+        .plan_summary(&[1, 3, 8, 8])
+        .expect("plan compiles for the fixture engine");
+    let (i, j) = summary
+        .steps
+        .iter()
+        .enumerate()
+        .find_map(|(i, st)| st.inputs.iter().flatten().next().map(|j| (i, *j)))
+        .expect("fixture engine has step-to-step deps");
+    summary.steps[i].level = summary.steps[j].level;
+    let mut report = Report::new();
+    report.extend(crate::plan::check_plan_levels(
+        "fixture plan (dep-violating level)",
+        &summary,
+    ));
+    report
+}
+
+/// Concurrently-live slot alias: in `x → a → b` / `x → c` (both `b`
+/// and `c` retained), `c` is rewired to write `a`'s slot. The serial
+/// index rule is satisfied — `a`'s last use (step 1) precedes `c`
+/// (step 2) — but `c` sits in level 0 while `b` consumes `a` in level
+/// 1, so a parallel run could overwrite `a` mid-read. Exactly the
+/// aliasing only the level rule can see (RV054).
+pub fn plan_level_alias_fixture() -> Report {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let a = g
+        .add_layer("a", Box::new(Conv2d::new(3, 4, 3, 1, 1, 0xB0)), x)
+        .expect("valid node");
+    let b = g
+        .add_layer("b", Box::new(Conv2d::new(4, 4, 3, 1, 1, 0xB1)), a)
+        .expect("valid node");
+    let c = g
+        .add_layer("c", Box::new(Conv2d::new(3, 4, 3, 1, 1, 0xB2)), x)
+        .expect("valid node");
+    g.set_outputs(vec![b, c]).expect("valid outputs");
+    let engine = rtoss_sparse::SparseModel::compile(&g).expect("engine compiles");
+    let mut summary = engine
+        .plan_summary(&[1, 3, 8, 8])
+        .expect("plan compiles for the fixture engine");
+    summary.steps[2].out_slot = summary.steps[0].out_slot;
+    // The serial arena rule does not object to this rewrite: a's last
+    // use (index 1) is strictly before c (index 2).
+    let serial_overlaps = crate::plan::check_plan_arena("fixture plan", &summary)
+        .iter()
+        .filter(|d| d.message.contains("lifetimes overlap"))
+        .count();
+    debug_assert_eq!(serial_overlaps, 0, "RV051 index rule should accept this");
+    let mut report = Report::new();
+    report.extend(crate::plan::check_plan_levels(
+        "fixture plan (concurrently-live slot alias)",
+        &summary,
     ));
     report
 }

@@ -44,7 +44,8 @@
 //! | RV044 | trace  | exposition bucket counts round-trip against the metrics snapshot |
 //! | RV050 | plan   | schedule topological; liveness forward; outputs retained |
 //! | RV051 | plan   | arena slot lifetimes disjoint; capacities cover tenants; byte accounting consistent |
-//! | RV052 | plan   | planned (fused, arena) forward bit-identical to the interpreter |
+//! | RV052 | plan   | planned (fused, arena) forward bit-identical to the interpreter, serial and level-parallel |
+//! | RV054 | plan   | levelled schedule respects data deps; arena slots disjoint across concurrently-live steps |
 //! | RV060 | fleet  | routing ring covers every replica; points sorted; routing deterministic |
 //! | RV061 | fleet  | degradation controller band well-formed; tier monotone in sustained pressure; recovers to dense |
 //! | RV062 | fleet  | tenant ledger conserved: offered == admitted + throttled + shed; routing covers admitted |
@@ -73,7 +74,8 @@ pub use fleet::{check_fleet_ledger, check_fleet_replicas, check_hash_ring, check
 pub use lint::{lint_paths, lint_source};
 pub use model::check_model;
 pub use plan::{
-    check_execution_plan, check_outputs_bit_identical, check_plan_arena, check_plan_schedule,
+    check_execution_plan, check_outputs_bit_identical, check_plan_arena, check_plan_levels,
+    check_plan_schedule,
 };
 pub use sparse::{check_pattern_layer, check_sparse_model, check_unstructured_layer};
 pub use trace::{check_prometheus, check_prometheus_snapshot, check_trace, check_trace_json};

@@ -1,10 +1,12 @@
 //! Execution-plan checks: schedule validity, arena slot-lifetime
-//! disjointness, and fused/unfused bit-identity (RV050/RV051/RV052).
+//! disjointness, fused/unfused bit-identity, and level-parallel
+//! soundness (RV050/RV051/RV052/RV054).
 //!
 //! The plan compiler in `rtoss-sparse` turns a [`SparseModel`] into a
-//! static schedule with a reusable buffer arena and fused conv
-//! epilogues. Three things can silently go wrong with such a compiler,
-//! and each gets its own registry code:
+//! static schedule with a reusable buffer arena, fused conv epilogues,
+//! and a dependency-levelled parallel schedule. Four things can
+//! silently go wrong with such a compiler, and each gets its own
+//! registry code:
 //!
 //! - **RV050 — schedule validity.** Every step must read only earlier
 //!   steps (or the extern input), liveness must point forward, and
@@ -20,15 +22,24 @@
 //! - **RV052 — planned ≡ interpreted.** Epilogue fusion and arena
 //!   execution must be **bit-identical** to the per-node interpreter;
 //!   closeness is not enough, because serving dedup/caching layers
-//!   compare outputs exactly.
+//!   compare outputs exactly. [`check_execution_plan`] also forces a
+//!   multi-worker pool so the level-parallel executor is exercised and
+//!   bit-compared against the serial plan even on a single-core host.
+//! - **RV054 — level-parallel soundness.** Every step's operands must
+//!   sit in strictly earlier dependency levels (the levelled schedule
+//!   respects all data deps), and two tenants of one arena slot may
+//!   never be concurrently live: the earlier tenant's deepest
+//!   consuming level must lie strictly below the later tenant's level.
+//!   A violation means the parallel executor could race a read against
+//!   a write — the serial index rule (RV051) alone cannot see this.
 //!
-//! [`check_execution_plan`] runs all three against a live engine;
-//! the `plan-schedule` / `plan-arena` / `plan-fused` fixtures prove
-//! each check can fire.
+//! [`check_execution_plan`] runs all four against a live engine; the
+//! `plan-schedule` / `plan-arena` / `plan-fused` / `plan-level-dep` /
+//! `plan-level-alias` fixtures prove each check can fire.
 
 use crate::diag::{Diagnostic, Report};
 use rtoss_sparse::{ExecConfig, PlanSummary, SparseModel};
-use rtoss_tensor::Tensor;
+use rtoss_tensor::{Tensor, WorkerPool};
 
 /// Checks schedule validity (RV050) of a plan summary: topological
 /// operand references, forward-pointing liveness, and output steps that
@@ -201,6 +212,77 @@ pub fn check_plan_arena(location: &str, s: &PlanSummary) -> Vec<Diagnostic> {
     out
 }
 
+/// Checks level-parallel soundness (RV054) of a plan summary: the
+/// dependency-levelled schedule respects every data dependency (each
+/// operand's level is strictly below its consumer's), and arena slots
+/// are disjoint across concurrently-live steps — consecutive tenants
+/// of a slot must be separated by a level barrier, not just by step
+/// index.
+pub fn check_plan_levels(location: &str, s: &PlanSummary) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Deepest consuming level per step; MAX for retained outputs,
+    // which stay live to the end of the run.
+    let mut end_level: Vec<usize> = s.steps.iter().map(|st| st.level).collect();
+    for (i, step) in s.steps.iter().enumerate() {
+        for (k, src) in step.inputs.iter().enumerate() {
+            let Some(j) = src else { continue };
+            let Some(op) = s.steps.get(*j) else {
+                // Out-of-range operands are RV050's finding; skip here.
+                continue;
+            };
+            if op.level >= step.level {
+                out.push(Diagnostic::error(
+                    "RV054",
+                    location,
+                    format!(
+                        "step {i} ({}, level {}) operand {k} reads step {j} ({}, level {}): \
+                         operands must sit in strictly earlier levels or the parallel \
+                         executor may read them mid-write",
+                        step.name, step.level, op.name, op.level
+                    ),
+                ));
+            }
+            end_level[*j] = end_level[*j].max(step.level);
+        }
+    }
+    for (i, step) in s.steps.iter().enumerate() {
+        if step.last_use == usize::MAX {
+            end_level[i] = usize::MAX;
+        }
+    }
+    let mut tenants: Vec<Vec<usize>> = vec![Vec::new(); s.slot_caps.len()];
+    for (i, step) in s.steps.iter().enumerate() {
+        if let Some(t) = tenants.get_mut(step.out_slot) {
+            t.push(i);
+        }
+    }
+    for (slot, steps_in_slot) in tenants.iter().enumerate() {
+        for pair in steps_in_slot.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if end_level[a] == usize::MAX || end_level[a] >= s.steps[b].level {
+                out.push(Diagnostic::error(
+                    "RV054",
+                    location,
+                    format!(
+                        "slot {slot}: step {b} ({}, level {}) claims it while step {a} ({}) \
+                         is still consumed at level {} — the two can be concurrently live, \
+                         so a parallel run could overwrite data another level still reads",
+                        s.steps[b].name,
+                        s.steps[b].level,
+                        s.steps[a].name,
+                        if end_level[a] == usize::MAX {
+                            "end-of-run".to_string()
+                        } else {
+                            end_level[a].to_string()
+                        }
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Checks that two output sets are **bit-identical** (RV052): same
 /// count, same shapes, every `f32` equal as bits. Used to prove the
 /// planned (fused, arena-backed) forward pass equals the interpreter.
@@ -264,9 +346,14 @@ pub fn check_outputs_bit_identical(
 }
 
 /// Runs the full RV05x family against a live engine: compiles a plan
-/// for `input`'s shape, checks the schedule (RV050) and arena (RV051),
-/// then executes the planned and interpreted forward passes at each
-/// thread count in `threads` and proves them bit-identical (RV052).
+/// for `input`'s shape, checks the schedule (RV050), arena (RV051),
+/// and levelled parallel schedule (RV054), then executes the planned
+/// and interpreted forward passes at each thread count in `threads`
+/// and proves them bit-identical (RV052). The planned pass runs twice
+/// per thread count — once through the public entry (process-global
+/// pool) and once against a forced 3-worker pool — so the
+/// level-parallel executor is exercised and bit-compared against the
+/// serial plan even on a single-core host.
 pub fn check_execution_plan(model: &SparseModel, input: &Tensor, threads: &[usize]) -> Report {
     let mut report = Report::new();
     let shape = input.shape();
@@ -284,6 +371,11 @@ pub fn check_execution_plan(model: &SparseModel, input: &Tensor, threads: &[usiz
     };
     report.extend(check_plan_schedule(&loc, &summary));
     report.extend(check_plan_arena(&loc, &summary));
+    report.extend(check_plan_levels(&loc, &summary));
+    let forced = WorkerPool::new(3);
+    let serial = model
+        .plan_for(shape)
+        .and_then(|p| p.run_with_pool(model, input, &ExecConfig::serial(), &forced));
     for &t in threads {
         let exec = ExecConfig::with_threads(t);
         let tloc = format!("plan{shape:?} threads={t}");
@@ -302,6 +394,23 @@ pub fn check_execution_plan(model: &SparseModel, input: &Tensor, threads: &[usiz
                 "RV052",
                 tloc,
                 format!("interpreted forward failed: {e}"),
+            )),
+        }
+        let ploc = format!("plan{shape:?} threads={t} forced-pool");
+        let parallel = model
+            .plan_for(shape)
+            .and_then(|p| p.run_with_pool(model, input, &exec, &forced));
+        match (&serial, parallel) {
+            (Ok(s), Ok(p)) => report.extend(check_outputs_bit_identical(&ploc, &p, s)),
+            (Err(e), _) => report.push(Diagnostic::error(
+                "RV052",
+                ploc,
+                format!("serial planned forward failed: {e}"),
+            )),
+            (_, Err(e)) => report.push(Diagnostic::error(
+                "RV052",
+                ploc,
+                format!("parallel planned forward failed: {e}"),
             )),
         }
     }
@@ -350,6 +459,44 @@ mod tests {
         s.slot_caps[slot] = s.steps[0].out_len.saturating_sub(1);
         let diags = check_plan_arena("corrupt", &s);
         assert!(diags.iter().any(|d| d.code == "RV051"), "{diags:?}");
+    }
+
+    #[test]
+    fn dep_violating_level_fires_rv054() {
+        let engine = engine();
+        let mut s = engine.plan_summary(&[1, 3, 32, 32]).expect("plans");
+        assert!(check_plan_levels("clean", &s).is_empty());
+        // Pull a consumer down into its operand's level: the levelled
+        // schedule would start both concurrently.
+        let (i, j) = s
+            .steps
+            .iter()
+            .enumerate()
+            .find_map(|(i, st)| st.inputs.iter().flatten().next().map(|j| (i, *j)))
+            .expect("twin has step-to-step deps");
+        s.steps[i].level = s.steps[j].level;
+        let diags = check_plan_levels("corrupt", &s);
+        assert!(diags.iter().any(|d| d.code == "RV054"), "{diags:?}");
+    }
+
+    #[test]
+    fn concurrently_live_slot_alias_fires_rv054() {
+        let engine = engine();
+        let mut s = engine.plan_summary(&[1, 3, 32, 32]).expect("plans");
+        // Find a slot with two tenants and make the earlier one
+        // retained: its lifetime now spans the later tenant's level,
+        // so the two could be concurrently live.
+        let mut tenants: std::collections::HashMap<usize, Vec<usize>> = Default::default();
+        for (i, st) in s.steps.iter().enumerate() {
+            tenants.entry(st.out_slot).or_default().push(i);
+        }
+        let pair = tenants
+            .values()
+            .find(|t| t.len() >= 2)
+            .expect("twin plan reuses a slot");
+        s.steps[pair[0]].last_use = usize::MAX;
+        let diags = check_plan_levels("corrupt", &s);
+        assert!(diags.iter().any(|d| d.code == "RV054"), "{diags:?}");
     }
 
     #[test]
