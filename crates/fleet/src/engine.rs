@@ -89,14 +89,17 @@ impl TieredEngine {
 
     /// Index of the tier new batches currently execute on.
     pub fn current_tier(&self) -> usize {
-        self.current.load(Ordering::Relaxed)
+        // Acquire pairs with the Release in `set_tier`/`hot_swap` so a
+        // reader acting on the published index also sees the tier state
+        // written before it.
+        self.current.load(Ordering::Acquire)
     }
 
     /// Sets the serving tier (clamped to the valid range). Batches
     /// already executing finish on their old tier.
     pub fn set_tier(&self, level: usize) {
         self.current
-            .store(level.min(self.tiers.len() - 1), Ordering::Relaxed);
+            .store(level.min(self.tiers.len() - 1), Ordering::Release);
     }
 
     /// `(name, mAP estimate, batches, frames)` served per tier so far.

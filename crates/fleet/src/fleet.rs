@@ -311,11 +311,13 @@ impl Fleet {
             return Err(FleetError::Throttled);
         }
 
-        // Route: hash affinity, spilling off an overloaded replica.
-        let affine = self
-            .ring
-            .route(stream_key)
-            .expect("ring has >= 1 replica with >= 1 vnode");
+        // Route: hash affinity, spilling off an overloaded replica. A
+        // ring with no routable vnode degrades to least-outstanding
+        // rather than panicking mid-request.
+        let affine = match self.ring.route(stream_key) {
+            Some(replica) => replica,
+            None => self.least_outstanding(),
+        };
         let affine_frac = self.depth_frac(affine);
         let (replica, spilled) = if affine_frac >= self.spill_threshold {
             let least = self.least_outstanding();
@@ -512,7 +514,7 @@ impl Fleet {
     }
 
     fn stop_controller(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.controller.take() {
             let _ = h.join();
         }
@@ -573,7 +575,7 @@ fn spawn_controller(
             .collect();
         // Per-replica (completed, deadline_missed) at the previous tick.
         let mut last: Vec<(u64, u64)> = probes.iter().map(|_| (0, 0)).collect();
-        while !stop.load(Ordering::Relaxed) {
+        while !stop.load(Ordering::Acquire) {
             std::thread::sleep(interval);
             let now = Instant::now();
             for (i, probe) in probes.iter().enumerate() {

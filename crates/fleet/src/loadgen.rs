@@ -130,7 +130,10 @@ pub fn run_fleet_open_loop(
         }
         let stream = rng.gen_range(0..chosen.streams.max(1));
         let key = format!("{}/stream-{stream}", chosen.id);
-        let outcome = tenants.get_mut(&chosen.id).expect("mix tenant registered");
+        let Some(outcome) = tenants.get_mut(&chosen.id) else {
+            tickets.push(None);
+            continue;
+        };
         outcome.offered += 1;
         match fleet.submit(&chosen.id, &key, make_input(i), None) {
             Ok(ticket) => tickets.push(Some((chosen.id.clone(), ticket))),
@@ -147,7 +150,9 @@ pub fn run_fleet_open_loop(
 
     let mut latencies_ms: Vec<f64> = Vec::new();
     for (tenant, ticket) in tickets.into_iter().flatten() {
-        let outcome = tenants.get_mut(&tenant).expect("tenant registered");
+        let Some(outcome) = tenants.get_mut(&tenant) else {
+            continue;
+        };
         match ticket.wait() {
             Ok(resp) => {
                 outcome.completed += 1;

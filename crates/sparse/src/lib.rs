@@ -46,5 +46,5 @@ pub use format::{
     FormatViolation, PatternCompressedConv, PatternGroup, SparseFormatError, UnstructuredSparseConv,
 };
 pub use model::{SparseModel, SparseModelError};
-pub use plan::{ExecutionPlan, PlanSummary, StepSummary};
+pub use plan::{ExecutionPlan, LevelDeal, LevelSchedule, PlanSummary, StepSummary};
 pub use rtoss_tensor::exec::ExecConfig;

@@ -377,6 +377,31 @@ impl SparseModel {
         self.stored_weights
     }
 
+    /// Per-node `(kind, input node indices)` in node order — the
+    /// engine's data-dependency skeleton. Exposed so `rtoss-verify`'s
+    /// RV070 happens-before analysis can reconstruct, independently of
+    /// the plan compiler, which operand edges a compiled plan *must*
+    /// have, and flag any the plan dropped.
+    pub fn node_deps(&self) -> Vec<(&'static str, Vec<usize>)> {
+        self.nodes
+            .iter()
+            .map(|n| (n.kind(), n.inputs.clone()))
+            .collect()
+    }
+
+    /// Declared output node indices, in output order.
+    pub fn output_nodes(&self) -> &[usize] {
+        &self.outputs
+    }
+
+    /// Per-node consumer count (occurrences in later nodes' input lists
+    /// plus occurrences in the output list) — what the plan compiler's
+    /// sole-consumer fusion test reads, exposed so verification can
+    /// re-derive the same fusion decisions.
+    pub fn node_uses(&self) -> &[usize] {
+        &self.uses
+    }
+
     /// The compiled sparse convolution layers, as `(node_index, layer)`
     /// pairs in topological order. Exposed so `rtoss-verify` can check
     /// the exact artifacts the engine will execute.

@@ -62,6 +62,7 @@ use rtoss_tensor::exec::{Epilogue, ExecConfig};
 use rtoss_tensor::ops::out_extent;
 use rtoss_tensor::pool::{PoolTask, WorkerPool};
 use rtoss_tensor::{Tensor, TensorError};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard};
 
 /// Arenas kept for reuse across runs; above this the extras are freed.
@@ -171,6 +172,98 @@ pub struct PlanSummary {
     /// Bytes the keep-everything interpreter would retain (Σ step
     /// outputs) — the pre-plan baseline.
     pub retained_bytes: u64,
+}
+
+/// One dependency level's lane assignment at a given width; produced
+/// by [`PlanSummary::level_schedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelDeal {
+    /// Steps the caller lane runs in order: the extern-reading steps
+    /// that must stay on the caller (the input tensor is borrowed),
+    /// then the caller's own chunk of pooled steps.
+    pub caller: Vec<usize>,
+    /// Chunks handed to pool workers; each inner vec is one task whose
+    /// steps run sequentially on whichever worker claims it.
+    pub pooled: Vec<Vec<usize>>,
+}
+
+/// The caller/worker lane structure [`ExecutionPlan::run_with_pool`]
+/// executes at a given width, reconstructed from a [`PlanSummary`].
+/// Lanes of one level are mutually unordered (they run concurrently);
+/// consecutive levels are separated by a full barrier. This is the
+/// happens-before skeleton `rtoss-verify`'s RV070 race analysis checks
+/// conflicting arena-slot accesses against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSchedule {
+    /// Execution width the dealing was computed for.
+    pub width: usize,
+    /// Per dependency level, in barrier order.
+    pub levels: Vec<LevelDeal>,
+}
+
+/// Deals one dependency level across execution lanes exactly as
+/// [`ExecutionPlan::run_with_pool`] does: steps reading the borrowed
+/// extern input stay on the caller, the rest ("pooled") are dealt
+/// round-robin into at most `width` chunks of which chunk 0 also runs
+/// on the caller. Levels too small to fan out run entirely on the
+/// caller. Returns `(caller_steps, worker_chunks)`; both the runner
+/// and [`PlanSummary::level_schedule`] call this, so the analysed and
+/// the executed lane structure cannot drift.
+fn deal_level(level: &[usize], is_pooled: &dyn Fn(usize) -> bool, width: usize) -> LevelDeal {
+    let pooled: Vec<usize> = level.iter().copied().filter(|&si| is_pooled(si)).collect();
+    if width < 2 || level.len() < 2 || pooled.len() < 2 {
+        // Nothing to fan out (or only one off-caller step):
+        // synchronisation would cost more than it buys.
+        return LevelDeal {
+            caller: level.to_vec(),
+            pooled: Vec::new(),
+        };
+    }
+    let n_chunks = width.min(pooled.len());
+    let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); n_chunks];
+    for (k, &si) in pooled.iter().enumerate() {
+        chunks[k % n_chunks].push(si);
+    }
+    let mut caller: Vec<usize> = level
+        .iter()
+        .copied()
+        .filter(|si| !pooled.contains(si))
+        .collect();
+    caller.extend(chunks.remove(0));
+    LevelDeal {
+        caller,
+        pooled: chunks,
+    }
+}
+
+impl PlanSummary {
+    /// Step indices grouped by dependency level, each group in schedule
+    /// order — the barrier structure the level-parallel runner walks.
+    /// Groups are keyed by the *distinct* level values present, so a
+    /// corrupted summary with gapped levels still yields a finite,
+    /// ordered grouping.
+    pub fn level_groups(&self) -> Vec<Vec<usize>> {
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            groups.entry(s.level).or_default().push(i);
+        }
+        groups.into_values().collect()
+    }
+
+    /// The exact lane assignment [`ExecutionPlan::run_with_pool`]
+    /// executes at `width` (clamped to ≥ 1): shares the dealing logic
+    /// with the runner itself. Width 1 puts every level entirely on
+    /// the caller, matching the runner's serial path.
+    pub fn level_schedule(&self, width: usize) -> LevelSchedule {
+        let width = width.max(1);
+        let is_pooled = |si: usize| self.steps[si].inputs.iter().all(|src| src.is_some());
+        let levels = self
+            .level_groups()
+            .iter()
+            .map(|level| deal_level(level, &is_pooled, width))
+            .collect();
+        LevelSchedule { width, levels }
+    }
 }
 
 /// A [`SparseModel`] compiled for one input shape: validated schedule,
@@ -712,39 +805,27 @@ impl ExecutionPlan {
         step_exec: &ExecConfig,
     ) -> Result<(), SparseModelError> {
         for level in &self.levels {
-            let pooled: Vec<usize> = level
-                .iter()
-                .copied()
-                .filter(|&si| {
-                    self.steps[si]
-                        .inputs
-                        .iter()
-                        .all(|src| !matches!(src, StepSource::Extern))
-                })
-                .collect();
-            if level.len() < 2 || pooled.len() < 2 {
-                // Nothing to fan out (or only one off-caller step):
-                // synchronisation would cost more than it buys.
-                for &si in level {
+            let is_pooled = |si: usize| {
+                self.steps[si]
+                    .inputs
+                    .iter()
+                    .all(|src| !matches!(src, StepSource::Extern))
+            };
+            let deal = deal_level(level, &is_pooled, width);
+            if deal.pooled.is_empty() {
+                for &si in &deal.caller {
                     exec_step(&self.steps, &model.nodes, si, Some(input), arena, step_exec)?;
                 }
                 continue;
             }
-            // Deal pooled steps round-robin into at most `width`
-            // chunks; chunk 0 runs on the caller.
-            let n_chunks = width.min(pooled.len());
-            let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); n_chunks];
-            for (k, &si) in pooled.iter().enumerate() {
-                chunks[k % n_chunks].push(si);
-            }
             let first_err: Arc<Mutex<Option<SparseModelError>>> = Arc::new(Mutex::new(None));
-            let tasks: Vec<PoolTask> = chunks[1..]
-                .iter()
+            let tasks: Vec<PoolTask> = deal
+                .pooled
+                .into_iter()
                 .map(|chunk| {
                     let steps = Arc::clone(&self.steps);
                     let nodes = Arc::clone(&model.nodes);
                     let arena = Arc::clone(arena);
-                    let chunk = chunk.clone();
                     let first_err = Arc::clone(&first_err);
                     let step_exec = *step_exec;
                     Box::new(move || {
@@ -764,11 +845,7 @@ impl ExecutionPlan {
                 .collect();
             let batch = pool.submit(tasks);
             let mut caller_err: Option<SparseModelError> = None;
-            let on_caller = level
-                .iter()
-                .filter(|si| !pooled.contains(si))
-                .chain(&chunks[0]);
-            for &si in on_caller {
+            for &si in &deal.caller {
                 if let Err(e) =
                     exec_step(&self.steps, &model.nodes, si, Some(input), arena, step_exec)
                 {

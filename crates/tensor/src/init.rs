@@ -32,27 +32,31 @@ pub fn rng(seed: u64) -> ChaCha8Rng {
 pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
     assert!(lo < hi, "uniform: lo {lo} must be < hi {hi}");
     let dist = Uniform::new(lo, hi);
-    let shape: Vec<usize> = dims.to_vec();
-    let n: usize = shape.iter().product();
-    let data: Vec<f32> = (0..n).map(|_| dist.sample(rng)).collect();
-    Tensor::from_vec(data, dims).expect("uniform: internal shape/data invariant")
+    let mut t = Tensor::zeros(dims);
+    for v in t.as_mut_slice() {
+        *v = dist.sample(rng);
+    }
+    t
 }
 
 /// Tensor with elements drawn from a normal distribution via Box–Muller.
 pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
-    let n: usize = dims.iter().product();
-    let mut data = Vec::with_capacity(n);
-    while data.len() < n {
+    let mut t = Tensor::zeros(dims);
+    let data = t.as_mut_slice();
+    let mut i = 0;
+    while i < data.len() {
         let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
         let u2: f32 = rng.gen_range(0.0..1.0);
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
-        data.push(mean + std * r * theta.cos());
-        if data.len() < n {
-            data.push(mean + std * r * theta.sin());
+        data[i] = mean + std * r * theta.cos();
+        i += 1;
+        if i < data.len() {
+            data[i] = mean + std * r * theta.sin();
+            i += 1;
         }
     }
-    Tensor::from_vec(data, dims).expect("normal: internal shape/data invariant")
+    t
 }
 
 /// Kaiming (He) uniform initialisation for a conv weight `(O, I, kH, kW)`

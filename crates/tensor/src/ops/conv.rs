@@ -8,6 +8,7 @@
 use super::matmul::{matmul, matmul_transpose_a, matmul_transpose_b};
 use crate::exec::{run_tiles, ExecConfig};
 use crate::{Tensor, TensorError};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Output spatial extent for one dimension: `(input + 2·pad − kernel) /
 /// stride + 1`, or `None` when the kernel does not fit the padded input
@@ -256,8 +257,11 @@ pub fn conv2d_with(
     let img_elems = c * h * wd;
     let out_plane = oh * ow;
     let threads = exec.threads.max(1);
-    if threads == 1 {
-        // Serial path: one im2col buffer live at a time.
+    // Serial body: one im2col buffer live at a time. Also the fallback
+    // when a parallel tile fails — tile closures cannot return errors,
+    // so a poisoned parallel run is redone here where the `?`s surface
+    // the precise failure.
+    let serial = |out: &mut [f32]| -> Result<(), TensorError> {
         for ni in 0..n {
             let img = Tensor::from_vec(
                 x.as_slice()[ni * img_elems..(ni + 1) * img_elems].to_vec(),
@@ -275,54 +279,78 @@ pub fn conv2d_with(
                 }
             }
         }
+        Ok(())
+    };
+    if threads == 1 {
+        serial(&mut out)?;
         return Tensor::from_vec(out, &[n, o, oh, ow]);
     }
 
     // Parallel path. Phase 1: unfold every image (one tile per image).
+    let poisoned = AtomicBool::new(false);
     let mut cols: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
     {
         let col_tiles: Vec<(usize, &mut Option<Tensor>)> = cols.iter_mut().enumerate().collect();
         run_tiles(col_tiles, threads, |(ni, slot)| {
-            let img = Tensor::from_vec(
+            let Ok(img) = Tensor::from_vec(
                 x.as_slice()[ni * img_elems..(ni + 1) * img_elems].to_vec(),
                 &[c, h, wd],
-            )
-            .expect("geometry validated");
-            *slot = Some(im2col(&img, kh, kw, stride, pad).expect("geometry validated"));
+            ) else {
+                poisoned.store(true, Ordering::Release);
+                return;
+            };
+            match im2col(&img, kh, kw, stride, pad) {
+                Ok(c) => *slot = Some(c),
+                Err(_) => poisoned.store(true, Ordering::Release),
+            }
         });
     }
-    // Phase 2: (batch, out-channel-block) tiles over the output buffer.
-    // Splitting wmat by rows never changes any element's accumulation
-    // order, so every thread count produces the same bits.
-    let blocks_per_img = threads.div_ceil(n.max(1)).min(o).max(1);
-    let rows_per_block = o.div_ceil(blocks_per_img).max(1);
-    let wd_mat = wmat.as_slice();
-    let krows = c * kh * kw;
-    let mut tiles: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(n * blocks_per_img);
-    for (ni, img_out) in out.chunks_mut(o * out_plane).enumerate() {
-        for (bi, block) in img_out.chunks_mut(rows_per_block * out_plane).enumerate() {
-            tiles.push((ni, bi * rows_per_block, block));
-        }
-    }
-    run_tiles(tiles, threads, |(ni, oc0, block)| {
-        let rows = block.len() / out_plane;
-        let wblock = Tensor::from_vec(
-            wd_mat[oc0 * krows..(oc0 + rows) * krows].to_vec(),
-            &[rows, krows],
-        )
-        .expect("geometry validated");
-        let cols = cols[ni].as_ref().expect("unfolded in phase 1");
-        let y = matmul(&wblock, cols).expect("geometry validated");
-        block.copy_from_slice(y.as_slice());
-        if let Some(b) = bias {
-            for r in 0..rows {
-                let bo = b[oc0 + r];
-                for v in &mut block[r * out_plane..(r + 1) * out_plane] {
-                    *v += bo;
-                }
+    if !poisoned.load(Ordering::Acquire) {
+        // Phase 2: (batch, out-channel-block) tiles over the output
+        // buffer. Splitting wmat by rows never changes any element's
+        // accumulation order, so every thread count produces the same
+        // bits.
+        let blocks_per_img = threads.div_ceil(n.max(1)).min(o).max(1);
+        let rows_per_block = o.div_ceil(blocks_per_img).max(1);
+        let wd_mat = wmat.as_slice();
+        let krows = c * kh * kw;
+        let mut tiles: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(n * blocks_per_img);
+        for (ni, img_out) in out.chunks_mut(o * out_plane).enumerate() {
+            for (bi, block) in img_out.chunks_mut(rows_per_block * out_plane).enumerate() {
+                tiles.push((ni, bi * rows_per_block, block));
             }
         }
-    });
+        run_tiles(tiles, threads, |(ni, oc0, block)| {
+            let rows = block.len() / out_plane;
+            let Ok(wblock) = Tensor::from_vec(
+                wd_mat[oc0 * krows..(oc0 + rows) * krows].to_vec(),
+                &[rows, krows],
+            ) else {
+                poisoned.store(true, Ordering::Release);
+                return;
+            };
+            let Some(cols) = cols[ni].as_ref() else {
+                poisoned.store(true, Ordering::Release);
+                return;
+            };
+            let Ok(y) = matmul(&wblock, cols) else {
+                poisoned.store(true, Ordering::Release);
+                return;
+            };
+            block.copy_from_slice(y.as_slice());
+            if let Some(b) = bias {
+                for r in 0..rows {
+                    let bo = b[oc0 + r];
+                    for v in &mut block[r * out_plane..(r + 1) * out_plane] {
+                        *v += bo;
+                    }
+                }
+            }
+        });
+    }
+    if poisoned.load(Ordering::Acquire) {
+        serial(&mut out)?;
+    }
     Tensor::from_vec(out, &[n, o, oh, ow])
 }
 

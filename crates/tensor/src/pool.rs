@@ -27,9 +27,50 @@ use crate::exec::default_threads;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
+
+/// Monotonic scheduling counters for one [`WorkerPool`], snapshot via
+/// [`WorkerPool::stats`]. Where each executed task is counted tells you
+/// how work actually flowed: `own_tasks` ran on the worker whose deque
+/// they were dealt to, `stolen_tasks` were claimed cross-deque by an
+/// idle worker, `helped_tasks` ran on a submitting caller inside
+/// [`WorkerPool::help`], and `inline_tasks` ran inline because the pool
+/// has zero workers. For any quiesced pool,
+/// `own + stolen + helped + inline` equals the total tasks submitted —
+/// the conservation law the pool tests and the verify fixtures lean on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Batches accepted by [`WorkerPool::submit`].
+    pub batches: u64,
+    /// Tasks run inline on the submitter (zero-worker pool).
+    pub inline_tasks: u64,
+    /// Tasks a worker popped from its own deque.
+    pub own_tasks: u64,
+    /// Tasks a worker stole from a sibling's deque.
+    pub stolen_tasks: u64,
+    /// Tasks a helping caller drained via [`WorkerPool::help`].
+    pub helped_tasks: u64,
+}
+
+/// Shared counter cells behind [`PoolStats`]. All increments and reads
+/// are `Relaxed`: these are statistics, not publication — no reader
+/// infers data visibility from them.
+#[derive(Default)]
+struct Stats {
+    batches: AtomicU64,
+    inline: AtomicU64,
+    own: AtomicU64,
+    stolen: AtomicU64,
+    helped: AtomicU64,
+}
+
+impl Stats {
+    fn bump(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// A unit of work a [`WorkerPool`] executes: a boxed, sendable,
 /// `'static` closure. Borrowed state must be shared via `Arc`.
@@ -116,10 +157,14 @@ struct Gate {
 type QueuedTask = (PoolTask, Arc<BatchState>);
 
 struct Shared {
-    /// One deque per worker thread.
+    /// One deque per *configured* worker slot. May exceed the number of
+    /// live worker threads when a spawn failed: tasks dealt into an
+    /// unowned deque are still drained, because both [`Shared::claim`]
+    /// and [`Shared::steal_any`] scan every deque.
     deques: Vec<Mutex<VecDeque<QueuedTask>>>,
     gate: Mutex<Gate>,
     work: Condvar,
+    stats: Stats,
 }
 
 impl Shared {
@@ -128,6 +173,7 @@ impl Shared {
     fn claim(&self, me: usize) -> Option<QueuedTask> {
         if let Some(own) = self.deques.get(me) {
             if let Some(t) = lock(own).pop_front() {
+                Stats::bump(&self.stats.own);
                 return Some(t);
             }
         }
@@ -138,6 +184,7 @@ impl Shared {
                 continue;
             }
             if let Some(t) = lock(&self.deques[victim]).pop_back() {
+                Stats::bump(&self.stats.stolen);
                 return Some(t);
             }
         }
@@ -225,6 +272,12 @@ impl WorkerPool {
     /// Spawns a pool with `workers` persistent threads. Zero workers is
     /// allowed: [`run_batch`](Self::run_batch) then executes inline on
     /// the caller.
+    ///
+    /// If the OS refuses to spawn some worker threads (resource
+    /// exhaustion), the pool degrades to the threads that did start
+    /// rather than panicking: the unowned deques still get dealt tasks,
+    /// and work-stealing (plus the caller's [`help`](Self::help))
+    /// drains them. With zero live workers, batches run inline.
     pub fn new(workers: usize) -> Self {
         let shared = Arc::new(Shared {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -233,20 +286,34 @@ impl WorkerPool {
                 shutdown: false,
             }),
             work: Condvar::new(),
+            stats: Stats::default(),
         });
         let handles = (0..workers)
-            .map(|i| {
+            .filter_map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("rtoss-pool-{i}"))
                     .spawn(move || worker_loop(shared, i))
-                    .expect("spawning a pool worker thread")
+                    .ok()
             })
             .collect();
         WorkerPool {
             shared,
             handles,
             next_deque: AtomicUsize::new(0),
+        }
+    }
+
+    /// Snapshot of the scheduling counters. Counters are monotonic and
+    /// only exact once in-flight batches have been waited on.
+    pub fn stats(&self) -> PoolStats {
+        let s = &self.shared.stats;
+        PoolStats {
+            batches: s.batches.load(Ordering::Relaxed),
+            inline_tasks: s.inline.load(Ordering::Relaxed),
+            own_tasks: s.own.load(Ordering::Relaxed),
+            stolen_tasks: s.stolen.load(Ordering::Relaxed),
+            helped_tasks: s.helped.load(Ordering::Relaxed),
         }
     }
 
@@ -272,8 +339,10 @@ impl WorkerPool {
     /// instead of idling. With zero workers the tasks run inline here.
     pub fn submit(&self, tasks: Vec<PoolTask>) -> BatchHandle {
         let state = BatchState::new(tasks.len());
+        Stats::bump(&self.shared.stats.batches);
         if self.handles.is_empty() {
             for task in tasks {
+                Stats::bump(&self.shared.stats.inline);
                 state.run_task(task);
             }
             return BatchHandle { state };
@@ -297,6 +366,7 @@ impl WorkerPool {
     /// batches.
     pub fn help(&self) {
         while let Some((task, batch)) = self.shared.steal_any() {
+            Stats::bump(&self.shared.stats.helped);
             batch.run_task(task);
         }
     }
@@ -405,5 +475,34 @@ mod tests {
         let hits = Arc::new(AtomicUsize::new(0));
         pool.run_batch(counting_tasks(3, &hits));
         assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn stats_conserve_every_task_once() {
+        let pool = WorkerPool::new(2);
+        let total: usize = [1, 4, 16, 33].iter().sum();
+        for batch_size in [1usize, 4, 16, 33] {
+            let hits = Arc::new(AtomicUsize::new(0));
+            pool.run_batch(counting_tasks(batch_size, &hits));
+        }
+        let s = pool.stats();
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.inline_tasks, 0);
+        assert_eq!(
+            s.own_tasks + s.stolen_tasks + s.helped_tasks,
+            total as u64,
+            "stats {s:?}"
+        );
+    }
+
+    #[test]
+    fn zero_worker_stats_count_inline() {
+        let pool = WorkerPool::new(0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        pool.run_batch(counting_tasks(7, &hits));
+        let s = pool.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.inline_tasks, 7);
+        assert_eq!(s.own_tasks + s.stolen_tasks + s.helped_tasks, 0);
     }
 }

@@ -5,7 +5,9 @@
 //! engine, and runs every artifact check; the exit code is non-zero if
 //! any invariant is violated. `--fixture NAME` instead runs one
 //! seeded-corruption fixture — there the checks are *supposed* to
-//! fire, so a non-zero exit proves the verifier can fail.
+//! fire, so a non-zero exit proves the verifier can fail. `--json`
+//! (combinable with any mode) switches the output to the stable
+//! machine-readable schema of [`Report::to_json`] for CI artifacts.
 
 use rtoss_core::{EntryPattern, Pruner, RTossPruner};
 use rtoss_sparse::SparseModel;
@@ -113,7 +115,22 @@ fn fleet_exercise() -> Result<rtoss_fleet::FleetSnapshot, String> {
     Ok(fleet.shutdown())
 }
 
-fn full_run() -> ExitCode {
+/// Prints the report in the selected format and maps it to an exit
+/// code: failure iff any error-severity finding is present.
+fn emit(report: &Report, json: bool) -> ExitCode {
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn full_run(json: bool) -> ExitCode {
     let mut report = Report::new();
     for label in ["yolov5s_twin", "retinanet_twin"] {
         for entry in [EntryPattern::Two, EntryPattern::Three] {
@@ -167,17 +184,12 @@ fn full_run() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    print!("{}", report.render());
-    if report.has_errors() {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    emit(&report, json)
 }
 
 /// Reads `path` and runs `check` over its contents, exiting non-zero on
 /// any error finding. Shared by the `--trace` and `--prom` modes.
-fn file_run(path: &str, check: impl FnOnce(&str, &str) -> Report) -> ExitCode {
+fn file_run(path: &str, json: bool, check: impl FnOnce(&str, &str) -> Report) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -185,16 +197,10 @@ fn file_run(path: &str, check: impl FnOnce(&str, &str) -> Report) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = check(path, &text);
-    print!("{}", report.render());
-    if report.has_errors() {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    emit(&check(path, &text), json)
 }
 
-fn fixture_run(name: &str) -> ExitCode {
+fn fixture_run(name: &str, json: bool) -> ExitCode {
     let Some(report) = fixtures::run(name) else {
         eprintln!(
             "verify: unknown fixture {name:?}; known: {}",
@@ -202,21 +208,18 @@ fn fixture_run(name: &str) -> ExitCode {
         );
         return ExitCode::from(2);
     };
-    print!("{}", report.render());
-    if report.has_errors() {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    emit(&report, json)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
-        [] => full_run(),
-        ["--fixture", name] => fixture_run(name),
-        ["--trace", path] => file_run(path, rtoss_verify::check_trace_json),
-        ["--prom", path] => file_run(path, rtoss_verify::check_prometheus),
+        [] => full_run(json),
+        ["--fixture", name] => fixture_run(name, json),
+        ["--trace", path] => file_run(path, json, rtoss_verify::check_trace_json),
+        ["--prom", path] => file_run(path, json, rtoss_verify::check_prometheus),
         ["--list-fixtures"] => {
             for name in fixtures::NAMES {
                 println!("{name}");
@@ -225,7 +228,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: verify [--fixture NAME | --trace FILE | --prom FILE | --list-fixtures]"
+                "usage: verify [--json] [--fixture NAME | --trace FILE | --prom FILE | --list-fixtures]"
             );
             ExitCode::from(2)
         }

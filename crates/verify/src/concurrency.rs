@@ -1,0 +1,619 @@
+//! RV070 — happens-before race analysis for compiled execution plans.
+//!
+//! The RV05x family checks a plan's *metadata* for internal
+//! consistency: topological order (RV050), slot-lifetime windows
+//! (RV051), and level/alias windows (RV054). What none of them can see
+//! is whether the metadata still agrees with the **model** the plan
+//! was compiled from, or whether the concrete caller/worker lanes the
+//! runner fans a level out into actually order every pair of
+//! conflicting arena-slot accesses. RV070 closes both gaps with a real
+//! happens-before analysis:
+//!
+//! 1. **Operand-edge reconstruction.** From the model's dependency
+//!    skeleton ([`ModelDeps`], taken straight off the compiled engine)
+//!    the checker re-derives the fusion decisions the plan compiler
+//!    makes (sole-consumer conv→affine→activation absorption) and from
+//!    them the exact operand edges every step *must* carry. A plan
+//!    whose `inputs` dropped an edge — the one corruption a
+//!    self-consistent summary can hide from RV050/RV054, because the
+//!    level rule only constrains edges that are still present — is
+//!    caught here by diffing against the model.
+//! 2. **Happens-before order over the executed lanes.** The runner's
+//!    lane structure ([`rtoss_sparse::LevelSchedule`], produced by the
+//!    same dealing code `run_with_pool` executes) induces the HB
+//!    order: level barriers order everything across levels, a lane
+//!    orders its own steps, and two lanes of one level are unordered.
+//!    [`check_plan_hb`] verifies (a) every operand edge is HB-ordered
+//!    after its producing write and (b) every pair of conflicting
+//!    accesses to one arena slot — write/write, or a write against
+//!    another lane's read — is HB-ordered. This subsumes RV054's
+//!    window rule at the checked widths: a same-level cross-lane alias
+//!    is precisely an unordered conflicting pair.
+//! 3. **Shadow-state replay.** [`shadow_replay`] is the in-repo
+//!    sanitizer analog: it walks the lanes of each level in a
+//!    canonical order, tracking per arena slot which step's value the
+//!    slot currently holds plus the level/lane of every access, and
+//!    reports the **first unordered write** (and any read of a value
+//!    that is no longer — or not yet — in its slot). Unlike the
+//!    pairwise check it follows actual value flow, so it also catches
+//!    a slot recycled before a still-pending read.
+//!
+//! The `plan-hb` fixture proves the edge reconstruction fires where
+//! RV054 stays silent; the `pool-order` fixture proves the conflict
+//! pass and the shadow replay both flag a cross-lane slot collision.
+
+use crate::diag::Diagnostic;
+use rtoss_sparse::{PlanSummary, SparseModel};
+
+/// The model-side dependency skeleton RV070 reconstructs plan operand
+/// edges from: per-node kinds and input lists, the declared outputs,
+/// and the per-node consumer counts driving fusion legality. Captured
+/// once via [`ModelDeps::of`] so the analysis functions stay pure data
+/// transforms (and fixtures can fabricate models without an engine).
+#[derive(Debug, Clone)]
+pub struct ModelDeps {
+    /// Per-node operation kind (`"input"`, `"conv"`, …), node order.
+    pub kinds: Vec<&'static str>,
+    /// Per-node input node indices, node order.
+    pub inputs: Vec<Vec<usize>>,
+    /// Declared output node indices.
+    pub outputs: Vec<usize>,
+    /// Per-node consumer count (input-list plus output-list
+    /// occurrences) — the plan compiler's sole-consumer fusion test.
+    pub uses: Vec<usize>,
+}
+
+impl ModelDeps {
+    /// Snapshots the dependency skeleton of a compiled engine.
+    pub fn of(model: &SparseModel) -> Self {
+        let (kinds, inputs): (Vec<_>, Vec<_>) = model.node_deps().into_iter().unzip();
+        ModelDeps {
+            kinds,
+            inputs,
+            outputs: model.output_nodes().to_vec(),
+            uses: model.node_uses().to_vec(),
+        }
+    }
+
+    /// Sole consumer of node `i`, mirroring the plan compiler: defined
+    /// only when exactly one edge consumes `i` and `i` is not a
+    /// declared output.
+    fn sole_consumer(&self, i: usize) -> Option<usize> {
+        if self.uses.get(i) != Some(&1) || self.outputs.contains(&i) {
+            return None;
+        }
+        let mut consumer = None;
+        for (j, ins) in self.inputs.iter().enumerate() {
+            if ins.contains(&i) {
+                consumer = Some(j);
+            }
+        }
+        consumer
+    }
+}
+
+/// Re-derives, per model node, which plan step produces its value
+/// (`None` for the extern input and for nodes no step covers), by
+/// replaying the compiler's fusion decisions from the model data and
+/// each step's `fused` label. Inconsistencies become diagnostics.
+fn node_to_step(
+    location: &str,
+    deps: &ModelDeps,
+    s: &PlanSummary,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<Option<usize>> {
+    let n = deps.kinds.len();
+    let mut map: Vec<Option<usize>> = vec![None; n];
+    for (si, step) in s.steps.iter().enumerate() {
+        if step.node >= n {
+            out.push(Diagnostic::error(
+                "RV070",
+                location,
+                format!(
+                    "step {si} ({}) claims model node {}, but the model has only {n} nodes",
+                    step.name, step.node
+                ),
+            ));
+            continue;
+        }
+        map[step.node] = Some(si);
+        let mut tail = step.node;
+        let (wants_affine, wants_act) = match step.fused {
+            "none" => (false, false),
+            "affine" => (true, false),
+            "act" => (false, true),
+            "affine+act" => (true, true),
+            other => {
+                out.push(Diagnostic::error(
+                    "RV070",
+                    location,
+                    format!(
+                        "step {si} ({}) has unknown fusion label {other:?}",
+                        step.name
+                    ),
+                ));
+                (false, false)
+            }
+        };
+        if wants_affine {
+            match deps.sole_consumer(tail) {
+                Some(a) if deps.kinds.get(a) == Some(&"channel_affine") => {
+                    map[a] = Some(si);
+                    tail = a;
+                }
+                _ => out.push(Diagnostic::error(
+                    "RV070",
+                    location,
+                    format!(
+                        "step {si} ({}) claims a fused channel affine, but node {tail} has \
+                         no sole-consumer channel-affine in the model",
+                        step.name
+                    ),
+                )),
+            }
+        }
+        if wants_act {
+            match deps.sole_consumer(tail) {
+                Some(a) if deps.kinds.get(a) == Some(&"activation") => {
+                    map[a] = Some(si);
+                }
+                _ => out.push(Diagnostic::error(
+                    "RV070",
+                    location,
+                    format!(
+                        "step {si} ({}) claims a fused activation, but node {tail} has no \
+                         sole-consumer activation in the model",
+                        step.name
+                    ),
+                )),
+            }
+        }
+    }
+    map
+}
+
+/// Where each step executes under one [`rtoss_sparse::LevelSchedule`]:
+/// `(level position, lane, position within the lane)`. Lane 0 is the
+/// caller; lanes 1.. are pool worker chunks.
+fn lane_positions(s: &PlanSummary, width: usize) -> Vec<Option<(usize, usize, usize)>> {
+    let sched = s.level_schedule(width);
+    let mut at: Vec<Option<(usize, usize, usize)>> = vec![None; s.steps.len()];
+    for (li, deal) in sched.levels.iter().enumerate() {
+        for (pos, &si) in deal.caller.iter().enumerate() {
+            at[si] = Some((li, 0, pos));
+        }
+        for (ci, chunk) in deal.pooled.iter().enumerate() {
+            for (pos, &si) in chunk.iter().enumerate() {
+                at[si] = Some((li, ci + 1, pos));
+            }
+        }
+    }
+    at
+}
+
+/// `a` happens-before `b` under the level/lane structure: a strictly
+/// earlier level (barrier), or the same lane of the same level with an
+/// earlier position (program order).
+fn hb_ordered(a: (usize, usize, usize), b: (usize, usize, usize)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 == b.1 && a.2 < b.2)
+}
+
+/// RV070: happens-before race detection for a compiled plan.
+///
+/// Reconstructs the operand edges the plan must carry from the model's
+/// dependency skeleton and diffs them against the summary, then — for
+/// every width in `widths` — builds the exact caller/worker lane
+/// structure the runner executes and verifies that (a) every operand
+/// read is HB-ordered after its producing write and (b) every pair of
+/// conflicting accesses to one arena slot is HB-ordered. Two steps
+/// conflict when both write one slot, or one writes a slot the other
+/// reads. Returns one diagnostic per violation.
+pub fn check_plan_hb(
+    location: &str,
+    deps: &ModelDeps,
+    s: &PlanSummary,
+    widths: &[usize],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // (1) Operand edges must match the model's data dependencies.
+    let map = node_to_step(location, deps, s, &mut out);
+    for (si, step) in s.steps.iter().enumerate() {
+        let Some(node_inputs) = deps.inputs.get(step.node) else {
+            continue; // bad node index already reported
+        };
+        let expected: Vec<Option<usize>> = node_inputs
+            .iter()
+            .map(|&j| {
+                if deps.kinds.get(j) == Some(&"input") {
+                    None
+                } else {
+                    map.get(j).copied().flatten()
+                }
+            })
+            .collect();
+        if expected != step.inputs {
+            out.push(Diagnostic::error(
+                "RV070",
+                location,
+                format!(
+                    "step {si} ({}) carries operand edges {:?}, but model node {} requires \
+                     {expected:?} — a dropped or rewired dependency edge removes the \
+                     happens-before order that kept its read race-free",
+                    step.name, step.inputs, step.node
+                ),
+            ));
+        }
+    }
+
+    // (2) Per width: operand HB order and conflicting-access pairs
+    // over the executed lane structure.
+    let reads: Vec<Vec<usize>> = s
+        .steps
+        .iter()
+        .map(|step| {
+            step.inputs
+                .iter()
+                .flatten()
+                .filter_map(|&p| s.steps.get(p).map(|op| op.out_slot))
+                .collect()
+        })
+        .collect();
+    for &width in widths {
+        let at = lane_positions(s, width);
+        for (si, step) in s.steps.iter().enumerate() {
+            for &p in step.inputs.iter().flatten() {
+                let (Some(wa), Some(wb)) = (at.get(p).copied().flatten(), at[si]) else {
+                    continue; // out-of-range operand is RV050's finding
+                };
+                if !hb_ordered(wa, wb) {
+                    out.push(Diagnostic::error(
+                        "RV070",
+                        location,
+                        format!(
+                            "width {width}: step {si} ({}) reads step {p} ({}), but the \
+                             write is not happens-before the read (producer at level {} \
+                             lane {}, consumer at level {} lane {})",
+                            step.name, s.steps[p].name, wa.0, wa.1, wb.0, wb.1
+                        ),
+                    ));
+                }
+            }
+        }
+        let sched = s.level_schedule(width);
+        for (li, deal) in sched.levels.iter().enumerate() {
+            let mut lanes: Vec<&[usize]> = vec![&deal.caller];
+            lanes.extend(deal.pooled.iter().map(|c| c.as_slice()));
+            for x in 0..lanes.len() {
+                for y in x + 1..lanes.len() {
+                    for &a in lanes[x] {
+                        for &b in lanes[y] {
+                            conflict_pair(location, s, &reads, width, li, x, y, a, b, &mut out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reports every conflicting, unordered access pair between steps `a`
+/// (lane `x`) and `b` (lane `y`) of level `li` — the lanes run
+/// concurrently, so any shared slot with at least one write is a race.
+#[allow(clippy::too_many_arguments)]
+fn conflict_pair(
+    location: &str,
+    s: &PlanSummary,
+    reads: &[Vec<usize>],
+    width: usize,
+    li: usize,
+    x: usize,
+    y: usize,
+    a: usize,
+    b: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let (sa, sb) = (&s.steps[a], &s.steps[b]);
+    if sa.out_slot == sb.out_slot {
+        out.push(Diagnostic::error(
+            "RV070",
+            location,
+            format!(
+                "width {width}: steps {a} ({}) and {b} ({}) both write slot {} from \
+                 concurrent lanes {x} and {y} of level {li} — an unordered write/write race",
+                sa.name, sb.name, sa.out_slot
+            ),
+        ));
+    }
+    for (reader, reader_idx, writer, writer_idx) in [(sa, a, sb, b), (sb, b, sa, a)] {
+        if reads[reader_idx].contains(&writer.out_slot) {
+            out.push(Diagnostic::error(
+                "RV070",
+                location,
+                format!(
+                    "width {width}: step {reader_idx} ({}) reads slot {} while step \
+                     {writer_idx} ({}) writes it from a concurrent lane of level {li} — an \
+                     unordered read/write race",
+                    reader.name, writer.out_slot, writer.name
+                ),
+            ));
+        }
+    }
+}
+
+/// Shadow-state replay of a plan at one width — the in-repo sanitizer
+/// analog. Walks the runner's lanes level by level, tracking per arena
+/// slot which step's value it currently holds and the level/lane of
+/// every access, and reports the **first unordered write** (a write to
+/// a slot already written or read by a concurrent lane of the same
+/// level) plus any read that does not observe the value its operand
+/// edge promises (a slot recycled too early, or a producer that has
+/// not run). Width ≤ 1 replays the serial schedule, where only value
+/// flow can fail.
+pub fn shadow_replay(location: &str, s: &PlanSummary, width: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n_slots = s.slot_caps.len();
+    // Per slot: the step whose value the slot holds, the (level, lane)
+    // of that write, and every read's (step, level, lane).
+    let mut holder: Vec<Option<usize>> = vec![None; n_slots];
+    let mut last_write: Vec<Option<(usize, usize)>> = vec![None; n_slots];
+    let mut readers: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); n_slots];
+
+    let lanes_per_level: Vec<Vec<Vec<usize>>> = if width <= 1 {
+        vec![vec![(0..s.steps.len()).collect()]]
+    } else {
+        s.level_schedule(width)
+            .levels
+            .into_iter()
+            .map(|deal| {
+                let mut lanes = vec![deal.caller];
+                lanes.extend(deal.pooled);
+                lanes
+            })
+            .collect()
+    };
+
+    for (li, lanes) in lanes_per_level.iter().enumerate() {
+        for (lane, steps_of_lane) in lanes.iter().enumerate() {
+            for &si in steps_of_lane {
+                let step = &s.steps[si];
+                for &p in step.inputs.iter().flatten() {
+                    let Some(slot) = s.steps.get(p).map(|op| op.out_slot) else {
+                        continue; // out-of-range operand is RV050's finding
+                    };
+                    if slot >= n_slots {
+                        continue; // out-of-range slot is RV051's finding
+                    }
+                    if holder[slot] != Some(p) {
+                        out.push(Diagnostic::error(
+                            "RV070",
+                            location,
+                            format!(
+                                "shadow width {width}: step {si} ({}) reads slot {slot} \
+                                 expecting step {p}'s value, but the slot holds {} — the \
+                                 value was recycled or never produced",
+                                step.name,
+                                match holder[slot] {
+                                    Some(w) => format!("step {w}'s"),
+                                    None => "no value".to_string(),
+                                }
+                            ),
+                        ));
+                    }
+                    if let Some((wl, wk)) = last_write[slot] {
+                        if wl == li && wk != lane {
+                            out.push(Diagnostic::error(
+                                "RV070",
+                                location,
+                                format!(
+                                    "shadow width {width}: step {si} ({}) reads slot {slot} \
+                                     concurrently with lane {wk}'s write in level {li}",
+                                    step.name
+                                ),
+                            ));
+                        }
+                    }
+                    readers[slot].push((si, li, lane));
+                }
+                let slot = step.out_slot;
+                if slot >= n_slots {
+                    continue;
+                }
+                if let Some((wl, wk)) = last_write[slot] {
+                    if wl == li && wk != lane {
+                        out.push(Diagnostic::error(
+                            "RV070",
+                            location,
+                            format!(
+                                "shadow width {width}: first unordered write — step {si} \
+                                 ({}) writes slot {slot} concurrently with lane {wk}'s \
+                                 write in level {li}",
+                                step.name
+                            ),
+                        ));
+                        return out;
+                    }
+                }
+                if let Some(&(r, _, rk)) = readers[slot]
+                    .iter()
+                    .find(|&&(_, rl, rk)| rl == li && rk != lane)
+                {
+                    out.push(Diagnostic::error(
+                        "RV070",
+                        location,
+                        format!(
+                            "shadow width {width}: first unordered write — step {si} ({}) \
+                             writes slot {slot} while step {r} reads it from concurrent \
+                             lane {rk} of level {li}",
+                            step.name
+                        ),
+                    ));
+                    return out;
+                }
+                holder[slot] = Some(si);
+                last_write[slot] = Some((li, lane));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtoss_core::{EntryPattern, Pruner, RTossPruner};
+    use rtoss_tensor::init;
+
+    fn engine() -> SparseModel {
+        let mut m = rtoss_models::yolov5s_twin(4, 2, 0xBEEF).expect("twin builds");
+        RTossPruner::new(EntryPattern::Three)
+            .prune_graph(&mut m.graph)
+            .expect("prunes");
+        SparseModel::compile(&m.graph).expect("compiles")
+    }
+
+    fn clean_summary(engine: &SparseModel) -> PlanSummary {
+        engine.plan_summary(&[1, 3, 32, 32]).expect("plans")
+    }
+
+    #[test]
+    fn clean_plan_is_race_free_at_all_widths() {
+        let engine = engine();
+        let s = clean_summary(&engine);
+        let deps = ModelDeps::of(&engine);
+        let diags = check_plan_hb("clean", &deps, &s, &[1, 2, 4, 8]);
+        assert!(diags.is_empty(), "{diags:?}");
+        for w in [1, 2, 4, 8] {
+            let diags = shadow_replay("clean", &s, w);
+            assert!(diags.is_empty(), "width {w}: {diags:?}");
+        }
+    }
+
+    #[test]
+    fn planned_forward_still_works_after_analysis() {
+        // The accessors used by ModelDeps must not disturb the engine.
+        let engine = engine();
+        let probe = init::uniform(&mut init::rng(11), &[1, 3, 32, 32], 0.0, 1.0);
+        let _ = ModelDeps::of(&engine);
+        assert!(engine.forward(&probe).is_ok());
+    }
+
+    #[test]
+    fn dropped_operand_edge_fires_rv070_where_rv054_is_silent() {
+        let engine = engine();
+        let mut s = clean_summary(&engine);
+        let deps = ModelDeps::of(&engine);
+        // Find a step with a step-to-step edge and erase it, relevelling
+        // the consumer so RV054's window rule still holds.
+        let i = s
+            .steps
+            .iter()
+            .position(|st| st.inputs.iter().any(|src| src.is_some()))
+            .expect("twin has step-to-step deps");
+        s.steps[i].inputs = vec![None];
+        s.steps[i].level = 0;
+        assert!(
+            !crate::plan::check_plan_levels("corrupt", &s)
+                .iter()
+                .any(|d| d.code == "RV054"),
+            "RV054 must not see a dropped edge"
+        );
+        let diags = check_plan_hb("corrupt", &deps, &s, &[4]);
+        assert!(diags.iter().any(|d| d.code == "RV070"), "{diags:?}");
+    }
+
+    #[test]
+    fn cross_lane_slot_collision_fires_pairwise_and_shadow() {
+        let engine = engine();
+        let mut s = clean_summary(&engine);
+        let deps = ModelDeps::of(&engine);
+        // Find two steps sharing a level (fanned into different lanes
+        // at width 2+) and alias their output slots.
+        let groups = s.level_groups();
+        let level = groups
+            .iter()
+            .find(|g| {
+                g.len() >= 2
+                    && g.iter()
+                        .all(|&si| s.steps[si].inputs.iter().all(|i| i.is_some()))
+            })
+            .expect("twin has a parallel level");
+        let (a, b) = (level[0], level[1]);
+        s.steps[b].out_slot = s.steps[a].out_slot;
+        let diags = check_plan_hb("corrupt", &deps, &s, &[4]);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "RV070" && d.message.contains("write/write")),
+            "{diags:?}"
+        );
+        let shadow = shadow_replay("corrupt", &s, 4);
+        assert!(
+            shadow
+                .iter()
+                .any(|d| d.message.contains("first unordered write")),
+            "{shadow:?}"
+        );
+    }
+
+    #[test]
+    fn stale_read_is_reported_by_the_shadow_interpreter() {
+        let engine = engine();
+        let mut s = clean_summary(&engine);
+        // Recycle a producer's slot too early: a step scheduled between
+        // the producer and one of its readers takes over the slot, so
+        // the reader no longer observes the value its edge promises.
+        let (_reader, producer) = s
+            .steps
+            .iter()
+            .enumerate()
+            .find_map(|(i, st)| {
+                st.inputs
+                    .iter()
+                    .flatten()
+                    .find(|&&p| i > p + 1)
+                    .map(|&p| (i, p))
+            })
+            .expect("twin has a dep spanning more than one step");
+        let thief = producer + 1; // strictly between producer and reader
+        s.steps[thief].out_slot = s.steps[producer].out_slot;
+        let shadow = shadow_replay("corrupt", &s, 1);
+        assert!(
+            shadow
+                .iter()
+                .any(|d| d.message.contains("recycled or never produced")),
+            "{shadow:?}"
+        );
+    }
+
+    #[test]
+    fn lane_structure_matches_runner_semantics() {
+        let engine = engine();
+        let s = clean_summary(&engine);
+        // Width 1: everything on the caller, nothing pooled.
+        let serial = s.level_schedule(1);
+        assert!(serial.levels.iter().all(|d| d.pooled.is_empty()));
+        // Any width: every step appears in exactly one lane.
+        for w in [2, 3, 4] {
+            let sched = s.level_schedule(w);
+            let mut seen = vec![0usize; s.steps.len()];
+            for deal in &sched.levels {
+                for &si in deal.caller.iter().chain(deal.pooled.iter().flatten()) {
+                    seen[si] += 1;
+                }
+                // No worker chunk may contain an extern-reading step.
+                for chunk in &deal.pooled {
+                    for &si in chunk {
+                        assert!(s.steps[si].inputs.iter().all(|i| i.is_some()));
+                    }
+                }
+                assert!(
+                    deal.pooled.len() < w.max(1),
+                    "at most width-1 worker chunks"
+                );
+            }
+            assert!(seen.iter().all(|&c| c == 1), "width {w}: {seen:?}");
+        }
+    }
+}

@@ -126,6 +126,38 @@ impl Report {
         self.diagnostics.iter().any(|d| d.code == code)
     }
 
+    /// Renders the report as a machine-readable JSON document with a
+    /// stable schema: `{"errors", "warnings", "findings": [{"severity",
+    /// "code", "location", "message"}, …]}`. Findings keep pass order.
+    /// CI consumes this via `verify --json`.
+    pub fn to_json(&self) -> String {
+        use serde_json::Value;
+        let findings = Value::Arr(
+            self.diagnostics
+                .iter()
+                .map(|d| {
+                    Value::Obj(vec![
+                        ("severity".to_string(), Value::Str(d.severity.to_string())),
+                        ("code".to_string(), Value::Str(d.code.to_string())),
+                        ("location".to_string(), Value::Str(d.location.clone())),
+                        ("message".to_string(), Value::Str(d.message.clone())),
+                    ])
+                })
+                .collect(),
+        );
+        let warnings = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        let doc = Value::Obj(vec![
+            ("errors".to_string(), Value::UInt(self.error_count() as u64)),
+            ("warnings".to_string(), Value::UInt(warnings as u64)),
+            ("findings".to_string(), findings),
+        ]);
+        serde_json::to_string_pretty(&doc).expect("report JSON serializes")
+    }
+
     /// Renders the report to a string, one diagnostic per line, with a
     /// trailing summary.
     pub fn render(&self) -> String {
@@ -168,5 +200,34 @@ mod tests {
         let text = r.render();
         assert!(text.contains("error[RV001] layer 3: bad entry count"));
         assert!(text.contains("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn json_schema_is_stable_and_round_trips() {
+        let mut r = Report::new();
+        r.push(Diagnostic::warning("RV999", "here", "odd"));
+        r.push(Diagnostic::error("RV001", "layer 3", "bad \"entry\" count"));
+        let doc: serde_json::Value =
+            serde_json::from_str(&r.to_json()).expect("to_json emits valid JSON");
+        // The stand-in parser reads small integers back as `Int`.
+        assert_eq!(doc.field("errors").unwrap(), &serde_json::Value::Int(1));
+        assert_eq!(doc.field("warnings").unwrap(), &serde_json::Value::Int(1));
+        let findings = doc.field("findings").expect("findings present");
+        let first = findings.element(0).expect("two findings");
+        let second = findings.element(1).expect("two findings");
+        assert!(findings.element(2).is_err());
+        assert_eq!(
+            first.field("severity").unwrap().as_str().unwrap(),
+            "warning"
+        );
+        assert_eq!(second.field("code").unwrap().as_str().unwrap(), "RV001");
+        assert_eq!(
+            second.field("location").unwrap().as_str().unwrap(),
+            "layer 3"
+        );
+        assert_eq!(
+            second.field("message").unwrap().as_str().unwrap(),
+            "bad \"entry\" count"
+        );
     }
 }

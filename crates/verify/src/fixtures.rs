@@ -44,6 +44,11 @@ pub const NAMES: &[&str] = &[
     "fleet-ring",
     "fleet-tier",
     "fleet-quota",
+    "plan-hb",
+    "pool-order",
+    "lint-lock-order",
+    "lint-relaxed-store",
+    "lint-lock-across-submit",
 ];
 
 /// Runs the named fixture, returning its report (`None` for an unknown
@@ -69,6 +74,11 @@ pub fn run(name: &str) -> Option<Report> {
         "fleet-ring" => Some(fleet_ring_fixture()),
         "fleet-tier" => Some(fleet_tier_fixture()),
         "fleet-quota" => Some(fleet_quota_fixture()),
+        "plan-hb" => Some(plan_hb_fixture()),
+        "pool-order" => Some(pool_order_fixture()),
+        "lint-lock-order" => Some(lint_lock_order_fixture()),
+        "lint-relaxed-store" => Some(lint_relaxed_store_fixture()),
+        "lint-lock-across-submit" => Some(lint_lock_across_submit_fixture()),
         _ => None,
     }
 }
@@ -95,6 +105,11 @@ pub fn expected_code(name: &str) -> Option<&'static str> {
         "fleet-ring" => Some("RV060"),
         "fleet-tier" => Some("RV061"),
         "fleet-quota" => Some("RV062"),
+        "plan-hb" => Some("RV070"),
+        "pool-order" => Some("RV070"),
+        "lint-lock-order" => Some("RV071"),
+        "lint-relaxed-store" => Some("RV072"),
+        "lint-lock-across-submit" => Some("RV073"),
         _ => None,
     }
 }
@@ -482,6 +497,143 @@ pub fn plan_level_alias_fixture() -> Report {
         "fixture plan (concurrently-live slot alias)",
         &summary,
     ));
+    report
+}
+
+/// Dropped dependency edge: in `x → a → b`, step `b`'s operand edge to
+/// `a` is erased and `b` relevelled to 0. The corrupted summary is
+/// *self-consistent* — every RV05x rule still holds, because RV054's
+/// window rule can only constrain edges that are still present — but
+/// the model says the edge must exist, so the happens-before edge
+/// reconstruction notices the read that lost its ordering (RV070).
+pub fn plan_hb_fixture() -> Report {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let a = g
+        .add_layer("a", Box::new(Conv2d::new(3, 4, 3, 1, 1, 0xC0)), x)
+        .expect("valid node");
+    let b = g
+        .add_layer("b", Box::new(Conv2d::new(4, 4, 3, 1, 1, 0xC1)), a)
+        .expect("valid node");
+    g.set_outputs(vec![b]).expect("valid output");
+    let engine = rtoss_sparse::SparseModel::compile(&g).expect("engine compiles");
+    let deps = crate::concurrency::ModelDeps::of(&engine);
+    let mut summary = engine
+        .plan_summary(&[1, 3, 8, 8])
+        .expect("plan compiles for the fixture engine");
+    summary.steps[1].inputs = vec![None];
+    summary.steps[1].level = 0;
+    // The RV05x family is blind to a dropped edge: the summary is
+    // still topological, the slots are still disjoint, and the level
+    // rule has no edge left to check.
+    debug_assert!(
+        crate::plan::check_plan_schedule("fixture plan", &summary).is_empty()
+            && crate::plan::check_plan_levels("fixture plan", &summary).is_empty(),
+        "RV05x should accept the self-consistent corruption"
+    );
+    let mut report = Report::new();
+    report.extend(crate::concurrency::check_plan_hb(
+        "fixture plan (dropped dependency edge)",
+        &deps,
+        &summary,
+        &[2],
+    ));
+    report
+}
+
+/// Cross-lane slot collision: two steps of one dependency level — the
+/// exact pair `run_with_pool` fans into concurrent caller/worker lanes
+/// at width 2 — are rewired to write the same arena slot. The pairwise
+/// happens-before pass reports the unordered write/write conflict and
+/// the shadow replay reports the first unordered write (RV070).
+pub fn pool_order_fixture() -> Report {
+    let mut g = Graph::new();
+    let x = g.add_input("x");
+    let s = g
+        .add_layer("stem", Box::new(Conv2d::new(3, 4, 3, 1, 1, 0xC2)), x)
+        .expect("valid node");
+    let a = g
+        .add_layer("a", Box::new(Conv2d::new(4, 4, 3, 1, 1, 0xC3)), s)
+        .expect("valid node");
+    let b = g
+        .add_layer("b", Box::new(Conv2d::new(4, 4, 3, 1, 1, 0xC4)), a)
+        .expect("valid node");
+    let c = g
+        .add_layer("c", Box::new(Conv2d::new(4, 4, 3, 1, 1, 0xC5)), s)
+        .expect("valid node");
+    g.set_outputs(vec![b, c]).expect("valid outputs");
+    let engine = rtoss_sparse::SparseModel::compile(&g).expect("engine compiles");
+    let deps = crate::concurrency::ModelDeps::of(&engine);
+    let mut summary = engine
+        .plan_summary(&[1, 3, 8, 8])
+        .expect("plan compiles for the fixture engine");
+    let groups = summary.level_groups();
+    let level = groups
+        .iter()
+        .find(|g| g.len() >= 2)
+        .expect("fixture engine has a parallel level");
+    let (p, q) = (level[0], level[1]);
+    summary.steps[q].out_slot = summary.steps[p].out_slot;
+    let loc = "fixture plan (cross-lane slot collision)";
+    let mut report = Report::new();
+    report.extend(crate::concurrency::check_plan_hb(
+        loc,
+        &deps,
+        &summary,
+        &[2],
+    ));
+    report.extend(crate::concurrency::shadow_replay(loc, &summary, 2));
+    report
+}
+
+/// Lock-order consistency: two functions acquire the same two mutexes
+/// in opposite orders — the classic ABBA deadlock shape (RV071).
+pub fn lint_lock_order_fixture() -> Report {
+    let src = "\
+fn ab(s: &S) {
+    let a = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    let b = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    use_both(a, b);
+}
+fn ba(s: &S) {
+    let b = s.b.lock().unwrap_or_else(|e| e.into_inner());
+    let a = s.a.lock().unwrap_or_else(|e| e.into_inner());
+    use_both(a, b);
+}
+";
+    let mut report = Report::new();
+    report.extend(lint_source("fixtures/lock_order.rs", src));
+    report
+}
+
+/// Relaxed publication: a readiness flag is stored with
+/// `Ordering::Relaxed`, so a reader observing `true` has no ordering
+/// guarantee on the data published before the store (RV072).
+pub fn lint_relaxed_store_fixture() -> Report {
+    let src = "\
+fn publish(s: &S) {
+    s.results = compute();
+    s.ready.store(true, Ordering::Relaxed);
+}
+";
+    let mut report = Report::new();
+    report.extend(lint_source("fixtures/relaxed_store.rs", src));
+    report
+}
+
+/// Lock held across pool hand-off: a mutex guard stays live across
+/// `pool.submit(…)` and `batch.wait()`, so pool tasks needing the same
+/// lock would deadlock against the waiting caller (RV073).
+pub fn lint_lock_across_submit_fixture() -> Report {
+    let src = "\
+fn flush(s: &S, pool: &WorkerPool) {
+    let q = s.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let batch = pool.submit(make_tasks(&q));
+    batch.wait();
+}
+";
+    let mut report = Report::new();
+    report.extend(lint_source("fixtures/lock_across_submit.rs", src));
     report
 }
 

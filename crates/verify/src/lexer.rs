@@ -1,0 +1,436 @@
+//! A minimal Rust lexer for the hot-path source lints.
+//!
+//! The RV03x/RV07x lints need to know whether `panic!(` sits in code or
+//! inside a string literal, a comment, or a `#[cfg(test)]` module — a
+//! line scanner cannot tell. This lexer splits source text into tokens
+//! with exact classification of the lexical contexts that matter:
+//! line comments, (nested) block comments, string / raw-string /
+//! byte-string literals, char literals vs lifetimes, identifiers,
+//! numbers, and punctuation.
+//!
+//! Two guarantees the lints rely on, both pinned by tests:
+//!
+//! 1. **Round-trip:** concatenating `token.text` over the token stream
+//!    reproduces the input byte-for-byte — no source text is ever
+//!    dropped or invented, so a lint that walks tokens sees everything
+//!    a line scanner would and nothing it should not.
+//! 2. **Panic-freedom:** [`tokenize`] never panics, whatever bytes it
+//!    is fed (malformed UTF-8 cannot occur — input is `&str` — but
+//!    unterminated literals, stray quotes, and lone backslashes are all
+//!    fine). Unterminated constructs extend to end of input.
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// ...` to end of line (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* ... */`, nesting respected (includes `/** ... */`).
+    BlockComment,
+    /// String-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime or loop label: `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Identifier or keyword (including raw identifiers `r#match`).
+    Ident,
+    /// Numeric literal (integer part only; `1.5` lexes as three
+    /// tokens, which the lints never care about).
+    Number,
+    /// Any other single character.
+    Punct,
+}
+
+/// One lexed token: classification, exact source text, and the
+/// 1-based line its first character sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact slice of the input this token covers.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Token<'_> {
+    /// Whether the token is code (not whitespace or a comment).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+/// Identifier continuation bytes. Bytes ≥ 0x80 (non-ASCII) are folded
+/// into the surrounding identifier rather than split out — the lints
+/// only compare against ASCII names, and round-tripping stays exact.
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80
+}
+
+/// Splits `src` into tokens. Infallible; see the module docs for the
+/// round-trip and panic-freedom guarantees.
+pub fn tokenize(src: &str) -> Vec<Token<'_>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let start = i;
+        let start_line = line;
+        let b = bytes[i];
+        let kind = if b.is_ascii_whitespace() {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            TokenKind::Whitespace
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if b == b'"' {
+            i = scan_string(bytes, i + 1);
+            TokenKind::Str
+        } else if (b == b'r' || b == b'b') && starts_raw_string(bytes, i) {
+            i = scan_raw_string(bytes, i);
+            TokenKind::Str
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+            i = scan_string(bytes, i + 2);
+            TokenKind::Str
+        } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+            i = scan_char_literal(bytes, i + 2);
+            TokenKind::Char
+        } else if b == b'r'
+            && bytes.get(i + 1) == Some(&b'#')
+            && bytes.get(i + 2).copied().is_some_and(is_ident_start)
+        {
+            // Raw identifier `r#match`.
+            i += 3;
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if b == b'\'' {
+            match classify_quote(bytes, i) {
+                QuoteKind::CharLit => {
+                    i = scan_char_literal(bytes, i + 1);
+                    TokenKind::Char
+                }
+                QuoteKind::Lifetime => {
+                    i += 1;
+                    while i < bytes.len() && is_ident_continue(bytes[i]) {
+                        i += 1;
+                    }
+                    TokenKind::Lifetime
+                }
+                QuoteKind::Lone => {
+                    i += 1;
+                    TokenKind::Punct
+                }
+            }
+        } else if is_ident_start(b) {
+            while i < bytes.len() && is_ident_continue(bytes[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if b.is_ascii_digit() {
+            // Digits, `_` separators, and alphanumeric suffixes/bases
+            // (`0x1f`, `10_000u64`). The `.` of a float is a separate
+            // Punct token; no lint cares.
+            while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            TokenKind::Number
+        } else {
+            // One character of punctuation — a whole char, so a
+            // non-ASCII scalar outside the cases above never splits.
+            let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+            i += ch_len;
+            TokenKind::Punct
+        };
+        line += bytecount_newlines(&bytes[start..i]);
+        toks.push(Token {
+            kind,
+            text: &src[start..i],
+            line: start_line,
+        });
+    }
+    toks
+}
+
+fn bytecount_newlines(bytes: &[u8]) -> usize {
+    bytes.iter().filter(|&&b| b == b'\n').count()
+}
+
+/// Scans past a `"`-terminated string body starting at `i` (the byte
+/// after the opening quote), honouring `\` escapes. Returns the index
+/// one past the closing quote (or end of input if unterminated).
+fn scan_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i = (i + 2).min(bytes.len()),
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether `r`/`br` at `i` opens a raw (byte) string: `r"`, `r#`×n`"`,
+/// `br"`, `br#`×n`"`.
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if bytes.get(i) == Some(&b'b') {
+        if bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+        j += 1;
+    }
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Scans a raw string starting at the `r`/`b` of its prefix. Returns
+/// the index one past the closing `"` + hashes (or end of input).
+fn scan_raw_string(bytes: &[u8], mut i: usize) -> usize {
+    if bytes.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    i += 1; // the `r`
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // the opening `"`
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Scans a char/byte literal body starting at `i` (the byte after the
+/// opening quote). Returns the index one past the closing quote.
+fn scan_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    if bytes.get(i) == Some(&b'\\') {
+        i += 2; // escape + escaped byte (enough for \n, \', \\, \u's `u`)
+                // If the "escaped byte" opened a multi-byte scalar (garbage
+                // input like `'\é`), finish the scalar so the caller's slice
+                // stays on a char boundary.
+        while i < bytes.len() && bytes[i] & 0xC0 == 0x80 {
+            i += 1;
+        }
+        // `\u{1F600}`-style escapes: consume to the closing brace.
+        if bytes.get(i.saturating_sub(1)) == Some(&b'{') || bytes.get(i) == Some(&b'{') {
+            while i < bytes.len() && bytes[i] != b'}' && bytes[i] != b'\'' {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'}') {
+                i += 1;
+            }
+        }
+    } else if i < bytes.len() {
+        i += 1;
+        // A multi-byte char: continuation bytes until the quote.
+        while i < bytes.len() && bytes[i] >= 0x80 {
+            i += 1;
+        }
+    }
+    if bytes.get(i) == Some(&b'\'') {
+        i + 1
+    } else {
+        i.min(bytes.len())
+    }
+}
+
+enum QuoteKind {
+    CharLit,
+    Lifetime,
+    Lone,
+}
+
+/// Disambiguates `'` at `i`: `'x'`/`'\n'` are char literals, `'a` and
+/// `'static` are lifetimes, anything else is a lone quote.
+fn classify_quote(bytes: &[u8], i: usize) -> QuoteKind {
+    match bytes.get(i + 1) {
+        None => QuoteKind::Lone,
+        Some(b'\\') => QuoteKind::CharLit,
+        Some(&c1) => {
+            // `'x'` — a quote right after one scalar closes a char
+            // literal. Multi-byte scalars: skip continuation bytes.
+            let mut j = i + 2;
+            while bytes.get(j).copied().is_some_and(|b| b >= 0x80) {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                QuoteKind::CharLit
+            } else if is_ident_start(c1) {
+                QuoteKind::Lifetime
+            } else {
+                QuoteKind::Lone
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token<'_>> {
+        let toks = tokenize(src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src, "tokens must round-trip the input");
+        toks
+    }
+
+    #[test]
+    fn classifies_basic_code() {
+        let toks = roundtrip("fn f() -> u32 { x.unwrap() }\n");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, ["fn", "f", "u32", "x", "unwrap"]);
+    }
+
+    #[test]
+    fn strings_swallow_panic_text() {
+        let toks = roundtrip(r#"let s = "panic!(oops) // not code";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("panic!"));
+        assert!(toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .all(|t| t.text != "panic"));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_string() {
+        let toks = roundtrip(r#"let s = "a \" b"; x.unwrap()"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside"#; y"###;
+        let toks = roundtrip(src);
+        let s = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .expect("raw string token");
+        assert!(s.text.starts_with("r#\""));
+        assert!(s.text.ends_with("\"#"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = roundtrip("a /* outer /* inner */ still comment */ b");
+        let kinds: Vec<_> = toks
+            .iter()
+            .filter(|t| t.is_code())
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(kinds, ["a", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = roundtrip("fn f<'a>(x: &'a str, c: char) { let y = 'z'; let s = ' '; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(chars, ["'z'", "' '"]);
+    }
+
+    #[test]
+    fn char_escapes() {
+        let toks = roundtrip(r"let nl = '\n'; let q = '\''; let u = '\u{1F600}';");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = tokenize("a\nbb\n  ccc");
+        let find = |name: &str| toks.iter().find(|t| t.text == name).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("bb"), Some(2));
+        assert_eq!(find("ccc"), Some(3));
+    }
+
+    #[test]
+    fn unterminated_constructs_extend_to_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "/* never closed",
+            "r#\"never closed",
+            "'",
+            "b\"",
+            "'\\",
+        ] {
+            let toks = tokenize(src);
+            let rebuilt: String = toks.iter().map(|t| t.text).collect();
+            assert_eq!(rebuilt, src);
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = roundtrip("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "r#match"));
+    }
+}

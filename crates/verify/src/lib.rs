@@ -46,6 +46,10 @@
 //! | RV051 | plan   | arena slot lifetimes disjoint; capacities cover tenants; byte accounting consistent |
 //! | RV052 | plan   | planned (fused, arena) forward bit-identical to the interpreter, serial and level-parallel |
 //! | RV054 | plan   | levelled schedule respects data deps; arena slots disjoint across concurrently-live steps |
+//! | RV070 | conc   | happens-before race freedom: operand edges match the model's data deps, and every conflicting arena-slot access pair is HB-ordered across the executed caller/worker lanes (pairwise + shadow replay) |
+//! | RV071 | conc   | lock acquisition order consistent across all sites of a crate (no cycle in the lock-order graph) |
+//! | RV072 | conc   | no `Ordering::Relaxed` on publishing atomic writes (`store`/`swap`/`compare_exchange*`); counters waivable via `// ORDERING:` |
+//! | RV073 | conc   | no lock guard held across `pool.submit(…)` / `pool.help()` / `batch.wait()` |
 //! | RV060 | fleet  | routing ring covers every replica; points sorted; routing deterministic |
 //! | RV061 | fleet  | degradation controller band well-formed; tier monotone in sustained pressure; recovers to dense |
 //! | RV062 | fleet  | tenant ledger conserved: offered == admitted + throttled + shed; routing covers admitted |
@@ -59,15 +63,18 @@
 
 mod diag;
 
+pub mod concurrency;
 pub mod exec;
 pub mod fixtures;
 pub mod fleet;
+pub mod lexer;
 pub mod lint;
 pub mod model;
 pub mod plan;
 pub mod sparse;
 pub mod trace;
 
+pub use concurrency::{check_plan_hb, shadow_replay, ModelDeps};
 pub use diag::{Diagnostic, Report, Severity};
 pub use exec::{check_histogram_buckets, check_tile_partition};
 pub use fleet::{check_fleet_ledger, check_fleet_replicas, check_hash_ring, check_tier_controller};

@@ -372,6 +372,17 @@ pub fn check_execution_plan(model: &SparseModel, input: &Tensor, threads: &[usiz
     report.extend(check_plan_schedule(&loc, &summary));
     report.extend(check_plan_arena(&loc, &summary));
     report.extend(check_plan_levels(&loc, &summary));
+    let deps = crate::concurrency::ModelDeps::of(model);
+    report.extend(crate::concurrency::check_plan_hb(
+        &loc, &deps, &summary, threads,
+    ));
+    for &t in threads {
+        report.extend(crate::concurrency::shadow_replay(
+            &format!("{loc} width={t}"),
+            &summary,
+            t,
+        ));
+    }
     let forced = WorkerPool::new(3);
     let serial = model
         .plan_for(shape)

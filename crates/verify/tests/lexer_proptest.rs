@@ -1,0 +1,74 @@
+//! Property tests for the verify lexer: on ANY input — valid Rust or
+//! arbitrary unicode garbage — `tokenize` must not panic, must cover
+//! the input losslessly (token texts concatenate back to the source),
+//! and must report 1-based, non-decreasing line numbers. The RV07x
+//! lints trust these properties: a lexer that drops or duplicates
+//! bytes could hide a `panic!(` or invent a lock site.
+
+use proptest::prelude::*;
+use rtoss_verify::lexer::tokenize;
+
+/// Arbitrary unicode strings: random scalar values (surrogate-range
+/// candidates are discarded by `char::from_u32`), so every UTF-8
+/// length and every char class the lexer branches on gets exercised.
+fn unicode_soup() -> impl Strategy<Value = String> {
+    collection::vec(0u32..0x11_0000, 0usize..64)
+        .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Short printable-ASCII runs — dense in the punctuation and quote
+/// bytes the lexer treats specially.
+fn ascii_soup() -> impl Strategy<Value = String> {
+    collection::vec(0x20u8..0x7f, 0usize..13)
+        .prop_map(|bs| String::from_utf8(bs).expect("printable ASCII is UTF-8"))
+}
+
+fn assert_round_trip(src: &str) {
+    let toks = tokenize(src);
+    let rebuilt: String = toks.iter().map(|t| t.text).collect();
+    prop_assert_eq!(rebuilt, src);
+    let mut last = 1usize;
+    for t in &toks {
+        prop_assert!(!t.text.is_empty(), "empty token would loop forever");
+        prop_assert!(t.line >= last, "line numbers must not go backwards");
+        last = t.line;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_unicode_round_trips_without_panicking(src in unicode_soup()) {
+        assert_round_trip(&src);
+    }
+
+    /// Rust-shaped fragment soup: real syntax — raw strings, char
+    /// literals, lifetimes, nested comments, panic text inside strings
+    /// — glued together in arbitrary order, including truncations that
+    /// leave literals unterminated at EOF.
+    #[test]
+    fn rust_fragment_soup_round_trips(parts in collection::vec(
+        prop_oneof![
+            Just("fn f() {".to_string()),
+            Just("}\n".to_string()),
+            Just("\"panic!(\"".to_string()),
+            Just("// panic!( in a comment\n".to_string()),
+            Just("/* unwrap() /* nested */ */".to_string()),
+            Just("r#\"raw .expect(\"#".to_string()),
+            Just("b\"bytes\\\"\"".to_string()),
+            Just("'\\''".to_string()),
+            Just("'\\u{1F600}'".to_string()),
+            Just("'é'".to_string()),
+            Just("&'a str".to_string()),
+            Just("r#match".to_string()),
+            Just("x.lock().unwrap_or_else(|e| e.into_inner());".to_string()),
+            Just("0x1f_u64 + 10_000".to_string()),
+            Just("'\\".to_string()),
+            Just("\"unterminated".to_string()),
+            ascii_soup().boxed(),
+            unicode_soup().boxed(),
+        ], 0usize..24)) {
+        assert_round_trip(&parts.concat());
+    }
+}
