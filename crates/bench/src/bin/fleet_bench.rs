@@ -16,7 +16,18 @@
 //! fleet_bench [--replicas N] [--workers N] [--max-batch N] [--image N]
 //!             [--duration SECS] [--seed N] [--deadline-ms N]
 //!             [--burst F] [--loads F,F,...] [--out PATH] [--strict]
+//!             [--telemetry]
 //! ```
+//!
+//! `--telemetry` turns the windowed SLO telemetry plane on for every
+//! arm (bench-scaled burn-rate ranges), validates each settled
+//! snapshot with the RV080–RV083 passes (including the ledger
+//! cross-check and every flight dump), and writes the artifacts of the
+//! highest >= 2x degraded arm next to the report:
+//! `fleet_telemetry.json`, `fleet_telemetry.prom`, and
+//! `fleet_flight.json`. Combined with `--strict` it also requires the
+//! bulk tenant's admission alert to fire *and* resolve at that point —
+//! the breach-and-recovery acceptance gate.
 //!
 //! `--deadline-ms 0` (the default) auto-derives the deadline from the
 //! calibrated dense service time (8x the mean single-frame latency), so
@@ -38,7 +49,10 @@ use rtoss_core::{EntryPattern, Pruner, RTossPruner};
 use rtoss_fleet::loadgen::{
     bursty_schedule, poisson_schedule, run_fleet_open_loop, FleetLoadSummary, TenantLoad,
 };
-use rtoss_fleet::{Fleet, FleetConfig, SloClass, TenantSpec, TierControllerConfig, TierSpec};
+use rtoss_fleet::{
+    Fleet, FleetConfig, FlightDump, SloClass, TelemetryConfig, TelemetrySnapshot, TenantSpec,
+    TierControllerConfig, TierSpec,
+};
 use rtoss_models::yolov5s_twin;
 use rtoss_serve::{BackpressurePolicy, ServeConfig, ServeModel};
 use rtoss_sparse::SparseModel;
@@ -138,6 +152,7 @@ struct Args {
     loads: Vec<f64>,
     out: String,
     strict: bool,
+    telemetry: bool,
 }
 
 fn parse_args() -> Args {
@@ -153,13 +168,14 @@ fn parse_args() -> Args {
         loads: vec![0.5, 1.0, 2.0, 3.0],
         out: "results/fleet/fleet_bench.json".to_string(),
         strict: false,
+        telemetry: false,
     };
     fn usage_error(msg: &str) -> ! {
         eprintln!("fleet_bench: {msg}");
         eprintln!(
             "usage: fleet_bench [--replicas N] [--workers N] [--max-batch N] [--image N] \
              [--duration SECS] [--seed N] [--deadline-ms N] [--burst F] [--loads F,F,...] \
-             [--out PATH] [--strict]"
+             [--out PATH] [--strict] [--telemetry]"
         );
         std::process::exit(2);
     }
@@ -190,6 +206,7 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = value(),
             "--strict" => args.strict = true,
+            "--telemetry" => args.telemetry = true,
             other => usage_error(&format!("unknown flag {other}")),
         }
     }
@@ -273,7 +290,50 @@ fn tenant_mix() -> Vec<TenantLoad> {
     ]
 }
 
-/// Runs one arm of one load point on a fresh fleet and returns its row.
+/// The telemetry-plane artifacts of one arm: the settled snapshot, its
+/// Prometheus rendering, and every flight dump the run triggered.
+struct TelemetryArtifacts {
+    snapshot: TelemetrySnapshot,
+    prom: String,
+    dumps: Vec<FlightDump>,
+}
+
+/// Blocks until every SLO monitor has resolved (the burn ranges drain
+/// once load stops) or `timeout` elapses; returns the settled snapshot.
+fn wait_for_resolve(tel: &rtoss_fleet::FleetTelemetry, timeout: Duration) -> TelemetrySnapshot {
+    let t0 = Instant::now();
+    loop {
+        let snap = tel.snapshot();
+        let quiet =
+            snap.tenants.iter().all(|t| !t.firing) && snap.replicas.iter().all(|r| !r.firing);
+        if quiet || t0.elapsed() > timeout {
+            return snap;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Runs the RV080–RV083 passes over one arm's settled telemetry; a
+/// violation aborts the benchmark, same contract as RV062/RV063.
+fn verify_telemetry(artifacts: &TelemetryArtifacts, ledger: &rtoss_fleet::FleetSnapshot) {
+    let mut check = rtoss_verify::check_telemetry_windows(&artifacts.snapshot);
+    check.extend(
+        rtoss_verify::check_telemetry_conservation(&artifacts.snapshot, Some(ledger)).diagnostics,
+    );
+    check.extend(rtoss_verify::check_alert_log(&artifacts.snapshot).diagnostics);
+    for (i, dump) in artifacts.dumps.iter().enumerate() {
+        let label = format!("flight dump[{i}] ({})", dump.reason);
+        check.extend(rtoss_verify::check_flight_dump(&label, &dump.json).diagnostics);
+    }
+    if check.has_errors() {
+        eprint!("{}", check.render());
+        eprintln!("fleet_bench: telemetry failed RV080-RV083 verification");
+        std::process::exit(1);
+    }
+}
+
+/// Runs one arm of one load point on a fresh fleet and returns its row
+/// (plus the telemetry artifacts when `--telemetry` is on).
 #[allow(clippy::too_many_arguments)]
 fn run_arm(
     tiers: &[(TierSpec, Arc<dyn ServeModel>)],
@@ -281,7 +341,7 @@ fn run_arm(
     deadline: Duration,
     schedule: &[Duration],
     degradation: bool,
-) -> ArmRow {
+) -> (ArmRow, Option<TelemetryArtifacts>) {
     // Quotas are set far above the offered load: this benchmark curves
     // pressure degradation, not token-bucket throttling.
     let tenants = tenant_mix()
@@ -305,6 +365,7 @@ fn run_arm(
             replicas: args.replicas,
             tenants,
             controller: degradation.then(TierControllerConfig::default),
+            telemetry: args.telemetry.then(TelemetryConfig::bench),
             control_interval: Duration::from_millis(5),
             serve: ServeConfig {
                 workers: args.workers,
@@ -331,6 +392,17 @@ fn run_arm(
             1.0,
         )
     });
+    // Let the burn ranges drain before shutdown so the settled snapshot
+    // carries the full firing -> resolved transition, then capture the
+    // telemetry plane (the Arc outlives the fleet).
+    let artifacts = fleet.telemetry().map(|tel| {
+        let snapshot = wait_for_resolve(&tel, Duration::from_secs(4));
+        TelemetryArtifacts {
+            prom: snapshot.to_prometheus(),
+            dumps: tel.dumps(),
+            snapshot,
+        }
+    });
     let snapshot = fleet.shutdown();
 
     // A benchmark over a leaky ledger reports fiction: conservation and
@@ -342,8 +414,11 @@ fn run_arm(
         eprintln!("fleet_bench: fleet snapshot failed RV062/RV063 verification");
         std::process::exit(1);
     }
+    if let Some(a) = &artifacts {
+        verify_telemetry(a, &snapshot);
+    }
 
-    ArmRow {
+    let row = ArmRow {
         degradation,
         deadline_hit_rate: summary.deadline_hit_rate(),
         summary,
@@ -357,7 +432,8 @@ fn run_arm(
         tier_upgrades: snapshot.tier_upgrades,
         routed_affinity: snapshot.routed_affinity,
         routed_spill: snapshot.routed_spill,
-    }
+    };
+    (row, artifacts)
 }
 
 /// Writes `text` to `path`, creating parent directories.
@@ -379,6 +455,9 @@ fn mix_cell(arm: &ArmRow) -> String {
 
 fn main() {
     let args = parse_args();
+    if args.telemetry {
+        rtoss_obs::set_series_enabled(true);
+    }
 
     println!(
         "fleet_bench: {} replicas x {} workers, max batch {}, image {}, seed {}, \
@@ -425,6 +504,7 @@ fn main() {
     );
 
     let mut points = Vec::new();
+    let mut telemetry_artifacts: Vec<(f64, TelemetryArtifacts)> = Vec::new();
     for &multiplier in &args.loads {
         let qps = multiplier * sat_qps;
         let n = (qps * args.duration_s).ceil().max(8.0) as usize;
@@ -437,8 +517,11 @@ fn main() {
         println!(
             "fleet_bench: load {multiplier}x ({qps:.0} qps, {n} requests) degradation on/off..."
         );
-        let degraded = run_arm(&tiers, &args, deadline, &schedule, true);
-        let baseline = run_arm(&tiers, &args, deadline, &schedule, false);
+        let (degraded, artifacts) = run_arm(&tiers, &args, deadline, &schedule, true);
+        let (baseline, _) = run_arm(&tiers, &args, deadline, &schedule, false);
+        if let Some(a) = artifacts {
+            telemetry_artifacts.push((multiplier, a));
+        }
         points.push(LoadPoint {
             multiplier,
             qps,
@@ -511,8 +594,64 @@ fn main() {
     write_output(&txt_out, &table);
     println!("report: {} + {}", args.out, txt_out);
 
+    if args.telemetry {
+        write_telemetry_artifacts(&args, &telemetry_artifacts);
+    }
+
     if args.strict && !degradation_wins_overload {
         eprintln!("fleet_bench: --strict: degradation failed to beat the baseline under overload");
+        std::process::exit(1);
+    }
+}
+
+/// Writes the telemetry artifacts of the most-overloaded degraded arm
+/// next to the report, and under `--strict` requires the bulk tenant's
+/// admission alert to have fired *and* resolved there.
+fn write_telemetry_artifacts(args: &Args, artifacts: &[(f64, TelemetryArtifacts)]) {
+    let Some((multiplier, chosen)) = artifacts
+        .iter()
+        .max_by(|(a, _), (b, _)| a.total_cmp(b))
+        .map(|(m, a)| (*m, a))
+    else {
+        eprintln!("fleet_bench: --telemetry produced no artifacts (no degraded arm ran)");
+        std::process::exit(1);
+    };
+    let dir = std::path::Path::new(&args.out)
+        .parent()
+        .map_or_else(|| ".".to_string(), |d| d.to_string_lossy().into_owned());
+    let snap_json =
+        serde_json::to_string_pretty(&chosen.snapshot).expect("telemetry snapshot serializes");
+    let snap_path = format!("{dir}/fleet_telemetry.json");
+    let prom_path = format!("{dir}/fleet_telemetry.prom");
+    write_output(&snap_path, &snap_json);
+    write_output(&prom_path, &chosen.prom);
+    let mut written = vec![snap_path, prom_path];
+    if let Some(dump) = chosen.dumps.first() {
+        let flight_path = format!("{dir}/fleet_flight.json");
+        write_output(&flight_path, &dump.json);
+        written.push(flight_path);
+    }
+    let bulk_fired = chosen
+        .snapshot
+        .alerts
+        .iter()
+        .any(|a| a.rule == "admission" && a.subject.starts_with("bulk") && a.state == "firing");
+    let bulk_resolved =
+        chosen.snapshot.alerts.iter().any(|a| {
+            a.rule == "admission" && a.subject.starts_with("bulk") && a.state == "resolved"
+        });
+    println!(
+        "telemetry: {multiplier}x arm, {} alert transition(s), {} flight dump(s), \
+         bulk admission fired={bulk_fired} resolved={bulk_resolved}",
+        chosen.snapshot.alerts.len(),
+        chosen.dumps.len(),
+    );
+    println!("telemetry artifacts: {}", written.join(" + "));
+    if args.strict && !(bulk_fired && bulk_resolved) {
+        eprintln!(
+            "fleet_bench: --strict --telemetry: bulk admission alert did not fire and resolve \
+             at the {multiplier}x point"
+        );
         std::process::exit(1);
     }
 }

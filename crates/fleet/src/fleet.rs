@@ -38,6 +38,7 @@ use crate::metrics::{
     TierServedSnapshot,
 };
 use crate::ring::HashRing;
+use crate::telemetry::{AdmissionOutcome, FleetTelemetry, ReplicaObservation, TelemetryConfig};
 use crate::tenant::{SloClass, TenantSpec, TokenBucket};
 use crate::tier::{TierController, TierControllerConfig, TierSpec};
 
@@ -90,6 +91,11 @@ pub struct FleetConfig {
     pub control_interval: Duration,
     /// Registered tenants.
     pub tenants: Vec<TenantSpec>,
+    /// SLO telemetry (windowed series, burn-rate alerts, flight
+    /// recorder); `None` disables the telemetry plane entirely. Even
+    /// when configured, recording is inert until
+    /// `rtoss_obs::set_series_enabled` (or `RTOSS_SERIES=1`).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for FleetConfig {
@@ -102,6 +108,7 @@ impl Default for FleetConfig {
             controller: Some(TierControllerConfig::default()),
             control_interval: Duration::from_millis(5),
             tenants: vec![TenantSpec::new("default", SloClass::Silver, 1e6, 1e6)],
+            telemetry: None,
         }
     }
 }
@@ -129,6 +136,7 @@ pub struct Fleet {
     serve: ServeConfig,
     stop: Arc<AtomicBool>,
     controller: Option<JoinHandle<()>>,
+    telemetry: Option<Arc<FleetTelemetry>>,
 }
 
 impl std::fmt::Debug for Fleet {
@@ -220,9 +228,15 @@ impl Fleet {
             })
             .collect();
         let stop = Arc::new(AtomicBool::new(false));
-        let controller = config.controller.map(|cc| {
-            spawn_controller(
-                cc,
+        let telemetry = config
+            .telemetry
+            .map(|tc| FleetTelemetry::new(tc, &config.tenants, config.replicas))
+            .transpose()?
+            .map(Arc::new);
+        let controller = if config.controller.is_some() || telemetry.is_some() {
+            Some(spawn_control_loop(
+                config.controller,
+                telemetry.clone(),
                 config.control_interval,
                 replicas
                     .iter()
@@ -235,8 +249,10 @@ impl Fleet {
                     .collect(),
                 metrics.clone(),
                 stop.clone(),
-            )
-        });
+            ))
+        } else {
+            None
+        };
         Ok(Fleet {
             replicas,
             ring: HashRing::new(config.replicas, config.vnodes),
@@ -247,7 +263,15 @@ impl Fleet {
             serve,
             stop,
             controller,
+            telemetry,
         })
+    }
+
+    /// The telemetry plane, when configured. The `Arc` stays valid
+    /// past [`shutdown`](Self::shutdown) — clone it first to read the
+    /// settled series afterwards.
+    pub fn telemetry(&self) -> Option<Arc<FleetTelemetry>> {
+        self.telemetry.clone()
     }
 
     /// Number of replicas.
@@ -302,12 +326,13 @@ impl Fleet {
         };
         if !admitted_by_quota {
             ledger.throttled.incr();
-            if obs::recording() {
-                obs::emit_instant(
+            self.record_admission(tenant, now, AdmissionOutcome::Throttled);
+            obs::emit_instant_lazy(|| {
+                (
                     "fleet_throttle",
                     vec![("tenant", obs::ArgValue::Str(tenant.to_string()))],
-                );
-            }
+                )
+            });
             return Err(FleetError::Throttled);
         }
 
@@ -330,15 +355,16 @@ impl Fleet {
         let class = state.spec.class;
         if self.depth_frac(replica) >= class.admit_depth_frac() {
             ledger.shed.incr();
-            if obs::recording() {
-                obs::emit_instant(
+            self.record_admission(tenant, now, AdmissionOutcome::Shed);
+            obs::emit_instant_lazy(|| {
+                (
                     "fleet_shed",
                     vec![
                         ("tenant", obs::ArgValue::Str(tenant.to_string())),
                         ("replica", obs::ArgValue::U64(replica as u64)),
                     ],
-                );
-            }
+                )
+            });
             return Err(FleetError::Shed(None));
         }
 
@@ -346,21 +372,22 @@ impl Fleet {
         match self.replicas[replica].server.submit(input, deadline) {
             Ok(ticket) => {
                 ledger.admitted.incr();
+                self.record_admission(tenant, now, AdmissionOutcome::Admitted);
                 if spilled {
                     self.metrics.routed_spill.incr();
                 } else {
                     self.metrics.routed_affinity.incr();
                 }
-                if obs::recording() {
-                    obs::emit_instant(
+                obs::emit_instant_lazy(|| {
+                    (
                         "fleet_route",
                         vec![
                             ("tenant", obs::ArgValue::Str(tenant.to_string())),
                             ("replica", obs::ArgValue::U64(replica as u64)),
                             ("spill", obs::ArgValue::U64(spilled as u64)),
                         ],
-                    );
-                }
+                    )
+                });
                 Ok(ticket)
             }
             Err(RequestError::ShutDown) => {
@@ -369,12 +396,23 @@ impl Fleet {
                 // (the request was offered and not admitted), but
                 // surface the distinct error.
                 ledger.shed.incr();
+                self.record_admission(tenant, now, AdmissionOutcome::Shed);
                 Err(FleetError::ShutDown)
             }
             Err(e) => {
                 ledger.shed.incr();
+                self.record_admission(tenant, now, AdmissionOutcome::Shed);
                 Err(FleetError::Shed(Some(e)))
             }
+        }
+    }
+
+    /// Mirrors one ledger outcome into the telemetry series (same
+    /// `Instant`, so every lane of a request lands in the same
+    /// window).
+    fn record_admission(&self, tenant: &str, at: Instant, outcome: AdmissionOutcome) {
+        if let Some(tel) = &self.telemetry {
+            tel.record_admission(tenant, obs::ts_ns(at), outcome);
         }
     }
 
@@ -392,12 +430,12 @@ impl Fleet {
                 .swap_model(tier, model.clone(), &shapes, &self.serve.exec)?;
         }
         self.metrics.hot_swaps.incr();
-        if obs::recording() {
-            obs::emit_instant(
+        obs::emit_instant_lazy(|| {
+            (
                 "fleet_hot_swap",
                 vec![("tier", obs::ArgValue::U64(tier as u64))],
-            );
-        }
+            )
+        });
         Ok(())
     }
 
@@ -561,52 +599,72 @@ struct ControllerProbe {
     capacity: usize,
 }
 
-fn spawn_controller(
-    cfg: TierControllerConfig,
+fn spawn_control_loop(
+    cfg: Option<TierControllerConfig>,
+    telemetry: Option<Arc<FleetTelemetry>>,
     interval: Duration,
     probes: Vec<ControllerProbe>,
     fleet_metrics: Arc<FleetMetrics>,
     stop: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let mut controllers: Vec<TierController> = probes
-            .iter()
-            .map(|p| TierController::new(cfg, p.engine.num_tiers()))
-            .collect();
+        let mut controllers: Option<Vec<TierController>> = cfg.map(|cc| {
+            probes
+                .iter()
+                .map(|p| TierController::new(cc, p.engine.num_tiers()))
+                .collect()
+        });
         // Per-replica (completed, deadline_missed) at the previous tick.
         let mut last: Vec<(u64, u64)> = probes.iter().map(|_| (0, 0)).collect();
         while !stop.load(Ordering::Acquire) {
             std::thread::sleep(interval);
             let now = Instant::now();
-            for (i, probe) in probes.iter().enumerate() {
-                let completed = probe.metrics.completed.get();
-                let missed = probe.metrics.deadline_missed.get();
-                let (c0, m0) = last[i];
-                let dc = completed.saturating_sub(c0);
-                let dm = missed.saturating_sub(m0);
-                last[i] = (completed, missed);
-                let miss_sample = if dc == 0 { 0.0 } else { dm as f64 / dc as f64 };
-                let queue_frac = probe.depth.len() as f64 / probe.capacity as f64;
-                let before = controllers[i].level();
-                let after = controllers[i].observe(queue_frac, miss_sample, now);
-                if after != before {
-                    if after > before {
-                        fleet_metrics.tier_downgrades.incr();
-                    } else {
-                        fleet_metrics.tier_upgrades.incr();
-                    }
-                    probe.engine.set_tier(after);
-                    if obs::recording() {
-                        obs::emit_instant(
-                            "tier_change",
-                            vec![
-                                ("replica", obs::ArgValue::U64(i as u64)),
-                                ("from", obs::ArgValue::U64(before as u64)),
-                                ("to", obs::ArgValue::U64(after as u64)),
-                            ],
-                        );
+            let ts = obs::ts_ns(now);
+            if let Some(controllers) = controllers.as_mut() {
+                for (i, probe) in probes.iter().enumerate() {
+                    let completed = probe.metrics.completed.get();
+                    let missed = probe.metrics.deadline_missed.get();
+                    let (c0, m0) = last[i];
+                    let dc = completed.saturating_sub(c0);
+                    let dm = missed.saturating_sub(m0);
+                    last[i] = (completed, missed);
+                    let miss_sample = if dc == 0 { 0.0 } else { dm as f64 / dc as f64 };
+                    let queue_frac = probe.depth.len() as f64 / probe.capacity as f64;
+                    let before = controllers[i].level();
+                    let after = controllers[i].observe(queue_frac, miss_sample, now);
+                    if after != before {
+                        if after > before {
+                            fleet_metrics.tier_downgrades.incr();
+                        } else {
+                            fleet_metrics.tier_upgrades.incr();
+                        }
+                        probe.engine.set_tier(after);
+                        if let Some(tel) = &telemetry {
+                            tel.record_tier_change(ts, i, before, after);
+                        }
+                        obs::emit_instant_lazy(|| {
+                            (
+                                "tier_change",
+                                vec![
+                                    ("replica", obs::ArgValue::U64(i as u64)),
+                                    ("from", obs::ArgValue::U64(before as u64)),
+                                    ("to", obs::ArgValue::U64(after as u64)),
+                                ],
+                            )
+                        });
                     }
                 }
+            }
+            if let Some(tel) = &telemetry {
+                let observations: Vec<ReplicaObservation> = probes
+                    .iter()
+                    .map(|p| ReplicaObservation {
+                        queue_frac: p.depth.len() as f64 / p.capacity as f64,
+                        tier: p.engine.current_tier(),
+                        metrics: &p.metrics,
+                    })
+                    .collect();
+                tel.tick(ts, &observations);
             }
         }
     })

@@ -27,6 +27,10 @@
 //!   (`offered == admitted + throttled + shed`, RV062);
 //! - [`metrics`] — per-tenant / per-tier snapshots with Prometheus
 //!   exposition;
+//! - [`telemetry`] — the SLO telemetry plane: per-tenant windowed
+//!   admission series, per-replica queue/tier gauges, multi-window
+//!   burn-rate monitors with firing/resolved alerts, and a black-box
+//!   flight recorder dumping post-mortem JSON on breach (RV080–RV083);
 //! - [`loadgen`] — multi-tenant open-loop driver (Poisson or bursty
 //!   arrivals) producing per-tenant deadline-hit rates.
 //!
@@ -74,6 +78,7 @@ pub mod fleet;
 pub mod loadgen;
 pub mod metrics;
 pub mod ring;
+pub mod telemetry;
 pub mod tenant;
 pub mod tier;
 
@@ -84,5 +89,10 @@ pub use metrics::{
     TierServedSnapshot,
 };
 pub use ring::HashRing;
+pub use telemetry::{
+    AdmissionOutcome, AdmissionTotals, AdmissionWindow, AlertRecord, BurnPoint, FleetTelemetry,
+    FlightDump, GaugeWindow, PolicySnapshot, ReplicaObservation, ReplicaTelemetrySnapshot,
+    TelemetryConfig, TelemetrySnapshot, TenantTelemetrySnapshot,
+};
 pub use tenant::{SloClass, TenantSpec, TokenBucket};
 pub use tier::{TierController, TierControllerConfig, TierSpec};

@@ -1,0 +1,320 @@
+//! Black-box flight recorder: a bounded ring of recent telemetry,
+//! dumped as self-contained JSON on an SLO breach, a worker panic, or
+//! an explicit request.
+//!
+//! The recorder is the "what happened in the last N seconds"
+//! post-mortem answer: feeders append spans, instants, series samples,
+//! and alert transitions as they happen; the ring keeps the most
+//! recent `capacity` entries and counts what it displaced. It is cheap
+//! enough to leave always on — one short `Mutex`-guarded `VecDeque`
+//! push per entry, and the entry rate is control-plane rate (ticks,
+//! refusals, tier changes), not per-layer rate.
+//!
+//! [`FlightRecorder::dump`] renders everything currently held into one
+//! JSON document (entries sorted by timestamp, metadata naming the
+//! trigger), built by hand like every exporter in this crate. The
+//! document is self-contained: `rtoss-verify` checks its
+//! well-formedness and that the covered `[first_ts_ns, last_ts_ns]`
+//! window actually contains the triggering instant (RV083).
+
+use crate::chrome::{push_f64, push_json_str};
+use crate::slo::{AlertEvent, AlertKind};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One recorded flight entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightEntry {
+    /// A completed interval (e.g. one control tick).
+    Span {
+        /// Span name.
+        name: String,
+        /// Start, nanoseconds since the trace epoch.
+        ts_ns: u64,
+        /// Duration, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A point event (e.g. an admission refusal or a tier change).
+    Instant {
+        /// Event name.
+        name: String,
+        /// Occurrence time, nanoseconds since the trace epoch.
+        ts_ns: u64,
+        /// Free-form detail (tenant, replica, tiers…).
+        detail: String,
+    },
+    /// One series observation (e.g. a per-tick burn rate or queue
+    /// depth).
+    Sample {
+        /// Series name.
+        series: String,
+        /// Observation time, nanoseconds since the trace epoch.
+        ts_ns: u64,
+        /// Observed value.
+        value: f64,
+    },
+    /// An SLO alert transition.
+    Alert {
+        /// Rule name.
+        rule: String,
+        /// Monitored subject.
+        subject: String,
+        /// Firing or resolved.
+        kind: AlertKind,
+        /// Transition time, nanoseconds since the trace epoch.
+        ts_ns: u64,
+        /// Short-range burn at the transition.
+        burn_short: f64,
+        /// Long-range burn at the transition.
+        burn_long: f64,
+    },
+}
+
+impl FlightEntry {
+    /// The entry's timestamp (span start for spans).
+    pub fn ts_ns(&self) -> u64 {
+        match self {
+            FlightEntry::Span { ts_ns, .. }
+            | FlightEntry::Instant { ts_ns, .. }
+            | FlightEntry::Sample { ts_ns, .. }
+            | FlightEntry::Alert { ts_ns, .. } => *ts_ns,
+        }
+    }
+}
+
+/// Bounded ring of recent [`FlightEntry`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<FlightEntry>>,
+    displaced: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            displaced: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum entries held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded (or everything displaced).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries pushed out of the ring so far.
+    pub fn displaced(&self) -> u64 {
+        self.displaced.load(Ordering::Relaxed)
+    }
+
+    /// Appends one entry, displacing the oldest when full.
+    pub fn record(&self, entry: FlightEntry) {
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.displaced.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(entry);
+    }
+
+    /// Records a completed interval.
+    pub fn span(&self, name: impl Into<String>, ts_ns: u64, dur_ns: u64) {
+        self.record(FlightEntry::Span {
+            name: name.into(),
+            ts_ns,
+            dur_ns,
+        });
+    }
+
+    /// Records a point event.
+    pub fn instant(&self, name: impl Into<String>, ts_ns: u64, detail: impl Into<String>) {
+        self.record(FlightEntry::Instant {
+            name: name.into(),
+            ts_ns,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records a series observation.
+    pub fn sample(&self, series: impl Into<String>, ts_ns: u64, value: f64) {
+        self.record(FlightEntry::Sample {
+            series: series.into(),
+            ts_ns,
+            value,
+        });
+    }
+
+    /// Records an alert transition.
+    pub fn alert(&self, event: &AlertEvent) {
+        self.record(FlightEntry::Alert {
+            rule: event.rule.clone(),
+            subject: event.subject.clone(),
+            kind: event.kind,
+            ts_ns: event.ts_ns,
+            burn_short: event.burn_short,
+            burn_long: event.burn_long,
+        });
+    }
+
+    /// Renders the current ring into one self-contained post-mortem
+    /// JSON document, entries sorted by timestamp. `reason` names the
+    /// trigger (`"slo-breach"`, `"worker-panic"`, `"manual"`…) and
+    /// `trigger_ts_ns` the instant it happened; the recorder itself is
+    /// left untouched so later triggers still see the history.
+    pub fn dump(&self, reason: &str, trigger_ts_ns: u64) -> String {
+        let mut entries: Vec<FlightEntry> = {
+            let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
+            ring.iter().cloned().collect()
+        };
+        entries.sort_by_key(FlightEntry::ts_ns);
+        let first_ts = entries.first().map_or(trigger_ts_ns, FlightEntry::ts_ns);
+        let last_ts = entries.last().map_or(trigger_ts_ns, FlightEntry::ts_ns);
+        let mut out = String::with_capacity(256 + entries.len() * 96);
+        out.push('{');
+        out.push_str("\"reason\":");
+        push_json_str(&mut out, reason);
+        let _ = write!(
+            out,
+            ",\"trigger_ts_ns\":{trigger_ts_ns},\"dumped_at_ns\":{},\"capacity\":{},\
+             \"displaced\":{},\"first_ts_ns\":{first_ts},\"last_ts_ns\":{last_ts},\
+             \"entries\":[",
+            crate::now_ns(),
+            self.capacity,
+            self.displaced(),
+        );
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_entry(&mut out, e);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_entry(out: &mut String, e: &FlightEntry) {
+    out.push('{');
+    match e {
+        FlightEntry::Span {
+            name,
+            ts_ns,
+            dur_ns,
+        } => {
+            out.push_str("\"kind\":\"span\",\"name\":");
+            push_json_str(out, name);
+            let _ = write!(out, ",\"ts_ns\":{ts_ns},\"dur_ns\":{dur_ns}");
+        }
+        FlightEntry::Instant {
+            name,
+            ts_ns,
+            detail,
+        } => {
+            out.push_str("\"kind\":\"instant\",\"name\":");
+            push_json_str(out, name);
+            let _ = write!(out, ",\"ts_ns\":{ts_ns},\"detail\":");
+            push_json_str(out, detail);
+        }
+        FlightEntry::Sample {
+            series,
+            ts_ns,
+            value,
+        } => {
+            out.push_str("\"kind\":\"sample\",\"series\":");
+            push_json_str(out, series);
+            let _ = write!(out, ",\"ts_ns\":{ts_ns},\"value\":");
+            push_f64(out, *value);
+        }
+        FlightEntry::Alert {
+            rule,
+            subject,
+            kind,
+            ts_ns,
+            burn_short,
+            burn_long,
+        } => {
+            out.push_str("\"kind\":\"alert\",\"rule\":");
+            push_json_str(out, rule);
+            out.push_str(",\"subject\":");
+            push_json_str(out, subject);
+            let _ = write!(out, ",\"state\":\"{}\",\"ts_ns\":{ts_ns}", kind.label());
+            out.push_str(",\"burn_short\":");
+            push_f64(out, *burn_short);
+            out.push_str(",\"burn_long\":");
+            push_f64(out, *burn_long);
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::AlertKind;
+
+    #[test]
+    fn ring_is_bounded_and_counts_displacement() {
+        let r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.instant("evt", i * 10, format!("i={i}"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.displaced(), 2);
+        let dump = r.dump("manual", 45);
+        assert!(dump.contains("\"first_ts_ns\":20"));
+        assert!(dump.contains("\"last_ts_ns\":40"));
+        assert!(dump.contains("\"displaced\":2"));
+    }
+
+    #[test]
+    fn dump_sorts_entries_and_escapes_strings() {
+        let r = FlightRecorder::new(8);
+        r.sample("burn\"short\"", 30, 2.5);
+        r.span("tick", 10, 5);
+        r.alert(&AlertEvent {
+            rule: "admission".into(),
+            subject: "bulk\nco".into(),
+            kind: AlertKind::Firing,
+            ts_ns: 20,
+            burn_short: 3.0,
+            burn_long: 2.1,
+        });
+        let dump = r.dump("slo-breach", 20);
+        let span_pos = dump.find("\"kind\":\"span\"").unwrap();
+        let alert_pos = dump.find("\"kind\":\"alert\"").unwrap();
+        let sample_pos = dump.find("\"kind\":\"sample\"").unwrap();
+        assert!(
+            span_pos < alert_pos && alert_pos < sample_pos,
+            "sorted by ts"
+        );
+        assert!(dump.contains("burn\\\"short\\\""));
+        assert!(dump.contains("bulk\\nco"));
+        assert!(dump.contains("\"state\":\"firing\""));
+        assert!(dump.contains("\"trigger_ts_ns\":20"));
+    }
+
+    #[test]
+    fn empty_dump_degenerates_to_the_trigger_instant() {
+        let r = FlightRecorder::new(4);
+        let dump = r.dump("manual", 7);
+        assert!(dump.contains("\"first_ts_ns\":7"));
+        assert!(dump.contains("\"last_ts_ns\":7"));
+        assert!(dump.contains("\"entries\":[]"));
+    }
+}

@@ -5,12 +5,20 @@
 //! runtime crate — `rtoss-tensor`, `rtoss-sparse`, `rtoss-serve` — can
 //! instrument through it without pulling the dependency graph upward.
 //!
-//! Four pieces:
+//! Seven pieces:
 //!
 //! - [`trace`] — the lock-cheap span/event core: thread-local span
 //!   stacks, per-thread buffers drained into a global collector, a
 //!   zero-cost disabled path, and sampling (`RTOSS_TRACE`,
 //!   `RTOSS_TRACE_SAMPLE`).
+//! - [`timeseries`] — windowed time-series: fixed rings of aligned
+//!   time buckets (counter / counter-set / gauge / histogram) with
+//!   O(1) lock-cheap recording and the same one-atomic-load disabled
+//!   path (`RTOSS_SERIES`).
+//! - [`slo`] — multi-window burn-rate SLO monitors with
+//!   firing/resolved hysteresis, emitting structured alert events.
+//! - [`flight`] — the black-box flight recorder: a bounded ring of
+//!   recent spans/instants/samples/alerts dumped as post-mortem JSON.
 //! - [`chrome`] — exporters: Chrome/Perfetto `trace.json` and a JSONL
 //!   structured event log (methods on [`Trace`]).
 //! - [`prom`] — Prometheus text exposition: a generic metric model,
@@ -42,17 +50,27 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
 pub mod profile;
 pub mod prom;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
+pub use flight::{FlightEntry, FlightRecorder};
 pub use profile::{Profile, SpanStat};
-pub use prom::{PromHistogram, PromMetric, PromSample, PromValue};
+pub use prom::{sanitize_name, PromHistogram, PromMetric, PromSample, PromValue};
+pub use slo::{AlertEvent, AlertKind, AlertState, BurnRatePolicy, SloMonitor};
+pub use timeseries::{
+    series_enabled, set_series_enabled, GaugeSample, HistogramSample, SeriesSnapshot, SetSample,
+    WindowSample, WindowSpec, WindowedCounter, WindowedGauge, WindowedHistogram, WindowedSet,
+    SERIES_ENV,
+};
 pub use trace::{
-    batch_scope, current_tid, drain, emit_async, emit_instant, emit_span, enabled, now_ns,
-    recording, reset, sample_every, set_enabled, set_sample_every, span, span_lazy, ts_ns,
-    ArgValue, Args, EventKind, ScopeGuard, SpanGuard, Trace, TraceEvent, MAX_EVENTS_PER_THREAD,
-    SAMPLE_ENV, TRACE_ENV,
+    batch_scope, current_tid, drain, emit_async, emit_instant, emit_instant_lazy, emit_span,
+    enabled, now_ns, recording, reset, sample_every, set_enabled, set_sample_every, span,
+    span_lazy, ts_ns, ArgValue, Args, EventKind, ScopeGuard, SpanGuard, Trace, TraceEvent,
+    MAX_EVENTS_PER_THREAD, SAMPLE_ENV, TRACE_ENV,
 };
 
 /// Serializes unit tests that mutate the process-wide trace state.

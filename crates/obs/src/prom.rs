@@ -11,6 +11,7 @@
 //! `<name>_bucket{le="..."}` samples (ending in `le="+Inf"`), plus
 //! `<name>_sum` and `<name>_count`.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// A histogram in exposition form.
@@ -83,6 +84,32 @@ impl PromMetric {
     }
 }
 
+/// Coerces `s` into a valid Prometheus name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, a
+/// leading digit gets a `_` prefix, and an empty input becomes `"_"`.
+/// Valid names pass through without allocating. Metric names and
+/// *label keys* go through this at render time — label keys often come
+/// from dynamic, caller-controlled strings (tenant ids, replica
+/// names), and a hostile key would otherwise break the whole
+/// exposition for every scraper.
+pub fn sanitize_name(s: &str) -> Cow<'_, str> {
+    if valid_name(s) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 1);
+    for (i, c) in s.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    Cow::Owned(out)
+}
+
 fn fmt_value(v: f64) -> String {
     if v == f64::INFINITY {
         "+Inf".to_string()
@@ -102,7 +129,7 @@ fn push_label_set(out: &mut String, labels: &[(String, String)]) {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"");
+        let _ = write!(out, "{}=\"", sanitize_name(k));
         for c in v.chars() {
             match c {
                 '\\' => out.push_str("\\\\"),
@@ -127,24 +154,25 @@ fn push_sample(out: &mut String, name: &str, labels: &[(String, String)], value:
 /// HELP/TYPE header, emitted at the first occurrence.
 pub fn render(metrics: &[PromMetric]) -> String {
     let mut out = String::new();
-    let mut seen: Vec<&str> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
     for m in metrics {
-        if !seen.contains(&m.name.as_str()) {
-            seen.push(&m.name);
+        let name = sanitize_name(&m.name);
+        if !seen.iter().any(|s| s == name.as_ref()) {
+            seen.push(name.clone().into_owned());
             let kind = match m.value {
                 PromValue::Counter(_) => "counter",
                 PromValue::Gauge(_) => "gauge",
                 PromValue::Histogram(_) => "histogram",
             };
-            let _ = writeln!(out, "# HELP {} {}", m.name, m.help.replace('\n', " "));
-            let _ = writeln!(out, "# TYPE {} {kind}", m.name);
+            let _ = writeln!(out, "# HELP {name} {}", m.help.replace('\n', " "));
+            let _ = writeln!(out, "# TYPE {name} {kind}");
         }
         match &m.value {
             PromValue::Counter(v) | PromValue::Gauge(v) => {
-                push_sample(&mut out, &m.name, &m.labels, *v);
+                push_sample(&mut out, &name, &m.labels, *v);
             }
             PromValue::Histogram(h) => {
-                let bucket_name = format!("{}_bucket", m.name);
+                let bucket_name = format!("{name}_bucket");
                 let mut cumulative = 0u64;
                 for (ub, c) in h.upper_bounds.iter().zip(&h.counts) {
                     cumulative += c;
@@ -155,10 +183,10 @@ pub fn render(metrics: &[PromMetric]) -> String {
                 let mut labels = m.labels.clone();
                 labels.push(("le".to_string(), "+Inf".to_string()));
                 push_sample(&mut out, &bucket_name, &labels, h.count as f64);
-                push_sample(&mut out, &format!("{}_sum", m.name), &m.labels, h.sum);
+                push_sample(&mut out, &format!("{name}_sum"), &m.labels, h.sum);
                 push_sample(
                     &mut out,
-                    &format!("{}_count", m.name),
+                    &format!("{name}_count"),
                     &m.labels,
                     h.count as f64,
                 );
@@ -368,6 +396,38 @@ mod tests {
             render(&[PromMetric::gauge("g", "a gauge", 1.0).with_label("weird", "a\"b\\c\nd")]);
         let samples = parse(&text).expect("parses");
         assert_eq!(samples[0].label("weird"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn sanitize_name_coerces_and_passes_valid_through() {
+        assert!(matches!(sanitize_name("rtoss_ok:name"), Cow::Borrowed(_)));
+        assert_eq!(sanitize_name("tenant-a.b c"), "tenant_a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("bulk\"x\"\ny"), "bulk_x__y");
+        assert!(valid_name(&sanitize_name("läbel-kéy")));
+    }
+
+    #[test]
+    fn hostile_tenant_names_round_trip_as_labels() {
+        // A tenant id chosen to break both the label key and the value:
+        // quotes, backslashes, newlines, unicode, leading digit.
+        let hostile = "9bulk\"x\\y\nz-ü";
+        let text = render(&[
+            PromMetric::counter("rtoss_fleet_admitted_total", "Admitted", 3.0)
+                .with_label("tenant", hostile),
+            PromMetric::gauge("bad metric\nname", "help", 1.0).with_label(hostile, "v"),
+        ]);
+        // Every non-comment line must parse back cleanly.
+        let samples = parse(&text).expect("hostile names must not corrupt exposition");
+        assert_eq!(samples.len(), 2);
+        // Label *values* survive verbatim through escaping...
+        assert_eq!(samples[0].label("tenant"), Some(hostile));
+        // ...while metric names and label *keys* are coerced to the
+        // legal charset.
+        assert_eq!(samples[1].name, "bad_metric_name");
+        assert_eq!(samples[1].labels[0].0, "_9bulk_x_y_z__");
+        assert_eq!(samples[1].labels[0].1, "v");
     }
 
     #[test]

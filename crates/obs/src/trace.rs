@@ -505,6 +505,33 @@ pub fn emit_instant(name: impl Into<Cow<'static, str>>, args: Args) {
     });
 }
 
+/// Records a point-in-time marker whose name/arguments are built
+/// lazily — the closure runs only when the event is actually kept, so
+/// neither the disabled path nor a suppressed scope (a sampled-out
+/// batch) allocates. The instant analogue of [`span_lazy`]; prefer it
+/// over `if recording() { emit_instant(...) }`, which still builds its
+/// arguments inside scopes that [`recording`] reports as suppressed a
+/// moment later.
+#[inline]
+pub fn emit_instant_lazy<N, F>(make: F)
+where
+    N: Into<Cow<'static, str>>,
+    F: FnOnce() -> (N, Args),
+{
+    if !recording() {
+        return;
+    }
+    let (name, args) = make();
+    record(TraceEvent {
+        name: name.into(),
+        kind: EventKind::Instant,
+        tid: current_tid(),
+        ts_ns: now_ns(),
+        dur_ns: 0,
+        args,
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

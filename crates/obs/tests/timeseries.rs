@@ -1,0 +1,136 @@
+//! Edge-case and property tests for the windowed time-series rings:
+//! boundary samples, backwards clocks, ring wrap after idle gaps, and
+//! randomized per-window-sums-equal-totals conservation.
+
+use proptest::prelude::*;
+use rtoss_obs::timeseries::{set_series_enabled, WindowSpec, WindowedCounter, WindowedSet};
+use std::collections::BTreeMap;
+
+/// Serializes tests: the series-enabled flag is process-wide.
+fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const W: u64 = 1_000_000; // 1 ms windows
+
+#[test]
+fn boundary_sample_opens_the_new_window() {
+    let _flags = flag_lock();
+    set_series_enabled(true);
+    let c = WindowedCounter::new(WindowSpec::new(W, 8));
+    c.add_at(W - 1, 1); // last nanosecond of window 0
+    c.add_at(W, 10); // exactly on the boundary: opens window 1
+    c.add_at(W + 1, 100);
+    let s = c.samples();
+    assert_eq!(s.len(), 2);
+    assert_eq!((s[0].start_ns, s[0].count, s[0].sum), (0, 1, 1));
+    assert_eq!((s[1].start_ns, s[1].count, s[1].sum), (W, 2, 110));
+    set_series_enabled(false);
+}
+
+#[test]
+fn backwards_clock_lands_in_live_windows_and_goes_late_past_them() {
+    let _flags = flag_lock();
+    set_series_enabled(true);
+    let c = WindowedCounter::new(WindowSpec::new(W, 4));
+    // Fill windows 4..8: the 4-slot ring now holds exactly those four.
+    for k in 4..8u64 {
+        c.add_at(k * W, 1);
+    }
+    // A modest backwards step to a still-live window is fine: the
+    // sample lands in window 5, not in the current one.
+    c.add_at(5 * W + 10, 1);
+    assert_eq!(c.late(), 0);
+    let s = c.samples();
+    assert_eq!(s.iter().find(|x| x.start_ns == 5 * W).unwrap().count, 2);
+    // A step to before the ring's history cannot land — its slot holds
+    // a newer window — and must be tallied late, not silently merged.
+    c.add_at(2 * W, 7);
+    assert_eq!(c.late(), 1);
+    assert_eq!(c.total(), (5, 5), "late samples never reach the totals");
+    set_series_enabled(false);
+}
+
+#[test]
+fn ring_wrap_after_idle_gap_evicts_the_stale_window() {
+    let _flags = flag_lock();
+    set_series_enabled(true);
+    let c = WindowedCounter::new(WindowSpec::new(W, 4));
+    c.add_at(1, 3);
+    // Idle for far longer than the whole ring span, then resume in a
+    // window that reuses slot 0 (100 % 4 == 0): the stale window must
+    // be harvested into the evicted totals, not reported as live.
+    c.add_at(100 * W, 5);
+    let s = c.samples();
+    assert_eq!(s.len(), 1);
+    assert_eq!(s[0].start_ns, 100 * W);
+    let snap = c.snapshot("idle-wrap");
+    assert_eq!((snap.evicted_count, snap.evicted_sum), (1, 3));
+    assert_eq!(snap.total_count, s[0].count + snap.evicted_count);
+    assert_eq!(c.late(), 0);
+    set_series_enabled(false);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sample batch within one ring span: every window's count/sum
+    /// matches an independent model exactly, and the grand totals equal
+    /// the per-window sums (nothing evicted, nothing late).
+    #[test]
+    fn counter_window_sums_match_totals(
+        samples in proptest::collection::vec((0u64..64 * W, 0u64..1_000), 1..200)
+    ) {
+        let _flags = flag_lock();
+        set_series_enabled(true);
+        let c = WindowedCounter::new(WindowSpec::new(W, 64));
+        let mut model: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for &(ts, v) in &samples {
+            c.add_at(ts, v);
+            let e = model.entry(ts / W * W).or_default();
+            e.0 += 1;
+            e.1 += v;
+        }
+        let got: BTreeMap<u64, (u64, u64)> = c
+            .samples()
+            .into_iter()
+            .map(|w| (w.start_ns, (w.count, w.sum)))
+            .collect();
+        set_series_enabled(false);
+        prop_assert_eq!(&got, &model);
+        let live: (u64, u64) = got.values().fold((0, 0), |a, v| (a.0 + v.0, a.1 + v.1));
+        prop_assert_eq!(c.total(), live);
+        prop_assert_eq!(c.late(), 0);
+        prop_assert_eq!(c.snapshot("prop").evicted_count, 0);
+    }
+
+    /// Paired-lane recording keeps `offered == Σ outcome lanes` in
+    /// every window and in the totals for any timestamp/outcome mix.
+    #[test]
+    fn set_pairs_conserve_per_window(
+        samples in proptest::collection::vec((0u64..64 * W, 1usize..4), 1..200)
+    ) {
+        let _flags = flag_lock();
+        set_series_enabled(true);
+        let s = WindowedSet::new(
+            WindowSpec::new(W, 64),
+            &["offered", "admitted", "throttled", "shed"],
+        );
+        for &(ts, outcome) in &samples {
+            s.incr_pair_at(ts, 0, outcome);
+        }
+        let windows = s.samples();
+        set_series_enabled(false);
+        for w in &windows {
+            prop_assert_eq!(w.counts[0], w.counts[1] + w.counts[2] + w.counts[3]);
+        }
+        prop_assert_eq!(s.total_lane(0), samples.len() as u64);
+        prop_assert_eq!(
+            s.total_lane(1) + s.total_lane(2) + s.total_lane(3),
+            samples.len() as u64
+        );
+        let live: u64 = windows.iter().map(|w| w.counts[0]).sum();
+        prop_assert_eq!(live + s.evicted_lane(0), s.total_lane(0));
+    }
+}

@@ -63,7 +63,8 @@ mod request;
 mod server;
 
 pub use metrics::{
-    LatencyHistogram, MetricsSnapshot, PhaseHistogram, PhaseStats, ServerMetrics, StripedCounter,
+    LatencyHistogram, MetricsSnapshot, PhaseHistogram, PhaseStats, ServerMetrics, ServerSeries,
+    StripedCounter,
 };
 pub use queue::BackpressurePolicy;
 pub use request::{

@@ -7,6 +7,7 @@
 //! buckets ≈ 250 ns … 3 min), giving ~±20 % quantile resolution with
 //! O(1) lock-free recording — the classic serving-systems trade.
 
+use rtoss_obs::timeseries::{WindowSpec, WindowedCounter, WindowedHistogram};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -241,6 +242,64 @@ pub struct PhaseHistogram {
     pub buckets: Vec<u64>,
 }
 
+/// Windowed time-series view of the respond path, recorded alongside
+/// the monotonic counters when `rtoss_obs::series_enabled()` is on
+/// (the recorders gate themselves — disabled cost is one relaxed
+/// atomic load per call). Fleet-level SLO monitors sum trailing
+/// ranges of these windows to compute deadline burn rates per
+/// replica; the cumulative counters cannot answer "how bad were the
+/// last two seconds", which is the question burn-rate alerting asks.
+#[derive(Debug)]
+pub struct ServerSeries {
+    /// Requests served to completion, per aligned window.
+    pub completed: WindowedCounter,
+    /// Completed requests that missed their deadline, per aligned
+    /// window.
+    pub deadline_missed: WindowedCounter,
+    /// End-to-end latency (submit → respond) in microseconds, windowed
+    /// into coarse buckets for the flight recorder's post-mortem view.
+    pub latency_us: WindowedHistogram,
+}
+
+impl Default for ServerSeries {
+    fn default() -> Self {
+        // Bounds in microseconds: 1 ms .. 1 s, log-ish spacing. Coarse
+        // on purpose — the per-phase LatencyHistogram keeps the fine
+        // geometry; these windows exist to localise a breach in time.
+        const LATENCY_BOUNDS_US: [u64; 7] =
+            [1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000];
+        ServerSeries {
+            completed: WindowedCounter::new(WindowSpec::default()),
+            deadline_missed: WindowedCounter::new(WindowSpec::default()),
+            latency_us: WindowedHistogram::new(WindowSpec::default(), &LATENCY_BOUNDS_US),
+        }
+    }
+}
+
+impl ServerSeries {
+    /// Records one completed request at `ts_ns` (nanoseconds since the
+    /// trace epoch): bumps the completion window, the miss window when
+    /// `missed`, and the latency histogram window. A no-op (one atomic
+    /// load per recorder) while series recording is disabled.
+    pub fn record_completion(&self, ts_ns: u64, latency: Duration, missed: bool) {
+        self.completed.incr_at(ts_ns);
+        if missed {
+            self.deadline_missed.incr_at(ts_ns);
+        }
+        let us = (latency.as_micros()).min(u128::from(u64::MAX)) as u64;
+        self.latency_us.record_at(ts_ns, us);
+    }
+
+    /// Deadline-miss and completion counts `(missed, completed)`
+    /// summed over the trailing `range_ns` ending at `now_ns` — the
+    /// (bad, total) pair a deadline SLO monitor evaluates.
+    pub fn deadline_range(&self, now_ns: u64, range_ns: u64) -> (u64, u64) {
+        let (missed, _) = self.deadline_missed.range(now_ns, range_ns);
+        let (completed, _) = self.completed.range(now_ns, range_ns);
+        (missed, completed)
+    }
+}
+
 /// All counters and histograms for one running server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
@@ -281,6 +340,11 @@ pub struct ServerMetrics {
     /// reports one). A gauge, not a counter: updated by max, so
     /// concurrent workers racing on it cannot lose the peak.
     pub peak_activation_bytes: AtomicU64,
+    /// Windowed respond-path series (inert unless
+    /// `rtoss_obs::series_enabled()`); not part of
+    /// [`MetricsSnapshot`] — fleet telemetry reads it live through its
+    /// `Arc<ServerMetrics>`.
+    pub series: ServerSeries,
 }
 
 impl ServerMetrics {

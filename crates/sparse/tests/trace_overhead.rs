@@ -66,4 +66,31 @@ fn disabled_tracing_overhead_is_under_one_percent_of_forward() {
         "disabled probes cost {per_forward_overhead_ns:.0} ns per forward \
          (probe {probe_ns:.2} ns), over 1% of a {forward_ns:.0} ns forward pass"
     );
+
+    // The fleet telemetry layer adds windowed-series probes on the same
+    // hot paths (admission gate, respond path). Hold the disabled
+    // recorders to the same budget: a serving request pays at most a
+    // handful of series probes, so 100 per forward is again a gross
+    // over-count.
+    rtoss_obs::set_series_enabled(false);
+    let spec = rtoss_obs::timeseries::WindowSpec::default();
+    let counter = rtoss_obs::timeseries::WindowedCounter::new(spec);
+    let set = rtoss_obs::timeseries::WindowedSet::new(spec, &["offered", "admitted"]);
+    let mut series_ns = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for i in 0..PROBES {
+            let ts = u64::from(i) * 1_000;
+            counter.add_at(ts, u64::from(i));
+            set.incr_pair_at(ts, 0, 1);
+            std::hint::black_box(i);
+        }
+        series_ns = series_ns.min(start.elapsed().as_nanos() as f64 / f64::from(PROBES));
+    }
+    let per_forward_series_ns = 100.0 * series_ns;
+    assert!(
+        per_forward_series_ns < 0.01 * forward_ns,
+        "disabled series probes cost {per_forward_series_ns:.0} ns per forward \
+         (probe {series_ns:.2} ns), over 1% of a {forward_ns:.0} ns forward pass"
+    );
 }

@@ -200,6 +200,28 @@ fn file_run(path: &str, json: bool, check: impl FnOnce(&str, &str) -> Report) ->
     emit(&check(path, &text), json)
 }
 
+/// Parses a `TelemetrySnapshot` JSON document and runs the RV080–RV082
+/// telemetry passes over it (conservation without the ledger
+/// cross-check — the bench validates against the live ledger itself).
+fn check_telemetry_file(label: &str, text: &str) -> Report {
+    let snap: rtoss_fleet::TelemetrySnapshot = match serde_json::from_str(text) {
+        Ok(s) => s,
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(rtoss_verify::Diagnostic::error(
+                "RV080",
+                label.to_string(),
+                format!("telemetry snapshot does not parse: {e}"),
+            ));
+            return report;
+        }
+    };
+    let mut report = rtoss_verify::check_telemetry_windows(&snap);
+    report.extend(rtoss_verify::check_telemetry_conservation(&snap, None).diagnostics);
+    report.extend(rtoss_verify::check_alert_log(&snap).diagnostics);
+    report
+}
+
 fn fixture_run(name: &str, json: bool) -> ExitCode {
     let Some(report) = fixtures::run(name) else {
         eprintln!(
@@ -220,6 +242,8 @@ fn main() -> ExitCode {
         ["--fixture", name] => fixture_run(name, json),
         ["--trace", path] => file_run(path, json, rtoss_verify::check_trace_json),
         ["--prom", path] => file_run(path, json, rtoss_verify::check_prometheus),
+        ["--telemetry", path] => file_run(path, json, check_telemetry_file),
+        ["--flight", path] => file_run(path, json, rtoss_verify::check_flight_dump),
         ["--list-fixtures"] => {
             for name in fixtures::NAMES {
                 println!("{name}");
@@ -228,7 +252,8 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: verify [--json] [--fixture NAME | --trace FILE | --prom FILE | --list-fixtures]"
+                "usage: verify [--json] [--fixture NAME | --trace FILE | --prom FILE | \
+                 --telemetry FILE | --flight FILE | --list-fixtures]"
             );
             ExitCode::from(2)
         }

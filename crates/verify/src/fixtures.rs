@@ -49,6 +49,10 @@ pub const NAMES: &[&str] = &[
     "lint-lock-order",
     "lint-relaxed-store",
     "lint-lock-across-submit",
+    "series-window",
+    "series-conserve",
+    "slo-hysteresis",
+    "flight-dump",
 ];
 
 /// Runs the named fixture, returning its report (`None` for an unknown
@@ -79,6 +83,10 @@ pub fn run(name: &str) -> Option<Report> {
         "lint-lock-order" => Some(lint_lock_order_fixture()),
         "lint-relaxed-store" => Some(lint_relaxed_store_fixture()),
         "lint-lock-across-submit" => Some(lint_lock_across_submit_fixture()),
+        "series-window" => Some(series_window_fixture()),
+        "series-conserve" => Some(series_conserve_fixture()),
+        "slo-hysteresis" => Some(slo_hysteresis_fixture()),
+        "flight-dump" => Some(flight_dump_fixture()),
         _ => None,
     }
 }
@@ -110,6 +118,10 @@ pub fn expected_code(name: &str) -> Option<&'static str> {
         "lint-lock-order" => Some("RV071"),
         "lint-relaxed-store" => Some("RV072"),
         "lint-lock-across-submit" => Some("RV073"),
+        "series-window" => Some("RV080"),
+        "series-conserve" => Some("RV081"),
+        "slo-hysteresis" => Some("RV082"),
+        "flight-dump" => Some("RV083"),
         _ => None,
     }
 }
@@ -677,6 +689,174 @@ pub fn fleet_quota_fixture() -> Report {
         hot_swaps: 0,
     };
     crate::fleet::check_fleet_ledger(&snapshot)
+}
+
+/// A hand-built, fully consistent telemetry snapshot: one tenant that
+/// fired and resolved an admission alert, one healthy replica. The
+/// telemetry fixtures each corrupt one invariant of this base.
+pub(crate) fn telemetry_fixture_base() -> rtoss_fleet::TelemetrySnapshot {
+    use rtoss_fleet::{
+        AdmissionTotals, AdmissionWindow, AlertRecord, BurnPoint, GaugeWindow, PolicySnapshot,
+        ReplicaTelemetrySnapshot, TelemetrySnapshot, TenantTelemetrySnapshot,
+    };
+    const MS: u64 = 1_000_000;
+    let policy = PolicySnapshot {
+        objective: 0.95,
+        short_range_ns: 50 * MS,
+        long_range_ns: 200 * MS,
+        fire_burn: 2.0,
+        resolve_burn: 0.5,
+        min_total: 5,
+    };
+    TelemetrySnapshot {
+        window_ns: 10 * MS,
+        windows: 64,
+        admission_policy: policy,
+        deadline_policy: PolicySnapshot {
+            objective: 0.9,
+            ..policy
+        },
+        tenants: vec![TenantTelemetrySnapshot {
+            id: "bulk-co".into(),
+            class: "bulk".into(),
+            windows: vec![
+                AdmissionWindow {
+                    start_ns: 0,
+                    offered: 10,
+                    admitted: 6,
+                    throttled: 2,
+                    shed: 2,
+                },
+                AdmissionWindow {
+                    start_ns: 10 * MS,
+                    offered: 8,
+                    admitted: 8,
+                    throttled: 0,
+                    shed: 0,
+                },
+            ],
+            totals: AdmissionTotals {
+                offered: 18,
+                admitted: 14,
+                throttled: 2,
+                shed: 2,
+            },
+            evicted: AdmissionTotals {
+                offered: 0,
+                admitted: 0,
+                throttled: 0,
+                shed: 0,
+            },
+            late: 0,
+            burns: vec![
+                BurnPoint {
+                    ts_ns: 5 * MS,
+                    short: 3.0,
+                    long: 2.5,
+                },
+                BurnPoint {
+                    ts_ns: 15 * MS,
+                    short: 0.2,
+                    long: 1.0,
+                },
+            ],
+            firing: false,
+        }],
+        replicas: vec![ReplicaTelemetrySnapshot {
+            replica: 0,
+            queue_frac: vec![GaugeWindow {
+                start_ns: 0,
+                count: 2,
+                last: 0.5,
+                min: 0.1,
+                max: 0.6,
+            }],
+            tier: vec![GaugeWindow {
+                start_ns: 0,
+                count: 2,
+                last: 1.0,
+                min: 0.0,
+                max: 1.0,
+            }],
+            burns: vec![BurnPoint {
+                ts_ns: 5 * MS,
+                short: 0.0,
+                long: 0.0,
+            }],
+            firing: false,
+        }],
+        alerts: vec![
+            AlertRecord {
+                rule: "admission".into(),
+                subject: "bulk-co".into(),
+                state: "firing".into(),
+                ts_ns: 5 * MS,
+                burn_short: 3.0,
+                burn_long: 2.5,
+            },
+            AlertRecord {
+                rule: "admission".into(),
+                subject: "bulk-co".into(),
+                state: "resolved".into(),
+                ts_ns: 15 * MS,
+                burn_short: 0.2,
+                burn_long: 1.0,
+            },
+        ],
+        dump_count: 1,
+        dumps_suppressed: 0,
+    }
+}
+
+/// A valid flight dump rendered by a real recorder: tick span, breach
+/// alert, burn sample, with the trigger inside the covered window.
+pub(crate) fn flight_fixture_dump() -> String {
+    use rtoss_obs::{AlertEvent, AlertKind, FlightRecorder};
+    let r = FlightRecorder::new(16);
+    r.span("telemetry_tick", 1_000, 500);
+    r.alert(&AlertEvent {
+        rule: "admission".into(),
+        subject: "bulk-co".into(),
+        kind: AlertKind::Firing,
+        ts_ns: 2_000,
+        burn_short: 3.0,
+        burn_long: 2.5,
+    });
+    r.sample("tenant/bulk-co/burn_short", 3_000, 3.0);
+    r.dump("slo-breach", 2_000)
+}
+
+/// Window geometry: one admission window's start is knocked off the
+/// storage-window alignment grid (RV080).
+pub fn series_window_fixture() -> Report {
+    let mut snap = telemetry_fixture_base();
+    snap.tenants[0].windows[1].start_ns += 3;
+    crate::telemetry::check_telemetry_windows(&snap)
+}
+
+/// Per-window conservation: one admitted request is double-counted, so
+/// `offered != admitted + throttled + shed` in that window (RV081).
+pub fn series_conserve_fixture() -> Report {
+    let mut snap = telemetry_fixture_base();
+    snap.tenants[0].windows[0].admitted += 1;
+    crate::telemetry::check_telemetry_conservation(&snap, None)
+}
+
+/// Alert hysteresis: the resolve transition claims a short burn still
+/// above the resolve threshold — a transition the monitor's hysteresis
+/// band can never emit (RV082).
+pub fn slo_hysteresis_fixture() -> Report {
+    let mut snap = telemetry_fixture_base();
+    snap.alerts[1].burn_short = 1.5;
+    snap.tenants[0].burns[1].short = 1.5;
+    crate::telemetry::check_alert_log(&snap)
+}
+
+/// Flight dump: the trigger timestamp is rewritten to sit outside the
+/// `[first_ts_ns, last_ts_ns]` window the dump claims to cover (RV083).
+pub fn flight_dump_fixture() -> Report {
+    let dump = flight_fixture_dump().replace("\"trigger_ts_ns\":2000", "\"trigger_ts_ns\":99000");
+    crate::telemetry::check_flight_dump("fixture dump (trigger outside window)", &dump)
 }
 
 #[cfg(test)]

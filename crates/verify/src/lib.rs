@@ -54,6 +54,10 @@
 //! | RV061 | fleet  | degradation controller band well-formed; tier monotone in sustained pressure; recovers to dense |
 //! | RV062 | fleet  | tenant ledger conserved: offered == admitted + throttled + shed; routing covers admitted |
 //! | RV063 | fleet  | replica tier state in range; mAP ordered densest-first; terminal counters partition submissions |
+//! | RV080 | telem  | series windows strictly ascending, aligned to the window width, bounded by the ring length |
+//! | RV081 | telem  | admission windows conserved (`offered == admitted + throttled + shed`) per window, per lane, and against the fleet ledger |
+//! | RV082 | telem  | burn-rate policies valid; alert log time-ordered, firing/resolved alternating, transitions respect the hysteresis band |
+//! | RV083 | telem  | flight dump well-formed: parses, bounded by capacity, entries sorted, `[first, last]` window covers the trigger |
 //!
 //! Severity is always `Error` for registry violations; artifacts with
 //! errors must not be executed. See DESIGN.md §9.
@@ -72,6 +76,7 @@ pub mod lint;
 pub mod model;
 pub mod plan;
 pub mod sparse;
+pub mod telemetry;
 pub mod trace;
 
 pub use concurrency::{check_plan_hb, shadow_replay, ModelDeps};
@@ -85,4 +90,7 @@ pub use plan::{
     check_plan_schedule,
 };
 pub use sparse::{check_pattern_layer, check_sparse_model, check_unstructured_layer};
+pub use telemetry::{
+    check_alert_log, check_flight_dump, check_telemetry_conservation, check_telemetry_windows,
+};
 pub use trace::{check_prometheus, check_prometheus_snapshot, check_trace, check_trace_json};
