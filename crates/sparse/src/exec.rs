@@ -1,27 +1,58 @@
 //! Sparse convolution executors.
 //!
-//! Both executors compute exactly the same result as
-//! [`rtoss_tensor::ops::conv2d`] on the masked dense weights; they
-//! differ in how they traverse the surviving weights:
+//! Every executor computes exactly the same result as
+//! [`rtoss_tensor::ops::conv2d`] on the masked dense weights (up to
+//! f32 summation order); they differ in how they traverse the
+//! surviving weights:
 //!
-//! - [`conv2d_pattern_sparse`]: per pattern group, the offset list is
-//!   fixed — the inner loop streams a contiguous output row against a
-//!   contiguous (shifted) input row, once per non-zero cell. Regular,
+//! - [`conv2d_pattern_sparse`]: register-tiled microkernel path over
+//!   the layer's [`PatternPack`] — per [`NR`]-wide output-row segment
+//!   a stack accumulator tile takes every kernel's taps through the
+//!   arity-monomorphized [`rtoss_tensor::microkernel`] bodies, then
+//!   writes back once with the fused epilogue. Regular,
 //!   cache-friendly, and work ∝ surviving weights.
-//! - [`conv2d_unstructured`]: per-weight COO traversal — same work
-//!   count, but each weight re-derives its offsets and the accumulation
-//!   pattern is irregular, modelling the thread-divergence/locality
-//!   penalty the paper attributes to unstructured sparsity (§II.B).
+//! - [`conv2d_unstructured`]: the same tile walk over a [`CooPack`],
+//!   but every `(oc, ic)` run dispatches through the arity-*generic*
+//!   body — no fixed-tap monomorphization, modelling the
+//!   irregularity penalty the paper attributes to unstructured
+//!   sparsity (§II.B).
+//! - [`conv2d_dense`]: all `k×k` taps of every kernel, zeros
+//!   included — the autotuner's dense candidate for layers that kept
+//!   most of their weights.
+//! - [`conv2d_pattern_scalar_into_with`]: the scalar reference — one
+//!   row-sweep per tap, no tiling. The proptests and RV092 pin every
+//!   tiled variant bit-identical to this.
 //!
-//! Both executors tile their output into `(batch, out-channel)` planes
-//! and run the tiles across scoped threads (`*_with` variants take an
+//! # Canonical accumulation order
+//!
+//! All four paths accumulate each output element as `bias`, then taps
+//! in ascending `(ic, ky, kx)` order (the pack order). f32 addition
+//! does not commute in rounding, so sharing one chain is what makes
+//! the paths bit-identical to each other — and therefore lets the
+//! plan-time format autotuner swap kernels per layer without changing
+//! a single output bit. The dense path additionally adds `0.0 * x`
+//! for pruned taps, which is bitwise inert except when an output
+//! element is exactly `±0.0` *and* the layer bias is `-0.0` — the
+//! executors' contract excludes negative-zero biases.
+//!
+//! Every executor tiles its output into `(batch, out-channel)` planes
+//! and runs the tiles across scoped threads (`*_with` variants take an
 //! [`ExecConfig`]; the plain variants use the process default). Tiles
 //! own disjoint `&mut` output slices, and each plane accumulates in the
 //! serial sweep's floating-point order, so results are bit-identical
 //! for every thread count.
+//!
+//! [`PatternPack`]: crate::pack::PatternPack
+//! [`CooPack`]: crate::pack::CooPack
+//! [`NR`]: rtoss_tensor::microkernel::NR
 
 use crate::format::{PatternCompressedConv, UnstructuredSparseConv};
+use crate::pack::PatternPack;
 use rtoss_tensor::exec::{run_tiles, Epilogue, ExecConfig};
+use rtoss_tensor::microkernel::{
+    accum_kernel, accum_taps, accum_taps_dyn, pad_plane_into, padded_plane_len, writeback,
+    FastDivmod, Tile, MR, NR,
+};
 use rtoss_tensor::ops::out_extent;
 use rtoss_tensor::{Tensor, TensorError};
 
@@ -61,7 +92,7 @@ fn check_input(
 /// Accumulates `val * x_row` into `out_row` for one (kernel-cell, output
 /// row) pair. Padding bounds are hoisted out of the inner loop: the
 /// valid `ox` range is computed once, and the stride-1 common case runs
-/// a branch-free contiguous saxpy. Shared by both executors.
+/// a branch-free contiguous saxpy. The scalar-reference inner loop.
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn accumulate_row(
@@ -103,58 +134,6 @@ fn accumulate_row(
     }
 }
 
-/// Executes a pattern-compressed convolution: `x (N,C,H,W) → (N,O,oh,ow)`.
-///
-/// # Errors
-///
-/// Returns an error if the input rank/channels do not match the layer
-/// or the kernel does not fit.
-pub fn conv2d_pattern_sparse(
-    x: &Tensor,
-    layer: &PatternCompressedConv,
-    bias: Option<&[f32]>,
-) -> Result<Tensor, TensorError> {
-    conv2d_pattern_sparse_with(x, layer, bias, &ExecConfig::default())
-}
-
-/// [`conv2d_pattern_sparse`] with an explicit [`ExecConfig`].
-///
-/// The output is tiled into `(batch, out-channel)` planes dispatched
-/// across `exec.threads` scoped threads. Each plane accumulates its
-/// kernels in the same group/kernel/offset order as the serial sweep,
-/// so every thread count produces bit-identical results.
-///
-/// # Errors
-///
-/// Same conditions as [`conv2d_pattern_sparse`].
-pub fn conv2d_pattern_sparse_with(
-    x: &Tensor,
-    layer: &PatternCompressedConv,
-    bias: Option<&[f32]>,
-    exec: &ExecConfig,
-) -> Result<Tensor, TensorError> {
-    let shape = conv_output_shape(
-        x.shape(),
-        layer.in_channels(),
-        layer.out_channels(),
-        layer.kernel_size(),
-        layer.stride(),
-        layer.padding(),
-        "conv2d_pattern_sparse",
-    )?;
-    let mut out = vec![0.0f32; shape.iter().product()];
-    conv2d_pattern_sparse_into_with(
-        x.as_slice(),
-        x.shape(),
-        layer,
-        bias,
-        &Epilogue::NONE,
-        &mut out,
-        exec,
-    )?;
-    Tensor::from_vec(out, &shape)
-}
-
 /// Output shape `[n, out_ch, oh, ow]` of a sparse convolution over an
 /// input of `x_shape`, validating geometry without executing anything.
 /// The execution plan calls this once at plan time so per-call forwards
@@ -178,57 +157,232 @@ pub fn conv_output_shape(
     Ok([n, out_ch, oh, ow])
 }
 
-/// Validates bias/epilogue/output-buffer lengths shared by both
-/// into-variants.
-fn check_into_args(
-    op: &'static str,
+/// Geometry every `*_into_with` executor shares, resolved once by
+/// [`check_conv_into`].
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
     o: usize,
+    oh: usize,
+    ow: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+}
+
+/// Validates input geometry plus the bias/epilogue/output-buffer
+/// lengths shared by every into-variant.
+#[allow(clippy::too_many_arguments)]
+fn check_conv_into(
+    op: &'static str,
+    x_shape: &[usize],
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
     bias: Option<&[f32]>,
     epilogue: &Epilogue<'_>,
     out_len: usize,
-    want_len: usize,
-) -> Result<(), TensorError> {
+) -> Result<ConvGeom, TensorError> {
+    let (n, h, w, oh, ow) = check_input(x_shape, in_ch, kernel, stride, pad, op)?;
     if let Some(b) = bias {
-        if b.len() != o {
+        if b.len() != out_ch {
             return Err(TensorError::Invalid {
                 op,
-                msg: format!("bias length {} != out channels {o}", b.len()),
+                msg: format!("bias length {} != out channels {out_ch}", b.len()),
             });
         }
     }
     if let Some((scale, shift)) = epilogue.affine {
-        if scale.len() != o || shift.len() != o {
+        if scale.len() != out_ch || shift.len() != out_ch {
             return Err(TensorError::Invalid {
                 op,
                 msg: format!(
-                    "epilogue affine lengths {}/{} != out channels {o}",
+                    "epilogue affine lengths {}/{} != out channels {out_ch}",
                     scale.len(),
                     shift.len()
                 ),
             });
         }
     }
+    let want_len = n * out_ch * oh * ow;
     if out_len != want_len {
         return Err(TensorError::Invalid {
             op,
             msg: format!("output buffer holds {out_len} elements, need {want_len}"),
         });
     }
-    Ok(())
+    Ok(ConvGeom {
+        n,
+        c: in_ch,
+        h,
+        w,
+        o: out_ch,
+        oh,
+        ow,
+        k: kernel,
+        stride,
+        pad,
+    })
+}
+
+/// Shared Tensor-returning entry point: shape-check, zeroed buffer,
+/// delegate to the `*_into_with` body, wrap the result. Every format's
+/// convenience wrapper goes through here instead of repeating the
+/// boilerplate.
+#[allow(clippy::too_many_arguments)]
+fn conv_entry(
+    x: &Tensor,
+    op: &'static str,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    run: impl FnOnce(&mut [f32]) -> Result<[usize; 4], TensorError>,
+) -> Result<Tensor, TensorError> {
+    let shape = conv_output_shape(x.shape(), in_ch, out_ch, kernel, stride, pad, op)?;
+    let mut out = vec![0.0f32; shape.iter().product()];
+    run(&mut out)?;
+    Tensor::from_vec(out, &shape)
+}
+
+/// Register-tiled `(batch, out-channel)`-plane driver shared by the
+/// pattern, COO, and dense executors. Stages the input into
+/// zero-padded planes (one pass — see the microkernel module docs),
+/// then walks each output plane in [`MR`]×[`NR`] tiles and hands each
+/// tile to `tile_fn(oc, tile, x_batch, out_plane)`. Block and plane
+/// indices are decomposed with [`FastDivmod`] — no hardware divide on
+/// the walk.
+///
+/// `tile_fn` owns the whole tile body: it creates the accumulator
+/// block, runs the format's canonical tap chain over it, and writes
+/// back with the fused epilogue. That ownership is deliberate — the
+/// block must live and die inside one function frame whose callees
+/// are all `#[inline(always)]`, so its address never crosses a real
+/// call boundary and LLVM can promote it to vector registers (see the
+/// microkernel module docs). Passing `&mut` accumulators *into* a
+/// closure parameter defeats that: the closure is big enough that the
+/// inliner may keep the call, and an escaped alloca is stack-bound.
+///
+/// `x_batch` is the staged batch slice; in-channel plane `ic` starts
+/// at `ic * padded_plane_len(...)` within it (the executors compute
+/// the same stride from the shared geometry).
+fn run_tiled_conv(
+    x: &[f32],
+    g: ConvGeom,
+    out: &mut [f32],
+    threads: usize,
+    tile_fn: impl Fn(usize, &Tile, &[f32], &mut [f32]) + Sync,
+) {
+    let plane = g.oh * g.ow;
+    let segs_per_row = g.ow.div_ceil(NR).max(1);
+    let row_blocks = g.oh.div_ceil(MR).max(1);
+    let seg_div = FastDivmod::new(segs_per_row as u32);
+    let oc_div = FastDivmod::new(g.o as u32);
+    let hw = g.h * g.w;
+    let php = padded_plane_len(g.h, g.w, g.pad, g.stride, g.k);
+    let mut staged = vec![0.0f32; g.n * g.c * php];
+    for (p, dst) in staged.chunks_mut(php).enumerate() {
+        pad_plane_into(dst, &x[p * hw..(p + 1) * hw], g.h, g.w, g.pad);
+    }
+    let xp = &staged[..];
+    let tiles: Vec<(usize, &mut [f32])> = out.chunks_mut(plane).enumerate().collect();
+    run_tiles(tiles, threads, |(tile_ix, out_plane)| {
+        let (ni, oc) = {
+            let (q, r) = oc_div.divmod(tile_ix as u32);
+            (q as usize, r as usize)
+        };
+        // Each staged plane carries its own slack tail (included in
+        // `php`), so ragged tiles stay within their plane's slice.
+        let x_batch = &xp[ni * g.c * php..];
+        for s in 0..(row_blocks * segs_per_row) as u32 {
+            let (by, sx) = seg_div.divmod(s);
+            let oy0 = by as usize * MR;
+            let ox0 = sx as usize * NR;
+            let tile = Tile {
+                wp: g.w + 2 * g.pad,
+                oy0,
+                mr: MR.min(g.oh - oy0),
+                ox0,
+                nr: NR.min(g.ow - ox0),
+                stride: g.stride,
+            };
+            tile_fn(oc, &tile, x_batch, out_plane);
+        }
+    });
+}
+
+/// Executes a pattern-compressed convolution: `x (N,C,H,W) → (N,O,oh,ow)`.
+///
+/// # Errors
+///
+/// Returns an error if the input rank/channels do not match the layer
+/// or the kernel does not fit.
+pub fn conv2d_pattern_sparse(
+    x: &Tensor,
+    layer: &PatternCompressedConv,
+    bias: Option<&[f32]>,
+) -> Result<Tensor, TensorError> {
+    conv2d_pattern_sparse_with(x, layer, bias, &ExecConfig::default())
+}
+
+/// [`conv2d_pattern_sparse`] with an explicit [`ExecConfig`].
+///
+/// The output is tiled into `(batch, out-channel)` planes dispatched
+/// across `exec.threads` scoped threads. Each plane accumulates its
+/// kernels in the canonical pack order, so every thread count produces
+/// bit-identical results.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_pattern_sparse`].
+pub fn conv2d_pattern_sparse_with(
+    x: &Tensor,
+    layer: &PatternCompressedConv,
+    bias: Option<&[f32]>,
+    exec: &ExecConfig,
+) -> Result<Tensor, TensorError> {
+    conv_entry(
+        x,
+        "conv2d_pattern_sparse",
+        layer.in_channels(),
+        layer.out_channels(),
+        layer.kernel_size(),
+        layer.stride(),
+        layer.padding(),
+        |out| {
+            conv2d_pattern_sparse_into_with(
+                x.as_slice(),
+                x.shape(),
+                layer,
+                bias,
+                &Epilogue::NONE,
+                out,
+                exec,
+            )
+        },
+    )
 }
 
 /// Write-into-buffer variant of [`conv2d_pattern_sparse_with`] with an
-/// [`Epilogue`] hook: the compiled execution plan's conv step.
+/// [`Epilogue`] hook: the compiled execution plan's pattern-format
+/// conv step, running the register-tiled monomorphized microkernels
+/// over the layer's prebuilt [`PatternPack`].
 ///
 /// `x`/`x_shape` describe the input (an arena slice — no `Tensor`
 /// allocation on the hot path); the result is written into `out`, which
 /// must hold exactly `n * out_channels * oh * ow` elements. Every
 /// element of `out` is overwritten (bias or zero fill first), so a
 /// reused arena buffer needs no clearing. The epilogue runs per output
-/// plane after that plane's accumulation, inside the same tile — hot in
-/// cache, composing with the scoped-thread tiling, and bit-identical
-/// for every thread count (each plane is processed by exactly one
-/// worker in the serial sweep's order).
+/// segment at tile writeback — hot in registers, composing with the
+/// scoped-thread tiling, and bit-identical for every thread count
+/// (each plane is processed by exactly one worker in the serial
+/// sweep's order).
 ///
 /// Returns the output shape `[n, out_channels, oh, ow]`.
 ///
@@ -236,6 +390,8 @@ fn check_into_args(
 ///
 /// Same conditions as [`conv2d_pattern_sparse`], plus mismatched
 /// epilogue or output-buffer lengths.
+///
+/// [`PatternPack`]: crate::pack::PatternPack
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_pattern_sparse_into_with(
     x: &[f32],
@@ -246,67 +402,136 @@ pub fn conv2d_pattern_sparse_into_with(
     out: &mut [f32],
     exec: &ExecConfig,
 ) -> Result<[usize; 4], TensorError> {
-    let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
-    let (n, h, w, oh, ow) = check_input(
+    let g = check_conv_into(
+        "conv2d_pattern_sparse",
         x_shape,
         layer.in_channels(),
-        k,
-        stride,
-        pad,
-        "conv2d_pattern_sparse",
-    )?;
-    let (o, c) = (layer.out_channels(), layer.in_channels());
-    let plane = oh * ow;
-    check_into_args(
-        "conv2d_pattern_sparse",
-        o,
+        layer.out_channels(),
+        layer.kernel_size(),
+        layer.stride(),
+        layer.padding(),
         bias,
         epilogue,
         out.len(),
-        n * o * plane,
     )?;
-    // Debug-build checkpoint: a corrupt artifact (out-of-bounds channel
-    // or offset) would otherwise surface as an index panic in the tiled
-    // workers below. Release builds rely on the opt-in `rtoss-verify`
-    // pre-flight pass instead of paying this on every forward.
-    #[cfg(debug_assertions)]
-    {
-        let violations = layer.validate();
-        debug_assert!(
-            violations.is_empty(),
-            "conv2d_pattern_sparse on invalid layer: {violations:?}"
-        );
-    }
-    // Index kernels by output channel, preserving the serial sweep's
-    // group-major order so each plane accumulates identically.
-    type OcKernel<'a> = (&'a [(usize, usize)], usize, &'a [f32]);
-    let mut per_oc: Vec<Vec<OcKernel<'_>>> = vec![Vec::new(); o];
-    for g in layer.groups() {
-        // The pattern's offsets are fixed for every kernel in the
-        // group — this regularity is the point of pattern grouping.
-        for (oc, ic, values) in &g.kernels {
-            per_oc[*oc].push((g.offsets.as_slice(), *ic, values.as_slice()));
+    debug_validate_pattern(layer);
+    let pack = layer.pack();
+    // Legal layers have a uniform per-kernel tap count (RV001), so the
+    // arity dispatch hoists out of the tile walk entirely: every tile
+    // runs one monomorphized unrolled body with no per-kernel match.
+    match pack.uniform_arity() {
+        Some(1) => run_pattern_arity::<1>(x, g, bias, epilogue, out, exec.threads, pack),
+        Some(2) => run_pattern_arity::<2>(x, g, bias, epilogue, out, exec.threads, pack),
+        Some(3) => run_pattern_arity::<3>(x, g, bias, epilogue, out, exec.threads, pack),
+        Some(4) => run_pattern_arity::<4>(x, g, bias, epilogue, out, exec.threads, pack),
+        Some(5) => run_pattern_arity::<5>(x, g, bias, epilogue, out, exec.threads, pack),
+        _ => {
+            // Mixed or empty pack (corruption fixtures): per-kernel
+            // dispatch through the shared match.
+            let php = padded_plane_len(g.h, g.w, g.pad, g.stride, g.k);
+            let c = g.c;
+            let ow = g.ow;
+            run_tiled_conv(x, g, out, exec.threads, |oc, tile, x_batch, out_plane| {
+                let mut acc = [[bias.map_or(0.0, |b| b[oc]); NR]; MR];
+                for (ic, taps, vals) in pack.oc_kernels(oc) {
+                    if ic >= c {
+                        continue; // corrupt layer; RV011 rejects pre-flight
+                    }
+                    accum_kernel(&mut acc, &x_batch[ic * php..], tile, taps, vals);
+                }
+                writeback(out_plane, ow, tile, &acc, oc, epilogue);
+            });
         }
     }
+    Ok([g.n, g.o, g.oh, g.ow])
+}
+
+/// Pattern tile walk monomorphized on the layer's uniform tap arity
+/// `T`: the per-kernel loop body is a single unrolled `T`-tap
+/// accumulation, no arity match inside the walk. Same canonical order
+/// (and therefore bitwise output) as the generic path.
+fn run_pattern_arity<const T: usize>(
+    x: &[f32],
+    g: ConvGeom,
+    bias: Option<&[f32]>,
+    epilogue: &Epilogue<'_>,
+    out: &mut [f32],
+    threads: usize,
+    pack: &PatternPack,
+) {
+    let php = padded_plane_len(g.h, g.w, g.pad, g.stride, g.k);
+    let c = g.c;
+    let ow = g.ow;
+    run_tiled_conv(x, g, out, threads, |oc, tile, x_batch, out_plane| {
+        let mut acc = [[bias.map_or(0.0, |b| b[oc]); NR]; MR];
+        for (ic, taps, vals) in pack.oc_kernels(oc) {
+            if ic >= c {
+                continue; // corrupt layer; RV011 rejects pre-flight
+            }
+            accum_taps::<T>(&mut acc, &x_batch[ic * php..], tile, taps, vals);
+        }
+        writeback(out_plane, ow, tile, &acc, oc, epilogue);
+    });
+}
+
+/// Scalar-reference twin of [`conv2d_pattern_sparse_into_with`]: same
+/// canonical accumulation order (pack order — `bias`, then taps by
+/// ascending `(ic, ky, kx)`), but one whole-plane row sweep per tap
+/// and a per-plane epilogue instead of register tiling. Every tiled
+/// variant is pinned bit-identical to this by the kernel proptests and
+/// RV092; `kernel_bench` uses it as the speed baseline.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_pattern_sparse_into_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_pattern_scalar_into_with(
+    x: &[f32],
+    x_shape: &[usize],
+    layer: &PatternCompressedConv,
+    bias: Option<&[f32]>,
+    epilogue: &Epilogue<'_>,
+    out: &mut [f32],
+    exec: &ExecConfig,
+) -> Result<[usize; 4], TensorError> {
+    let g = check_conv_into(
+        "conv2d_pattern_scalar",
+        x_shape,
+        layer.in_channels(),
+        layer.out_channels(),
+        layer.kernel_size(),
+        layer.stride(),
+        layer.padding(),
+        bias,
+        epilogue,
+        out.len(),
+    )?;
+    debug_validate_pattern(layer);
+    let plane = g.oh * g.ow;
+    let hw = g.h * g.w;
+    let pack = layer.pack();
     let tiles: Vec<(usize, &mut [f32])> = out.chunks_mut(plane).enumerate().collect();
     run_tiles(tiles, exec.threads, |(tile, out_plane)| {
-        let (ni, oc) = (tile / o, tile % o);
+        let (ni, oc) = (tile / g.o, tile % g.o);
         // The buffer may be a reused arena slot: fill unconditionally.
         out_plane.fill(bias.map_or(0.0, |b| b[oc]));
-        for &(offsets, ic, values) in &per_oc[oc] {
-            let x_plane = &x[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
-            for (&(ky, kx), &val) in offsets.iter().zip(values.iter()) {
-                for oy in 0..oh {
-                    let iy = (oy * stride + ky) as isize - pad as isize;
+        for (ic, taps, vals) in pack.oc_kernels(oc) {
+            if ic >= g.c {
+                continue;
+            }
+            let x_plane = &x[(ni * g.c + ic) * hw..(ni * g.c + ic + 1) * hw];
+            for (&(ky, kx), &val) in taps.iter().zip(vals) {
+                for oy in 0..g.oh {
+                    let iy = (oy * g.stride + ky as usize) as isize - g.pad as isize;
                     accumulate_row(
-                        &mut out_plane[oy * ow..(oy + 1) * ow],
+                        &mut out_plane[oy * g.ow..(oy + 1) * g.ow],
                         x_plane,
-                        w,
+                        g.w,
                         iy,
-                        h,
-                        kx,
-                        stride,
-                        pad,
+                        g.h,
+                        kx as usize,
+                        g.stride,
+                        g.pad,
                         val,
                     );
                 }
@@ -314,7 +539,7 @@ pub fn conv2d_pattern_sparse_into_with(
         }
         epilogue.apply(oc, out_plane);
     });
-    Ok([n, o, oh, ow])
+    Ok([g.n, g.o, g.oh, g.ow])
 }
 
 /// Executes an unstructured (COO) sparse convolution.
@@ -334,8 +559,8 @@ pub fn conv2d_unstructured(
 /// [`conv2d_unstructured`] with an explicit [`ExecConfig`].
 ///
 /// Same `(batch, out-channel)`-plane tiling as the pattern executor;
-/// each plane replays its COO entries in submission order, so results
-/// are bit-identical for every thread count.
+/// each plane replays its COO runs in entry order, so results are
+/// bit-identical for every thread count.
 ///
 /// # Errors
 ///
@@ -346,33 +571,35 @@ pub fn conv2d_unstructured_with(
     bias: Option<&[f32]>,
     exec: &ExecConfig,
 ) -> Result<Tensor, TensorError> {
-    let shape = conv_output_shape(
-        x.shape(),
+    conv_entry(
+        x,
+        "conv2d_unstructured",
         layer.in_channels(),
         layer.out_channels(),
         layer.kernel_size(),
         layer.stride(),
         layer.padding(),
-        "conv2d_unstructured",
-    )?;
-    let mut out = vec![0.0f32; shape.iter().product()];
-    conv2d_unstructured_into_with(
-        x.as_slice(),
-        x.shape(),
-        layer,
-        bias,
-        &Epilogue::NONE,
-        &mut out,
-        exec,
-    )?;
-    Tensor::from_vec(out, &shape)
+        |out| {
+            conv2d_unstructured_into_with(
+                x.as_slice(),
+                x.shape(),
+                layer,
+                bias,
+                &Epilogue::NONE,
+                out,
+                exec,
+            )
+        },
+    )
 }
 
 /// Write-into-buffer variant of [`conv2d_unstructured_with`] with an
 /// [`Epilogue`] hook; the COO twin of
-/// [`conv2d_pattern_sparse_into_with`] (same buffer contract: `out` is
-/// fully overwritten, the epilogue runs per output plane inside the
-/// tile, bit-identical for every thread count).
+/// [`conv2d_pattern_sparse_into_with`] (same buffer contract, same
+/// register-tiled walk) — but every `(oc, ic)` run goes through the
+/// arity-*generic* microkernel body: the run length is data-dependent,
+/// so there is no fixed-arity monomorphization to dispatch into. That
+/// is the irregular path the paper contrasts pattern grouping against.
 ///
 /// Returns the output shape `[n, out_channels, oh, ow]`.
 ///
@@ -390,26 +617,22 @@ pub fn conv2d_unstructured_into_with(
     out: &mut [f32],
     exec: &ExecConfig,
 ) -> Result<[usize; 4], TensorError> {
-    let (stride, pad, k) = (layer.stride(), layer.padding(), layer.kernel_size());
-    let (n, h, w, oh, ow) = check_input(
+    let g = check_conv_into(
+        "conv2d_unstructured",
         x_shape,
         layer.in_channels(),
-        k,
-        stride,
-        pad,
-        "conv2d_unstructured",
-    )?;
-    let (o, c) = (layer.out_channels(), layer.in_channels());
-    let plane = oh * ow;
-    check_into_args(
-        "conv2d_unstructured",
-        o,
+        layer.out_channels(),
+        layer.kernel_size(),
+        layer.stride(),
+        layer.padding(),
         bias,
         epilogue,
         out.len(),
-        n * o * plane,
     )?;
-    // Debug-build checkpoint; see conv2d_pattern_sparse_into_with.
+    // Debug-build checkpoint: a corrupt artifact (out-of-bounds channel
+    // or offset) would otherwise surface as wrong output. Release
+    // builds rely on the opt-in `rtoss-verify` pre-flight pass instead
+    // of paying this on every forward.
     #[cfg(debug_assertions)]
     {
         let violations = layer.validate();
@@ -418,38 +641,160 @@ pub fn conv2d_unstructured_into_with(
             "conv2d_unstructured on invalid layer: {violations:?}"
         );
     }
-    // Index COO entries by output channel, preserving entry order.
-    let mut per_oc: Vec<Vec<(usize, usize, usize, f32)>> = vec![Vec::new(); o];
-    for &(oc, ic, ky, kx, val) in layer.entries() {
-        per_oc[oc].push((ic, ky, kx, val));
-    }
-    let tiles: Vec<(usize, &mut [f32])> = out.chunks_mut(plane).enumerate().collect();
-    run_tiles(tiles, exec.threads, |(tile, out_plane)| {
-        let (ni, oc) = (tile / o, tile % o);
-        // The buffer may be a reused arena slot: fill unconditionally.
-        out_plane.fill(bias.map_or(0.0, |b| b[oc]));
-        // Per-weight dispatch: every entry independently re-derives its
-        // geometry — the irregular path.
-        for &(ic, ky, kx, val) in &per_oc[oc] {
-            let x_plane = &x[(ni * c + ic) * h * w..(ni * c + ic + 1) * h * w];
-            for oy in 0..oh {
-                let iy = (oy * stride + ky) as isize - pad as isize;
-                accumulate_row(
-                    &mut out_plane[oy * ow..(oy + 1) * ow],
-                    x_plane,
-                    w,
-                    iy,
-                    h,
-                    kx,
-                    stride,
-                    pad,
-                    val,
-                );
+    let php = padded_plane_len(g.h, g.w, g.pad, g.stride, g.k);
+    let c = g.c;
+    let ow = g.ow;
+    let pack = layer.pack();
+    run_tiled_conv(x, g, out, exec.threads, |oc, tile, x_batch, out_plane| {
+        let mut acc = [[bias.map_or(0.0, |b| b[oc]); NR]; MR];
+        for (ic, taps, vals) in pack.oc_runs(oc) {
+            if ic >= c {
+                continue; // corrupt layer; RV013 rejects pre-flight
             }
+            // Data-dependent arity: always the generic body.
+            accum_taps_dyn(&mut acc, &x_batch[ic * php..], tile, taps, vals);
         }
-        epilogue.apply(oc, out_plane);
+        writeback(out_plane, ow, tile, &acc, oc, epilogue);
     });
-    Ok([n, o, oh, ow])
+    Ok([g.n, g.o, g.oh, g.ow])
+}
+
+/// Executes a dense conv through the canonical-order tiled path.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_dense_with`].
+pub fn conv2d_dense(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor, TensorError> {
+    conv2d_dense_with(x, w, bias, stride, pad, &ExecConfig::default())
+}
+
+/// [`conv2d_dense`] with an explicit [`ExecConfig`].
+///
+/// This is the autotuner's dense candidate, **not** a replacement for
+/// [`rtoss_tensor::ops::conv2d`]: it accumulates bias-first in the
+/// canonical `(ic, ky, kx)` tap order (zero taps included, which is
+/// bitwise inert — see the module docs), so its output is
+/// bit-identical to the sparse executors on the same weights, whereas
+/// the im2col+GEMM path adds bias after the matmul and rounds
+/// differently.
+///
+/// # Errors
+///
+/// Returns an error if the weight is not rank-4 square or the input
+/// does not match it.
+pub fn conv2d_dense_with(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    exec: &ExecConfig,
+) -> Result<Tensor, TensorError> {
+    let (o, c, k) = check_dense_weight(w)?;
+    conv_entry(x, "conv2d_dense", c, o, k, stride, pad, |out| {
+        conv2d_dense_into_with(
+            x.as_slice(),
+            x.shape(),
+            w,
+            stride,
+            pad,
+            bias,
+            &Epilogue::NONE,
+            out,
+            exec,
+        )
+    })
+}
+
+fn check_dense_weight(w: &Tensor) -> Result<(usize, usize, usize), TensorError> {
+    let ws = w.shape();
+    if ws.len() != 4 || ws[2] != ws[3] {
+        return Err(TensorError::Invalid {
+            op: "conv2d_dense",
+            msg: format!("expected rank-4 square-kernel weights, got {ws:?}"),
+        });
+    }
+    Ok((ws[0], ws[1], ws[2]))
+}
+
+/// Write-into-buffer dense conv in the canonical accumulation order —
+/// the execution plan's dense-format conv step (see
+/// [`conv2d_dense_with`] for why this exists alongside the im2col
+/// path). All `k×k` taps run through the same register-tiled walk as
+/// the sparse formats; for 3×3 kernels that is the monomorphized
+/// 9-tap body.
+///
+/// Returns the output shape `[n, out_channels, oh, ow]`.
+///
+/// # Errors
+///
+/// Returns an error on non-square weights, mismatched input geometry,
+/// or mismatched epilogue/output-buffer lengths.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_dense_into_with(
+    x: &[f32],
+    x_shape: &[usize],
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    bias: Option<&[f32]>,
+    epilogue: &Epilogue<'_>,
+    out: &mut [f32],
+    exec: &ExecConfig,
+) -> Result<[usize; 4], TensorError> {
+    let (o, c, k) = check_dense_weight(w)?;
+    let g = check_conv_into(
+        "conv2d_dense",
+        x_shape,
+        c,
+        o,
+        k,
+        stride,
+        pad,
+        bias,
+        epilogue,
+        out.len(),
+    )?;
+    let kk = k * k;
+    // The full tap window in canonical (ky, kx) order, shared by every
+    // kernel — the dense analogue of a pattern group's offset slice.
+    let full_taps: Vec<(u8, u8)> = (0..k as u8)
+        .flat_map(|ky| (0..k as u8).map(move |kx| (ky, kx)))
+        .collect();
+    let wd = w.as_slice();
+    let php = padded_plane_len(g.h, g.w, g.pad, g.stride, g.k);
+    let ow = g.ow;
+    run_tiled_conv(x, g, out, exec.threads, |oc, tile, x_batch, out_plane| {
+        let mut acc = [[bias.map_or(0.0, |b| b[oc]); NR]; MR];
+        for ic in 0..c {
+            let vals = &wd[(oc * c + ic) * kk..(oc * c + ic + 1) * kk];
+            accum_kernel(&mut acc, &x_batch[ic * php..], tile, &full_taps, vals);
+        }
+        writeback(out_plane, ow, tile, &acc, oc, epilogue);
+    });
+    Ok([g.n, g.o, g.oh, g.ow])
+}
+
+/// Debug-build checkpoint: a corrupt artifact (out-of-bounds channel
+/// or offset) would otherwise surface as silently-wrong output in the
+/// tiled workers. Release builds rely on the opt-in `rtoss-verify`
+/// pre-flight pass instead of paying this on every forward.
+fn debug_validate_pattern(layer: &PatternCompressedConv) {
+    #[cfg(debug_assertions)]
+    {
+        let violations = layer.validate();
+        debug_assert!(
+            violations.is_empty(),
+            "pattern executor on invalid layer: {violations:?}"
+        );
+    }
+    let _ = layer;
 }
 
 #[cfg(test)]
@@ -497,14 +842,44 @@ mod tests {
     }
 
     #[test]
-    fn executors_agree_with_each_other() {
-        let w = pruned(2, 8, 8, 15);
-        let x = init::uniform(&mut init::rng(16), &[1, 8, 12, 12], -1.0, 1.0);
-        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
-        let un = UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
-        let a = conv2d_pattern_sparse(&x, &pc, None).unwrap();
-        let b = conv2d_unstructured(&x, &un, None).unwrap();
-        assert_close(&a, &b, 1e-4);
+    fn all_formats_bit_identical_on_same_weights() {
+        for &(stride, pad, batch) in &[(1usize, 1usize, 2usize), (2, 1, 1), (1, 0, 1)] {
+            let w = pruned(2, 8, 5, 15);
+            let x = init::uniform(&mut init::rng(16), &[batch, 5, 12, 11], -1.0, 1.0);
+            let bias: Vec<f32> = (0..8).map(|v| v as f32 * 0.1 - 0.3).collect();
+            let pc = PatternCompressedConv::from_dense(&w, stride, pad).unwrap();
+            let un = UnstructuredSparseConv::from_dense(&w, stride, pad).unwrap();
+            let cfg = ExecConfig::serial();
+            let a = conv2d_pattern_sparse_with(&x, &pc, Some(&bias), &cfg).unwrap();
+            let b = conv2d_unstructured_with(&x, &un, Some(&bias), &cfg).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "pattern vs coo s{stride}p{pad}");
+            let mut d = vec![0.0f32; a.numel()];
+            conv2d_dense_into_with(
+                x.as_slice(),
+                x.shape(),
+                &w,
+                stride,
+                pad,
+                Some(&bias),
+                &Epilogue::NONE,
+                &mut d,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(a.as_slice(), &d[..], "pattern vs dense s{stride}p{pad}");
+            let mut sc = vec![0.0f32; a.numel()];
+            conv2d_pattern_scalar_into_with(
+                x.as_slice(),
+                x.shape(),
+                &pc,
+                Some(&bias),
+                &Epilogue::NONE,
+                &mut sc,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(a.as_slice(), &sc[..], "tiled vs scalar s{stride}p{pad}");
+        }
     }
 
     #[test]
@@ -555,10 +930,9 @@ mod tests {
         let relu: fn(f32) -> f32 = |v| v.max(0.0);
         let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
         let un = UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
-        // Reference per executor: unfused conv, then standalone affine
-        // + activation passes in the order the epilogue uses. (The two
-        // executors accumulate in different float orders, so each gets
-        // its own bit-exact reference.)
+        // Reference: unfused conv, then standalone affine + activation
+        // passes in the order the epilogue uses. (All formats share the
+        // canonical accumulation order, so one reference serves both.)
         let plane = 9 * 9;
         let unfused_then_epilogue = |conv: &Tensor| {
             let mut want = conv.as_slice().to_vec();
@@ -572,6 +946,7 @@ mod tests {
         };
         let want = unfused_then_epilogue(&conv2d_pattern_sparse(&x, &pc, Some(&bias)).unwrap());
         let want_un = unfused_then_epilogue(&conv2d_unstructured(&x, &un, Some(&bias)).unwrap());
+        assert_eq!(want, want_un, "formats share the canonical order");
         let epi = Epilogue {
             affine: Some((&scale, &shift)),
             act: Some(rtoss_tensor::EpilogueAct::Relu),
@@ -636,6 +1011,20 @@ mod tests {
                 affine: Some((&bad_scale, &bad_shift)),
                 act: None,
             },
+            &mut out,
+            &cfg,
+        )
+        .is_err());
+        // Dense path: non-square weights rejected.
+        let wbad = Tensor::zeros(&[4, 2, 3, 5]);
+        assert!(conv2d_dense_into_with(
+            x.as_slice(),
+            x.shape(),
+            &wbad,
+            1,
+            1,
+            None,
+            &Epilogue::NONE,
             &mut out,
             &cfg,
         )

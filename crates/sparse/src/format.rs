@@ -1,5 +1,6 @@
 //! Compressed storage formats for pruned convolution weights.
 
+use crate::pack::{CooPack, PatternPack};
 use rtoss_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -80,6 +81,9 @@ pub struct PatternCompressedConv {
     groups: Vec<PatternGroup>,
     dense_weights: usize,
     stored_weights: usize,
+    /// Kernel-major execution layout, derived from `groups` at
+    /// construction so no forward call pays the indexing cost.
+    pack: PatternPack,
 }
 
 impl PatternCompressedConv {
@@ -133,15 +137,18 @@ impl PatternCompressedConv {
                 entry.kernels.push((oc, ic, values));
             }
         }
+        let groups: Vec<PatternGroup> = by_pattern.into_values().collect();
+        let pack = PatternPack::build(o, &groups);
         Ok(PatternCompressedConv {
             out_ch: o,
             in_ch: i,
             kernel: k,
             stride,
             pad,
-            groups: by_pattern.into_values().collect(),
+            groups,
             dense_weights: o * i * kk,
             stored_weights: stored,
+            pack,
         })
     }
 
@@ -217,6 +224,7 @@ impl PatternCompressedConv {
             .flat_map(|g| g.kernels.iter())
             .map(|(_, _, v)| v.len())
             .sum();
+        let pack = PatternPack::build(out_ch, &groups);
         PatternCompressedConv {
             out_ch,
             in_ch,
@@ -226,7 +234,24 @@ impl PatternCompressedConv {
             groups,
             dense_weights: out_ch * in_ch * kernel * kernel,
             stored_weights: stored,
+            pack,
         }
+    }
+
+    /// The kernel-major execution pack derived from the groups at
+    /// construction. RV090 proves it reconstructs `to_dense()`
+    /// bit-exactly.
+    pub fn pack(&self) -> &PatternPack {
+        &self.pack
+    }
+
+    /// Mutable pack access — corruption-fixture hook for the RV090/
+    /// RV092 seeded fixtures. Never use outside tests/fixtures: a
+    /// mutated pack no longer agrees with the groups it was derived
+    /// from.
+    #[doc(hidden)]
+    pub fn pack_mut(&mut self) -> &mut PatternPack {
+        &mut self.pack
     }
 
     /// Checks every structural invariant the sparse executor relies on,
@@ -364,6 +389,9 @@ pub struct UnstructuredSparseConv {
     /// `(oc, ic, ky, kx, value)` for every surviving weight.
     entries: Vec<(usize, usize, usize, usize, f32)>,
     dense_weights: usize,
+    /// Per-output-channel run layout, derived from `entries` at
+    /// construction (see [`CooPack`]).
+    pack: CooPack,
 }
 
 impl UnstructuredSparseConv {
@@ -394,6 +422,7 @@ impl UnstructuredSparseConv {
                 }
             }
         }
+        let pack = CooPack::build(o, &entries);
         Ok(UnstructuredSparseConv {
             out_ch: o,
             in_ch: i,
@@ -402,6 +431,7 @@ impl UnstructuredSparseConv {
             pad,
             entries,
             dense_weights: o * i * k * k,
+            pack,
         })
     }
 
@@ -446,6 +476,7 @@ impl UnstructuredSparseConv {
         pad: usize,
         entries: Vec<(usize, usize, usize, usize, f32)>,
     ) -> Self {
+        let pack = CooPack::build(out_ch, &entries);
         UnstructuredSparseConv {
             out_ch,
             in_ch,
@@ -454,7 +485,23 @@ impl UnstructuredSparseConv {
             pad,
             entries,
             dense_weights: out_ch * in_ch * kernel * kernel,
+            pack,
         }
+    }
+
+    /// The run-layout execution pack derived from the entries at
+    /// construction. RV090 proves it reconstructs `to_dense()`
+    /// bit-exactly.
+    pub fn pack(&self) -> &CooPack {
+        &self.pack
+    }
+
+    /// Mutable pack access — corruption-fixture hook, the COO twin of
+    /// [`PatternCompressedConv::pack_mut`]. Never use outside
+    /// tests/fixtures.
+    #[doc(hidden)]
+    pub fn pack_mut(&mut self) -> &mut CooPack {
+        &mut self.pack
     }
 
     /// Checks the COO invariants the unstructured executor relies on,

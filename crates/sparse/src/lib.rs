@@ -39,6 +39,7 @@ mod format;
 mod model;
 
 pub mod exec;
+pub mod pack;
 pub mod plan;
 pub mod runtime;
 
@@ -46,5 +47,9 @@ pub use format::{
     FormatViolation, PatternCompressedConv, PatternGroup, SparseFormatError, UnstructuredSparseConv,
 };
 pub use model::{SparseModel, SparseModelError};
-pub use plan::{ExecutionPlan, LevelDeal, LevelSchedule, PlanSummary, StepSummary};
+pub use pack::{coo_from_pattern, CooPack, PatternPack};
+pub use plan::{
+    AutotuneMode, ExecutionPlan, FormatChoice, LevelDeal, LevelSchedule, PlanOptions, PlanSummary,
+    StepSummary,
+};
 pub use rtoss_tensor::exec::ExecConfig;

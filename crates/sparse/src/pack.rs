@@ -1,0 +1,407 @@
+//! Kernel-major pack buffers for the sparse conv formats.
+//!
+//! The pre-pack executors rebuilt a `Vec<Vec<…>>` per-output-channel
+//! index on *every* forward call. A pack is that index built once, at
+//! layer construction (load/plan time), laid out kernel-major in flat
+//! contiguous arrays: per output channel a half-open range of pack
+//! entries, each entry naming its input channel, its tap-offset slice,
+//! and its value slice. The executors then just walk slices — no
+//! per-call allocation, no pointer-chasing through nested `Vec`s.
+//!
+//! The pack fixes the **canonical accumulation order** every executor
+//! (scalar reference, pattern-tiled, COO, dense) follows: per output
+//! element the chain is `bias`, then taps in ascending `(ic, ky, kx)`
+//! order. Sharing one order is what makes cross-format bit-identity
+//! (RV092) achievable at all — f32 addition does not commute in
+//! rounding.
+//!
+//! Packs are *derived* data: bit-exact reconstruction against the
+//! owning format's `to_dense()` is checked by RV090, and the builders
+//! are total (out-of-range entries from corruption-fixture layers are
+//! dropped, never panicked on — the executors additionally clip every
+//! tap, so even a corrupt pack cannot index out of bounds).
+
+use crate::format::{PatternGroup, UnstructuredSparseConv};
+use rtoss_tensor::Tensor;
+
+/// One pattern-pack entry: a single surviving kernel of one `(oc, ic)`
+/// pair, pointing at its shared offset slice and its packed values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackEntry {
+    /// Input channel the kernel reads.
+    pub ic: u32,
+    /// Tap count (length of both slices below).
+    pub taps: u32,
+    /// Start of the tap offsets in [`PatternPack::offsets`].
+    pub off: u32,
+    /// Start of the tap values in [`PatternPack::values`].
+    pub val: u32,
+}
+
+/// Flat kernel-major layout of a pattern-compressed layer.
+///
+/// Built once by [`crate::format::PatternCompressedConv`]; per output
+/// channel the entries are sorted by ascending input channel (the
+/// canonical order), each sharing its group's offset slice and owning
+/// a contiguous value slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternPack {
+    /// Per output channel, the half-open `[start, end)` range into
+    /// `entries`.
+    oc_ranges: Vec<(u32, u32)>,
+    entries: Vec<PackEntry>,
+    /// Concatenated per-group tap offsets as `(ky, kx)`, stored once
+    /// per group and shared by every member kernel.
+    offsets: Vec<(u8, u8)>,
+    /// Kernel-major concatenated tap values.
+    values: Vec<f32>,
+    /// `Some(t)` iff every packed kernel has exactly `t` taps — true
+    /// for legal R-TOSS layers (RV001: uniform entry count per layer).
+    /// Lets the executor hoist the arity dispatch out of the tile walk.
+    uniform: Option<u32>,
+}
+
+impl PatternPack {
+    /// Builds the pack from pattern groups. Total: entries whose
+    /// output channel is out of range are dropped (corruption-fixture
+    /// layers), and offsets wider than `u8` are saturated — execution
+    /// clips every tap anyway, and `validate()`/RV010 reject such
+    /// layers before they are ever run.
+    pub fn build(out_ch: usize, groups: &[PatternGroup]) -> Self {
+        // Pass 1: store each group's offsets once and stage every
+        // kernel under its output channel.
+        // (ic, taps, offset-table start, borrowed kernel values)
+        type Staged<'a> = (u32, u32, u32, &'a [f32]);
+        let mut offsets = Vec::new();
+        let mut staged: Vec<Vec<Staged>> = vec![Vec::new(); out_ch];
+        for g in groups {
+            let off = offsets.len() as u32;
+            offsets.extend(
+                g.offsets
+                    .iter()
+                    .map(|&(ky, kx)| (ky.min(255) as u8, kx.min(255) as u8)),
+            );
+            for (oc, ic, values) in &g.kernels {
+                if *oc >= out_ch {
+                    continue;
+                }
+                let taps = (g.offsets.len() as u32).min(values.len() as u32);
+                staged[*oc].push((*ic as u32, taps, off, values.as_slice()));
+            }
+        }
+        // Pass 2: canonical (ic-ascending, stable) order per oc, then
+        // lay values down kernel-major in that final order.
+        let mut oc_ranges = Vec::with_capacity(out_ch);
+        let mut entries = Vec::new();
+        let mut values = Vec::new();
+        for ocs in &mut staged {
+            ocs.sort_by_key(|&(ic, _, _, _)| ic); // stable: ties keep group order
+            let start = entries.len() as u32;
+            for &(ic, taps, off, vals) in ocs.iter() {
+                let val = values.len() as u32;
+                values.extend_from_slice(&vals[..taps as usize]);
+                entries.push(PackEntry { ic, taps, off, val });
+            }
+            oc_ranges.push((start, entries.len() as u32));
+        }
+        let uniform = entries
+            .first()
+            .map(|e| e.taps)
+            .filter(|&t| entries.iter().all(|e| e.taps == t));
+        PatternPack {
+            oc_ranges,
+            entries,
+            offsets,
+            values,
+            uniform,
+        }
+    }
+
+    /// `Some(arity)` iff every packed kernel stores exactly `arity`
+    /// taps (uniform entry count, the RV001 invariant); `None` for an
+    /// empty or mixed-arity pack.
+    #[inline]
+    pub fn uniform_arity(&self) -> Option<usize> {
+        self.uniform.map(|t| t as usize)
+    }
+
+    /// Iterates one output channel's kernels in canonical order as
+    /// `(ic, taps, vals)` slices. Out-of-range `oc` yields nothing.
+    #[inline]
+    pub fn oc_kernels(&self, oc: usize) -> impl Iterator<Item = (usize, &[(u8, u8)], &[f32])> + '_ {
+        let (start, end) = self.oc_ranges.get(oc).copied().unwrap_or((0, 0));
+        self.entries[start as usize..end as usize].iter().map(|e| {
+            let taps = e.taps as usize;
+            (
+                e.ic as usize,
+                &self.offsets[e.off as usize..e.off as usize + taps],
+                &self.values[e.val as usize..e.val as usize + taps],
+            )
+        })
+    }
+
+    /// Total packed kernel count.
+    pub fn kernel_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total packed value count.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reconstructs the dense weight tensor from the pack alone —
+    /// RV090 bit-compares this against the owning layer's
+    /// `to_dense()`. Out-of-bounds coordinates are skipped (total on
+    /// corrupt layers).
+    pub fn to_dense(&self, out_ch: usize, in_ch: usize, kernel: usize) -> Tensor {
+        let mut w = Tensor::zeros(&[out_ch, in_ch, kernel, kernel]);
+        let wd = w.as_mut_slice();
+        for oc in 0..out_ch {
+            for (ic, taps, vals) in self.oc_kernels(oc) {
+                if ic >= in_ch {
+                    continue;
+                }
+                for (&(ky, kx), &v) in taps.iter().zip(vals) {
+                    let (ky, kx) = (ky as usize, kx as usize);
+                    if ky < kernel && kx < kernel {
+                        wd[((oc * in_ch + ic) * kernel + ky) * kernel + kx] = v;
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// Mutable access to the packed values. Corruption-fixture hook:
+    /// lets `rtoss-verify` seed a pack/dense divergence that RV090 and
+    /// RV092 must catch. Never use outside tests/fixtures.
+    #[doc(hidden)]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+}
+
+/// One COO-pack run: consecutive entries of a single `(oc, ic)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CooRun {
+    /// Input channel the run reads.
+    pub ic: u32,
+    /// Start of the run's taps in the pack's tap/value arrays.
+    pub start: u32,
+    /// One past the run's last tap.
+    pub end: u32,
+}
+
+/// Flat layout of an unstructured (COO) layer: per output channel a
+/// range of `(oc, ic)` runs, each an arbitrary-arity tap list.
+///
+/// Unlike [`PatternPack`] the run arity is data-dependent, so the
+/// executor dispatches through the arity-generic microkernel — that
+/// (plus no shared offset slices) is the irregularity penalty the
+/// paper attributes to unstructured sparsity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooPack {
+    oc_ranges: Vec<(u32, u32)>,
+    runs: Vec<CooRun>,
+    taps: Vec<(u8, u8)>,
+    vals: Vec<f32>,
+}
+
+impl CooPack {
+    /// Builds the pack from COO entries in their stored order (the
+    /// RV013 invariant makes that the canonical `(oc, ic, ky, kx)`
+    /// order for valid layers). Total: out-of-range output channels
+    /// are dropped.
+    pub fn build(out_ch: usize, entries: &[(usize, usize, usize, usize, f32)]) -> Self {
+        let mut per_oc: Vec<Vec<(usize, usize, usize, f32)>> = vec![Vec::new(); out_ch];
+        for &(oc, ic, ky, kx, v) in entries {
+            if oc < out_ch {
+                per_oc[oc].push((ic, ky, kx, v));
+            }
+        }
+        let mut oc_ranges = Vec::with_capacity(out_ch);
+        let mut runs: Vec<CooRun> = Vec::new();
+        let mut taps = Vec::new();
+        let mut vals = Vec::new();
+        for ocs in &per_oc {
+            let start = runs.len() as u32;
+            for &(ic, ky, kx, v) in ocs {
+                let tap = (ky.min(255) as u8, kx.min(255) as u8);
+                let extend = runs.len() as u32 > start
+                    && runs
+                        .last()
+                        .is_some_and(|r| r.ic as usize == ic && r.end as usize == taps.len());
+                if extend {
+                    if let Some(run) = runs.last_mut() {
+                        run.end += 1;
+                    }
+                } else {
+                    runs.push(CooRun {
+                        ic: ic as u32,
+                        start: taps.len() as u32,
+                        end: taps.len() as u32 + 1,
+                    });
+                }
+                taps.push(tap);
+                vals.push(v);
+            }
+            oc_ranges.push((start, runs.len() as u32));
+        }
+        CooPack {
+            oc_ranges,
+            runs,
+            taps,
+            vals,
+        }
+    }
+
+    /// Iterates one output channel's runs as `(ic, taps, vals)`.
+    #[inline]
+    pub fn oc_runs(&self, oc: usize) -> impl Iterator<Item = (usize, &[(u8, u8)], &[f32])> + '_ {
+        let (start, end) = self.oc_ranges.get(oc).copied().unwrap_or((0, 0));
+        self.runs[start as usize..end as usize].iter().map(|r| {
+            (
+                r.ic as usize,
+                &self.taps[r.start as usize..r.end as usize],
+                &self.vals[r.start as usize..r.end as usize],
+            )
+        })
+    }
+
+    /// Total packed tap count.
+    pub fn tap_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Reconstructs the dense weight tensor from the pack alone (the
+    /// COO side of RV090). Out-of-bounds coordinates are skipped.
+    pub fn to_dense(&self, out_ch: usize, in_ch: usize, kernel: usize) -> Tensor {
+        let mut w = Tensor::zeros(&[out_ch, in_ch, kernel, kernel]);
+        let wd = w.as_mut_slice();
+        for oc in 0..out_ch {
+            for (ic, taps, vals) in self.oc_runs(oc) {
+                if ic >= in_ch {
+                    continue;
+                }
+                for (&(ky, kx), &v) in taps.iter().zip(vals) {
+                    let (ky, kx) = (ky as usize, kx as usize);
+                    if ky < kernel && kx < kernel {
+                        wd[((oc * in_ch + ic) * kernel + ky) * kernel + kx] = v;
+                    }
+                }
+            }
+        }
+        w
+    }
+
+    /// Mutable access to the packed values — the COO twin of
+    /// [`PatternPack::values_mut`]. Never use outside tests/fixtures.
+    #[doc(hidden)]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.vals
+    }
+}
+
+/// Derives the COO form of a pattern-compressed layer in canonical
+/// `(oc, ic, ky, kx)` order — the autotuner's COO candidate.
+pub fn coo_from_pattern(layer: &crate::format::PatternCompressedConv) -> UnstructuredSparseConv {
+    let mut entries = Vec::with_capacity(layer.stored_weights());
+    for g in layer.groups() {
+        for (oc, ic, values) in &g.kernels {
+            for (&(ky, kx), &v) in g.offsets.iter().zip(values) {
+                if v != 0.0 {
+                    entries.push((*oc, *ic, ky, kx, v));
+                }
+            }
+        }
+    }
+    entries.sort_by_key(|&(oc, ic, ky, kx, _)| (oc, ic, ky, kx));
+    UnstructuredSparseConv::from_entries(
+        layer.out_channels(),
+        layer.in_channels(),
+        layer.kernel_size(),
+        layer.stride(),
+        layer.padding(),
+        entries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PatternCompressedConv;
+    use rtoss_core::pattern::canonical_set;
+    use rtoss_core::prune3x3::prune_3x3_weights;
+    use rtoss_tensor::init;
+
+    fn pruned(k_entries: usize, seed: u64) -> Tensor {
+        let mut w = init::uniform(&mut init::rng(seed), &[8, 4, 3, 3], -1.0, 1.0);
+        let set = canonical_set(k_entries).unwrap();
+        prune_3x3_weights(&mut w, &set).unwrap();
+        w
+    }
+
+    #[test]
+    fn pattern_pack_reconstructs_dense_bitwise() {
+        for k_entries in [2usize, 3, 4] {
+            let w = pruned(k_entries, 40 + k_entries as u64);
+            let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+            let rebuilt = pc.pack().to_dense(8, 4, 3);
+            assert_eq!(rebuilt.as_slice(), w.as_slice(), "{k_entries}EP");
+        }
+    }
+
+    #[test]
+    fn pattern_pack_is_ic_sorted_per_oc() {
+        let w = pruned(3, 47);
+        let pc = PatternCompressedConv::from_dense(&w, 1, 1).unwrap();
+        for oc in 0..8 {
+            let ics: Vec<usize> = pc.pack().oc_kernels(oc).map(|(ic, _, _)| ic).collect();
+            let mut sorted = ics.clone();
+            sorted.sort_unstable();
+            assert_eq!(ics, sorted, "oc {oc}");
+        }
+    }
+
+    #[test]
+    fn coo_pack_reconstructs_dense_bitwise_and_runs_are_grouped() {
+        let w = pruned(2, 48);
+        let un = crate::format::UnstructuredSparseConv::from_dense(&w, 1, 1).unwrap();
+        let pack = CooPack::build(8, un.entries());
+        assert_eq!(pack.to_dense(8, 4, 3).as_slice(), w.as_slice());
+        assert_eq!(pack.tap_count(), un.entries().len());
+        for oc in 0..8 {
+            let ics: Vec<usize> = pack.oc_runs(oc).map(|(ic, _, _)| ic).collect();
+            // Valid layers are (oc, ic, …)-sorted, so runs merge: each
+            // ic appears in at most one run per oc.
+            let mut dedup = ics.clone();
+            dedup.dedup();
+            assert_eq!(ics, dedup, "oc {oc}");
+        }
+    }
+
+    #[test]
+    fn builders_total_on_corrupt_coordinates() {
+        let groups = vec![PatternGroup {
+            offsets: vec![(9, 0), (300, 300)],
+            kernels: vec![(99, 7, vec![1.0, 2.0]), (0, 99, vec![3.0, 4.0])],
+        }];
+        let pack = PatternPack::build(2, &groups);
+        assert_eq!(pack.kernel_count(), 1); // oc 99 dropped
+        let _ = pack.to_dense(2, 1, 3); // out-of-range ic/taps skipped
+        let coo = CooPack::build(2, &[(5, 0, 0, 0, 1.0), (0, 9, 400, 0, 2.0)]);
+        assert_eq!(coo.tap_count(), 1);
+        let _ = coo.to_dense(2, 1, 3);
+    }
+
+    #[test]
+    fn coo_from_pattern_is_valid_and_matches_dense() {
+        let w = pruned(3, 49);
+        let pc = PatternCompressedConv::from_dense(&w, 2, 1).unwrap();
+        let un = coo_from_pattern(&pc);
+        assert!(un.validate().is_empty());
+        assert_eq!(un.to_dense().as_slice(), w.as_slice());
+        assert_eq!(un.stride(), 2);
+    }
+}

@@ -31,6 +31,7 @@ mod tensor;
 
 pub mod exec;
 pub mod init;
+pub mod microkernel;
 pub mod ops;
 pub mod pool;
 

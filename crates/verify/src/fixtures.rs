@@ -53,6 +53,9 @@ pub const NAMES: &[&str] = &[
     "series-conserve",
     "slo-hysteresis",
     "flight-dump",
+    "kernel-pack",
+    "kernel-choice",
+    "kernel-equiv",
 ];
 
 /// Runs the named fixture, returning its report (`None` for an unknown
@@ -87,6 +90,9 @@ pub fn run(name: &str) -> Option<Report> {
         "series-conserve" => Some(series_conserve_fixture()),
         "slo-hysteresis" => Some(slo_hysteresis_fixture()),
         "flight-dump" => Some(flight_dump_fixture()),
+        "kernel-pack" => Some(kernel_pack_fixture()),
+        "kernel-choice" => Some(kernel_choice_fixture()),
+        "kernel-equiv" => Some(kernel_equiv_fixture()),
         _ => None,
     }
 }
@@ -122,6 +128,9 @@ pub fn expected_code(name: &str) -> Option<&'static str> {
         "series-conserve" => Some("RV081"),
         "slo-hysteresis" => Some("RV082"),
         "flight-dump" => Some("RV083"),
+        "kernel-pack" => Some("RV090"),
+        "kernel-choice" => Some("RV091"),
+        "kernel-equiv" => Some("RV092"),
         _ => None,
     }
 }
@@ -857,6 +866,69 @@ pub fn slo_hysteresis_fixture() -> Report {
 pub fn flight_dump_fixture() -> Report {
     let dump = flight_fixture_dump().replace("\"trigger_ts_ns\":2000", "\"trigger_ts_ns\":99000");
     crate::telemetry::check_flight_dump("fixture dump (trigger outside window)", &dump)
+}
+
+/// A pruned 3x3 layer for the kernel-family fixtures: real pattern
+/// groups, a non-trivial pack, every format derivable.
+fn kernel_fixture_layer() -> PatternCompressedConv {
+    let mut w = init::uniform(&mut init::rng(0x90), &[6, 4, 3, 3], -1.0, 1.0);
+    let set = canonical_set(3).expect("canonical 3-entry set");
+    rtoss_core::prune3x3::prune_3x3_weights(&mut w, &set).expect("prunes");
+    PatternCompressedConv::from_dense(&w, 1, 1).expect("compresses")
+}
+
+/// Pack reconstruction: one packed value gets a single-ulp flip, so the
+/// kernel-major pack no longer rebuilds the layer's dense weights
+/// (RV090).
+pub fn kernel_pack_fixture() -> Report {
+    let mut layer = kernel_fixture_layer();
+    let vals = layer.pack_mut().values_mut();
+    vals[0] = f32::from_bits(vals[0].to_bits() ^ 1);
+    let mut report = Report::new();
+    report.extend(crate::kernels::check_pattern_pack(
+        "fixture layer (flipped pack value)",
+        &layer,
+    ));
+    report
+}
+
+/// Autotune choice legality: a conv step's recorded measurements say
+/// `dense` is fastest, but the step claims to run `coo` — the tuner is
+/// ignoring its own evidence (RV091).
+pub fn kernel_choice_fixture() -> Report {
+    let engine = plan_fixture_engine();
+    let mut summary = engine
+        .plan_summary(&[1, 3, 8, 8])
+        .expect("plan compiles for the fixture engine");
+    let conv = summary
+        .steps
+        .iter_mut()
+        .find(|st| st.kind == "conv")
+        .expect("fixture engine has conv steps");
+    conv.format = "coo";
+    conv.autotune_ns = vec![("pattern", 300), ("coo", 200), ("dense", 100)];
+    let mut report = Report::new();
+    report.extend(crate::kernels::check_format_choices(
+        "fixture plan (evidence-ignoring choice)",
+        &summary,
+    ));
+    report
+}
+
+/// Cross-format equivalence: the pattern pack's first value is changed,
+/// so the pattern-tiled executor no longer agrees with the scalar
+/// reference, COO, or dense paths built from the intact group
+/// structures (RV092).
+pub fn kernel_equiv_fixture() -> Report {
+    let mut layer = kernel_fixture_layer();
+    layer.pack_mut().values_mut()[0] += 0.5;
+    let mut report = Report::new();
+    report.extend(crate::kernels::check_layer_format_equivalence(
+        "fixture layer (corrupted pack vs intact groups)",
+        &layer,
+        &[1, 4, 10, 10],
+    ));
+    report
 }
 
 #[cfg(test)]
